@@ -1,0 +1,135 @@
+// Benchmark harness: one testing.B target per reproduced table/figure
+// (T1–T10, F1–F2; see DESIGN.md §2), each executing the corresponding
+// experiment at smoke size, plus micro-benchmarks of the hot paths
+// (shortest paths, scheme construction, per-message routing).
+//
+// Regenerate the full-size tables with: go run ./cmd/routebench -all
+package compactroute
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"compactroute/internal/bench"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Experiments[id](io.Discard, bench.Config{Quick: true, Seed: 1}); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// One bench target per table/figure of the reproduction.
+
+func BenchmarkT1SpaceStretch(b *testing.B)      { runExperiment(b, "T1") }
+func BenchmarkT2ScaleFree(b *testing.B)         { runExperiment(b, "T2") }
+func BenchmarkT3StretchComparison(b *testing.B) { runExperiment(b, "T3") }
+func BenchmarkF1DenseProperty(b *testing.B)     { runExperiment(b, "F1") }
+func BenchmarkF2SparseProperty(b *testing.B)    { runExperiment(b, "F2") }
+func BenchmarkT4NITree(b *testing.B)            { runExperiment(b, "T4") }
+func BenchmarkT5Cover(b *testing.B)             { runExperiment(b, "T5") }
+func BenchmarkT6CoverRoute(b *testing.B)        { runExperiment(b, "T6") }
+func BenchmarkT7LandmarkClaims(b *testing.B)    { runExperiment(b, "T7") }
+func BenchmarkT8SchemeTable(b *testing.B)       { runExperiment(b, "T8") }
+func BenchmarkT9Ablation(b *testing.B)          { runExperiment(b, "T9") }
+func BenchmarkT10PhaseCosts(b *testing.B)       { runExperiment(b, "T10") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkDijkstra1024(b *testing.B) {
+	g := gen.Gnp(1, 1024, 8.0/1024, gen.Uniform(1, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sssp.From(g, graph.NodeID(i%g.N()))
+	}
+}
+
+func BenchmarkAPSP256(b *testing.B) {
+	g := gen.Gnp(2, 256, 8.0/256, gen.Uniform(1, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sssp.AllPairs(g)
+	}
+}
+
+func BenchmarkSchemeBuildK3N256(b *testing.B) {
+	net := RandomNetwork(3, 256, 8.0/256, UniformWeights(1, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewScheme(net, Options{K: 3, Seed: uint64(i), SFactor: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// routeBench holds prebuilt schemes shared by the routing throughput
+// benchmarks (construction excluded from timing).
+var routeBench struct {
+	once sync.Once
+	net  *Network
+	agm  *Scheme
+	full *Scheme
+	tz   *Scheme
+}
+
+func routeSetup(b *testing.B) {
+	b.Helper()
+	routeBench.once.Do(func() {
+		routeBench.net = RandomNetwork(4, 256, 8.0/256, UniformWeights(1, 8))
+		var err error
+		if routeBench.agm, err = NewScheme(routeBench.net, Options{K: 3, Seed: 7, SFactor: 1}); err != nil {
+			panic(err)
+		}
+		if routeBench.full, err = NewFullTable(routeBench.net); err != nil {
+			panic(err)
+		}
+		if routeBench.tz, err = NewTZ(routeBench.net, 3, 7); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchRoutes(b *testing.B, s *Scheme) {
+	b.Helper()
+	n := routeBench.net.N()
+	totalStretch, delivered := 0.0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(i % n)
+		dst := NodeID((i*131 + 17) % n)
+		if src == dst {
+			continue
+		}
+		res, err := s.Route(src, dst)
+		if err != nil || !res.Delivered {
+			b.Fatalf("route failed: %v", err)
+		}
+		totalStretch += res.Stretch()
+		delivered++
+	}
+	if delivered > 0 {
+		b.ReportMetric(totalStretch/float64(delivered), "stretch/route")
+	}
+}
+
+func BenchmarkRouteAGM06(b *testing.B) {
+	routeSetup(b)
+	benchRoutes(b, routeBench.agm)
+}
+
+func BenchmarkRouteFullTable(b *testing.B) {
+	routeSetup(b)
+	benchRoutes(b, routeBench.full)
+}
+
+func BenchmarkRouteTZ(b *testing.B) {
+	routeSetup(b)
+	benchRoutes(b, routeBench.tz)
+}

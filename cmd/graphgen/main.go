@@ -1,0 +1,71 @@
+// Command graphgen emits synthetic networks in a simple text format:
+//
+//	n <nodes> <edges>
+//	v <id> <name>
+//	e <u> <v> <weight>
+//
+// Families match the generators used by the experiments; see -h.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/gio"
+	"compactroute/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "gnp", "gnp | grid | ring | path | star | tree | geometric | prefattach | ladder")
+	n := flag.Int("n", 128, "node count (or side², tree size, … depending on family)")
+	p := flag.Float64("p", 0.05, "edge probability (gnp)")
+	radius := flag.Float64("radius", 0.15, "connection radius (geometric)")
+	m := flag.Int("m", 2, "attachments per node (prefattach)")
+	depth := flag.Int("depth", 5, "hierarchy depth (ladder, tree)")
+	branch := flag.Int("branch", 2, "branching (ladder, tree)")
+	topExp := flag.Int("topexp", 16, "log2 of the top edge weight (ladder)")
+	wlo := flag.Float64("wlo", 1, "uniform weight low")
+	whi := flag.Float64("whi", 8, "uniform weight high")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	w := gen.Uniform(*wlo, *whi)
+	if *wlo == *whi {
+		w = gen.Unit()
+	}
+	var g *graph.Graph
+	switch *family {
+	case "gnp":
+		g = gen.Gnp(*seed, *n, *p, w)
+	case "grid":
+		side := 1
+		for side*side < *n {
+			side++
+		}
+		g = gen.Grid(*seed, side, side, w)
+	case "ring":
+		g = gen.Ring(*seed, *n, w)
+	case "path":
+		g = gen.Path(*seed, *n, w)
+	case "star":
+		g = gen.Star(*seed, *n, w)
+	case "tree":
+		g = gen.BalancedTree(*seed, *branch, *depth, w)
+	case "geometric":
+		g = gen.Geometric(*seed, *n, *radius)
+	case "prefattach":
+		g = gen.PrefAttach(*seed, *n, *m, w)
+	case "ladder":
+		g = gen.AspectLadder(*seed, *branch, *depth, *topExp)
+	default:
+		fmt.Fprintf(os.Stderr, "graphgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	if err := gio.Write(os.Stdout, g); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

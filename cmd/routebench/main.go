@@ -1,0 +1,49 @@
+// Command routebench regenerates the reproduction's experiment tables
+// (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	routebench -all              # every experiment, full sizes
+//	routebench -exp T2           # one experiment
+//	routebench -exp T1 -quick    # smoke sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compactroute/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (one of "+strings.Join(bench.IDs(), ", ")+")")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "smoke-test sizes")
+	seed := flag.Uint64("seed", 1, "seed for all randomized constructions")
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	switch {
+	case *all:
+		if err := bench.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		r, ok := bench.Experiments[strings.ToUpper(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "routebench: unknown experiment %q (have %s)\n",
+				*exp, strings.Join(bench.IDs(), ", "))
+			os.Exit(2)
+		}
+		if err := r(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "routebench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

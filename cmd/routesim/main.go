@@ -1,0 +1,123 @@
+// Command routesim builds the paper's scheme over a generated network
+// and traces individual routes, printing the per-phase breakdown of
+// the §3 iterative protocol — a debugging lens on the scheme.
+//
+//	routesim -n 200 -k 3 -src 5 -dst 120
+//	routesim -n 200 -k 3 -pairs 10      # random sample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compactroute/internal/core"
+	"compactroute/internal/gen"
+	"compactroute/internal/gio"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+	"compactroute/internal/viz"
+	"compactroute/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 128, "node count")
+	k := flag.Int("k", 3, "trade-off parameter")
+	p := flag.Float64("p", 0.06, "gnp edge probability")
+	seed := flag.Uint64("seed", 1, "seed")
+	src := flag.Int("src", -1, "source id (with -dst)")
+	dst := flag.Int("dst", -1, "destination id (with -src)")
+	pairs := flag.Int("pairs", 5, "random pairs to trace when -src/-dst unset")
+	sfactor := flag.Float64("sfactor", 1, "landmark S-set constant (paper: 16)")
+	graphFile := flag.String("graph", "", "route over a graph file (gio text format) instead of generating one")
+	dotFile := flag.String("dot", "", "write the last traced route as Graphviz DOT to this file")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routesim:", err)
+			os.Exit(1)
+		}
+		g, err = gio.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routesim:", err)
+			os.Exit(1)
+		}
+	} else {
+		g = gen.Gnp(*seed, *n, *p, gen.Uniform(1, 8))
+	}
+	all := sssp.AllPairs(g)
+	s, err := core.BuildWithAPSP(g, all, core.Params{K: *k, Seed: *seed, SFactor: *sfactor})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scheme %s over gnp(n=%d, p=%.3f): max table %d bits/node\n",
+		s.Name(), g.N(), *p, s.MaxTableBits())
+	fmt.Printf("build report: %+v\n\n", s.Report)
+
+	var lastPath []graph.NodeID
+	trace := func(u, v graph.NodeID) {
+		ok, phases, total, path, err := s.RouteTracePath(u, g.Name(v))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routesim:", err)
+			os.Exit(1)
+		}
+		lastPath = path
+		d := all[u].Dist[v]
+		fmt.Printf("route %d → %d (names %#x → %#x)\n", u, v, g.Name(u), g.Name(v))
+		for _, ph := range phases {
+			kind := "sparse"
+			if ph.Dense {
+				kind = "dense"
+			}
+			outcome := "miss"
+			if ph.Found {
+				outcome = "FOUND"
+			}
+			fmt.Printf("  phase %d [%s, a(u,i)=%d]: cost %.3f  %s\n",
+				ph.Level, kind, ph.AUBits, ph.Cost, outcome)
+		}
+		stretch := 0.0
+		if d > 0 {
+			stretch = total / d
+		}
+		fmt.Printf("  delivered=%v total=%.3f shortest=%.3f stretch=%.3f\n\n", ok, total, d, stretch)
+	}
+
+	if *src >= 0 && *dst >= 0 {
+		trace(graph.NodeID(*src), graph.NodeID(*dst))
+		writeDot(*dotFile, g, lastPath)
+		return
+	}
+	r := xrand.New(*seed ^ 0xfeed)
+	for i := 0; i < *pairs; i++ {
+		u := graph.NodeID(r.Intn(g.N()))
+		v := graph.NodeID(r.Intn(g.N()))
+		if u == v {
+			continue
+		}
+		trace(u, v)
+	}
+	writeDot(*dotFile, g, lastPath)
+}
+
+func writeDot(path string, g *graph.Graph, route []graph.NodeID) {
+	if path == "" || route == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := viz.RouteDOT(f, g, route); err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote route visualization to %s\n", path)
+}

@@ -1,0 +1,310 @@
+// Package compactroute is a reproduction of "On Space-Stretch
+// Trade-Offs: Upper Bounds" (Abraham, Gavoille, Malkhi; SPAA 2006): a
+// name-independent, scale-free compact routing scheme for arbitrary
+// weighted graphs with stretch O(k) and Õ(n^{1/k})-bit routing tables
+// per node, independent of the network's aspect ratio.
+//
+// The package is a facade over the internal implementation:
+//
+//	b := compactroute.NewBuilder()
+//	a := b.AddNode(0xCAFE) // nodes have arbitrary 64-bit names
+//	c := b.AddNode(0xBEEF)
+//	b.AddEdge(a, c, 2.5)
+//	net, _ := compactroute.BuildNetwork(b)
+//	scheme, _ := compactroute.NewScheme(net, compactroute.Options{K: 3})
+//	res, _ := scheme.RouteByName(0xCAFE, 0xBEEF)
+//	fmt.Println(res.Cost, res.Hops)
+//
+// Alongside the paper's scheme the package exposes the comparison
+// baselines its evaluation needs (full tables, an aspect-ratio-
+// dependent Awerbuch–Peleg-style hierarchy, a scale-free landmark
+// chain, and Thorup–Zwick labeled routing), synthetic network
+// generators, and stretch statistics. See DESIGN.md for the full
+// system inventory and EXPERIMENTS.md for the reproduced results.
+package compactroute
+
+import (
+	"fmt"
+	"io"
+
+	"compactroute/internal/baseline"
+	"compactroute/internal/bitsize"
+	"compactroute/internal/core"
+	"compactroute/internal/gio"
+	"compactroute/internal/graph"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+	"compactroute/internal/stats"
+)
+
+// NodeID identifies a node internally; the routing model itself only
+// ever addresses nodes by their arbitrary uint64 names.
+type NodeID = graph.NodeID
+
+// GraphBuilder accumulates a weighted undirected network.
+type GraphBuilder = graph.Builder
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// Stretch aggregates routed-vs-shortest ratios.
+type Stretch = stats.Stretch
+
+// Network is a frozen graph with its shortest-path metric, shared by
+// every scheme built on it.
+type Network struct {
+	g    *graph.Graph
+	apsp []*sssp.Result
+}
+
+// BuildNetwork freezes the builder and precomputes the metric.
+func BuildNetwork(b *GraphBuilder) (*Network, error) {
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return WrapGraph(g), nil
+}
+
+// WrapGraph adopts an already-built graph (e.g. from the generators).
+// The shortest-path metric is computed across all cores.
+func WrapGraph(g *graph.Graph) *Network {
+	return &Network{g: g, apsp: sssp.AllPairsParallel(g, 0)}
+}
+
+// Graph exposes the underlying graph (read-only use).
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// N returns the node count.
+func (n *Network) N() int { return n.g.N() }
+
+// Distance returns the shortest-path distance between two nodes.
+func (n *Network) Distance(u, v NodeID) float64 { return n.apsp[u].Dist[v] }
+
+// Options configures the paper's scheme (see core.Params for the
+// experiment-only knobs).
+type Options struct {
+	// K is the space-stretch trade-off parameter: stretch O(k),
+	// tables Õ(n^{1/k}).
+	K int
+	// Seed makes the build reproducible. Zero is a valid seed.
+	Seed uint64
+	// SFactor optionally scales the landmark set constants; 0 means
+	// the paper's 16 (see DESIGN.md #5).
+	SFactor float64
+}
+
+// Result describes one routed message.
+type Result struct {
+	Delivered bool
+	// Cost is the total weight of the traversed path.
+	Cost float64
+	// Hops is the number of edges traversed.
+	Hops int
+	// HeaderBits is the largest routing header observed in flight.
+	HeaderBits int64
+	// ShortestCost is the shortest-path distance (for stretch).
+	ShortestCost float64
+}
+
+// Stretch returns Cost/ShortestCost (1 for self-routes).
+func (r Result) Stretch() float64 {
+	if r.ShortestCost <= 0 {
+		return 1
+	}
+	return r.Cost / r.ShortestCost
+}
+
+// Scheme is a built routing scheme bound to its network.
+type Scheme struct {
+	net    *Network
+	router sim.Router
+	engine *sim.Engine
+	table  interface {
+		MaxTableBits() bitsize.Bits
+		MeanTableBits() float64
+	}
+}
+
+// NewScheme builds the paper's scheme (Theorem 1) over the network.
+func NewScheme(net *Network, o Options) (*Scheme, error) {
+	s, err := core.BuildWithAPSP(net.g, net.apsp, core.Params{
+		K:       o.K,
+		Seed:    o.Seed,
+		SFactor: o.SFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, s, s), nil
+}
+
+// NewSchemeFromParams exposes every experiment knob (ablation modes,
+// load factors); see core.Params.
+func NewSchemeFromParams(net *Network, p core.Params) (*Scheme, error) {
+	s, err := core.BuildWithAPSP(net.g, net.apsp, p)
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, s, s), nil
+}
+
+// Core returns the underlying core scheme when this Scheme wraps one
+// (for build reports and storage breakdowns), else nil.
+func (s *Scheme) Core() *core.Scheme {
+	c, _ := s.router.(*core.Scheme)
+	return c
+}
+
+// NewFullTable builds the stretch-1 full-table baseline.
+func NewFullTable(net *Network) (*Scheme, error) {
+	f, err := baseline.NewFullTable(net.g, net.apsp)
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, f, f), nil
+}
+
+// NewAPCover builds the aspect-ratio-dependent tree-cover baseline.
+func NewAPCover(net *Network, k int, seed uint64) (*Scheme, error) {
+	a, err := baseline.NewAPCover(net.g, net.apsp, baseline.APCoverParams{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, a, a), nil
+}
+
+// NewLandmarkChain builds the scale-free unbounded-stretch baseline.
+func NewLandmarkChain(net *Network, k int, seed uint64) (*Scheme, error) {
+	l, err := baseline.NewLandmarkChain(net.g, net.apsp, baseline.LandmarkChainParams{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, l, l), nil
+}
+
+// NewTZ builds the Thorup–Zwick labeled baseline.
+func NewTZ(net *Network, k int, seed uint64) (*Scheme, error) {
+	z, err := baseline.NewTZ(net.g, net.apsp, baseline.TZParams{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, z, z), nil
+}
+
+func newScheme(net *Network, r sim.Router, t interface {
+	MaxTableBits() bitsize.Bits
+	MeanTableBits() float64
+}) *Scheme {
+	return &Scheme{net: net, router: r, engine: sim.NewEngine(net.g), table: t}
+}
+
+// Name identifies the scheme in tables.
+func (s *Scheme) Name() string { return s.router.Name() }
+
+// MaxTableBits returns the largest per-node routing table.
+func (s *Scheme) MaxTableBits() int64 { return int64(s.table.MaxTableBits()) }
+
+// MeanTableBits returns the mean per-node routing table size.
+func (s *Scheme) MeanTableBits() float64 { return s.table.MeanTableBits() }
+
+// Route delivers a message between internal ids.
+func (s *Scheme) Route(src, dst NodeID) (Result, error) {
+	if int(src) >= s.net.N() || int(dst) >= s.net.N() || src < 0 || dst < 0 {
+		return Result{}, fmt.Errorf("compactroute: invalid endpoint %d→%d", src, dst)
+	}
+	res, err := s.engine.Route(s.router, src, s.net.g.Name(dst))
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Delivered:    res.Delivered,
+		Cost:         res.Cost,
+		Hops:         res.Hops,
+		HeaderBits:   int64(res.MaxHeaderBits),
+		ShortestCost: s.net.apsp[src].Dist[dst],
+	}, nil
+}
+
+// RouteByName delivers a message between external names — the
+// operation the name-independent model is about.
+func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
+	src, ok := s.net.g.Lookup(srcName)
+	if !ok {
+		return Result{}, fmt.Errorf("compactroute: unknown source name %#x", srcName)
+	}
+	res, err := s.engine.Route(s.router, src, dstName)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Delivered:  res.Delivered,
+		Cost:       res.Cost,
+		Hops:       res.Hops,
+		HeaderBits: int64(res.MaxHeaderBits),
+	}
+	if dst, ok := s.net.g.Lookup(dstName); ok {
+		out.ShortestCost = s.net.apsp[src].Dist[dst]
+	}
+	return out, nil
+}
+
+// MeasureStretch routes every ordered pair (or a strided sample when
+// sampleStride > 1) and returns the stretch distribution. It errors on
+// the first non-delivered pair.
+func (s *Scheme) MeasureStretch(sampleStride int) (*Stretch, error) {
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	var st Stretch
+	n := s.net.N()
+	for u := 0; u < n; u += sampleStride {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			res, err := s.Route(NodeID(u), NodeID(v))
+			if err != nil {
+				return nil, err
+			}
+			if !res.Delivered {
+				return nil, fmt.Errorf("compactroute: %s failed to deliver %d→%d", s.Name(), u, v)
+			}
+			st.Add(res.Cost, res.ShortestCost)
+		}
+	}
+	return &st, nil
+}
+
+// AddLabeled registers a node by an arbitrary string label (hashed to
+// its 64-bit routing name per §2.1's long-label generalization). Use
+// on a builder before BuildNetwork.
+func AddLabeled(b *GraphBuilder, label string) NodeID { return b.AddLabeled(label) }
+
+// RouteByLabel delivers a message between string-labeled nodes.
+func (s *Scheme) RouteByLabel(srcLabel, dstLabel string) (Result, error) {
+	src, ok := s.net.g.LookupLabel(srcLabel)
+	if !ok {
+		return Result{}, fmt.Errorf("compactroute: unknown source label %q", srcLabel)
+	}
+	dst, ok := s.net.g.LookupLabel(dstLabel)
+	if !ok {
+		return Result{}, fmt.Errorf("compactroute: unknown destination label %q", dstLabel)
+	}
+	return s.Route(src, dst)
+}
+
+// SaveNetwork writes the network's graph in the text workload format
+// (see internal/gio): replayable via LoadNetwork, cmd/routesim -graph,
+// and cmd/graphgen.
+func SaveNetwork(w io.Writer, net *Network) error { return gio.Write(w, net.g) }
+
+// LoadNetwork reads a graph in the text workload format and computes
+// its metric.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	g, err := gio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return WrapGraph(g), nil
+}

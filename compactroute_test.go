@@ -1,0 +1,173 @@
+package compactroute
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(0xCAFE)
+	c := b.AddNode(0xBEEF)
+	d := b.AddNode(0xF00D)
+	if err := b.AddEdge(a, c, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(c, d, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	net, err := BuildNetwork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheme(net, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RouteByName(0xCAFE, 0xF00D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Cost != 4 || res.Hops != 2 {
+		t.Fatalf("quickstart route = %+v", res)
+	}
+	if res.Stretch() != 1 {
+		t.Fatalf("stretch = %v", res.Stretch())
+	}
+}
+
+func TestAllPublicSchemesOnOneNetwork(t *testing.T) {
+	net := RandomNetwork(1, 40, 0.1, UniformWeights(1, 4))
+	build := []func() (*Scheme, error){
+		func() (*Scheme, error) { return NewScheme(net, Options{K: 2, Seed: 3}) },
+		func() (*Scheme, error) { return NewFullTable(net) },
+		func() (*Scheme, error) { return NewAPCover(net, 2, 3) },
+		func() (*Scheme, error) { return NewLandmarkChain(net, 2, 3) },
+		func() (*Scheme, error) { return NewTZ(net, 2, 3) },
+	}
+	for _, mk := range build {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.MeasureStretch(1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if st.N() == 0 || st.Max() < 1 {
+			t.Fatalf("%s: empty stretch", s.Name())
+		}
+		if s.MaxTableBits() <= 0 {
+			t.Fatalf("%s: no table bits", s.Name())
+		}
+	}
+}
+
+func TestRouteByUnknownNames(t *testing.T) {
+	net := RingNetwork(2, 10, UnitWeights())
+	s, err := NewScheme(net, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RouteByName(0xBAD, net.Graph().Name(0)); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	// Unknown destination: the scheme must search and fail to deliver,
+	// not error out.
+	res, err := s.RouteByName(net.Graph().Name(0), 0xBAD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered {
+		t.Fatal("delivered to a phantom name")
+	}
+}
+
+func TestNetworkDistance(t *testing.T) {
+	net := GridNetwork(3, 3, 3, UnitWeights())
+	if net.N() != 9 {
+		t.Fatalf("N = %d", net.N())
+	}
+	if d := net.Distance(0, 8); d != 4 {
+		t.Fatalf("corner distance = %v", d)
+	}
+}
+
+func TestCoreAccessor(t *testing.T) {
+	net := RingNetwork(4, 12, UnitWeights())
+	s, err := NewScheme(net, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Core() == nil {
+		t.Fatal("core accessor nil for core scheme")
+	}
+	f, _ := NewFullTable(net)
+	if f.Core() != nil {
+		t.Fatal("core accessor non-nil for baseline")
+	}
+}
+
+func TestMeasureStretchSampled(t *testing.T) {
+	net := RandomNetwork(5, 30, 0.15, UnitWeights())
+	s, err := NewFullTable(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.MeasureStretch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := s.MeasureStretch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.N() >= full.N() {
+		t.Fatal("sampling did not reduce pairs")
+	}
+}
+
+func TestInvalidRouteEndpoints(t *testing.T) {
+	net := RingNetwork(6, 8, UnitWeights())
+	s, _ := NewFullTable(net)
+	if _, err := s.Route(-1, 2); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := s.Route(0, 100); err == nil {
+		t.Fatal("out of range id accepted")
+	}
+}
+
+func TestRouteByLabel(t *testing.T) {
+	b := NewBuilder()
+	hosts := []string{"db-primary", "db-replica", "web-1", "web-2", "cache"}
+	ids := make([]NodeID, len(hosts))
+	for i, h := range hosts {
+		ids[i] = AddLabeled(b, h)
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := b.AddEdge(ids[i-1], ids[i], float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := BuildNetwork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheme(net, Options{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RouteByLabel("db-primary", "cache")
+	if err != nil || !res.Delivered {
+		t.Fatalf("labeled route failed: %+v %v", res, err)
+	}
+	if res.Cost != 1+2+3+4 {
+		t.Fatalf("labeled route cost %v", res.Cost)
+	}
+	if _, err := s.RouteByLabel("nope", "cache"); err == nil {
+		t.Fatal("unknown source label accepted")
+	}
+	if _, err := s.RouteByLabel("cache", "nope"); err == nil {
+		t.Fatal("unknown destination label accepted")
+	}
+}

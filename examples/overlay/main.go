@@ -1,0 +1,70 @@
+// Overlay demo: the paper's motivating application (§1). Distributed
+// hash tables assign nodes *fixed* identifiers (hashes) that cannot
+// encode network location, so labeled routing schemes do not apply —
+// name-independent routing is exactly what a DHT substrate needs.
+//
+// This example builds a 300-node overlay whose node names are content
+// hashes, stores a few keys on their responsible nodes (closest hash),
+// and serves lookups by routing directly to the responsible node's
+// name with the SPAA'06 scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"compactroute"
+)
+
+func main() {
+	const n = 300
+	net := compactroute.ScaleFreeNetwork(11, n, 2, compactroute.UniformWeights(1, 10))
+	scheme, err := compactroute.NewScheme(net, compactroute.Options{K: 3, Seed: 5, SFactor: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The DHT id space is the node-name space itself.
+	names := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		names[i] = net.Graph().Name(compactroute.NodeID(i))
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+
+	// responsible returns the node owning a key: the first name ≥ key
+	// (wrapping), as in consistent hashing.
+	responsible := func(key uint64) uint64 {
+		i := sort.Search(n, func(i int) bool { return names[i] >= key })
+		if i == n {
+			i = 0
+		}
+		return names[i]
+	}
+
+	keys := []string{"alpha.iso", "beta.tar.gz", "gamma.db", "delta.log", "epsilon.bin"}
+	fmt.Printf("DHT over %d nodes, k=3 (tables: max %d bits/node)\n\n", n, scheme.MaxTableBits())
+	fmt.Printf("%-14s  %-18s  %-18s  %-6s  %-8s\n", "key", "key hash", "owner", "hops", "stretch")
+
+	totalStretch, served := 0.0, 0
+	for qi, key := range keys {
+		keyHash := compactroute.HashName(99, uint64(len(key))<<32|uint64(qi))
+		owner := responsible(keyHash)
+		// A random client looks the key up by routing to the owner's
+		// name — no location information needed, only the hash.
+		client := names[(qi*37)%n]
+		res, err := scheme.RouteByName(client, owner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Delivered {
+			log.Fatalf("lookup for %s not delivered", key)
+		}
+		fmt.Printf("%-14s  %#-18x  %#-18x  %-6d  %-8.2f\n",
+			key, keyHash, owner, res.Hops, res.Stretch())
+		totalStretch += res.Stretch()
+		served++
+	}
+	fmt.Printf("\nmean lookup stretch: %.2f — bounded by O(k) for every key, any topology.\n",
+		totalStretch/float64(served))
+}

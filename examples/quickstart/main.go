@@ -1,0 +1,64 @@
+// Quickstart: build a small weighted network with arbitrary node
+// names, construct the paper's routing scheme, and route a message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compactroute"
+)
+
+func main() {
+	// A network of six datacenters with arbitrary 64-bit names (they
+	// could be IP addresses, hashes, or serial numbers — the scheme
+	// never interprets them).
+	b := compactroute.NewBuilder()
+	paris := b.AddNode(0x50A1)
+	london := b.AddNode(0x10AD)
+	berlin := b.AddNode(0xBE21)
+	madrid := b.AddNode(0x3AD2)
+	rome := b.AddNode(0x203E)
+	oslo := b.AddNode(0x0510)
+
+	type link struct {
+		a, b compactroute.NodeID
+		ms   float64
+	}
+	for _, l := range []link{
+		{paris, london, 8}, {paris, berlin, 11}, {paris, madrid, 13},
+		{london, oslo, 14}, {berlin, oslo, 11}, {berlin, rome, 15},
+		{madrid, rome, 17}, {rome, paris, 14},
+	} {
+		if err := b.AddEdge(l.a, l.b, l.ms); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	net, err := compactroute.BuildNetwork(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// k controls the trade-off: stretch O(k), tables Õ(n^{1/k}).
+	scheme, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Route by name — the only address the sender needs.
+	res, err := scheme.RouteByName(0x3AD2, 0x0510) // Madrid → Oslo
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Madrid→Oslo: delivered=%v cost=%.0fms hops=%d stretch=%.2f\n",
+		res.Delivered, res.Cost, res.Hops, res.Stretch())
+	fmt.Printf("largest routing table: %d bits\n", scheme.MaxTableBits())
+
+	// The stretch guarantee holds for every pair.
+	st, err := scheme.MeasureStretch(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-pairs stretch: %s\n", st)
+}

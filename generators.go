@@ -1,0 +1,57 @@
+package compactroute
+
+import (
+	"compactroute/internal/gen"
+	"compactroute/internal/xrand"
+)
+
+// Weighting draws edge weights for the generators.
+type Weighting = gen.Weighting
+
+// UnitWeights gives every edge weight 1.
+func UnitWeights() Weighting { return gen.Unit() }
+
+// UniformWeights draws weights uniformly from [lo, hi).
+func UniformWeights(lo, hi float64) Weighting { return gen.Uniform(lo, hi) }
+
+// PowerOfTwoWeights draws weights 2^j, j uniform in {0..maxExp}; sums
+// stay exact in float64, which matters for huge-aspect-ratio runs.
+func PowerOfTwoWeights(maxExp int) Weighting { return gen.PowerOfTwo(maxExp) }
+
+// RandomNetwork returns a connected Erdős–Rényi-style network.
+func RandomNetwork(seed uint64, n int, p float64, w Weighting) *Network {
+	return WrapGraph(gen.Gnp(seed, n, p, w))
+}
+
+// GridNetwork returns a rows×cols mesh.
+func GridNetwork(seed uint64, rows, cols int, w Weighting) *Network {
+	return WrapGraph(gen.Grid(seed, rows, cols, w))
+}
+
+// RingNetwork returns an n-cycle.
+func RingNetwork(seed uint64, n int, w Weighting) *Network {
+	return WrapGraph(gen.Ring(seed, n, w))
+}
+
+// GeometricNetwork returns a random geometric graph in the unit
+// square with the given connection radius.
+func GeometricNetwork(seed uint64, n int, radius float64) *Network {
+	return WrapGraph(gen.Geometric(seed, n, radius))
+}
+
+// ScaleFreeNetwork returns a preferential-attachment network with
+// heavy-tailed degrees.
+func ScaleFreeNetwork(seed uint64, n, m int, w Weighting) *Network {
+	return WrapGraph(gen.PrefAttach(seed, n, m, w))
+}
+
+// AspectLadderNetwork returns the scale-freeness stress workload: a
+// fixed topology whose edge weights span topExp binary orders of
+// magnitude, so the aspect ratio Δ ≈ 2^topExp while n stays fixed.
+func AspectLadderNetwork(seed uint64, branching, depth, topExp int) *Network {
+	return WrapGraph(gen.AspectLadder(seed, branching, depth, topExp))
+}
+
+// HashName is the repository's standard name scrambler, exposed so
+// applications can mint uncorrelated node names.
+func HashName(seed, x uint64) uint64 { return xrand.Hash64(seed, x) }

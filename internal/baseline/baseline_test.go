@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+	"compactroute/internal/stats"
+)
+
+// routeAll routes every ordered pair with the given router, asserting
+// delivery and returning the stretch distribution.
+func routeAll(t *testing.T, g *graph.Graph, r sim.Router, all []*sssp.Result) *stats.Stretch {
+	t.Helper()
+	e := sim.NewEngine(g)
+	var st stats.Stretch
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			res, err := e.Route(r, u, g.Name(v))
+			if err != nil {
+				t.Fatalf("%s: route %d→%d: %v", r.Name(), u, v, err)
+			}
+			if !res.Delivered {
+				t.Fatalf("%s: route %d→%d not delivered", r.Name(), u, v)
+			}
+			if u != v {
+				st.Add(res.Cost, all[u].Dist[v])
+			}
+		}
+	}
+	return &st
+}
+
+// --- FullTable ---
+
+func TestFullTableIsShortest(t *testing.T) {
+	g := gen.Gnp(1, 50, 0.08, gen.Uniform(1, 5))
+	all := sssp.AllPairs(g)
+	f, err := NewFullTable(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := routeAll(t, g, f, all)
+	if st.Max() > 1+1e-9 {
+		t.Fatalf("full table stretch %v > 1", st.Max())
+	}
+}
+
+func TestFullTableStorageThetaN(t *testing.T) {
+	g := gen.Gnp(2, 64, 0.05, gen.Unit())
+	all := sssp.AllPairs(g)
+	f, _ := NewFullTable(g, all)
+	n := float64(g.N())
+	logn := math.Log2(n)
+	bits := float64(f.MaxTableBits())
+	if bits < (n-1)*logn/2 || bits > 8*n*logn {
+		t.Fatalf("full table bits %v not Θ(n log n)", bits)
+	}
+}
+
+func TestFullTableUnknownName(t *testing.T) {
+	g := gen.Path(3, 6, gen.Unit())
+	all := sssp.AllPairs(g)
+	f, _ := NewFullTable(g, all)
+	e := sim.NewEngine(g)
+	res, err := e.Route(f, 0, 0xdeadbeef)
+	if err != nil || res.Delivered {
+		t.Fatalf("unknown name should fail cleanly: %+v %v", res, err)
+	}
+}
+
+// --- APCover ---
+
+func TestAPCoverDeliveryAndLinearStretch(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		g := gen.Gnp(4+uint64(k), 40, 0.1, gen.Uniform(1, 5))
+		all := sssp.AllPairs(g)
+		a, err := NewAPCover(g, all, APCoverParams{K: k, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := routeAll(t, g, a, all)
+		if st.Max() > float64(20*k+20) {
+			t.Fatalf("apcover k=%d stretch %v not linear-ish", k, st.Max())
+		}
+	}
+}
+
+func TestAPCoverScalesGrowWithAspect(t *testing.T) {
+	// The foil property: table size grows with log Δ on the same
+	// topology.
+	small := gen.AspectLadder(9, 2, 3, 6)
+	big := gen.AspectLadder(9, 2, 3, 30)
+	as, err := NewAPCover(small, sssp.AllPairs(small), APCoverParams{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := NewAPCover(big, sssp.AllPairs(big), APCoverParams{K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Scales() <= as.Scales()+10 {
+		t.Fatalf("scales %d vs %d: log Δ growth missing", as.Scales(), ab.Scales())
+	}
+	if float64(ab.MaxTableBits()) < 1.5*float64(as.MaxTableBits()) {
+		t.Fatalf("apcover tables did not grow with Δ: %d vs %d",
+			as.MaxTableBits(), ab.MaxTableBits())
+	}
+}
+
+func TestAPCoverNonexistentName(t *testing.T) {
+	g := gen.Ring(10, 12, gen.Unit())
+	all := sssp.AllPairs(g)
+	a, _ := NewAPCover(g, all, APCoverParams{K: 2, Seed: 3})
+	e := sim.NewEngine(g)
+	res, err := e.Route(a, 0, 0xabcdef)
+	if err != nil || res.Delivered {
+		t.Fatalf("phantom name: %+v %v", res, err)
+	}
+}
+
+// --- LandmarkChain ---
+
+func TestLandmarkChainDelivers(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		g := gen.Gnp(11+uint64(k), 50, 0.08, gen.Uniform(1, 4))
+		all := sssp.AllPairs(g)
+		l, err := NewLandmarkChain(g, all, LandmarkChainParams{K: k, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := routeAll(t, g, l, all)
+		t.Logf("landmark-chain k=%d: %s tops=%d", k, st, l.Tops())
+	}
+}
+
+func TestLandmarkChainStretchUnboundedForClosePairs(t *testing.T) {
+	// On a ring, adjacent nodes usually route through a far landmark:
+	// max stretch far above our scheme's O(k).
+	g := gen.Ring(13, 64, gen.Unit())
+	all := sssp.AllPairs(g)
+	l, err := NewLandmarkChain(g, all, LandmarkChainParams{K: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := routeAll(t, g, l, all)
+	if st.Max() < 8 {
+		t.Fatalf("landmark chain suspiciously good on a ring: %v", st.Max())
+	}
+}
+
+func TestLandmarkChainTablesScaleFree(t *testing.T) {
+	small := gen.AspectLadder(14, 2, 3, 6)
+	big := gen.AspectLadder(14, 2, 3, 30)
+	ls, _ := NewLandmarkChain(small, sssp.AllPairs(small), LandmarkChainParams{K: 2, Seed: 1})
+	lb, _ := NewLandmarkChain(big, sssp.AllPairs(big), LandmarkChainParams{K: 2, Seed: 1})
+	ratio := float64(lb.MaxTableBits()) / float64(ls.MaxTableBits())
+	if ratio > 1.05 || ratio < 0.95 {
+		t.Fatalf("landmark chain tables scaled with Δ: ratio %.3f", ratio)
+	}
+}
+
+func TestLandmarkChainUnknownName(t *testing.T) {
+	g := gen.Path(15, 8, gen.Unit())
+	all := sssp.AllPairs(g)
+	l, _ := NewLandmarkChain(g, all, LandmarkChainParams{K: 2, Seed: 9})
+	e := sim.NewEngine(g)
+	res, err := e.Route(l, 2, 0x5eaf00d)
+	if err != nil || res.Delivered {
+		t.Fatalf("phantom name: %+v %v", res, err)
+	}
+}
+
+// --- TZ ---
+
+func TestTZDeliversWithBoundedStretch(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		g := gen.Gnp(16+uint64(k), 50, 0.08, gen.Uniform(1, 5))
+		all := sssp.AllPairs(g)
+		z, err := NewTZ(g, all, TZParams{K: k, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := routeAll(t, g, z, all)
+		bound := float64(4*k - 3)
+		if k == 1 {
+			bound = 1
+		}
+		if st.Max() > bound+1e-9 {
+			t.Fatalf("tz k=%d stretch %v > %v", k, st.Max(), bound)
+		}
+	}
+}
+
+func TestTZAcrossFamilies(t *testing.T) {
+	cases := []*graph.Graph{
+		gen.Grid(21, 5, 6, gen.Unit()),
+		gen.Ring(22, 24, gen.Uniform(1, 3)),
+		gen.Star(23, 25, gen.Uniform(1, 4)),
+		gen.AspectLadder(24, 2, 3, 16),
+	}
+	for i, g := range cases {
+		all := sssp.AllPairs(g)
+		z, err := NewTZ(g, all, TZParams{K: 2, Seed: 13})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		st := routeAll(t, g, z, all)
+		if st.Max() > 5+1e-9 {
+			t.Fatalf("case %d: tz k=2 stretch %v > 4k-3", i, st.Max())
+		}
+	}
+}
+
+func TestTZLabelsAreCompact(t *testing.T) {
+	g := gen.Gnp(25, 100, 0.05, gen.Unit())
+	all := sssp.AllPairs(g)
+	z, _ := NewTZ(g, all, TZParams{K: 3, Seed: 17})
+	logn := math.Log2(float64(g.N()))
+	if float64(z.MaxLabelBits()) > 64*3*logn*logn {
+		t.Fatalf("tz label %d bits too large", z.MaxLabelBits())
+	}
+}
+
+func TestTZUnknownNameRejected(t *testing.T) {
+	g := gen.Path(26, 5, gen.Unit())
+	all := sssp.AllPairs(g)
+	z, _ := NewTZ(g, all, TZParams{K: 2, Seed: 19})
+	if _, err := z.Begin(0, 0xfeed); err == nil {
+		t.Fatal("labeled scheme must reject unknown names at Begin")
+	}
+}
+
+// --- cross-scheme parameter validation ---
+
+func TestBaselinesRejectBadInput(t *testing.T) {
+	g := gen.Path(27, 5, gen.Unit())
+	all := sssp.AllPairs(g)
+	if _, err := NewFullTable(g, nil); err == nil {
+		t.Fatal("fulltable nil results accepted")
+	}
+	if _, err := NewAPCover(g, all, APCoverParams{K: 0}); err == nil {
+		t.Fatal("apcover k=0 accepted")
+	}
+	if _, err := NewLandmarkChain(g, all, LandmarkChainParams{K: 0}); err == nil {
+		t.Fatal("landmarkchain k=0 accepted")
+	}
+	if _, err := NewTZ(g, all, TZParams{K: 0}); err == nil {
+		t.Fatal("tz k=0 accepted")
+	}
+	b := graph.NewBuilder()
+	b.AddNode(1)
+	b.AddNode(2)
+	dg, _ := b.Build()
+	dall := sssp.AllPairs(dg)
+	if _, err := NewAPCover(dg, dall, APCoverParams{K: 2}); err == nil {
+		t.Fatal("apcover disconnected accepted")
+	}
+	if _, err := NewTZ(dg, dall, TZParams{K: 2}); err == nil {
+		t.Fatal("tz disconnected accepted")
+	}
+}

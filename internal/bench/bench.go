@@ -1,0 +1,114 @@
+// Package bench implements the experiment harness: one runner per
+// table/figure of DESIGN.md §2 (T1–T10, F1–F2), each printing the
+// series the reproduction reports in EXPERIMENTS.md.
+//
+// Every runner is deterministic given its seed and comes in two sizes:
+// Quick (used by the testing.B wrappers and smoke tests) and full
+// (used by cmd/routebench to regenerate the recorded tables).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+	"compactroute/internal/stats"
+)
+
+// Config configures a run.
+type Config struct {
+	// Quick shrinks sizes for smoke tests and benchmarks.
+	Quick bool
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// Runner is one experiment.
+type Runner func(w io.Writer, cfg Config) error
+
+// Experiments maps experiment ids to runners.
+var Experiments = map[string]Runner{
+	"T1":  RunT1,
+	"T2":  RunT2,
+	"T3":  RunT3,
+	"F1":  RunF1,
+	"F2":  RunF2,
+	"T4":  RunT4,
+	"T5":  RunT5,
+	"T6":  RunT6,
+	"T7":  RunT7,
+	"T8":  RunT8,
+	"T9":  RunT9,
+	"T10": RunT10,
+}
+
+// IDs returns the experiment ids in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if a[0] != b[0] { // F before T? keep T first then F
+			return a[0] == 'T'
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return ids
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "\n### experiment %s ###\n", id)
+		if err := Experiments[id](w, cfg); err != nil {
+			return fmt.Errorf("bench: %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// net bundles a graph with its metric.
+type net struct {
+	g    *graph.Graph
+	apsp []*sssp.Result
+}
+
+func newNet(g *graph.Graph) *net { return &net{g: g, apsp: sssp.AllPairs(g)} }
+
+// measure routes a strided sample of ordered pairs through a router
+// and returns the stretch distribution; it errors on non-delivery for
+// routers that must always deliver.
+func (n *net) measure(r sim.Router, stride int, requireDelivery bool) (*stats.Stretch, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	e := sim.NewEngine(n.g)
+	var st stats.Stretch
+	for u := 0; u < n.g.N(); u += stride {
+		for v := 0; v < n.g.N(); v++ {
+			if u == v {
+				continue
+			}
+			res, err := e.Route(r, graph.NodeID(u), n.g.Name(graph.NodeID(v)))
+			if err != nil {
+				return nil, err
+			}
+			if !res.Delivered {
+				if requireDelivery {
+					return nil, fmt.Errorf("%s: %d→%d not delivered", r.Name(), u, v)
+				}
+				continue
+			}
+			st.Add(res.Cost, n.apsp[u].Dist[v])
+		}
+	}
+	return &st, nil
+}

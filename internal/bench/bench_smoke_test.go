@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every experiment at quick sizes:
+// the harness itself must never error, and each runner must emit its
+// table header.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Experiments[id](&buf, Config{Quick: true, Seed: 1}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") || !strings.Contains(out, "expected") && id != "T8" {
+				t.Fatalf("%s produced unexpected output:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestIDsOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Experiments) {
+		t.Fatalf("IDs() returned %d of %d", len(ids), len(Experiments))
+	}
+	if ids[0] != "T1" {
+		t.Fatalf("first id = %s", ids[0])
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+// TestHugeUniformWeights: the decomposition normalizes by the minimum
+// edge weight (the paper assumes min distance 1); a graph whose edges
+// all weigh 10⁶ must behave exactly like its unit-weight twin.
+func TestHugeUniformWeights(t *testing.T) {
+	b := graph.NewBuilder()
+	for i := 0; i < 20; i++ {
+		b.AddNode(uint64(i) * 977)
+	}
+	for i := 0; i < 19; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1e6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustBuild(t, g, Params{K: 2, Seed: 1, SFactor: 1})
+	st := routeAllPairs(t, s)
+	if st.Max() > 14*2 {
+		t.Fatalf("huge-weight stretch %v", st.Max())
+	}
+}
+
+// TestParallelEdgesGraph: multigraphs must route correctly (the
+// lightest parallel edge defines the metric).
+func TestParallelEdgesGraph(t *testing.T) {
+	b := graph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddNode(uint64(i) + 100)
+	}
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 5)
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1) // lighter twin
+	}
+	b.AddEdge(0, 5, 100)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustBuild(t, g, Params{K: 2, Seed: 2, SFactor: 1})
+	routeAllPairs(t, s)
+}
+
+// TestExtremeTopologies: stars and deep paths push the decomposition
+// to its degenerate corners (max degree; max diameter).
+func TestExtremeTopologies(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		star := gen.Star(uint64(k), 50, gen.Uniform(1, 3))
+		s := mustBuild(t, star, Params{K: k, Seed: 3, SFactor: 1})
+		routeAllPairs(t, s)
+
+		path := gen.Path(uint64(k)+10, 50, gen.Uniform(1, 2))
+		s2 := mustBuild(t, path, Params{K: k, Seed: 4, SFactor: 1})
+		st := routeAllPairs(t, s2)
+		if st.Max() > float64(14*k) {
+			t.Fatalf("path graph k=%d stretch %v", k, st.Max())
+		}
+	}
+}
+
+// TestDenseGapParameter: widening Definition 2's gap shifts levels
+// toward dense; routing must stay correct for any gap.
+func TestDenseGapParameter(t *testing.T) {
+	g := gen.Geometric(5, 40, 0.3)
+	for _, gap := range []int{1, 3, 6} {
+		s := mustBuild(t, g, Params{K: 3, Seed: 5, SFactor: 1, DenseGap: gap})
+		routeAllPairs(t, s)
+	}
+}

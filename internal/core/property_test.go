@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+)
+
+// Property: on arbitrary random graphs, seeds, k and constants, the
+// scheme delivers every sampled pair with bounded stretch and every
+// phase-cost invariant intact. This is the library's master invariant.
+func TestEndToEndProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, sfRaw uint8) bool {
+		k := 1 + int(kRaw%4)                      // k ∈ {1..4}
+		sf := []float64{0.1, 0.5, 1, 16}[sfRaw%4] // constants from tiny to paper
+		g := gen.Gnp(seed, 36, 0.12, gen.Uniform(1, 6))
+		all := sssp.AllPairs(g)
+		s, err := BuildWithAPSP(g, all, Params{K: k, Seed: seed, SFactor: sf})
+		if err != nil {
+			return false
+		}
+		e := sim.NewEngine(g)
+		for u := 0; u < g.N(); u += 3 {
+			for v := 0; v < g.N(); v += 2 {
+				res, err := e.Route(s, graph.NodeID(u), g.Name(graph.NodeID(v)))
+				if err != nil || !res.Delivered {
+					return false
+				}
+				if u == v && res.Cost != 0 {
+					return false
+				}
+				if u != v {
+					// Generous master bound: stretch ≤ 20k under any
+					// constants (repairs keep correctness; stretch
+					// constants degrade gracefully with tiny S).
+					if res.Cost > float64(20*k)*all[u].Dist[v]+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: phase classification is a partition — every (u, i) pair is
+// exactly one of skip, dense, or sparse, with the required state set.
+func TestLevelInfoWellFormedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.Geometric(seed, 40, 0.3)
+		s, err := Build(g, Params{K: 3, Seed: seed, SFactor: 1})
+		if err != nil {
+			return false
+		}
+		for u := range s.levels {
+			for i, info := range s.levels[u] {
+				switch {
+				case info.skip:
+					if i != 0 || info.dense == false {
+						// skip only arises from dense level 0
+						return false
+					}
+				case info.dense:
+					cas := s.covers[info.scale]
+					if cas == nil || int(info.treeIdx) >= len(cas.cov.Trees) {
+						return false
+					}
+					if !cas.cov.Trees[info.treeIdx].Contains(graph.NodeID(u)) {
+						return false
+					}
+				default:
+					lt := s.trees[info.center]
+					if lt == nil || !lt.t.Contains(graph.NodeID(u)) {
+						return false
+					}
+					if info.bound < 1 || int(info.bound) > s.k {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package cover
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+func sparsityBound(n, k int) int {
+	return int(math.Ceil(2 * float64(k) * math.Pow(float64(n), 1/float64(k))))
+}
+
+func buildAndValidate(t *testing.T, g *graph.Graph, k int, rho float64) *Cover {
+	t.Helper()
+	c, err := Build(g, Params{K: k, Rho: rho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(sparsityBound(g.N(), k)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoverOnPath(t *testing.T) {
+	g := gen.Path(1, 20, gen.Unit())
+	for _, k := range []int{1, 2, 3} {
+		for _, rho := range []float64{1, 3, 100} {
+			c := buildAndValidate(t, g, k, rho)
+			if len(c.Trees) == 0 {
+				t.Fatal("no trees")
+			}
+		}
+	}
+}
+
+func TestCoverOnGnp(t *testing.T) {
+	g := gen.Gnp(2, 60, 0.06, gen.Uniform(1, 4))
+	for _, k := range []int{1, 2, 3} {
+		buildAndValidate(t, g, k, 2.5)
+	}
+}
+
+func TestCoverOnGrid(t *testing.T) {
+	g := gen.Grid(3, 7, 7, gen.Unit())
+	buildAndValidate(t, g, 2, 2)
+}
+
+func TestCoverOnStarAndRing(t *testing.T) {
+	buildAndValidate(t, gen.Star(4, 25, gen.Uniform(1, 3)), 2, 1.5)
+	buildAndValidate(t, gen.Ring(5, 24, gen.Unit()), 3, 4)
+}
+
+func TestCoverHugeRhoIsOneCluster(t *testing.T) {
+	g := gen.Gnp(6, 40, 0.1, gen.Unit())
+	c := buildAndValidate(t, g, 2, 1e6)
+	if len(c.Trees) != 1 {
+		t.Fatalf("huge ρ produced %d trees", len(c.Trees))
+	}
+	if c.Trees[0].Len() != g.N() {
+		t.Fatal("single cluster does not span graph")
+	}
+}
+
+func TestCoverTinyRho(t *testing.T) {
+	// ρ below the minimum edge weight: balls are singletons; every
+	// node still needs a home tree.
+	g := gen.Gnp(7, 30, 0.1, gen.Uniform(2, 5))
+	c := buildAndValidate(t, g, 2, 0.5)
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if c.Home(v) < 0 {
+			t.Fatalf("node %d has no home", v)
+		}
+	}
+}
+
+func TestCoverDisconnected(t *testing.T) {
+	b := graph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddNode(uint64(i))
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	g, _ := b.Build()
+	c, err := Build(g, Params{K: 2, Rho: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(sparsityBound(g.N(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	// No tree may span both components.
+	for i, tr := range c.Trees {
+		hasLo, hasHi := false, false
+		for j := 0; j < tr.Len(); j++ {
+			if tr.Node(j) <= 2 {
+				hasLo = true
+			} else {
+				hasHi = true
+			}
+		}
+		if hasLo && hasHi {
+			t.Fatalf("tree %d spans components", i)
+		}
+	}
+}
+
+func TestHomeTreeContainsBall(t *testing.T) {
+	// Validate() already checks this; exercise the accessor shape too.
+	g := gen.Geometric(8, 50, 0.25)
+	c := buildAndValidate(t, g, 2, 1.8)
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		found := false
+		for _, ti := range c.TreesOf(v) {
+			if int(ti) == c.Home(v) {
+				found = true
+			}
+			if !c.Trees[ti].Contains(v) {
+				t.Fatalf("membership list wrong for %d", v)
+			}
+		}
+		if !found {
+			t.Fatalf("home tree of %d not in its membership list", v)
+		}
+	}
+}
+
+func TestRadiusAndEdgeBoundsReported(t *testing.T) {
+	g := gen.Gnp(9, 50, 0.08, gen.Uniform(1, 6))
+	k, rho := 3, 3.0
+	c := buildAndValidate(t, g, k, rho)
+	if c.MaxRadius() > float64(2*k+1)*rho+1e-9 {
+		t.Fatalf("MaxRadius %v exceeds bound", c.MaxRadius())
+	}
+	if c.MaxEdge() > 2*rho+1e-9 {
+		t.Fatalf("MaxEdge %v exceeds 2ρ", c.MaxEdge())
+	}
+	if c.Rho() != rho || c.K() != k {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	g := gen.Path(10, 5, gen.Unit())
+	if _, err := Build(g, Params{K: 0, Rho: 1}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Build(g, Params{K: 2, Rho: 0}); err == nil {
+		t.Fatal("ρ=0 accepted")
+	}
+	if _, err := Build(g, Params{K: 2, Rho: math.Inf(1)}); err == nil {
+		t.Fatal("ρ=∞ accepted")
+	}
+}
+
+func TestAspectLadderCover(t *testing.T) {
+	// Heavy-tailed weights: covers at a mid scale must keep edges ≤ 2ρ.
+	g := gen.AspectLadder(11, 2, 4, 12)
+	c := buildAndValidate(t, g, 2, 16)
+	if c.MaxEdge() > 32+1e-9 {
+		t.Fatalf("ladder cover uses edge %v > 2ρ", c.MaxEdge())
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := gen.Path(12, 1, gen.Unit())
+	c, err := Build(g, Params{K: 2, Rho: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Trees) != 1 || c.Trees[0].Len() != 1 || c.Home(0) != 0 {
+		t.Fatal("single node cover malformed")
+	}
+}
+
+func TestMemberFilteredCover(t *testing.T) {
+	// Cover only the even-index nodes of a grid; trees must stay
+	// inside the member set and satisfy all properties in the induced
+	// metric.
+	g := gen.Grid(13, 6, 6, gen.Unit())
+	member := make([]bool, g.N())
+	for i := 0; i < g.N(); i += 2 {
+		member[i] = true
+	}
+	c, err := Build(g, Params{K: 2, Rho: 2, Member: member})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(sparsityBound(g.N(), 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range c.Trees {
+		for i := 0; i < tr.Len(); i++ {
+			if !member[tr.Node(i)] {
+				t.Fatalf("tree contains non-member %d", tr.Node(i))
+			}
+		}
+	}
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if member[v] && c.Home(v) < 0 {
+			t.Fatalf("member %d lacks home tree", v)
+		}
+		if !member[v] && c.Home(v) >= 0 {
+			t.Fatalf("non-member %d has home tree", v)
+		}
+	}
+}
+
+func TestMemberFilterLengthValidated(t *testing.T) {
+	g := gen.Path(14, 5, gen.Unit())
+	if _, err := Build(g, Params{K: 2, Rho: 1, Member: []bool{true}}); err == nil {
+		t.Fatal("short member filter accepted")
+	}
+}

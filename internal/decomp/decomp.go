@@ -1,0 +1,311 @@
+// Package decomp implements §2 of the paper: the decomposition of each
+// node's vicinity into a series of balls with combined combinatorial
+// and geometric growth, and the classification of levels as dense or
+// sparse.
+//
+// For every node u and level i ∈ {0..k}, the range a(u,i) is defined
+// recursively (Definition 1): a(u,0) = 0, and a(u,i+1) is the smallest
+// j > 0 with |B(u,2^j)| ≥ n^{1/k}·|A(u,i)|, where A(u,i) = B(u,2^{a(u,i)})
+// (and A(u,0) = {u}). Level i is dense when a(u,i) < a(u,i+1) ≤
+// a(u,i)+3 (Definition 2), i.e. the next n^{1/k}-fold population jump
+// happens within a 2³ radius factor; otherwise it is sparse.
+//
+// Two deliberate deviations, both documented in DESIGN.md §3:
+//
+//   - Radii are measured in units of the minimum edge weight (the
+//     paper normalizes min_{u≠v} d(u,v) = 1), so radius(j) = w_min·2^j.
+//   - When no valid j exists, the paper caps a(u,i+1) at log Δ; we cap
+//     at ⌈log₂ Δ⌉+3 and additionally force the top level k to be
+//     *terminal-sparse* with E(u,k) = V, which makes the phase
+//     iteration provably exhaustive (the paper's Theorem 1 proof
+//     tacitly assumes some phase finds the destination).
+//
+// The package also exposes L(u), the extended range set R(u), the
+// subgraph membership sets V_i = {u : i ∈ R(u)} of §3.4, and a
+// checker for Lemma 2 (the dense-neighborhood property).
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+)
+
+// Params configures the decomposition.
+type Params struct {
+	// K is the trade-off parameter k ≥ 1.
+	K int
+	// DenseGap is the maximum range gap of a dense level (paper: 3).
+	DenseGap int
+}
+
+func (p *Params) normalize() {
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.DenseGap <= 0 {
+		p.DenseGap = 3
+	}
+}
+
+// Decomposition holds the ranges and level classes of every node.
+type Decomposition struct {
+	g        *graph.Graph
+	all      []*sssp.Result
+	k        int
+	denseGap int
+	minW     float64
+	capJ     int // range cap: ⌈log₂ Δ⌉ + DenseGap
+
+	// ranges[u] has k+2 entries: a(u,0..k+1); a(u,k+1) is the capped
+	// extension needed to classify level k before terminal-sparse
+	// forcing.
+	ranges [][]int32
+	// dense[u][i] for i ∈ 0..k (level k is always forced sparse).
+	dense [][]bool
+	// rset[u] is R(u), sorted ascending.
+	rset [][]int32
+}
+
+// Build computes the decomposition. all must hold one shortest-path
+// result per node (sssp.AllPairs output); it is retained for ball
+// queries.
+func Build(g *graph.Graph, all []*sssp.Result, p Params) (*Decomposition, error) {
+	p.normalize()
+	if len(all) != g.N() {
+		return nil, fmt.Errorf("decomp: got %d shortest-path results for %d nodes", len(all), g.N())
+	}
+	d := &Decomposition{
+		g:        g,
+		all:      all,
+		k:        p.K,
+		denseGap: p.DenseGap,
+		minW:     g.MinEdgeWeight(),
+	}
+	if g.N() == 1 || g.M() == 0 {
+		d.minW = 1
+	}
+	// Aspect ratio over reached pairs; Δ ≥ 1 always.
+	maxD := 0.0
+	for _, r := range all {
+		if rad := r.Radius(); rad > maxD {
+			maxD = rad
+		}
+	}
+	aspect := maxD / d.minW
+	if aspect < 1 {
+		aspect = 1
+	}
+	d.capJ = int(math.Ceil(math.Log2(aspect))) + p.DenseGap
+	if d.capJ < 1 {
+		d.capJ = 1
+	}
+	d.computeRanges()
+	d.computeRangeSets()
+	return d, nil
+}
+
+// Radius converts a range index j to a metric radius.
+func (d *Decomposition) Radius(j int) float64 {
+	return d.minW * math.Ldexp(1, j)
+}
+
+func (d *Decomposition) computeRanges() {
+	n := d.g.N()
+	growth := math.Pow(float64(n), 1/float64(d.k))
+	d.ranges = make([][]int32, n)
+	d.dense = make([][]bool, n)
+	for u := 0; u < n; u++ {
+		r := d.all[u]
+		a := make([]int32, d.k+2)
+		a[0] = 0
+		prevSize := 1 // |A(u,0)| = |{u}|
+		for i := 0; i < d.k+1; i++ {
+			threshold := growth * float64(prevSize)
+			next := int32(-1)
+			for j := int(a[i]) + 1; j <= d.capJ; j++ {
+				if float64(r.BallSize(d.Radius(j))) >= threshold {
+					next = int32(j)
+					break
+				}
+			}
+			if next < 0 {
+				next = int32(d.capJ) // Definition 1's cap case
+			}
+			// Keep ranges monotone when already capped.
+			if next < a[i] {
+				next = a[i]
+			}
+			a[i+1] = next
+			prevSize = r.BallSize(d.Radius(int(a[i+1])))
+			if prevSize < 1 {
+				prevSize = 1
+			}
+		}
+		d.ranges[u] = a
+		dn := make([]bool, d.k+1)
+		for i := 0; i <= d.k; i++ {
+			gap := a[i+1] - a[i]
+			dn[i] = gap > 0 && int(gap) <= d.denseGap
+		}
+		// Terminal-sparse forcing (DESIGN.md #1): phase k must cover V.
+		dn[d.k] = false
+		d.dense[u] = dn
+	}
+}
+
+func (d *Decomposition) computeRangeSets() {
+	n := d.g.N()
+	d.rset = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		set := make(map[int32]bool)
+		for i := 0; i <= d.k; i++ { // L(u) = {a(u,i) : i ∈ K}
+			a := d.ranges[u][i]
+			// R(u) = {i ∈ I : ∃a ∈ L(u), −1 ≤ a−i ≤ 4}, i.e. the
+			// window [a−4, a+1] clamped to valid indices.
+			lo := a - int32(d.denseGap) - 1
+			hi := a + 1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > int32(d.capJ) {
+				hi = int32(d.capJ)
+			}
+			for j := lo; j <= hi; j++ {
+				set[j] = true
+			}
+		}
+		out := make([]int32, 0, len(set))
+		for j := range set {
+			out = append(out, j)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		d.rset[u] = out
+	}
+}
+
+// K returns the parameter k.
+func (d *Decomposition) K() int { return d.k }
+
+// Cap returns the range cap (the largest meaningful range index).
+func (d *Decomposition) Cap() int { return d.capJ }
+
+// MinWeight returns the normalization unit (minimum edge weight).
+func (d *Decomposition) MinWeight() float64 { return d.minW }
+
+// Range returns a(u,i) for i ∈ 0..k+1.
+func (d *Decomposition) Range(u graph.NodeID, i int) int {
+	return int(d.ranges[u][i])
+}
+
+// Dense reports whether level i is dense for u (level k never is; see
+// package comment).
+func (d *Decomposition) Dense(u graph.NodeID, i int) bool {
+	return d.dense[u][i]
+}
+
+// RangeSet returns R(u), sorted ascending (do not mutate).
+func (d *Decomposition) RangeSet(u graph.NodeID) []int32 { return d.rset[u] }
+
+// InRangeSet reports whether i ∈ R(u).
+func (d *Decomposition) InRangeSet(u graph.NodeID, i int) bool {
+	rs := d.rset[u]
+	p := sort.Search(len(rs), func(x int) bool { return rs[x] >= int32(i) })
+	return p < len(rs) && rs[p] == int32(i)
+}
+
+// Subgraph returns V_i = {u : i ∈ R(u)} (§3.4), sorted.
+func (d *Decomposition) Subgraph(i int) []graph.NodeID {
+	var out []graph.NodeID
+	for u := 0; u < d.g.N(); u++ {
+		if d.InRangeSet(graph.NodeID(u), i) {
+			out = append(out, graph.NodeID(u))
+		}
+	}
+	return out
+}
+
+// ARadius returns the radius of A(u,i); zero for i = 0.
+func (d *Decomposition) ARadius(u graph.NodeID, i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	return d.Radius(int(d.ranges[u][i]))
+}
+
+// A returns A(u,i) in (distance, name) order.
+func (d *Decomposition) A(u graph.NodeID, i int) []graph.NodeID {
+	if i == 0 {
+		return []graph.NodeID{u}
+	}
+	return d.all[u].Ball(d.ARadius(u, i))
+}
+
+// FRadius returns the radius of F(u,i) = B(u, 2^{a(u,i)-1}).
+func (d *Decomposition) FRadius(u graph.NodeID, i int) float64 {
+	return d.minW * math.Ldexp(1, int(d.ranges[u][i])-1)
+}
+
+// F returns F(u,i), the coverage of a dense-level phase (Lemma 2).
+func (d *Decomposition) F(u graph.NodeID, i int) []graph.NodeID {
+	return d.all[u].Ball(d.FRadius(u, i))
+}
+
+// ERadius returns the radius of E(u,i) = B(u, 2^{a(u,i+1)}/6); +Inf
+// at the terminal level k (E(u,k) = V, DESIGN.md #1).
+func (d *Decomposition) ERadius(u graph.NodeID, i int) float64 {
+	if i >= d.k {
+		return math.Inf(1)
+	}
+	return d.minW * math.Ldexp(1, int(d.ranges[u][i+1])) / 6
+}
+
+// E returns E(u,i), the coverage of a sparse-level phase (Lemma 3).
+func (d *Decomposition) E(u graph.NodeID, i int) []graph.NodeID {
+	return d.all[u].Ball(d.ERadius(u, i))
+}
+
+// VerifyLemma2 checks the dense-neighborhood property: for every u,
+// every dense level i ≥ 1, and every v ∈ F(u,i), a(u,i) ∈ R(v). It
+// returns the number of checked triples and any violation. Lemma 2 is
+// deterministic, so violations indicate an implementation bug.
+func (d *Decomposition) VerifyLemma2() (checked int, err error) {
+	for u := 0; u < d.g.N(); u++ {
+		for i := 1; i <= d.k; i++ {
+			if !d.Dense(graph.NodeID(u), i) {
+				continue
+			}
+			a := d.Range(graph.NodeID(u), i)
+			for _, v := range d.F(graph.NodeID(u), i) {
+				checked++
+				if !d.InRangeSet(v, a) {
+					return checked, fmt.Errorf(
+						"decomp: Lemma 2 violated: u=%d i=%d a=%d v=%d R(v)=%v",
+						u, i, a, v, d.RangeSet(v))
+				}
+			}
+		}
+	}
+	return checked, nil
+}
+
+// DenseLevelCount returns how many (u, i≥1) pairs are dense — the
+// quantity behind the "O(log n) dense scales" argument of §1.2.
+func (d *Decomposition) DenseLevelCount() int {
+	c := 0
+	for u := range d.dense {
+		for i := 1; i <= d.k; i++ {
+			if d.dense[u][i] {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// Results exposes the per-node shortest path results the decomposition
+// was built from (shared with the enclosing scheme).
+func (d *Decomposition) Results() []*sssp.Result { return d.all }

@@ -1,0 +1,240 @@
+package decomp
+
+import (
+	"math"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+)
+
+func build(t *testing.T, g *graph.Graph, k int) *Decomposition {
+	t.Helper()
+	d, err := Build(g, sssp.AllPairs(g), Params{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRangesMonotoneAndGrowth(t *testing.T) {
+	g := gen.Gnp(1, 120, 0.04, gen.Uniform(1, 8))
+	k := 3
+	d := build(t, g, k)
+	growth := math.Pow(float64(g.N()), 1/float64(k))
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		prevSize := 1
+		for i := 0; i <= k; i++ {
+			a, next := d.Range(u, i), d.Range(u, i+1)
+			if next < a {
+				t.Fatalf("ranges not monotone at u=%d i=%d", u, i)
+			}
+			size := len(d.A(u, i))
+			if i > 0 && a < d.Cap() && next < d.Cap() {
+				// Growth: |A(u,i)| ≥ n^{1/k}·|A(u,i-1)| for uncapped.
+				if float64(size) < growth*float64(prevSize)-1e-9 {
+					t.Fatalf("u=%d i=%d: |A|=%d < growth·prev=%v", u, i, size, growth*float64(prevSize))
+				}
+			}
+			prevSize = size
+		}
+	}
+}
+
+func TestRangeMinimality(t *testing.T) {
+	// a(u,i+1) must be the *smallest* j with the required population.
+	g := gen.Gnp(2, 80, 0.05, gen.Uniform(1, 5))
+	k := 2
+	d := build(t, g, k)
+	growth := math.Pow(float64(g.N()), 1/float64(k))
+	all := d.Results()
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for i := 0; i < k; i++ {
+			sizeA := float64(len(d.A(u, i)))
+			next := d.Range(u, i+1)
+			if next >= d.Cap() {
+				continue
+			}
+			if float64(all[u].BallSize(d.Radius(next))) < growth*sizeA-1e-9 {
+				t.Fatalf("u=%d: a(u,%d)=%d does not satisfy threshold", u, i+1, next)
+			}
+			if next-1 > d.Range(u, i) {
+				if float64(all[u].BallSize(d.Radius(next-1))) >= growth*sizeA {
+					t.Fatalf("u=%d: a(u,%d)=%d not minimal", u, i+1, next)
+				}
+			}
+		}
+	}
+}
+
+func TestAUK_IsWholeGraph(t *testing.T) {
+	// On a connected graph A(u,k) must be all of V.
+	for _, k := range []int{1, 2, 3, 4} {
+		g := gen.Gnp(3, 60, 0.06, gen.Uniform(1, 4))
+		d := build(t, g, k)
+		for u := graph.NodeID(0); int(u) < g.N(); u++ {
+			if len(d.A(u, k)) != g.N() {
+				t.Fatalf("k=%d u=%d: |A(u,k)| = %d < n", k, u, len(d.A(u, k)))
+			}
+		}
+	}
+}
+
+func TestDenseDefinition(t *testing.T) {
+	g := gen.Geometric(4, 70, 0.22)
+	k := 3
+	d := build(t, g, k)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for i := 0; i < k; i++ { // level k is forced sparse
+			gap := d.Range(u, i+1) - d.Range(u, i)
+			want := gap > 0 && gap <= 3
+			if d.Dense(u, i) != want {
+				t.Fatalf("u=%d i=%d: dense=%v but gap=%d", u, i, d.Dense(u, i), gap)
+			}
+		}
+		if d.Dense(u, k) {
+			t.Fatal("terminal level classified dense")
+		}
+	}
+}
+
+func TestLemma2HoldsEverywhere(t *testing.T) {
+	// Lemma 2 is deterministic — it must hold on every instance.
+	cases := []*graph.Graph{
+		gen.Gnp(5, 80, 0.06, gen.Uniform(1, 5)),
+		gen.Grid(6, 8, 8, gen.Unit()),
+		gen.Geometric(7, 60, 0.25),
+		gen.AspectLadder(8, 2, 4, 16),
+		gen.PrefAttach(9, 80, 2, gen.Unit()),
+	}
+	for gi, g := range cases {
+		for _, k := range []int{2, 3} {
+			d := build(t, g, k)
+			checked, err := d.VerifyLemma2()
+			if err != nil {
+				t.Fatalf("graph %d k=%d: %v", gi, k, err)
+			}
+			_ = checked
+		}
+	}
+}
+
+func TestRangeSetWindow(t *testing.T) {
+	g := gen.Gnp(10, 50, 0.08, gen.Uniform(1, 3))
+	d := build(t, g, 2)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		// Every a ∈ L(u) must have its window in R(u).
+		for i := 0; i <= 2; i++ {
+			a := d.Range(u, i)
+			for j := a - 4; j <= a+1; j++ {
+				if j < 0 || j > d.Cap() {
+					continue
+				}
+				if !d.InRangeSet(u, j) {
+					t.Fatalf("u=%d: window index %d of a=%d missing from R(u)", u, j, a)
+				}
+			}
+		}
+		// |R(u)| = O(k): window of 6 per range, k+1 ranges.
+		if len(d.RangeSet(u)) > 6*(2+1) {
+			t.Fatalf("u=%d: |R(u)| = %d too large", u, len(d.RangeSet(u)))
+		}
+	}
+}
+
+func TestSubgraphMembership(t *testing.T) {
+	g := gen.Gnp(11, 40, 0.1, gen.Uniform(1, 4))
+	d := build(t, g, 2)
+	for i := 0; i <= d.Cap(); i += 2 {
+		for _, v := range d.Subgraph(i) {
+			if !d.InRangeSet(v, i) {
+				t.Fatalf("Subgraph(%d) contains %d with i ∉ R(v)", i, v)
+			}
+		}
+	}
+}
+
+func TestERadiusTerminalInfinite(t *testing.T) {
+	g := gen.Ring(12, 16, gen.Unit())
+	k := 2
+	d := build(t, g, k)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		if !math.IsInf(d.ERadius(u, k), 1) {
+			t.Fatal("terminal E radius not infinite")
+		}
+		if len(d.E(u, k)) != g.N() {
+			t.Fatal("terminal E(u,k) must be V")
+		}
+	}
+}
+
+func TestFSubsetOfA(t *testing.T) {
+	g := gen.Gnp(13, 60, 0.07, gen.Uniform(1, 6))
+	d := build(t, g, 3)
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		for i := 1; i <= 3; i++ {
+			if d.FRadius(u, i) > d.ARadius(u, i) {
+				t.Fatalf("F radius exceeds A radius at u=%d i=%d", u, i)
+			}
+		}
+	}
+}
+
+func TestCapCoversGraph(t *testing.T) {
+	// Radius at the cap must cover the whole graph even divided by 6
+	// (terminal-sparse coverage argument).
+	g := gen.AspectLadder(14, 2, 3, 20)
+	d := build(t, g, 2)
+	diam, _ := sssp.Diameter(g)
+	if d.Radius(d.Cap())/6 < diam {
+		t.Fatalf("cap radius/6 = %v < diameter %v", d.Radius(d.Cap())/6, diam)
+	}
+}
+
+func TestScaleFreeRangeSetSize(t *testing.T) {
+	// The heart of scale-freeness: |R(u)| stays O(k) even when the
+	// aspect ratio explodes.
+	small := gen.AspectLadder(15, 2, 4, 8)
+	big := gen.AspectLadder(15, 2, 4, 38)
+	k := 3
+	ds := build(t, small, k)
+	db := build(t, big, k)
+	maxLen := func(d *Decomposition, g *graph.Graph) int {
+		m := 0
+		for u := graph.NodeID(0); int(u) < g.N(); u++ {
+			if l := len(d.RangeSet(u)); l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	ms, mb := maxLen(ds, small), maxLen(db, big)
+	bound := 6 * (k + 1)
+	if ms > bound || mb > bound {
+		t.Fatalf("|R(u)| grew with aspect ratio: %d vs %d (bound %d)", ms, mb, bound)
+	}
+}
+
+func TestSingleNodeAndTiny(t *testing.T) {
+	g1 := gen.Path(16, 1, gen.Unit())
+	d, err := Build(g1, sssp.AllPairs(g1), Params{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.A(0, 2)) != 1 {
+		t.Fatal("single node A wrong")
+	}
+	g2 := gen.Path(17, 2, gen.Unit())
+	d2 := build(t, g2, 1)
+	if len(d2.A(0, 1)) != 2 {
+		t.Fatal("two-node A(u,1) must cover both")
+	}
+}
+
+func TestMismatchedResultsRejected(t *testing.T) {
+	g := gen.Path(18, 4, gen.Unit())
+	if _, err := Build(g, nil, Params{K: 2}); err == nil {
+		t.Fatal("nil results accepted")
+	}
+}

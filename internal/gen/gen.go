@@ -1,0 +1,381 @@
+// Package gen builds the synthetic network families used as workloads.
+//
+// The paper's model is an arbitrary weighted undirected graph with
+// arbitrary node names, so the generators cover the structural extremes
+// the analysis cares about: expander-like random graphs (dense
+// neighborhoods), meshes and rings (sparse growth), trees and stars
+// (degenerate topologies), geometric graphs (doubling-like), and —
+// crucially for the scale-free headline — "aspect ladders" whose edge
+// weights span a configurable number of binary orders of magnitude, so
+// the aspect ratio Δ can be pushed to 2^40 while n stays fixed.
+//
+// Node names are always scrambled 64-bit values uncorrelated with the
+// topology. This keeps the name-independent model honest: a scheme that
+// accidentally exploited name locality would be caught by tests.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/xrand"
+)
+
+// Weighting draws one edge weight.
+type Weighting func(r *xrand.RNG) float64
+
+// Unit returns the all-ones weighting (unweighted graphs).
+func Unit() Weighting { return func(*xrand.RNG) float64 { return 1 } }
+
+// Uniform returns weights uniform in [lo, hi).
+func Uniform(lo, hi float64) Weighting {
+	if lo <= 0 || hi < lo {
+		panic("gen: invalid uniform weight range")
+	}
+	return func(r *xrand.RNG) float64 { return lo + (hi-lo)*r.Float64() }
+}
+
+// PowerOfTwo returns weights 2^j with j uniform in {0..maxExp}.
+// Sums of such weights over short paths are exact in float64, which
+// keeps huge-aspect-ratio experiments numerically trustworthy.
+func PowerOfTwo(maxExp int) Weighting {
+	if maxExp < 0 || maxExp > 50 {
+		panic("gen: PowerOfTwo exponent out of [0,50]")
+	}
+	return func(r *xrand.RNG) float64 {
+		return math.Ldexp(1, r.Intn(maxExp+1))
+	}
+}
+
+// namer assigns scrambled unique names.
+type namer struct {
+	seed uint64
+	used map[uint64]bool
+}
+
+func newNamer(seed uint64) *namer {
+	return &namer{seed: seed, used: make(map[uint64]bool)}
+}
+
+func (nm *namer) name(i int) uint64 {
+	v := xrand.Hash64(nm.seed, uint64(i))
+	for nm.used[v] { // vanishingly rare; linear probe keeps uniqueness
+		v++
+	}
+	nm.used[v] = true
+	return v
+}
+
+func addNodes(b *graph.Builder, n int, seed uint64) {
+	nm := newNamer(seed ^ 0xabcdef)
+	for i := 0; i < n; i++ {
+		b.AddNode(nm.name(i))
+	}
+}
+
+func mustBuild(b *graph.Builder) *graph.Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("gen: internal build error: %v", err))
+	}
+	return g
+}
+
+func mustEdge(b *graph.Builder, u, v graph.NodeID, w float64) {
+	if err := b.AddEdge(u, v, w); err != nil {
+		panic(fmt.Sprintf("gen: internal edge error: %v", err))
+	}
+}
+
+// Gnp returns a connected Erdős–Rényi-style graph: a uniform random
+// spanning tree backbone plus each remaining pair independently with
+// probability p.
+func Gnp(seed uint64, n int, p float64, w Weighting) *graph.Graph {
+	if n < 1 {
+		panic("gen: Gnp needs n ≥ 1")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	perm := r.Perm(n) // random attachment order for an unbiased backbone
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[r.Intn(i)]
+		mustEdge(b, graph.NodeID(u), graph.NodeID(v), w(r))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(p) {
+				mustEdge(b, graph.NodeID(i), graph.NodeID(j), w(r))
+			}
+		}
+	}
+	return mustBuild(b)
+}
+
+// Grid returns a rows×cols 4-neighbor mesh.
+func Grid(seed uint64, rows, cols int, w Weighting) *graph.Graph {
+	return lattice(seed, rows, cols, false, w)
+}
+
+// Torus returns a rows×cols 4-neighbor mesh with wraparound.
+func Torus(seed uint64, rows, cols int, w Weighting) *graph.Graph {
+	return lattice(seed, rows, cols, true, w)
+}
+
+func lattice(seed uint64, rows, cols int, wrap bool, w Weighting) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic("gen: lattice needs positive dimensions")
+	}
+	if wrap && (rows < 3 || cols < 3) {
+		panic("gen: torus needs at least 3×3")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, rows*cols, seed)
+	id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				mustEdge(b, id(i, j), id(i, j+1), w(r))
+			} else if wrap {
+				mustEdge(b, id(i, j), id(i, 0), w(r))
+			}
+			if i+1 < rows {
+				mustEdge(b, id(i, j), id(i+1, j), w(r))
+			} else if wrap {
+				mustEdge(b, id(i, j), id(0, j), w(r))
+			}
+		}
+	}
+	return mustBuild(b)
+}
+
+// Ring returns an n-cycle (n ≥ 3).
+func Ring(seed uint64, n int, w Weighting) *graph.Graph {
+	if n < 3 {
+		panic("gen: Ring needs n ≥ 3")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	for i := 0; i < n; i++ {
+		mustEdge(b, graph.NodeID(i), graph.NodeID((i+1)%n), w(r))
+	}
+	return mustBuild(b)
+}
+
+// Path returns an n-node path.
+func Path(seed uint64, n int, w Weighting) *graph.Graph {
+	if n < 1 {
+		panic("gen: Path needs n ≥ 1")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	for i := 0; i+1 < n; i++ {
+		mustEdge(b, graph.NodeID(i), graph.NodeID(i+1), w(r))
+	}
+	return mustBuild(b)
+}
+
+// Star returns a star with n-1 leaves around node 0.
+func Star(seed uint64, n int, w Weighting) *graph.Graph {
+	if n < 2 {
+		panic("gen: Star needs n ≥ 2")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	for i := 1; i < n; i++ {
+		mustEdge(b, 0, graph.NodeID(i), w(r))
+	}
+	return mustBuild(b)
+}
+
+// BalancedTree returns a complete b-ary tree of the given depth
+// (depth 0 is a single root).
+func BalancedTree(seed uint64, branching, depth int, w Weighting) *graph.Graph {
+	if branching < 1 || depth < 0 {
+		panic("gen: BalancedTree needs branching ≥ 1, depth ≥ 0")
+	}
+	n := 1
+	width := 1
+	for d := 0; d < depth; d++ {
+		width *= branching
+		n += width
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	for i := 1; i < n; i++ {
+		parent := (i - 1) / branching
+		mustEdge(b, graph.NodeID(parent), graph.NodeID(i), w(r))
+	}
+	return mustBuild(b)
+}
+
+// Geometric returns a random geometric graph: n points uniform in the
+// unit square, joined when within the given radius, weight = Euclidean
+// distance rescaled so the minimum edge weight is 1. A nearest-neighbor
+// chain over x-order guarantees connectivity.
+func Geometric(seed uint64, n int, radius float64) *graph.Graph {
+	if n < 1 || radius <= 0 {
+		panic("gen: Geometric needs n ≥ 1, radius > 0")
+	}
+	r := xrand.New(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	type pair struct{ u, v int }
+	var pairs []pair
+	var dists []float64
+	minW := math.Inf(1)
+	dist := func(i, j int) float64 {
+		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	connected := make([]bool, n)
+	addPair := func(i, j int) {
+		d := dist(i, j)
+		if d == 0 {
+			d = 1e-9 // coincident points; keep weights positive
+		}
+		pairs = append(pairs, pair{i, j})
+		dists = append(dists, d)
+		if d < minW {
+			minW = d
+		}
+		connected[i], connected[j] = true, true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist(i, j) <= radius {
+				addPair(i, j)
+			}
+		}
+	}
+	// Connectivity backbone: chain points in x-order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort by x (n is modest)
+		for j := i; j > 0 && xs[order[j]] < xs[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		u, v := order[i], order[i+1]
+		if dist(u, v) > radius {
+			addPair(u, v)
+		}
+	}
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	for i, p := range pairs {
+		mustEdge(b, graph.NodeID(p.u), graph.NodeID(p.v), dists[i]/minW)
+	}
+	return mustBuild(b)
+}
+
+// PrefAttach returns a Barabási–Albert preferential-attachment graph:
+// each new node attaches to m existing nodes with probability
+// proportional to degree. Produces heavy-tailed degrees.
+func PrefAttach(seed uint64, n, m int, w Weighting) *graph.Graph {
+	if n < 2 || m < 1 {
+		panic("gen: PrefAttach needs n ≥ 2, m ≥ 1")
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	// endpoint multiset: each edge contributes both endpoints, so
+	// sampling uniformly from it is degree-proportional sampling.
+	endpoints := []int{0, 1}
+	mustEdge(b, 0, 1, w(r))
+	for v := 2; v < n; v++ {
+		chosen := make(map[int]bool)
+		attempts := 0
+		for len(chosen) < m && len(chosen) < v && attempts < 50*m {
+			t := endpoints[r.Intn(len(endpoints))]
+			attempts++
+			if t != v && !chosen[t] {
+				chosen[t] = true
+			}
+		}
+		if len(chosen) == 0 {
+			chosen[r.Intn(v)] = true
+		}
+		for t := range chosen {
+			mustEdge(b, graph.NodeID(v), graph.NodeID(t), w(r))
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return mustBuild(b)
+}
+
+// AspectLadder returns the scale-freeness stress workload: a complete
+// b-ary hierarchy of the given depth where an edge entering depth d has
+// weight 2^(topExp·(depth-d)/depth), plus sibling rings at each level.
+// Leaves see unit-weight local edges while root edges weigh 2^topExp,
+// so Δ ≈ 2^topExp · depth with n fixed — exactly the regime where
+// aspect-ratio-dependent schemes blow up (§1 of the paper).
+func AspectLadder(seed uint64, branching, depth, topExp int) *graph.Graph {
+	if branching < 2 || depth < 1 {
+		panic("gen: AspectLadder needs branching ≥ 2, depth ≥ 1")
+	}
+	if topExp < 0 || topExp > 45 {
+		panic("gen: AspectLadder topExp out of [0,45]")
+	}
+	n := 1
+	width := 1
+	firstAtDepth := []int{0}
+	for d := 0; d < depth; d++ {
+		width *= branching
+		firstAtDepth = append(firstAtDepth, n)
+		n += width
+	}
+	b := graph.NewBuilder()
+	addNodes(b, n, seed)
+	levelWeight := func(d int) float64 {
+		// Integer exponent so path sums stay exact in float64. Edges
+		// into depth 1 (root edges) get the full 2^topExp; leaf edges
+		// get weight 1.
+		if depth == 1 {
+			return math.Ldexp(1, topExp)
+		}
+		e := topExp * (depth - d) / (depth - 1)
+		return math.Ldexp(1, e)
+	}
+	nodeDepth := func(i int) int {
+		d := 0
+		for i > 0 {
+			i = (i - 1) / branching
+			d++
+		}
+		return d
+	}
+	for i := 1; i < n; i++ {
+		parent := (i - 1) / branching
+		mustEdge(b, graph.NodeID(parent), graph.NodeID(i), levelWeight(nodeDepth(i)))
+	}
+	// Sibling rings give each level local shortcuts so the graph is not
+	// merely a tree (dense neighborhoods appear at every scale).
+	for d := 1; d <= depth; d++ {
+		lo := firstAtDepth[d]
+		hi := lo
+		if d < depth {
+			hi = firstAtDepth[d+1]
+		} else {
+			hi = n
+		}
+		for i := lo; i+1 < hi; i++ {
+			if (i-lo)%branching != branching-1 { // within a sibling group
+				mustEdge(b, graph.NodeID(i), graph.NodeID(i+1), levelWeight(d))
+			}
+		}
+	}
+	return mustBuild(b)
+}

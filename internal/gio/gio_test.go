@@ -1,0 +1,161 @@
+package gio
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+)
+
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	return g2
+}
+
+func TestRoundTripPreservesEverything(t *testing.T) {
+	g := gen.Gnp(1, 60, 0.08, gen.Uniform(1, 9))
+	g2 := roundTrip(t, g)
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("size changed: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+	}
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		if g2.Name(u) != g.Name(u) {
+			t.Fatalf("name of %d changed", u)
+		}
+		if g2.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d changed", u)
+		}
+	}
+	// The metric must be identical.
+	d1 := sssp.From(g, 0)
+	d2 := sssp.From(g2, 0)
+	for v := range d1.Dist {
+		if math.Abs(d1.Dist[v]-d2.Dist[v]) > 1e-12 {
+			t.Fatalf("distance to %d changed", v)
+		}
+	}
+}
+
+func TestRoundTripWithLabels(t *testing.T) {
+	b := graph.NewBuilder()
+	a := b.AddLabeled("alpha")
+	c := b.AddLabeled("beta")
+	b.AddEdge(a, c, 2.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := roundTrip(t, g)
+	if _, ok := g2.LookupLabel("alpha"); !ok {
+		t.Fatal("label lost in round trip")
+	}
+	if g2.DisplayName(0) != "alpha" {
+		t.Fatal("display name lost")
+	}
+}
+
+func TestRoundTripExactWeights(t *testing.T) {
+	// Power-of-two weights must survive exactly (the Δ experiments
+	// depend on exactness).
+	g := gen.AspectLadder(2, 2, 4, 40)
+	g2 := roundTrip(t, g)
+	// Port order may differ after a round trip; compare the incident
+	// (neighbor, weight) multisets.
+	pairs := func(gr *graph.Graph, u graph.NodeID) []string {
+		var out []string
+		gr.Neighbors(u, func(e graph.Edge) bool {
+			out = append(out, fmt.Sprintf("%d:%v", e.To, e.Weight))
+			return true
+		})
+		sort.Strings(out)
+		return out
+	}
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		a, b := pairs(g, u), pairs(g2, u)
+		if len(a) != len(b) {
+			t.Fatalf("incidence of %d changed size", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("incidence of %d changed: %v vs %v", u, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsCorruptInputs(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"missing n":         "v 0 5\n",
+		"duplicate n":       "n 1 0\nn 1 0\nv 0 5\n",
+		"bad counts":        "n x 0\n",
+		"short v":           "n 1 0\nv 0\n",
+		"non-dense ids":     "n 2 0\nv 1 5\nv 0 6\n",
+		"duplicate name":    "n 2 0\nv 0 5\nv 1 5\n",
+		"edge before nodes": "n 1 1\ne 0 1 1\nv 0 5\n",
+		"edge out of range": "n 1 1\nv 0 5\ne 0 7 1\n",
+		"self loop":         "n 2 1\nv 0 5\nv 1 6\ne 0 0 1\n",
+		"bad weight":        "n 2 1\nv 0 5\nv 1 6\ne 0 1 -3\n",
+		"node undercount":   "n 3 0\nv 0 5\n",
+		"edge overcount":    "n 2 0\nv 0 5\nv 1 6\ne 0 1 1\n",
+		"unknown record":    "n 1 0\nv 0 5\nz 1 2\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlanks(t *testing.T) {
+	input := "# a workload\n\nn 2 1\nv 0 10\nv 1 20\n\n# edge list\ne 0 1 1.5\n"
+	g, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+// Property: any generated graph survives a round trip with its metric
+// intact.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.Gnp(seed, 30, 0.15, gen.Uniform(1, 9))
+		var buf bytes.Buffer
+		if Write(&buf, g) != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil || g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		d1 := sssp.From(g, 0)
+		d2 := sssp.From(g2, 0)
+		for v := range d1.Dist {
+			if math.Abs(d1.Dist[v]-d2.Dist[v]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "fmt"
+
+// The paper's model gives nodes polylog(n)-bit names and notes that
+// "using standard hashing techniques it is possible to generalize the
+// model and assume nodes have arbitrarily long unique labels" (§2.1).
+// This file is that generalization: string labels are hashed to 64-bit
+// names (with collision probing, vanishingly rare), and the label is
+// retained for display and reverse lookup. Routing itself still only
+// ever sees the 64-bit name.
+
+// hashLabel is FNV-1a, inlined to keep the package dependency-free.
+func hashLabel(label string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return h
+}
+
+// AddLabeled registers a node with an arbitrary string label, hashing
+// it to the node's 64-bit name. Re-adding the same label returns the
+// existing node; two distinct labels never share a name (collisions
+// are resolved by probing).
+func (b *Builder) AddLabeled(label string) NodeID {
+	if b.labels == nil {
+		b.labels = make(map[string]NodeID)
+		b.labelOf = make(map[NodeID]string)
+	}
+	if id, ok := b.labels[label]; ok {
+		return id
+	}
+	name := hashLabel(label)
+	for {
+		if _, taken := b.byName[name]; !taken {
+			break
+		}
+		name++ // probing; astronomically rare with 64-bit FNV
+	}
+	id := b.AddNode(name)
+	b.labels[label] = id
+	b.labelOf[id] = label
+	return id
+}
+
+// buildLabels transfers label maps into the built graph.
+func (b *Builder) buildLabels(g *Graph) {
+	if b.labels == nil {
+		return
+	}
+	g.labels = make(map[string]NodeID, len(b.labels))
+	g.labelOf = make(map[NodeID]string, len(b.labelOf))
+	for l, id := range b.labels {
+		g.labels[l] = id
+	}
+	for id, l := range b.labelOf {
+		g.labelOf[id] = l
+	}
+}
+
+// LookupLabel resolves a string label to its node.
+func (g *Graph) LookupLabel(label string) (NodeID, bool) {
+	id, ok := g.labels[label]
+	return id, ok
+}
+
+// Label returns the string label of u, if it was added with
+// AddLabeled.
+func (g *Graph) Label(u NodeID) (string, bool) {
+	l, ok := g.labelOf[u]
+	return l, ok
+}
+
+// DisplayName renders u's label if present, else its numeric name.
+func (g *Graph) DisplayName(u NodeID) string {
+	if l, ok := g.labelOf[u]; ok {
+		return l
+	}
+	return fmt.Sprintf("%#x", g.Name(u))
+}

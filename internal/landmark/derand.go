@@ -1,0 +1,120 @@
+package landmark
+
+import (
+	"math"
+
+	"compactroute/internal/decomp"
+	"compactroute/internal/graph"
+)
+
+// The paper notes (§2.3) that the landmark sampling "can be
+// de-randomized using the method of conditional probabilities and
+// pessimistic estimators". This file implements a deterministic
+// hierarchy with the same interface guarantee: Claim 1 — every ball
+// B(u,2^j) with at least 4·(ln n)^{(k−j)/k}·n^{j/k} nodes of C_{j−1}…
+// contains a C_j landmark — holds *by construction*, because C_j is a
+// greedy hitting set for exactly those balls. Greedy hitting sets are
+// the textbook constructive counterpart of the union-bound argument:
+// each round picks the candidate covering the most unhit balls, giving
+// a set within a ln(#balls) factor of optimal, i.e. |C_j| =
+// Õ(n^{1−j/k}) like the sampled hierarchy. (Claim 2's congestion bound
+// is not re-proved greedily; as with sampling, the S-set capacity
+// enforcement keeps routing deterministic regardless.)
+
+// buildDeterministicRanks computes ranks via greedy hitting sets,
+// returning rank[v] and the top occupied rank.
+func buildDeterministicRanks(g *graph.Graph, dec *decomp.Decomposition, k int) ([]int8, int) {
+	n := g.N()
+	rank := make([]int8, n) // all start at rank 0 = C_0 = V
+	if k <= 1 || n < 2 {
+		return rank, 0
+	}
+	logn := math.Log(math.Max(float64(n), 2))
+	inPrev := make([]bool, n) // C_{i-1} membership
+	for v := range inPrev {
+		inPrev[v] = true
+	}
+	top := 0
+	for level := 1; level <= k-1; level++ {
+		threshold := 4 * math.Pow(logn, float64(k-level)/float64(k)) *
+			math.Pow(float64(n), float64(level)/float64(k))
+		// Collect the balls C_level must hit: every B(u, 2^j) holding
+		// at least threshold members of C_{level-1}.
+		type ball struct {
+			members []graph.NodeID // C_{level-1} members of the ball
+			hit     bool
+		}
+		var balls []ball
+		results := dec.Results()
+		for u := 0; u < n; u++ {
+			for j := 0; j <= dec.Cap(); j++ {
+				r := dec.Radius(j)
+				full := results[u].Ball(r)
+				var members []graph.NodeID
+				for _, v := range full {
+					if inPrev[v] {
+						members = append(members, v)
+					}
+				}
+				if float64(len(members)) >= threshold {
+					balls = append(balls, ball{members: members})
+				}
+				// Once the ball is the whole component, larger radii
+				// add nothing.
+				if len(full) == n {
+					break
+				}
+			}
+		}
+		if len(balls) == 0 {
+			break // nothing requires this level; C_level stays empty
+		}
+		// Greedy hitting set over candidates = C_{level-1}.
+		gain := make([]int, n)
+		ballsAt := make([][]int32, n) // candidate -> ball indices
+		for bi := range balls {
+			for _, v := range balls[bi].members {
+				gain[v]++
+				ballsAt[v] = append(ballsAt[v], int32(bi))
+			}
+		}
+		remaining := len(balls)
+		chosen := make([]bool, n)
+		for remaining > 0 {
+			best, bestGain := -1, 0
+			for v := 0; v < n; v++ {
+				if !chosen[v] && gain[v] > bestGain {
+					best, bestGain = v, gain[v]
+				}
+			}
+			if best < 0 {
+				break // unreachable: every remaining ball has members
+			}
+			chosen[best] = true
+			for _, bi := range ballsAt[best] {
+				if balls[bi].hit {
+					continue
+				}
+				balls[bi].hit = true
+				remaining--
+				for _, v := range balls[bi].members {
+					gain[v]--
+				}
+			}
+		}
+		// Promote chosen nodes to this level.
+		any := false
+		for v := 0; v < n; v++ {
+			if chosen[v] {
+				rank[v] = int8(level)
+				any = true
+			}
+			inPrev[v] = chosen[v]
+		}
+		if !any {
+			break
+		}
+		top = level
+	}
+	return rank, top
+}

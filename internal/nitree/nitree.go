@@ -1,0 +1,498 @@
+// Package nitree implements Lemma 4 of the paper: name-independent
+// error-reporting tree routing with j-bounded searches.
+//
+// Given a weighted tree T with root r and a parameter k, members are
+// sorted by tree distance from the root (ties by name) and assigned
+// *primary names*: digit strings over Σ = {0..σ-1}, σ = ⌈n^{1/k}⌉ —
+// the root gets the empty word, the next σ nodes one digit, the next
+// σ² two digits, and so on. A Θ(log n)-wise-independent-style hash
+// maps every external node name to k digits. A member named
+// (x₁..x_j) stores
+//
+//  1. its Lemma 5 labeled-routing record µ(T,u),
+//  2. the labels λ(T,·) of every member named (x₁..x_j,y), y ∈ Σ,
+//  3. labels of the ⌈σ·ln n⌉ members closest to the root whose hash
+//     starts with (x₁..x_j) — its "hash bucket".
+//
+// A j-bounded search for an external name walks the trie along the
+// name's hash digits, checking each visited trie node's bucket. If the
+// destination's primary name has i ≤ j digits the search finds it with
+// stretch 2i−1 (property (a)); otherwise it reports failure back to
+// the root at cost ≤ (2j−2)·max{d(r,v) : v ∈ V_{j−1}} (property (b)).
+//
+// The hash's prefix-load requirement (≤ σ·ln n members of V_j per
+// (j−1)-digit prefix) is *verified at construction*; if a seed
+// violates it we re-seed, and as a last resort the bucket capacity is
+// raised to the observed maximum so that delivery is guaranteed
+// deterministically, with the violation recorded for the experiment
+// tables (DESIGN.md substitution #2).
+package nitree
+
+import (
+	"fmt"
+	"math"
+
+	"compactroute/internal/bitsize"
+	"compactroute/internal/graph"
+	"compactroute/internal/tree"
+	"compactroute/internal/treeroute"
+	"compactroute/internal/xrand"
+)
+
+// Params configures a Lemma 4 structure.
+type Params struct {
+	// K is the trade-off parameter k ≥ 1.
+	K int
+	// UniverseN is the n in σ = ⌈n^{1/k}⌉ and in the log n factors;
+	// the enclosing scheme passes the graph size (the tree may be
+	// smaller). If zero, the tree size is used.
+	UniverseN int
+	// LoadFactor scales the bucket capacity ⌈σ·ln n⌉. Default 1.
+	LoadFactor float64
+	// Seed drives the name hash.
+	Seed uint64
+	// MaxReseeds bounds the attempts to find a hash seed satisfying
+	// the prefix-load property. Default 16.
+	MaxReseeds int
+}
+
+func (p *Params) normalize(treeLen int) {
+	if p.K < 1 {
+		p.K = 1
+	}
+	if p.UniverseN < treeLen {
+		p.UniverseN = treeLen
+	}
+	if p.LoadFactor <= 0 {
+		p.LoadFactor = 1
+	}
+	if p.MaxReseeds <= 0 {
+		p.MaxReseeds = 16
+	}
+}
+
+// Scheme is the Lemma 4 structure for one tree.
+type Scheme struct {
+	t     *tree.Tree
+	lr    *treeroute.Scheme
+	k     int
+	sigma int
+	cap   int // bucket capacity actually used
+	seed  uint64
+	// ReseedCount and LoadViolation record how the hash verification
+	// went (for experiment tables).
+	ReseedCount   int
+	LoadViolation bool
+
+	names    [][]uint16     // tree index -> primary name digits
+	trie     map[string]int // primary name -> tree index
+	levelLen []int          // |V_j| for j = 0..k
+	storage  []nodeStore    // per tree index
+}
+
+// nodeStore is what one member stores beyond µ(T,u).
+type nodeStore struct {
+	childLabels map[uint16]treeroute.Label // item 2
+	bucket      map[uint64]treeroute.Label // item 3: external name -> label
+}
+
+// New builds the Lemma 4 structures over t.
+func New(t *tree.Tree, p Params) (*Scheme, error) {
+	m := t.Len()
+	p.normalize(m)
+	if p.K > 60 {
+		return nil, fmt.Errorf("nitree: k=%d too large", p.K)
+	}
+	sigma := int(math.Ceil(math.Pow(float64(p.UniverseN), 1/float64(p.K))))
+	if sigma < 2 {
+		sigma = 2
+	}
+	if sigma > 1<<16 {
+		return nil, fmt.Errorf("nitree: alphabet %d too large", sigma)
+	}
+	s := &Scheme{
+		t:     t,
+		lr:    treeroute.New(t),
+		k:     p.K,
+		sigma: sigma,
+	}
+	s.assignNames()
+	theoryCap := int(math.Ceil(float64(sigma) * math.Log(math.Max(float64(p.UniverseN), 2)) * p.LoadFactor))
+	if theoryCap < 1 {
+		theoryCap = 1
+	}
+	// Find a hash seed satisfying the prefix-load property.
+	seed := p.Seed
+	bestSeed, bestLoad := seed, math.MaxInt
+	for attempt := 0; attempt < p.MaxReseeds; attempt++ {
+		load := s.maxPrefixLoad(seed)
+		if load < bestLoad {
+			bestSeed, bestLoad = seed, load
+		}
+		if load <= theoryCap {
+			break
+		}
+		s.ReseedCount++
+		seed = xrand.Hash64(0x5eed, seed+uint64(attempt)+1)
+	}
+	s.seed = bestSeed
+	s.cap = theoryCap
+	if bestLoad > theoryCap {
+		// Deterministic-correctness fallback: widen buckets so every
+		// member is still guaranteed discoverable.
+		s.cap = bestLoad
+		s.LoadViolation = true
+	}
+	s.buildStorage()
+	return s, nil
+}
+
+// assignNames gives members primary names in by-depth order: the root
+// the empty word, then σ one-digit names, σ² two-digit names, …
+func (s *Scheme) assignNames() {
+	m := s.t.Len()
+	s.names = make([][]uint16, m)
+	s.trie = make(map[string]int, m)
+	s.levelLen = make([]int, s.k+1)
+	order := s.t.ByDepth()
+
+	pos := 0
+	levelSize := 1 // σ^level
+	for level := 0; level <= s.k && pos < m; level++ {
+		if level > 0 {
+			levelSize *= s.sigma
+		}
+		count := levelSize
+		if pos+count > m {
+			count = m - pos
+		}
+		digits := make([]uint16, level)
+		for c := 0; c < count; c++ {
+			i := int(order[pos])
+			name := make([]uint16, level)
+			copy(name, digits)
+			s.names[i] = name
+			s.trie[digitKey(name)] = i
+			pos++
+			// Increment digit string lexicographically.
+			for d := level - 1; d >= 0; d-- {
+				digits[d]++
+				if int(digits[d]) < s.sigma {
+					break
+				}
+				digits[d] = 0
+			}
+		}
+		s.levelLen[level] = pos
+	}
+	if pos < m {
+		// Unreachable: σ^k ≥ UniverseN ≥ m guarantees enough names.
+		panic(fmt.Sprintf("nitree: ran out of names at %d of %d", pos, m))
+	}
+	// levelLen[j] is cumulative |V_j|; levels past the last assigned
+	// one keep the final count.
+	for level := 1; level <= s.k; level++ {
+		if s.levelLen[level] < s.levelLen[level-1] {
+			s.levelLen[level] = s.levelLen[level-1]
+		}
+	}
+}
+
+// hashDigit returns digit d of the k-digit hash of an external name.
+func (s *Scheme) hashDigit(name uint64, d int) uint16 {
+	return uint16(xrand.Hash64(s.seed+uint64(d)*0x9e37, name) % uint64(s.sigma))
+}
+
+// hashPrefix returns the first j hash digits of a name.
+func (s *Scheme) hashPrefix(name uint64, j int) []uint16 {
+	p := make([]uint16, j)
+	for d := 0; d < j; d++ {
+		p[d] = s.hashDigit(name, d)
+	}
+	return p
+}
+
+// digitKey packs a digit string into a map key.
+func digitKey(d []uint16) string {
+	b := make([]byte, 2*len(d))
+	for i, v := range d {
+		b[2*i] = byte(v)
+		b[2*i+1] = byte(v >> 8)
+	}
+	return string(b)
+}
+
+// maxPrefixLoad computes, under the given seed, the largest number of
+// members of V_j sharing a (j-1)-digit hash prefix, over all j.
+func (s *Scheme) maxPrefixLoad(seed uint64) int {
+	saved := s.seed
+	s.seed = seed
+	defer func() { s.seed = saved }()
+	order := s.t.ByDepth()
+	max := 0
+	for j := 1; j <= s.k; j++ {
+		counts := make(map[string]int)
+		vj := s.levelLen[j]
+		for pos := 0; pos < vj; pos++ {
+			v := s.t.Node(int(order[pos]))
+			key := digitKey(s.hashPrefix(s.t.Graph().Name(v), j-1))
+			counts[key]++
+			if counts[key] > max {
+				max = counts[key]
+			}
+		}
+	}
+	return max
+}
+
+// buildStorage fills items 2 and 3 for every member.
+func (s *Scheme) buildStorage() {
+	m := s.t.Len()
+	s.storage = make([]nodeStore, m)
+	for i := range s.storage {
+		s.storage[i].childLabels = make(map[uint16]treeroute.Label)
+		s.storage[i].bucket = make(map[uint64]treeroute.Label)
+	}
+	// Item 2: parent trie node stores each child name's label.
+	for i := 0; i < m; i++ {
+		name := s.names[i]
+		if len(name) == 0 {
+			continue
+		}
+		parent, ok := s.trie[digitKey(name[:len(name)-1])]
+		if !ok {
+			panic("nitree: trie not prefix-closed")
+		}
+		s.storage[parent].childLabels[name[len(name)-1]] = s.lr.Label(i)
+	}
+	// Item 3: walk members closest-to-root first; each contributes to
+	// the bucket of the trie node matching every hash prefix of its
+	// external name, until that bucket is full.
+	g := s.t.Graph()
+	order := s.t.ByDepth()
+	for pos := 0; pos < m; pos++ {
+		i := int(order[pos])
+		ext := g.Name(s.t.Node(i))
+		prefix := make([]uint16, 0, s.k)
+		for j := 0; j <= s.k; j++ {
+			x, ok := s.trie[digitKey(prefix)]
+			if ok && len(s.storage[x].bucket) < s.cap {
+				if _, dup := s.storage[x].bucket[ext]; !dup {
+					s.storage[x].bucket[ext] = s.lr.Label(i)
+				}
+			}
+			if j < s.k {
+				prefix = append(prefix, s.hashDigit(ext, j))
+			}
+		}
+	}
+}
+
+// Tree returns the underlying tree.
+func (s *Scheme) Tree() *tree.Tree { return s.t }
+
+// Labeled returns the embedded Lemma 5 scheme.
+func (s *Scheme) Labeled() *treeroute.Scheme { return s.lr }
+
+// Sigma returns the alphabet size σ = ⌈n^{1/k}⌉.
+func (s *Scheme) Sigma() int { return s.sigma }
+
+// BucketCap returns the bucket capacity in effect.
+func (s *Scheme) BucketCap() int { return s.cap }
+
+// PrimaryName returns the digit string of member i (root: empty).
+func (s *Scheme) PrimaryName(i int) []uint16 { return s.names[i] }
+
+// LevelSize returns |V_j|: the number of members with ≤ j digits.
+func (s *Scheme) LevelSize(j int) int {
+	if j > s.k {
+		j = s.k
+	}
+	if j < 0 {
+		return 0
+	}
+	return s.levelLen[j]
+}
+
+// StorageBits returns the accounting size of member i's tables: the
+// hash function share, µ(T,u), child labels, and the hash bucket.
+func (s *Scheme) StorageBits(i int) bitsize.Bits {
+	logn := bitsize.Log2Ceil(s.t.Len())
+	if logn < 1 {
+		logn = 1
+	}
+	b := bitsize.Bits(logn * logn) // Θ(log² n) for the hash function
+	b += s.lr.LocalBits(i)
+	for _, l := range s.storage[i].childLabels {
+		b += 8 + l.Bits() // digit + label
+	}
+	for range s.storage[i].bucket {
+		b += bitsize.NameBits
+	}
+	for _, l := range s.storage[i].bucket {
+		b += l.Bits()
+	}
+	return b
+}
+
+// MinBound returns the smallest j such that a j-bounded search finds
+// the member with external name ext, or 0 if no bound suffices (the
+// name is not discoverable — never the case for tree members). This is
+// the quantity b(u,i) of §3.1 is computed from.
+func (s *Scheme) MinBound(ext uint64) int {
+	prefix := make([]uint16, 0, s.k)
+	for round := 1; round <= s.k; round++ {
+		x, ok := s.trie[digitKey(prefix)]
+		if !ok {
+			return 0
+		}
+		if _, hit := s.storage[x].bucket[ext]; hit {
+			return round
+		}
+		prefix = append(prefix, s.hashDigit(ext, round-1))
+	}
+	return 0
+}
+
+// --- j-bounded search as a distributed step machine ---
+
+// Phase of a search in progress.
+type phase uint16
+
+const (
+	phaseToTrieNode phase = iota // heading to the next trie node
+	phaseToTarget                // destination label acquired
+	phaseToRoot                  // negative: returning to the root
+)
+
+// Search is the routing header of one j-bounded search. It holds only
+// information a real header would: the target's external name, the
+// bound, the current leg's label, and the round counter.
+type Search struct {
+	Target uint64
+	Bound  int
+	round  int
+	phase  phase
+	leg    treeroute.Label
+	// Outcome flags, set when the search terminates.
+	Found    bool
+	Negative bool
+}
+
+// HeaderBits returns the accounting size of the search header.
+func (h *Search) HeaderBits() bitsize.Bits {
+	return bitsize.NameBits + 16 + h.leg.Bits()
+}
+
+// NewSearch prepares a j-bounded search for ext starting at the root.
+// The first leg trivially targets the root itself.
+func (s *Scheme) NewSearch(ext uint64, bound int) *Search {
+	if bound < 1 {
+		bound = 1
+	}
+	if bound > s.k {
+		bound = s.k
+	}
+	rootIdx, _ := s.t.Index(s.t.Root())
+	return &Search{Target: ext, Bound: bound, round: 0, phase: phaseToTrieNode, leg: s.lr.Label(rootIdx)}
+}
+
+// Action tells the driving engine what a step decided.
+type Action uint16
+
+const (
+	// Forward: cross the returned port.
+	Forward Action = iota
+	// Delivered: the current node is the destination.
+	Delivered
+	// ReportedNotFound: the search ended back at the root with a
+	// negative result.
+	ReportedNotFound
+)
+
+// Step advances the search at graph node x. It consults only x's local
+// tables and the header.
+func (s *Scheme) Step(x graph.NodeID, h *Search) (Action, int, error) {
+	arrived, port, err := s.lr.Step(x, h.leg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("nitree: %w", err)
+	}
+	if !arrived {
+		return Forward, port, nil
+	}
+	// We are at the end of a leg.
+	switch h.phase {
+	case phaseToTarget:
+		h.Found = true
+		return Delivered, 0, nil
+	case phaseToRoot:
+		h.Negative = true
+		return ReportedNotFound, 0, nil
+	}
+	// At a trie node: make the local decision.
+	i, ok := s.t.Index(x)
+	if !ok {
+		return 0, 0, fmt.Errorf("nitree: trie node %d not a member", x)
+	}
+	st := &s.storage[i]
+	h.round++
+	if lbl, hit := st.bucket[h.Target]; hit {
+		if s.t.Graph().Name(x) == h.Target {
+			h.Found = true
+			return Delivered, 0, nil
+		}
+		h.phase = phaseToTarget
+		h.leg = lbl
+		return s.Step(x, h)
+	}
+	negative := func() (Action, int, error) {
+		if len(s.names[i]) == 0 { // already at the root
+			h.Negative = true
+			return ReportedNotFound, 0, nil
+		}
+		h.phase = phaseToRoot
+		rootIdx, _ := s.t.Index(s.t.Root())
+		h.leg = s.lr.Label(rootIdx)
+		return s.Step(x, h)
+	}
+	if h.round >= h.Bound {
+		return negative()
+	}
+	digit := s.hashDigit(h.Target, h.round-1)
+	next, hit := st.childLabels[digit]
+	if !hit {
+		// The trie has no deeper node on this hash path, so the name
+		// cannot exist in the tree: report the error.
+		return negative()
+	}
+	h.phase = phaseToTrieNode
+	h.leg = next
+	return s.Step(x, h)
+}
+
+// RunSearch drives a full search from the root for tests and
+// construction-time probing. It returns the traversed node path.
+func (s *Scheme) RunSearch(ext uint64, bound int) (found bool, path []graph.NodeID, err error) {
+	h := s.NewSearch(ext, bound)
+	g := s.t.Graph()
+	cur := s.t.Root()
+	path = []graph.NodeID{cur}
+	for steps := 0; ; steps++ {
+		if steps > 16*s.t.Len()*(s.k+1) {
+			return false, path, fmt.Errorf("nitree: search not terminating")
+		}
+		act, port, err := s.Step(cur, h)
+		if err != nil {
+			return false, path, err
+		}
+		switch act {
+		case Delivered:
+			return true, path, nil
+		case ReportedNotFound:
+			return false, path, nil
+		case Forward:
+			cur = g.EdgeAt(cur, port).To
+			path = append(path, cur)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"compactroute/internal/bitsize"
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+)
+
+// mockHeader carries a scripted decision list.
+type mockHeader struct {
+	steps []mockStep
+	pos   int
+	bits  bitsize.Bits
+}
+
+type mockStep struct {
+	act  Action
+	port int
+}
+
+func (h *mockHeader) Bits() bitsize.Bits { return h.bits }
+
+// mockRouter replays its header's script.
+type mockRouter struct {
+	name  string
+	plan  func(src graph.NodeID, dst uint64) []mockStep
+	begin error
+}
+
+func (m *mockRouter) Name() string { return m.name }
+
+func (m *mockRouter) Begin(src graph.NodeID, dst uint64) (Header, error) {
+	if m.begin != nil {
+		return nil, m.begin
+	}
+	return &mockHeader{steps: m.plan(src, dst), bits: 64}, nil
+}
+
+func (m *mockRouter) Step(x graph.NodeID, hh Header) (Action, int, error) {
+	h := hh.(*mockHeader)
+	if h.pos >= len(h.steps) {
+		return Failed, 0, nil
+	}
+	s := h.steps[h.pos]
+	h.pos++
+	return s.act, s.port, nil
+}
+
+func TestEngineFollowsPortsAndAccountsCost(t *testing.T) {
+	g := gen.Path(1, 4, gen.Uniform(2, 2.000001)) // weights ~2
+	// Route 0→3 by walking ports toward the higher neighbor.
+	r := &mockRouter{name: "walker", plan: func(src graph.NodeID, dst uint64) []mockStep {
+		return []mockStep{
+			{Forward, g.PortTo(0, 1)},
+			{Forward, g.PortTo(1, 2)},
+			{Forward, g.PortTo(2, 3)},
+			{Delivered, 0},
+		}
+	}}
+	e := NewEngine(g)
+	e.Trace = true
+	res, err := e.Route(r, 0, g.Name(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Hops != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Cost < 5.9 || res.Cost > 6.1 {
+		t.Fatalf("cost %v, want ~6", res.Cost)
+	}
+	if len(res.Path) != 4 || res.Path[3] != 3 {
+		t.Fatalf("path %v", res.Path)
+	}
+	if res.MaxHeaderBits != 64 {
+		t.Fatalf("header bits %d", res.MaxHeaderBits)
+	}
+}
+
+func TestEngineRejectsInvalidPort(t *testing.T) {
+	g := gen.Path(2, 3, gen.Unit())
+	r := &mockRouter{name: "bad-port", plan: func(graph.NodeID, uint64) []mockStep {
+		return []mockStep{{Forward, 99}}
+	}}
+	_, err := NewEngine(g).Route(r, 0, g.Name(2))
+	if err == nil || !strings.Contains(err.Error(), "invalid port") {
+		t.Fatalf("invalid port not caught: %v", err)
+	}
+}
+
+func TestEngineRejectsWrongDelivery(t *testing.T) {
+	g := gen.Path(3, 3, gen.Unit())
+	// Claims delivery at the source, which is not the destination.
+	r := &mockRouter{name: "liar", plan: func(graph.NodeID, uint64) []mockStep {
+		return []mockStep{{Delivered, 0}}
+	}}
+	_, err := NewEngine(g).Route(r, 0, g.Name(2))
+	if err == nil || !strings.Contains(err.Error(), "delivered to") {
+		t.Fatalf("wrong delivery not caught: %v", err)
+	}
+}
+
+func TestEngineCatchesLivelock(t *testing.T) {
+	g := gen.Ring(4, 5, gen.Unit())
+	// Forward forever around the ring.
+	r := &mockRouter{name: "spinner", plan: func(graph.NodeID, uint64) []mockStep {
+		steps := make([]mockStep, 100000)
+		for i := range steps {
+			steps[i] = mockStep{Forward, 0}
+		}
+		return steps
+	}}
+	e := NewEngine(g)
+	e.MaxHops = 50
+	_, err := e.Route(r, 0, g.Name(2))
+	if err == nil || !strings.Contains(err.Error(), "hops") {
+		t.Fatalf("livelock not caught: %v", err)
+	}
+}
+
+func TestEngineFailedIsCleanNonDelivery(t *testing.T) {
+	g := gen.Path(5, 3, gen.Unit())
+	r := &mockRouter{name: "giver-upper", plan: func(graph.NodeID, uint64) []mockStep {
+		return []mockStep{{Forward, g.PortTo(0, 1)}, {Failed, 0}}
+	}}
+	res, err := NewEngine(g).Route(r, 0, g.Name(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered || res.Hops != 1 {
+		t.Fatalf("failed route reported wrong: %+v", res)
+	}
+}
+
+func TestEngineBeginError(t *testing.T) {
+	g := gen.Path(6, 2, gen.Unit())
+	r := &mockRouter{name: "no-begin", begin: errMock}
+	if _, err := NewEngine(g).Route(r, 0, g.Name(1)); err == nil {
+		t.Fatal("begin error not propagated")
+	}
+}
+
+var errMock = &mockError{}
+
+type mockError struct{}
+
+func (*mockError) Error() string { return "mock begin failure" }
+
+func TestEngineSelfDelivery(t *testing.T) {
+	g := gen.Path(7, 2, gen.Unit())
+	r := &mockRouter{name: "self", plan: func(graph.NodeID, uint64) []mockStep {
+		return []mockStep{{Delivered, 0}}
+	}}
+	res, err := NewEngine(g).Route(r, 1, g.Name(1))
+	if err != nil || !res.Delivered || res.Cost != 0 {
+		t.Fatalf("self delivery: %+v %v", res, err)
+	}
+}
+
+func TestDefaultHopCapScalesWithN(t *testing.T) {
+	small := NewEngine(gen.Path(8, 4, gen.Unit()))
+	big := NewEngine(gen.Path(9, 400, gen.Unit()))
+	if small.hopCap() >= big.hopCap() {
+		t.Fatal("hop cap does not scale with n")
+	}
+	if small.hopCap() < 64 {
+		t.Fatal("hop cap too small to be safe")
+	}
+}

@@ -1,0 +1,103 @@
+package sssp
+
+import "compactroute/internal/graph"
+
+// indexedHeap is a binary min-heap over node ids keyed by tentative
+// distance, with decrease-key support. It is the standard Dijkstra
+// workhorse; positions are tracked so DecreaseKey is O(log n).
+type indexedHeap struct {
+	keys []float64      // key per node id
+	heap []graph.NodeID // heap array of node ids
+	pos  []int32        // node id -> index in heap, -1 if absent
+}
+
+func newIndexedHeap(n int) *indexedHeap {
+	h := &indexedHeap{
+		keys: make([]float64, n),
+		heap: make([]graph.NodeID, 0, n),
+		pos:  make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *indexedHeap) Len() int { return len(h.heap) }
+
+func (h *indexedHeap) Contains(u graph.NodeID) bool { return h.pos[u] >= 0 }
+
+// Push inserts u with the given key. u must not already be present.
+func (h *indexedHeap) Push(u graph.NodeID, key float64) {
+	h.keys[u] = key
+	h.pos[u] = int32(len(h.heap))
+	h.heap = append(h.heap, u)
+	h.up(len(h.heap) - 1)
+}
+
+// DecreaseKey lowers u's key. It is a no-op if the new key is not lower.
+func (h *indexedHeap) DecreaseKey(u graph.NodeID, key float64) {
+	if key >= h.keys[u] {
+		return
+	}
+	h.keys[u] = key
+	h.up(int(h.pos[u]))
+}
+
+// PopMin removes and returns the id with the smallest key.
+func (h *indexedHeap) PopMin() (graph.NodeID, float64) {
+	u := h.heap[0]
+	key := h.keys[u]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[u] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return u, key
+}
+
+func (h *indexedHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return a < b // deterministic tie-break
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i)
+	h.pos[h.heap[j]] = int32(j)
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

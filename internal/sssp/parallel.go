@@ -1,0 +1,91 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+
+	"compactroute/internal/graph"
+)
+
+// AllPairsParallel computes From for every node across a worker pool.
+// Each source's Dijkstra run is independent, so the result is
+// identical to AllPairs; the speedup is near-linear in cores for the
+// O(n·(n+m)·log n) preprocessing sweep every scheme build starts with.
+// workers ≤ 0 selects GOMAXPROCS.
+func AllPairsParallel(g *graph.Graph, workers int) []*Result {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]*Result, n)
+	if workers <= 1 {
+		return AllPairs(g)
+	}
+	var next int64 // atomically claimed source index
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		v := int(next)
+		next++
+		return v
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				v := claim()
+				if v >= n {
+					return
+				}
+				out[v] = From(g, graph.NodeID(v))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ParallelFor runs fn(i) for i in [0, n) over a bounded worker pool.
+// It is the generic fan-out used by the scheme builders (landmark
+// trees, per-scale covers), whose units of work are independent and
+// deterministic given their index.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package sssp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"compactroute/internal/gen"
+)
+
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	g := gen.Gnp(1, 120, 0.06, gen.Uniform(1, 7))
+	seq := AllPairs(g)
+	for _, workers := range []int{1, 2, 4, 13} {
+		par := AllPairsParallel(g, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: length mismatch", workers)
+		}
+		for u := range seq {
+			for v := range seq[u].Dist {
+				if math.Abs(seq[u].Dist[v]-par[u].Dist[v]) > 1e-12 {
+					t.Fatalf("workers=%d: dist(%d,%d) differs", workers, u, v)
+				}
+				if seq[u].Parent[v] != par[u].Parent[v] {
+					t.Fatalf("workers=%d: parent(%d,%d) differs", workers, u, v)
+				}
+			}
+			for i := range seq[u].Order {
+				if seq[u].Order[i] != par[u].Order[i] {
+					t.Fatalf("workers=%d: order differs at source %d", workers, u)
+				}
+			}
+		}
+	}
+}
+
+func TestAllPairsParallelDefaultWorkers(t *testing.T) {
+	g := gen.Ring(2, 40, gen.Unit())
+	par := AllPairsParallel(g, 0) // GOMAXPROCS
+	if len(par) != g.N() {
+		t.Fatal("default workers wrong length")
+	}
+	for u := range par {
+		if par[u] == nil {
+			t.Fatalf("source %d not computed", u)
+		}
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 257
+		var hits [n]int32
+		ParallelFor(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	called := false
+	ParallelFor(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func BenchmarkAllPairsSequential(b *testing.B) {
+	g := gen.Gnp(3, 512, 8.0/512, gen.Uniform(1, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairs(g)
+	}
+}
+
+func BenchmarkAllPairsParallel(b *testing.B) {
+	g := gen.Gnp(3, 512, 8.0/512, gen.Uniform(1, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AllPairsParallel(g, 0)
+	}
+}

@@ -1,0 +1,314 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/xrand"
+)
+
+// buildRandom constructs a connected random graph: a random spanning
+// tree plus extra random edges.
+func buildRandom(seed uint64, n int, extra int) *graph.Graph {
+	r := xrand.New(seed)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(xrand.Hash64(99, uint64(i))) // scrambled names
+	}
+	for i := 1; i < n; i++ {
+		j := r.Intn(i)
+		_ = b.AddEdge(graph.NodeID(i), graph.NodeID(j), 1+r.Float64()*9)
+	}
+	for e := 0; e < extra; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = b.AddEdge(graph.NodeID(u), graph.NodeID(v), 1+r.Float64()*9)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(uint64(i))
+	}
+	for i := 0; i < n-1; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLineDistances(t *testing.T) {
+	g := lineGraph(t, 5)
+	r := From(g, 0)
+	for v := 0; v < 5; v++ {
+		if r.Dist[v] != float64(2*v) {
+			t.Fatalf("Dist[%d] = %v, want %v", v, r.Dist[v], 2*v)
+		}
+	}
+}
+
+func TestParentPortsWalkToSource(t *testing.T) {
+	g := buildRandom(1, 40, 60)
+	r := From(g, 3)
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if !r.Reached(v) {
+			continue
+		}
+		// Walk parent ports back to the source, accumulating cost.
+		cost := 0.0
+		u := v
+		for steps := 0; u != r.Source; steps++ {
+			if steps > g.N() {
+				t.Fatalf("parent walk from %d does not terminate", v)
+			}
+			p := r.ParentPort[u]
+			e := g.EdgeAt(u, int(p))
+			if e.To != r.Parent[u] {
+				t.Fatalf("ParentPort[%d] leads to %d, want %d", u, e.To, r.Parent[u])
+			}
+			cost += e.Weight
+			u = e.To
+		}
+		if math.Abs(cost-r.Dist[v]) > 1e-9 {
+			t.Fatalf("parent walk cost %v != Dist %v for node %d", cost, r.Dist[v], v)
+		}
+	}
+}
+
+func TestPathToCostsMatch(t *testing.T) {
+	g := buildRandom(2, 30, 40)
+	r := From(g, 0)
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		path := r.PathTo(v)
+		if len(path) == 0 {
+			t.Fatalf("unreached node %d in connected graph", v)
+		}
+		if path[0] != 0 || path[len(path)-1] != v {
+			t.Fatalf("path endpoints wrong: %v", path)
+		}
+		cost := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			p := g.PortTo(path[i], path[i+1])
+			if p < 0 {
+				t.Fatalf("path %v uses non-edge", path)
+			}
+			cost += g.EdgeAt(path[i], p).Weight
+		}
+		if math.Abs(cost-r.Dist[v]) > 1e-9 {
+			t.Fatalf("path cost %v != dist %v", cost, r.Dist[v])
+		}
+	}
+}
+
+func TestAgainstBellmanFord(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := buildRandom(seed, 25, 30)
+		src := graph.NodeID(int(seed) % g.N())
+		if src < 0 {
+			src = 0
+		}
+		d1 := From(g, src).Dist
+		d2 := BellmanFord(g, src)
+		for i := range d1 {
+			if math.Abs(d1[i]-d2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderSortedByDistThenName(t *testing.T) {
+	g := buildRandom(3, 50, 80)
+	r := From(g, 0)
+	if len(r.Order) != g.N() {
+		t.Fatalf("order covers %d of %d nodes", len(r.Order), g.N())
+	}
+	for i := 1; i < len(r.Order); i++ {
+		a, b := r.Order[i-1], r.Order[i]
+		if r.Dist[a] > r.Dist[b] {
+			t.Fatal("order not sorted by distance")
+		}
+		if r.Dist[a] == r.Dist[b] && g.Name(a) >= g.Name(b) {
+			t.Fatal("ties not broken by name")
+		}
+	}
+}
+
+func TestBallPrefixSemantics(t *testing.T) {
+	g := lineGraph(t, 6) // distances 0,2,4,6,8,10
+	r := From(g, 0)
+	cases := []struct {
+		radius float64
+		want   int
+	}{{0, 1}, {1.9, 1}, {2, 2}, {5, 3}, {10, 6}, {100, 6}}
+	for _, c := range cases {
+		ball := r.Ball(c.radius)
+		if len(ball) != c.want {
+			t.Fatalf("Ball(%v) size = %d, want %d", c.radius, len(ball), c.want)
+		}
+		if r.BallSize(c.radius) != c.want {
+			t.Fatalf("BallSize(%v) = %d, want %d", c.radius, r.BallSize(c.radius), c.want)
+		}
+		for _, v := range ball {
+			if r.Dist[v] > c.radius {
+				t.Fatalf("ball member %d outside radius", v)
+			}
+		}
+	}
+}
+
+func TestClosestRespectsOrderAndMembership(t *testing.T) {
+	g := buildRandom(4, 40, 40)
+	r := From(g, 5)
+	even := func(v graph.NodeID) bool { return v%2 == 0 }
+	got := r.Closest(7, even)
+	if len(got) != 7 {
+		t.Fatalf("Closest returned %d", len(got))
+	}
+	// Every non-member of the result that is even must be farther (or
+	// equal-distance with larger name) than the farthest member.
+	last := got[len(got)-1]
+	inResult := make(map[graph.NodeID]bool)
+	for _, v := range got {
+		if !even(v) {
+			t.Fatalf("Closest returned non-member %d", v)
+		}
+		inResult[v] = true
+	}
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		if !even(v) || inResult[v] {
+			continue
+		}
+		if r.Dist[v] < r.Dist[last] {
+			t.Fatalf("node %d closer than selected %d but excluded", v, last)
+		}
+		if r.Dist[v] == r.Dist[last] && g.Name(v) < g.Name(last) {
+			t.Fatal("lexicographic tie-break violated")
+		}
+	}
+}
+
+func TestClosestFewMembers(t *testing.T) {
+	g := lineGraph(t, 4)
+	r := From(g, 0)
+	only3 := func(v graph.NodeID) bool { return v == 3 }
+	got := r.Closest(10, only3)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Closest = %v", got)
+	}
+	if r.Closest(0, only3) != nil {
+		t.Fatal("Closest(0) should be nil")
+	}
+}
+
+func TestDisconnectedUnreached(t *testing.T) {
+	b := graph.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddNode(uint64(i))
+	}
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, _ := b.Build()
+	r := From(g, 0)
+	if r.Reached(2) || r.Reached(3) {
+		t.Fatal("cross-component node reached")
+	}
+	if r.PathTo(2) != nil {
+		t.Fatal("PathTo across components should be nil")
+	}
+	if len(r.Order) != 2 {
+		t.Fatalf("order should contain only reached nodes, got %d", len(r.Order))
+	}
+}
+
+func TestRadius(t *testing.T) {
+	g := lineGraph(t, 5)
+	r := From(g, 2) // middle: max distance 4
+	if r.Radius() != 4 {
+		t.Fatalf("Radius = %v", r.Radius())
+	}
+}
+
+func TestDiameterAndAspect(t *testing.T) {
+	g := lineGraph(t, 4) // weights 2: diameter 6, min dist 2
+	diam, aspect := Diameter(g)
+	if diam != 6 || aspect != 3 {
+		t.Fatalf("diam=%v aspect=%v", diam, aspect)
+	}
+}
+
+func TestAllPairsSymmetry(t *testing.T) {
+	g := buildRandom(5, 20, 25)
+	all := AllPairs(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(all[u].Dist[v]-all[v].Dist[u]) > 1e-9 {
+				t.Fatalf("asymmetric metric d(%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestHeapBasics(t *testing.T) {
+	h := newIndexedHeap(10)
+	h.Push(3, 5)
+	h.Push(7, 1)
+	h.Push(2, 3)
+	h.DecreaseKey(3, 0.5)
+	u, k := h.PopMin()
+	if u != 3 || k != 0.5 {
+		t.Fatalf("PopMin = %d,%v", u, k)
+	}
+	u, _ = h.PopMin()
+	if u != 7 {
+		t.Fatalf("second PopMin = %d", u)
+	}
+	if h.Len() != 1 || !h.Contains(2) || h.Contains(7) {
+		t.Fatal("heap bookkeeping broken")
+	}
+}
+
+func TestHeapDecreaseKeyIgnoresIncrease(t *testing.T) {
+	h := newIndexedHeap(4)
+	h.Push(0, 1)
+	h.DecreaseKey(0, 5) // must be ignored
+	_, k := h.PopMin()
+	if k != 1 {
+		t.Fatalf("key changed upward: %v", k)
+	}
+}
+
+func TestHeapSortsRandomKeys(t *testing.T) {
+	r := xrand.New(8)
+	h := newIndexedHeap(200)
+	for i := 0; i < 200; i++ {
+		h.Push(graph.NodeID(i), r.Float64())
+	}
+	prev := math.Inf(-1)
+	for h.Len() > 0 {
+		_, k := h.PopMin()
+		if k < prev {
+			t.Fatal("heap emitted out of order")
+		}
+		prev = k
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats aggregates stretch measurements and renders the
+// experiment tables. Stretch is the paper's figure of merit: the ratio
+// between the routed cost and the shortest-path distance, maximized
+// (and averaged) over source–destination pairs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stretch accumulates per-pair stretch samples.
+type Stretch struct {
+	samples []float64
+}
+
+// Add records one routed pair. Pairs at distance zero (self routes)
+// are ignored; a routed cost below the distance indicates a metric
+// bug, so Add panics on it (beyond float tolerance).
+func (s *Stretch) Add(cost, dist float64) {
+	if dist <= 0 {
+		return
+	}
+	r := cost / dist
+	if r < 1-1e-9 {
+		panic(fmt.Sprintf("stats: stretch %v < 1 (cost %v, dist %v)", r, cost, dist))
+	}
+	if r < 1 {
+		r = 1
+	}
+	s.samples = append(s.samples, r)
+}
+
+// N returns the number of samples.
+func (s *Stretch) N() int { return len(s.samples) }
+
+// Max returns the maximum stretch (the paper's stretch factor).
+func (s *Stretch) Max() float64 {
+	m := 0.0
+	for _, v := range s.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the average stretch.
+func (s *Stretch) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range s.samples {
+		t += v
+	}
+	return t / float64(len(s.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func (s *Stretch) Percentile(p float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String summarizes the distribution.
+func (s *Stretch) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99), s.Max())
+}
+
+// Table renders aligned experiment tables.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given title and column names.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with
+// four significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

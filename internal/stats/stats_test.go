@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStretchBasics(t *testing.T) {
+	var s Stretch
+	s.Add(10, 10) // 1.0
+	s.Add(30, 10) // 3.0
+	s.Add(20, 10) // 2.0
+	s.Add(5, 0)   // ignored
+	if s.N() != 3 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Max() != 3 {
+		t.Fatalf("Max = %v", s.Max())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestStretchPercentiles(t *testing.T) {
+	var s Stretch
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i), 1)
+	}
+	if got := s.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(95); got != 95 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestStretchPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stretch < 1 did not panic")
+		}
+	}()
+	var s Stretch
+	s.Add(5, 10)
+}
+
+func TestStretchToleratesRoundoff(t *testing.T) {
+	var s Stretch
+	s.Add(9.9999999999999, 10) // within tolerance
+	if s.Max() != 1 {
+		t.Fatalf("roundoff not clamped: %v", s.Max())
+	}
+}
+
+func TestEmptyStretch(t *testing.T) {
+	var s Stretch
+	if s.Max() != 0 || s.Mean() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty stretch not zero")
+	}
+	if !strings.Contains(s.String(), "n=0") {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "k", "bits", "stretch")
+	tb.AddRow(2, 1024, 3.14159)
+	tb.AddRow(3, "n/a", 0.0001)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float not formatted: %s", out)
+	}
+	if !strings.Contains(out, "1.000e-04") {
+		t.Fatalf("small float not scientific: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "col", "x")
+	tb.AddRow("aaaa", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}

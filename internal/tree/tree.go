@@ -1,0 +1,369 @@
+// Package tree implements rooted weighted trees embedded in a graph.
+//
+// Every routing structure in the paper lives on such trees: the
+// minimum-cost path trees T(u) of §2.1, the landmark trees T(c(u,i)) of
+// §3.1, and the cover trees of Lemma 6. A Tree remembers, for every
+// member, the *graph ports* crossing each tree edge, so the routing
+// simulators can forward messages over real edges, plus the geometric
+// data the lemmas reason about (weighted depth, radius, heaviest edge)
+// and the combinatorial data the routing schemes need (DFS intervals,
+// heavy children, members ordered by root distance).
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"compactroute/internal/graph"
+)
+
+// Tree is an immutable rooted tree over a subset of a graph's nodes.
+// Tree indices are dense ints in [0, Len()); index 0 is the root.
+type Tree struct {
+	g          *graph.Graph
+	nodes      []graph.NodeID // tree index -> graph id
+	idx        map[graph.NodeID]int32
+	parent     []int32   // tree index -> parent tree index (-1 for root)
+	parentPort []int32   // graph port at node crossing to its parent
+	childPort  []int32   // graph port at parent crossing to this node
+	edgeW      []float64 // weight of the edge to the parent
+	depth      []float64 // weighted distance from the root along the tree
+	children   [][]int32
+	size       []int32 // subtree sizes
+	pre        []int32 // DFS preorder number
+	post       []int32 // one past the largest preorder in the subtree
+	heavy      []int32 // child with the largest subtree (-1 for leaves)
+	byDepth    []int32 // tree indices sorted by (depth, name)
+}
+
+// Builder accumulates tree edges before freezing.
+type Builder struct {
+	g      *graph.Graph
+	root   graph.NodeID
+	parent map[graph.NodeID]graph.NodeID
+}
+
+// NewBuilder starts a tree rooted at root.
+func NewBuilder(g *graph.Graph, root graph.NodeID) *Builder {
+	return &Builder{g: g, root: root, parent: make(map[graph.NodeID]graph.NodeID)}
+}
+
+// Add declares that child's tree parent is parent. The two must be
+// adjacent in the graph; the lightest connecting edge is used.
+func (b *Builder) Add(child, parent graph.NodeID) error {
+	if child == b.root {
+		return fmt.Errorf("tree: root %d cannot have a parent", child)
+	}
+	if !b.g.Adjacent(child, parent) {
+		return fmt.Errorf("tree: %d and %d are not adjacent", child, parent)
+	}
+	if old, ok := b.parent[child]; ok && old != parent {
+		return fmt.Errorf("tree: node %d already has parent %d", child, old)
+	}
+	b.parent[child] = parent
+	return nil
+}
+
+// Build validates and freezes the tree. Every added node must reach the
+// root through parent links.
+func (b *Builder) Build() (*Tree, error) {
+	n := len(b.parent) + 1
+	t := &Tree{
+		g:          b.g,
+		nodes:      make([]graph.NodeID, 0, n),
+		idx:        make(map[graph.NodeID]int32, n),
+		parent:     make([]int32, 0, n),
+		parentPort: make([]int32, 0, n),
+		childPort:  make([]int32, 0, n),
+		edgeW:      make([]float64, 0, n),
+		depth:      make([]float64, 0, n),
+	}
+	// Index nodes in BFS order from the root so parents precede
+	// children; this also validates connectivity.
+	kids := make(map[graph.NodeID][]graph.NodeID, n)
+	for c, p := range b.parent {
+		kids[p] = append(kids[p], c)
+	}
+	for p := range kids {
+		sort.Slice(kids[p], func(i, j int) bool { return kids[p][i] < kids[p][j] })
+	}
+	t.push(b.root, -1, -1, -1, 0, 0)
+	for qi := 0; qi < len(t.nodes); qi++ {
+		u := t.nodes[qi]
+		for _, c := range kids[u] {
+			port := b.g.PortTo(c, u)
+			e := b.g.EdgeAt(c, port)
+			t.push(c, int32(qi), int32(port), int32(b.g.ReversePort(c, port)),
+				e.Weight, t.depth[qi]+e.Weight)
+		}
+	}
+	if len(t.nodes) != n {
+		return nil, fmt.Errorf("tree: %d of %d nodes unreachable from root", n-len(t.nodes), n)
+	}
+	t.finish()
+	return t, nil
+}
+
+func (t *Tree) push(id graph.NodeID, parent, parentPort, childPort int32, w, d float64) {
+	t.idx[id] = int32(len(t.nodes))
+	t.nodes = append(t.nodes, id)
+	t.parent = append(t.parent, parent)
+	t.parentPort = append(t.parentPort, parentPort)
+	t.childPort = append(t.childPort, childPort)
+	t.edgeW = append(t.edgeW, w)
+	t.depth = append(t.depth, d)
+}
+
+// finish computes children, sizes, DFS numbering, heavy children and
+// the by-depth order. Iterative to stay safe on path-shaped trees.
+func (t *Tree) finish() {
+	n := len(t.nodes)
+	t.children = make([][]int32, n)
+	for i := 1; i < n; i++ {
+		p := t.parent[i]
+		t.children[p] = append(t.children[p], int32(i))
+	}
+	t.size = make([]int32, n)
+	// Nodes were pushed in BFS order, so a reverse sweep sees children
+	// before parents.
+	for i := n - 1; i >= 0; i-- {
+		t.size[i] = 1
+		for _, c := range t.children[i] {
+			t.size[i] += t.size[c]
+		}
+	}
+	t.heavy = make([]int32, n)
+	for i := 0; i < n; i++ {
+		t.heavy[i] = -1
+		best := int32(-1)
+		for _, c := range t.children[i] {
+			if best < 0 || t.size[c] > t.size[best] {
+				best = c
+			}
+		}
+		t.heavy[i] = best
+	}
+	// DFS preorder that always descends into the heavy child first, so
+	// heavy-path labels are contiguous intervals.
+	t.pre = make([]int32, n)
+	t.post = make([]int32, n)
+	type frame struct {
+		node int32
+		next int // -1 = visit heavy first, then others
+	}
+	counter := int32(0)
+	stack := []frame{{0, -1}}
+	visitOrder := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		vo := make([]int32, 0, len(t.children[i]))
+		if t.heavy[i] >= 0 {
+			vo = append(vo, t.heavy[i])
+		}
+		for _, c := range t.children[i] {
+			if c != t.heavy[i] {
+				vo = append(vo, c)
+			}
+		}
+		visitOrder[i] = vo
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next == -1 {
+			t.pre[f.node] = counter
+			counter++
+			f.next = 0
+		}
+		if f.next < len(visitOrder[f.node]) {
+			c := visitOrder[f.node][f.next]
+			f.next++
+			stack = append(stack, frame{c, -1})
+			continue
+		}
+		t.post[f.node] = counter
+		stack = stack[:len(stack)-1]
+	}
+	t.byDepth = make([]int32, n)
+	for i := range t.byDepth {
+		t.byDepth[i] = int32(i)
+	}
+	sort.SliceStable(t.byDepth, func(a, b int) bool {
+		i, j := t.byDepth[a], t.byDepth[b]
+		if t.depth[i] != t.depth[j] {
+			return t.depth[i] < t.depth[j]
+		}
+		return t.g.Name(t.nodes[i]) < t.g.Name(t.nodes[j])
+	})
+}
+
+// FromSPT builds the full shortest-path tree of a Dijkstra result,
+// restricted to its reached component.
+func FromSPT(g *graph.Graph, src graph.NodeID, parent []graph.NodeID) (*Tree, error) {
+	b := NewBuilder(g, src)
+	for v := range parent {
+		if parent[v] >= 0 {
+			if err := b.Add(graph.NodeID(v), parent[v]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FromPaths builds the union of root→target shortest paths: the
+// "minimum cost path tree spanning" a target set, as used for the
+// landmark trees T(c(u,i)) in §3.1. Intermediate path nodes become tree
+// members too (they must store routing state for the tree to work).
+func FromPaths(g *graph.Graph, src graph.NodeID, parent []graph.NodeID, targets []graph.NodeID) (*Tree, error) {
+	b := NewBuilder(g, src)
+	added := make(map[graph.NodeID]bool, len(targets))
+	added[src] = true
+	for _, v := range targets {
+		for u := v; !added[u]; u = parent[u] {
+			if parent[u] < 0 {
+				return nil, fmt.Errorf("tree: target %d unreachable from root %d", v, src)
+			}
+			if err := b.Add(u, parent[u]); err != nil {
+				return nil, err
+			}
+			added[u] = true
+		}
+	}
+	return b.Build()
+}
+
+// Len returns the number of tree members.
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Graph returns the underlying graph.
+func (t *Tree) Graph() *graph.Graph { return t.g }
+
+// Root returns the root's graph id.
+func (t *Tree) Root() graph.NodeID { return t.nodes[0] }
+
+// Node maps a tree index to its graph id.
+func (t *Tree) Node(i int) graph.NodeID { return t.nodes[i] }
+
+// Index maps a graph id to its tree index.
+func (t *Tree) Index(id graph.NodeID) (int, bool) {
+	i, ok := t.idx[id]
+	return int(i), ok
+}
+
+// Contains reports tree membership of a graph node.
+func (t *Tree) Contains(id graph.NodeID) bool {
+	_, ok := t.idx[id]
+	return ok
+}
+
+// Parent returns the parent tree index of i (-1 for the root).
+func (t *Tree) Parent(i int) int { return int(t.parent[i]) }
+
+// ParentPort returns the graph port at member i crossing to its parent.
+func (t *Tree) ParentPort(i int) int { return int(t.parentPort[i]) }
+
+// ChildPort returns the graph port at i's parent crossing to i.
+func (t *Tree) ChildPort(i int) int { return int(t.childPort[i]) }
+
+// EdgeWeight returns the weight of the edge from i to its parent.
+func (t *Tree) EdgeWeight(i int) float64 { return t.edgeW[i] }
+
+// Depth returns the weighted tree distance from the root to i.
+func (t *Tree) Depth(i int) float64 { return t.depth[i] }
+
+// Children returns i's children as tree indices (do not mutate).
+func (t *Tree) Children(i int) []int32 { return t.children[i] }
+
+// SubtreeSize returns the number of members in i's subtree.
+func (t *Tree) SubtreeSize(i int) int { return int(t.size[i]) }
+
+// Heavy returns the child of i with the largest subtree, or -1.
+func (t *Tree) Heavy(i int) int { return int(t.heavy[i]) }
+
+// Pre returns i's DFS preorder number (heavy child visited first).
+func (t *Tree) Pre(i int) int { return int(t.pre[i]) }
+
+// Post returns one past the largest preorder number in i's subtree.
+func (t *Tree) Post(i int) int { return int(t.post[i]) }
+
+// InSubtree reports whether desc lies in anc's subtree.
+func (t *Tree) InSubtree(anc, desc int) bool {
+	return t.pre[anc] <= t.pre[desc] && t.pre[desc] < t.post[anc]
+}
+
+// ByDepth returns the tree indices sorted by (depth, name): the order
+// Lemma 4 assigns primary names in (do not mutate).
+func (t *Tree) ByDepth() []int32 { return t.byDepth }
+
+// Radius returns max_u d_T(root, u), the rad(T) of Lemma 6.
+func (t *Tree) Radius() float64 {
+	r := 0.0
+	for _, d := range t.depth {
+		if d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// MaxEdge returns the heaviest tree edge weight, Lemma 6's maxE(T).
+func (t *Tree) MaxEdge() float64 {
+	m := 0.0
+	for i := 1; i < len(t.edgeW); i++ {
+		if t.edgeW[i] > m {
+			m = t.edgeW[i]
+		}
+	}
+	return m
+}
+
+// Dist returns the tree distance between two members.
+func (t *Tree) Dist(a, b int) float64 {
+	l := t.LCA(a, b)
+	return t.depth[a] + t.depth[b] - 2*t.depth[l]
+}
+
+// LCA returns the lowest common ancestor by depth-stepping. O(depth);
+// fine for verification, not used on hot routing paths.
+func (t *Tree) LCA(a, b int) int {
+	for a != b {
+		if t.depth[a] >= t.depth[b] && a != 0 {
+			a = int(t.parent[a])
+		} else {
+			b = int(t.parent[b])
+		}
+	}
+	return a
+}
+
+// PathToRoot returns the tree indices from i up to the root, inclusive.
+func (t *Tree) PathToRoot(i int) []int {
+	var p []int
+	for ; i != -1; i = int(t.parent[i]) {
+		p = append(p, i)
+	}
+	return p
+}
+
+// Validate rechecks all structural invariants; used by tests.
+func (t *Tree) Validate() error {
+	n := t.Len()
+	for i := 1; i < n; i++ {
+		p := int(t.parent[i])
+		e := t.g.EdgeAt(t.nodes[i], int(t.parentPort[i]))
+		if e.To != t.nodes[p] {
+			return fmt.Errorf("tree: parentPort of %d leads to %d, want %d", i, e.To, t.nodes[p])
+		}
+		back := t.g.EdgeAt(t.nodes[p], int(t.childPort[i]))
+		if back.To != t.nodes[i] {
+			return fmt.Errorf("tree: childPort of %d broken", i)
+		}
+		if math.Abs(t.depth[i]-(t.depth[p]+t.edgeW[i])) > 1e-9 {
+			return fmt.Errorf("tree: depth of %d inconsistent", i)
+		}
+		if !t.InSubtree(p, i) {
+			return fmt.Errorf("tree: DFS intervals broken at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package treeroute implements Lemma 5 of the paper: labeled routing
+// on a weighted tree that, given any destination label, routes along
+// the unique tree path (stretch 1 on the tree).
+//
+// The construction is the heavy-path variant of Thorup–Zwick [29] /
+// Fraigniaud–Gavoille [15] tree routing. Every member stores O(1)
+// words: its DFS interval, its parent port, and its heavy child's
+// interval and port. A destination label carries the destination's
+// preorder number plus one (preorder, port) pair per *light* edge on
+// its root path — at most ⌊log₂ m⌋ pairs, since each light edge at
+// least halves the subtree size. A node routing a message either moves
+// up (target outside its interval), into its heavy child (target inside
+// the heavy interval), or across the light port the label dictates.
+//
+// This sits at the k = O(log n) point of the lemma's storage/label
+// trade-off: O(log n)-word tables and labels, i.e. O(log² n) bits, the
+// Õ(1) regime every consumer in the paper needs.
+package treeroute
+
+import (
+	"fmt"
+
+	"compactroute/internal/bitsize"
+	"compactroute/internal/graph"
+	"compactroute/internal/tree"
+)
+
+// LightHop records the port to take at the node with the given
+// preorder number when descending across a light edge.
+type LightHop struct {
+	ParentPre int32 // preorder number of the branching node
+	Port      int32 // graph port at that node toward the path child
+}
+
+// Label is the routing label λ(T,v) of a tree member.
+type Label struct {
+	Pre   int32 // destination's preorder number
+	Light []LightHop
+}
+
+// Bits returns the accounting size of the label: each preorder number
+// or port costs ⌈log₂ m⌉-ish bits; we charge 32 per field, matching
+// the encoding a wire format would use at these scales.
+func (l Label) Bits() bitsize.Bits {
+	return bitsize.Bits(32 + 64*len(l.Light))
+}
+
+// local is µ(T,u): everything a member stores for labeled routing.
+type local struct {
+	pre, post  int32
+	parentPort int32 // graph port to tree parent (-1 at root)
+	heavyPre   int32 // heavy child's interval, [-1,-1) if leaf
+	heavyPost  int32
+	heavyPort  int32 // graph port into the heavy child
+}
+
+// Scheme holds the labeled tree routing structures for one tree.
+type Scheme struct {
+	t      *tree.Tree
+	locals []local
+	labels []Label
+}
+
+// New builds the Lemma 5 structures for every member of t.
+func New(t *tree.Tree) *Scheme {
+	n := t.Len()
+	s := &Scheme{t: t, locals: make([]local, n), labels: make([]Label, n)}
+	for i := 0; i < n; i++ {
+		lo := local{
+			pre:        int32(t.Pre(i)),
+			post:       int32(t.Post(i)),
+			parentPort: int32(t.ParentPort(i)),
+			heavyPre:   -1,
+			heavyPost:  -1,
+			heavyPort:  -1,
+		}
+		if h := t.Heavy(i); h >= 0 {
+			lo.heavyPre = int32(t.Pre(h))
+			lo.heavyPost = int32(t.Post(h))
+			lo.heavyPort = int32(t.ChildPort(h))
+		}
+		s.locals[i] = lo
+	}
+	for i := 0; i < n; i++ {
+		s.labels[i] = s.buildLabel(i)
+	}
+	return s
+}
+
+func (s *Scheme) buildLabel(i int) Label {
+	lbl := Label{Pre: int32(s.t.Pre(i))}
+	// Walk the root path top-down collecting light-edge decisions.
+	path := s.t.PathToRoot(i)
+	for j := len(path) - 1; j > 0; j-- {
+		parent, child := path[j], path[j-1]
+		if s.t.Heavy(parent) != child {
+			lbl.Light = append(lbl.Light, LightHop{
+				ParentPre: int32(s.t.Pre(parent)),
+				Port:      int32(s.t.ChildPort(child)),
+			})
+		}
+	}
+	return lbl
+}
+
+// Tree returns the underlying tree.
+func (s *Scheme) Tree() *tree.Tree { return s.t }
+
+// Label returns λ(T, member i).
+func (s *Scheme) Label(i int) Label { return s.labels[i] }
+
+// LabelOf returns the label of a graph node, which must be a member.
+func (s *Scheme) LabelOf(v graph.NodeID) (Label, bool) {
+	i, ok := s.t.Index(v)
+	if !ok {
+		return Label{}, false
+	}
+	return s.labels[i], true
+}
+
+// LocalBits returns the accounting size of µ(T, member i): seven
+// bounded integers.
+func (s *Scheme) LocalBits(i int) bitsize.Bits {
+	m := s.t.Len()
+	idb := bitsize.IDBits(m)
+	g := s.t.Graph()
+	pb := bitsize.IDBits(g.Degree(s.t.Node(i)))
+	return 4*idb + 3*pb
+}
+
+// MaxLightHops returns the largest light-hop count over all labels;
+// the heavy-path argument bounds it by ⌊log₂ m⌋.
+func (s *Scheme) MaxLightHops() int {
+	max := 0
+	for _, l := range s.labels {
+		if len(l.Light) > max {
+			max = len(l.Light)
+		}
+	}
+	return max
+}
+
+// Step makes one routing decision at graph node x for a message headed
+// to lbl. It returns (arrived=true) when x is the destination, else the
+// graph port to forward on. Step consults only x's local record and the
+// label, preserving the distributed-routing discipline.
+func (s *Scheme) Step(x graph.NodeID, lbl Label) (arrived bool, port int, err error) {
+	i, ok := s.t.Index(x)
+	if !ok {
+		return false, 0, fmt.Errorf("treeroute: node %d is not a member", x)
+	}
+	lo := &s.locals[i]
+	switch {
+	case lbl.Pre == lo.pre:
+		return true, 0, nil
+	case lbl.Pre < lo.pre || lbl.Pre >= lo.post:
+		// Destination outside our subtree: go up.
+		if lo.parentPort < 0 {
+			return false, 0, fmt.Errorf("treeroute: label %d not in tree rooted at %d", lbl.Pre, x)
+		}
+		return false, int(lo.parentPort), nil
+	case lo.heavyPre >= 0 && lbl.Pre >= lo.heavyPre && lbl.Pre < lo.heavyPost:
+		return false, int(lo.heavyPort), nil
+	default:
+		// Must be a light decision recorded in the label.
+		for _, lh := range lbl.Light {
+			if lh.ParentPre == lo.pre {
+				return false, int(lh.Port), nil
+			}
+		}
+		return false, 0, fmt.Errorf("treeroute: label has no light hop at node %d (pre %d)", x, lo.pre)
+	}
+}
+
+// Route walks the full tree path from src to the label's destination,
+// returning the node sequence (for tests; the simulator drives Step
+// directly). The cost of the returned path is the tree distance.
+func (s *Scheme) Route(src graph.NodeID, lbl Label) ([]graph.NodeID, error) {
+	g := s.t.Graph()
+	cur := src
+	path := []graph.NodeID{cur}
+	for hop := 0; ; hop++ {
+		if hop > 2*s.t.Len() {
+			return nil, fmt.Errorf("treeroute: routing loop from %d", src)
+		}
+		done, port, err := s.Step(cur, lbl)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return path, nil
+		}
+		cur = g.EdgeAt(cur, port).To
+		path = append(path, cur)
+	}
+}

@@ -1,0 +1,187 @@
+package treeroute
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+	"compactroute/internal/tree"
+)
+
+func buildSPT(t *testing.T, g *graph.Graph, root graph.NodeID) *tree.Tree {
+	t.Helper()
+	r := sssp.From(g, root)
+	tr, err := tree.FromSPT(g, root, r.Parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func pathCost(t *testing.T, g *graph.Graph, path []graph.NodeID) float64 {
+	t.Helper()
+	c := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		p := g.PortTo(path[i], path[i+1])
+		if p < 0 {
+			t.Fatalf("path hop %d→%d is not an edge", path[i], path[i+1])
+		}
+		c += g.EdgeAt(path[i], p).Weight
+	}
+	return c
+}
+
+// checkAllPairs verifies that routing between every member pair follows
+// exactly the tree path.
+func checkAllPairs(t *testing.T, tr *tree.Tree) {
+	t.Helper()
+	s := New(tr)
+	g := tr.Graph()
+	for a := 0; a < tr.Len(); a++ {
+		for b := 0; b < tr.Len(); b++ {
+			path, err := s.Route(tr.Node(a), s.Label(b))
+			if err != nil {
+				t.Fatalf("route %d→%d: %v", a, b, err)
+			}
+			if path[len(path)-1] != tr.Node(b) {
+				t.Fatalf("route %d→%d ended at %d", a, b, path[len(path)-1])
+			}
+			got := pathCost(t, g, path)
+			want := tr.Dist(a, b)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("route %d→%d cost %v, tree distance %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestRouteOnPathGraph(t *testing.T) {
+	g := gen.Path(1, 8, gen.Uniform(1, 3))
+	checkAllPairs(t, buildSPT(t, g, 0))
+}
+
+func TestRouteOnStar(t *testing.T) {
+	g := gen.Star(2, 12, gen.Uniform(1, 5))
+	checkAllPairs(t, buildSPT(t, g, 3)) // rooted at a leaf
+}
+
+func TestRouteOnBalancedTree(t *testing.T) {
+	g := gen.BalancedTree(3, 3, 3, gen.Uniform(1, 2))
+	checkAllPairs(t, buildSPT(t, g, 0))
+}
+
+func TestRouteOnRandomSPT(t *testing.T) {
+	g := gen.Gnp(4, 40, 0.08, gen.Uniform(1, 9))
+	checkAllPairs(t, buildSPT(t, g, 11))
+}
+
+func TestSingleNodeRoute(t *testing.T) {
+	g := gen.Path(5, 1, gen.Unit())
+	tr, err := tree.NewBuilder(g, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(tr)
+	path, err := s.Route(0, s.Label(0))
+	if err != nil || len(path) != 1 {
+		t.Fatalf("self route = %v, %v", path, err)
+	}
+}
+
+func TestLightHopsLogBound(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := gen.Gnp(seed, 200, 0.03, gen.Unit())
+		tr := buildSPT(t, g, 0)
+		s := New(tr)
+		bound := int(math.Floor(math.Log2(float64(tr.Len()))))
+		if got := s.MaxLightHops(); got > bound {
+			t.Fatalf("seed %d: %d light hops > log bound %d", seed, got, bound)
+		}
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	g := gen.Path(6, 5, gen.Unit())
+	tr := buildSPT(t, g, 0)
+	s := New(tr)
+	if _, ok := s.LabelOf(3); !ok {
+		t.Fatal("LabelOf member failed")
+	}
+	// A node outside the tree.
+	g2 := gen.Star(7, 6, gen.Unit())
+	r := sssp.From(g2, 1)
+	tr2, _ := tree.FromPaths(g2, 1, r.Parent, []graph.NodeID{2})
+	s2 := New(tr2)
+	if _, ok := s2.LabelOf(5); ok {
+		t.Fatal("LabelOf non-member succeeded")
+	}
+}
+
+func TestStepRejectsNonMember(t *testing.T) {
+	g := gen.Star(8, 6, gen.Unit())
+	r := sssp.From(g, 1)
+	tr, _ := tree.FromPaths(g, 1, r.Parent, []graph.NodeID{2})
+	s := New(tr)
+	if _, _, err := s.Step(5, s.Label(0)); err == nil {
+		t.Fatal("Step on non-member did not error")
+	}
+}
+
+func TestStorageBitsPositiveAndSmall(t *testing.T) {
+	g := gen.Gnp(9, 100, 0.05, gen.Unit())
+	tr := buildSPT(t, g, 0)
+	s := New(tr)
+	for i := 0; i < tr.Len(); i++ {
+		b := s.LocalBits(i)
+		if b <= 0 || b > 200 {
+			t.Fatalf("LocalBits(%d) = %d out of expected range", i, b)
+		}
+	}
+	// Label bits grow with light hops but stay O(log² n).
+	for i := 0; i < tr.Len(); i++ {
+		if s.Label(i).Bits() > 32+64*20 {
+			t.Fatalf("label %d too large", i)
+		}
+	}
+}
+
+// Property: routing works on arbitrary random SPTs and costs exactly
+// the tree distance.
+func TestRouteProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.Gnp(seed, 25, 0.12, gen.Uniform(1, 4))
+		r := sssp.From(g, 0)
+		tr, err := tree.FromSPT(g, 0, r.Parent)
+		if err != nil {
+			return false
+		}
+		s := New(tr)
+		// Check a sample of pairs.
+		for a := 0; a < tr.Len(); a += 3 {
+			for b := 1; b < tr.Len(); b += 4 {
+				path, err := s.Route(tr.Node(a), s.Label(b))
+				if err != nil || path[len(path)-1] != tr.Node(b) {
+					return false
+				}
+				c := 0.0
+				for i := 0; i+1 < len(path); i++ {
+					p := g.PortTo(path[i], path[i+1])
+					if p < 0 {
+						return false
+					}
+					c += g.EdgeAt(path[i], p).Weight
+				}
+				if math.Abs(c-tr.Dist(a, b)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package viz renders graphs, trees and routes as Graphviz DOT, the
+// debugging lens for everything the routing schemes build: landmark
+// trees, cover clusters, and the paths the phase router takes.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/tree"
+)
+
+// GraphDOT writes g as an undirected DOT graph. Nodes show their
+// display names; edges show weights.
+func GraphDOT(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph G {")
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		fmt.Fprintf(bw, "  n%d [label=%q];\n", u, g.DisplayName(u))
+	}
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		g.Neighbors(u, func(e graph.Edge) bool {
+			if u < e.To {
+				fmt.Fprintf(bw, "  n%d -- n%d [label=\"%g\"];\n", u, e.To, e.Weight)
+			}
+			return true
+		})
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// TreeDOT writes a rooted tree as a directed DOT graph (edges point
+// from parents to children), with the root highlighted.
+func TreeDOT(w io.Writer, t *tree.Tree) error {
+	bw := bufio.NewWriter(w)
+	g := t.Graph()
+	fmt.Fprintln(bw, "digraph T {")
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+	for i := 0; i < t.Len(); i++ {
+		attrs := ""
+		if i == 0 {
+			attrs = " style=filled fillcolor=gold"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q%s];\n", t.Node(i), g.DisplayName(t.Node(i)), attrs)
+	}
+	for i := 1; i < t.Len(); i++ {
+		p := t.Parent(i)
+		fmt.Fprintf(bw, "  n%d -> n%d [label=\"%g\"];\n", t.Node(p), t.Node(i), t.EdgeWeight(i))
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// RouteDOT writes g with the given path highlighted: traversed edges
+// bold red, the source and destination filled.
+func RouteDOT(w io.Writer, g *graph.Graph, path []graph.NodeID) error {
+	onPath := make(map[[2]graph.NodeID]bool, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a > b {
+			a, b = b, a
+		}
+		onPath[[2]graph.NodeID{a, b}] = true
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph R {")
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		attrs := ""
+		if len(path) > 0 && u == path[0] {
+			attrs = " style=filled fillcolor=palegreen"
+		}
+		if len(path) > 0 && u == path[len(path)-1] {
+			attrs = " style=filled fillcolor=lightblue"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q%s];\n", u, g.DisplayName(u), attrs)
+	}
+	for u := graph.NodeID(0); int(u) < g.N(); u++ {
+		g.Neighbors(u, func(e graph.Edge) bool {
+			if u < e.To {
+				a, b := u, e.To
+				if onPath[[2]graph.NodeID{a, b}] {
+					fmt.Fprintf(bw, "  n%d -- n%d [label=\"%g\" color=red penwidth=2];\n", u, e.To, e.Weight)
+				} else {
+					fmt.Fprintf(bw, "  n%d -- n%d [label=\"%g\" color=gray];\n", u, e.To, e.Weight)
+				}
+			}
+			return true
+		})
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/sssp"
+	"compactroute/internal/tree"
+)
+
+func TestGraphDOTStructure(t *testing.T) {
+	g := gen.Ring(1, 5, gen.Unit())
+	var buf bytes.Buffer
+	if err := GraphDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph G {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatalf("malformed DOT:\n%s", out)
+	}
+	if strings.Count(out, " -- ") != g.M() {
+		t.Fatalf("edge count %d, want %d", strings.Count(out, " -- "), g.M())
+	}
+	if strings.Count(out, "label=") < g.N()+g.M() {
+		t.Fatal("missing labels")
+	}
+}
+
+func TestTreeDOTStructure(t *testing.T) {
+	g := gen.BalancedTree(2, 2, 3, gen.Unit())
+	r := sssp.From(g, 0)
+	tr, err := tree.FromSPT(g, 0, r.Parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := TreeDOT(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, " -> ") != tr.Len()-1 {
+		t.Fatalf("tree edges %d, want %d", strings.Count(out, " -> "), tr.Len()-1)
+	}
+	if !strings.Contains(out, "fillcolor=gold") {
+		t.Fatal("root not highlighted")
+	}
+}
+
+func TestRouteDOTHighlightsPath(t *testing.T) {
+	g := gen.Path(3, 5, gen.Unit())
+	path := []graph.NodeID{0, 1, 2}
+	var buf bytes.Buffer
+	if err := RouteDOT(&buf, g, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "color=red") != 2 {
+		t.Fatalf("highlighted %d edges, want 2", strings.Count(out, "color=red"))
+	}
+	if !strings.Contains(out, "palegreen") || !strings.Contains(out, "lightblue") {
+		t.Fatal("endpoints not marked")
+	}
+	// Non-path edges drawn gray.
+	if strings.Count(out, "color=gray") != g.M()-2 {
+		t.Fatalf("gray edges %d, want %d", strings.Count(out, "color=gray"), g.M()-2)
+	}
+}
+
+func TestRouteDOTEmptyPath(t *testing.T) {
+	g := gen.Path(4, 3, gen.Unit())
+	var buf bytes.Buffer
+	if err := RouteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "color=red") {
+		t.Fatal("empty path highlighted something")
+	}
+}
+
+func TestLabeledNamesAppear(t *testing.T) {
+	b := graph.NewBuilder()
+	x := b.AddLabeled("gateway")
+	y := b.AddLabeled("edge-1")
+	b.AddEdge(x, y, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GraphDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"gateway"`) {
+		t.Fatal("labels not rendered")
+	}
+}

@@ -1,0 +1,110 @@
+// Package xrand provides a small, fast, deterministic random number
+// generator used by every randomized construction in this repository.
+//
+// All sampling in the routing-scheme builders flows through a single
+// seeded RNG so that builds are reproducible bit-for-bit. The generator
+// is SplitMix64 (Steele, Lea, Flood; JVM reference implementation),
+// which passes BigCrush and is trivially seedable, making it a good fit
+// for simulation workloads where the standard library's global state
+// would hurt reproducibility.
+package xrand
+
+import "math"
+
+// RNG is a deterministic SplitMix64 random number generator.
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// rejection sampling keeps the distribution exactly uniform.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1 - u)
+}
+
+// Fork derives an independent generator from this one. Forked streams
+// are used so that construction stages consume randomness independently
+// of each other, keeping builds stable when one stage changes.
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Hash64 mixes x with the given seed through the SplitMix64 finalizer.
+// It is the repository's standard stateless hash for node names; routing
+// schemes must treat node names as opaque, so every name-keyed structure
+// (tries, rendezvous tables) derives positions with Hash64.
+func Hash64(seed, x uint64) uint64 {
+	z := x + seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

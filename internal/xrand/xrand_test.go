@@ -1,0 +1,185 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d appeared %d times, want about %.0f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(11)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestExpFloat64Positive(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %v negative", v)
+		}
+		sum += v
+	}
+	mean := sum / trials
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("ExpFloat64 mean = %v, want about 1", mean)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := New(21)
+	f := a.Fork()
+	// The fork must not replay the parent stream.
+	av, fv := a.Uint64(), f.Uint64()
+	if av == fv {
+		t.Fatal("fork replayed parent stream")
+	}
+}
+
+func TestHash64SeedSensitivity(t *testing.T) {
+	if Hash64(1, 100) == Hash64(2, 100) {
+		t.Fatal("Hash64 ignores seed")
+	}
+	if Hash64(1, 100) == Hash64(1, 101) {
+		t.Fatal("Hash64 ignores input")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	f := func(seed, x uint64) bool {
+		return Hash64(seed, x) == Hash64(seed, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64AvalancheRough(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	totalFlips := 0
+	const samples = 200
+	r := New(31)
+	for i := 0; i < samples; i++ {
+		x := r.Uint64()
+		h0 := Hash64(9, x)
+		h1 := Hash64(9, x^1)
+		diff := h0 ^ h1
+		for diff != 0 {
+			totalFlips += int(diff & 1)
+			diff >>= 1
+		}
+	}
+	mean := float64(totalFlips) / samples
+	if mean < 20 || mean > 44 {
+		t.Fatalf("avalanche mean flips = %v, want near 32", mean)
+	}
+}
