@@ -1,0 +1,32 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a
+# green `make ci` means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race lint bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tests run the -short suite: the 2k-node persistence acceptance
+# test is exercised (unraced) by `make test`, and racing it would
+# dominate the pipeline for no extra interleaving coverage.
+race:
+	$(GO) test -race -short ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Smoke-compile and single-shot every benchmark so perf code paths
+# cannot rot unnoticed.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+ci: build lint test race bench

@@ -1,20 +1,30 @@
 // Command routebench regenerates the reproduction's experiment tables
-// (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md).
+// (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md) and measures
+// the build-once/route-many split the persistence layer enables.
 //
 // Usage:
 //
-//	routebench -all              # every experiment, full sizes
-//	routebench -exp T2           # one experiment
-//	routebench -exp T1 -quick    # smoke sizes
+//	routebench -all                        # every experiment, full sizes
+//	routebench -exp T2                     # one experiment
+//	routebench -exp T1 -quick              # smoke sizes
+//	routebench -save net.crsc -n 2000 -k 4 # pay the build, persist it
+//	routebench -load net.crsc -queries 1e5 # measure pure query cost
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
+	"compactroute"
 	"compactroute/internal/bench"
+	"compactroute/internal/serve"
+	"compactroute/internal/xrand"
 )
 
 func main() {
@@ -22,14 +32,34 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smoke-test sizes")
 	seed := flag.Uint64("seed", 1, "seed for all randomized constructions")
+	saveFile := flag.String("save", "", "build a scheme (see -n/-k/-p/-sfactor) and persist it to this file, reporting build vs save cost")
+	loadFile := flag.String("load", "", "load a persisted scheme and benchmark query throughput, reporting load vs query cost")
+	n := flag.Int("n", 2000, "node count for -save")
+	k := flag.Int("k", 4, "trade-off parameter for -save")
+	p := flag.Float64("p", 0, "gnp edge probability for -save (0: 8/n)")
+	sfactor := flag.Float64("sfactor", 0.25, "landmark S-set constant for -save")
+	queries := flag.Float64("queries", 1e5, "queries to run for -load")
+	workers := flag.Int("workers", 0, "concurrent query workers for -load (0: GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1<<16, "result cache entries for -load (negative: disable)")
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "routebench:", err)
+		os.Exit(1)
+	}
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	switch {
+	case *saveFile != "":
+		if err := buildAndSave(*saveFile, *n, *k, *p, *sfactor, *seed); err != nil {
+			fail(err)
+		}
+	case *loadFile != "":
+		if err := loadAndQuery(*loadFile, int(*queries), *workers, *cacheSize, *seed); err != nil {
+			fail(err)
+		}
 	case *all:
 		if err := bench.RunAll(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "routebench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	case *exp != "":
 		r, ok := bench.Experiments[strings.ToUpper(*exp)]
@@ -39,11 +69,127 @@ func main() {
 			os.Exit(2)
 		}
 		if err := r(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "routebench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// buildAndSave pays the one-time construction cost and persists the
+// result, reporting where the time went — the numerator of the
+// build-once/route-many trade.
+func buildAndSave(path string, n, k int, p, sfactor float64, seed uint64) error {
+	if p <= 0 {
+		p = 8 / float64(n)
+	}
+	t0 := time.Now()
+	net := compactroute.RandomNetwork(seed, n, p, compactroute.UniformWeights(1, 8))
+	metricTime := time.Since(t0)
+	t1 := time.Now()
+	s, err := compactroute.NewScheme(net, compactroute.Options{K: k, Seed: seed, SFactor: sfactor})
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(t1)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	t2 := time.Now()
+	if err := compactroute.Save(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	saveTime := time.Since(t2)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s over gnp(n=%d, p=%.4f): max table %d bits/node\n", s.Name(), n, p, s.MaxTableBits())
+	fmt.Printf("  metric (APSP)   %12v\n", metricTime.Round(time.Millisecond))
+	fmt.Printf("  construction    %12v\n", buildTime.Round(time.Millisecond))
+	fmt.Printf("  serialization   %12v  (%d bytes → %s)\n", saveTime.Round(time.Millisecond), st.Size(), path)
+	return nil
+}
+
+// loadAndQuery measures the recurring side: deserialization once, then
+// sustained random query throughput through the serving pool.
+func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	s, err := compactroute.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	loadTime := time.Since(t0)
+	g := s.Network().Graph()
+	nn := s.Network().N()
+	fmt.Printf("loaded %s (%d nodes) in %v — no APSP, no construction\n", s.Name(), nn, loadTime.Round(time.Millisecond))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
+		res, err := s.RouteByName(src, dst)
+		if err != nil {
+			return serve.Result{}, err
+		}
+		return serve.Result{Delivered: res.Delivered, Cost: res.Cost, Hops: res.Hops}, nil
+	}), serve.Options{Workers: workers, CacheSize: cacheSize})
+
+	if queries < 1 {
+		return fmt.Errorf("routebench: -queries must be ≥ 1, got %d", queries)
+	}
+	if workers > queries {
+		workers = queries
+	}
+	t1 := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		per := queries / workers
+		if w < queries%workers {
+			per++ // spread the remainder so exactly `queries` run
+		}
+		wg.Add(1)
+		go func(w, per int) {
+			defer wg.Done()
+			r := xrand.New(seed ^ uint64(w)<<17)
+			for i := 0; i < per; i++ {
+				src := g.Name(compactroute.NodeID(r.Intn(nn)))
+				dst := g.Name(compactroute.NodeID(r.Intn(nn)))
+				if _, err := pool.Route(context.Background(), src, dst); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, per)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(t1)
+	st := pool.Stats()
+	fmt.Printf("ran %d queries with %d workers in %v: %.0f queries/sec\n",
+		st.Requests, workers, elapsed.Round(time.Millisecond),
+		float64(st.Requests)/elapsed.Seconds())
+	hitRate := 0.0
+	if st.Hits+st.Misses > 0 {
+		hitRate = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate), %d/%d resident\n",
+		st.Hits, st.Misses, hitRate, st.CacheLen, st.CacheCap)
+	return nil
 }

@@ -1,0 +1,175 @@
+// Command routed is the route-serving daemon: it loads a scheme
+// persisted by cmd/routesim -save (or compactroute.Save) and answers
+// routing queries over HTTP — build once, route many. Startup performs
+// no APSP and no scheme construction; it is bounded by deserialization
+// alone.
+//
+//	routesim -n 2000 -k 4 -save net.crsc     # pay the build once
+//	routed -scheme net.crsc -addr :8347      # serve it forever
+//
+//	GET /route?src=<name>&dst=<name>  route between external names
+//	GET /healthz                      liveness + scheme identity
+//	GET /stats                        worker pool and cache counters
+//
+// Names accept decimal or 0x-prefixed hex. Queries run on a bounded
+// worker pool with a sharded LRU result cache (see internal/serve);
+// -workers and -cache size them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/serve"
+)
+
+func main() {
+	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save (required)")
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent route computations (0: GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1<<16, "result cache capacity in entries (negative: disable)")
+	shards := flag.Int("shards", 16, "cache shard count")
+	metric := flag.Bool("metric", false, "compute the shortest-path metric at startup so responses carry true stretch (costs one APSP)")
+	flag.Parse()
+
+	if *schemeFile == "" {
+		fmt.Fprintln(os.Stderr, "routed: -scheme is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*schemeFile)
+	if err != nil {
+		log.Fatalf("routed: %v", err)
+	}
+	start := time.Now()
+	scheme, err := compactroute.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("routed: loading %s: %v", *schemeFile, err)
+	}
+	loadTime := time.Since(start)
+	if *metric {
+		scheme.Network().EnsureMetric()
+	}
+	log.Printf("routed: loaded %s (%d nodes, %d edges, max table %s bits/node) in %v",
+		scheme.Name(), scheme.Network().N(), scheme.Network().Graph().M(),
+		strconv.FormatInt(scheme.MaxTableBits(), 10), loadTime)
+
+	srv := newServer(scheme, serve.Options{Workers: *workers, CacheSize: *cacheSize, Shards: *shards})
+	log.Printf("routed: serving on %s (workers=%d cache=%d)", *addr, srv.pool.Stats().Workers, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// server is the HTTP surface over one loaded scheme. Split from main
+// so tests can drive it with httptest.
+type server struct {
+	scheme *compactroute.Scheme
+	pool   *serve.Pool
+	mux    *http.ServeMux
+}
+
+func newServer(s *compactroute.Scheme, o serve.Options) *server {
+	srv := &server{scheme: s}
+	srv.pool = serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
+		res, err := s.RouteByName(src, dst)
+		if err != nil {
+			return serve.Result{}, err
+		}
+		return serve.Result{
+			Delivered:    res.Delivered,
+			Cost:         res.Cost,
+			Hops:         res.Hops,
+			HeaderBits:   res.HeaderBits,
+			ShortestCost: res.ShortestCost,
+		}, nil
+	}), o)
+	srv.mux = http.NewServeMux()
+	srv.mux.HandleFunc("GET /route", srv.handleRoute)
+	srv.mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("GET /stats", srv.handleStats)
+	return srv
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// routeResponse is the JSON shape of a routing answer.
+type routeResponse struct {
+	Delivered    bool    `json:"delivered"`
+	Cost         float64 `json:"cost"`
+	Hops         int     `json:"hops"`
+	HeaderBits   int64   `json:"headerBits"`
+	ShortestCost float64 `json:"shortestCost,omitempty"`
+	Stretch      float64 `json:"stretch,omitempty"`
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	src, err := parseName(r.URL.Query().Get("src"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad src: %v", err)
+		return
+	}
+	dst, err := parseName(r.URL.Query().Get("dst"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad dst: %v", err)
+		return
+	}
+	res, err := s.pool.Route(r.Context(), src, dst)
+	if err != nil {
+		// Unknown names and canceled waits are the caller's problem;
+		// anything else would be a scheme invariant violation.
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := routeResponse{
+		Delivered:    res.Delivered,
+		Cost:         res.Cost,
+		Hops:         res.Hops,
+		HeaderBits:   res.HeaderBits,
+		ShortestCost: res.ShortestCost,
+	}
+	if res.ShortestCost > 0 {
+		resp.Stretch = res.Cost / res.ShortestCost
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"scheme": s.scheme.Name(),
+		"nodes":  s.scheme.Network().N(),
+		"edges":  s.scheme.Network().Graph().M(),
+		"metric": s.scheme.Network().HasMetric(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.pool.Stats())
+}
+
+func parseName(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("missing")
+	}
+	return strconv.ParseUint(s, 0, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("routed: writing response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

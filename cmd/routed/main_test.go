@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"compactroute"
+	"compactroute/internal/serve"
+)
+
+// buildServer builds a small scheme, round-trips it through the codec
+// (the exact path the daemon takes at startup), and wraps it in the
+// HTTP surface.
+func buildServer(t *testing.T) (*server, *compactroute.Network) {
+	t.Helper()
+	net := compactroute.RandomNetwork(7, 90, 0.07, compactroute.UniformWeights(1, 6))
+	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 11, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compactroute.Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := compactroute.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(loaded, serve.Options{Workers: 4, CacheSize: 1 << 10}), net
+}
+
+func TestServerRoutesLoadedScheme(t *testing.T) {
+	srv, net := buildServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	g := net.Graph()
+	for u := 0; u < net.N(); u += 13 {
+		for v := 0; v < net.N(); v += 17 {
+			url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID(v)))
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rr routeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("route %d→%d: status %d", u, v, resp.StatusCode)
+			}
+			if !rr.Delivered {
+				t.Fatalf("route %d→%d not delivered", u, v)
+			}
+		}
+	}
+}
+
+func TestServerConcurrentLoad(t *testing.T) {
+	srv, net := buildServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	g := net.Graph()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				u := compactroute.NodeID((w*31 + i) % net.N())
+				v := compactroute.NodeID((w*17 + i*13) % net.N())
+				resp, err := http.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(u), g.Name(v)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var rr routeResponse
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !rr.Delivered {
+					errs <- fmt.Errorf("route %d→%d not delivered", u, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 16*60 {
+		t.Fatalf("stats recorded %d requests, want %d", st.Requests, 16*60)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("stats recorded %d errors", st.Errors)
+	}
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	srv, _ := buildServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, q := range []string{
+		"/route",                      // missing both
+		"/route?src=1",                // missing dst
+		"/route?src=zzz&dst=1",        // unparsable
+		"/route?src=1&dst=0xFFFFFFFF", // unknown name
+	} {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: expected failure status, got 200", q)
+		}
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, net := buildServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+		Nodes  int    `json:"nodes"`
+		Metric bool   `json:"metric"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Nodes != net.N() {
+		t.Fatalf("healthz %+v", h)
+	}
+	if h.Metric {
+		t.Fatal("loaded scheme should start without a metric")
+	}
+}

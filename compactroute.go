@@ -26,9 +26,12 @@ package compactroute
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"compactroute/internal/baseline"
 	"compactroute/internal/bitsize"
+	"compactroute/internal/codec"
 	"compactroute/internal/core"
 	"compactroute/internal/gio"
 	"compactroute/internal/graph"
@@ -51,10 +54,13 @@ func NewBuilder() *GraphBuilder { return graph.NewBuilder() }
 type Stretch = stats.Stretch
 
 // Network is a frozen graph with its shortest-path metric, shared by
-// every scheme built on it.
+// every scheme built on it. The metric is optional (networks from
+// Load start without one) and published atomically, so routing may
+// proceed concurrently with a late EnsureMetric.
 type Network struct {
-	g    *graph.Graph
-	apsp []*sssp.Result
+	g        *graph.Graph
+	apsp     atomic.Pointer[[]*sssp.Result]
+	metricMu sync.Mutex // serializes EnsureMetric computations
 }
 
 // BuildNetwork freezes the builder and precomputes the metric.
@@ -69,7 +75,18 @@ func BuildNetwork(b *GraphBuilder) (*Network, error) {
 // WrapGraph adopts an already-built graph (e.g. from the generators).
 // The shortest-path metric is computed across all cores.
 func WrapGraph(g *graph.Graph) *Network {
-	return &Network{g: g, apsp: sssp.AllPairsParallel(g, 0)}
+	n := &Network{g: g}
+	all := sssp.AllPairsParallel(g, 0)
+	n.apsp.Store(&all)
+	return n
+}
+
+// metric returns the all-pairs results, or nil when absent.
+func (n *Network) metric() []*sssp.Result {
+	if p := n.apsp.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Graph exposes the underlying graph (read-only use).
@@ -78,8 +95,55 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 // N returns the node count.
 func (n *Network) N() int { return n.g.N() }
 
-// Distance returns the shortest-path distance between two nodes.
-func (n *Network) Distance(u, v NodeID) float64 { return n.apsp[u].Dist[v] }
+// HasMetric reports whether the all-pairs shortest-path metric is
+// available. Networks from BuildNetwork/WrapGraph always have it;
+// networks rehydrated by Load do not until EnsureMetric is called —
+// the entire point of persistence is serving queries without paying
+// for it.
+func (n *Network) HasMetric() bool { return n.apsp.Load() != nil }
+
+// EnsureMetric computes the metric if absent (across all cores). It
+// is safe to call concurrently with routing: the metric is published
+// atomically, and concurrent callers compute it at most once.
+func (n *Network) EnsureMetric() {
+	if n.HasMetric() {
+		return
+	}
+	n.metricMu.Lock()
+	defer n.metricMu.Unlock()
+	if !n.HasMetric() {
+		all := sssp.AllPairsParallel(n.g, 0)
+		n.apsp.Store(&all)
+	}
+}
+
+// Distance returns the shortest-path distance between two nodes. It
+// panics on a loaded network without EnsureMetric.
+func (n *Network) Distance(u, v NodeID) float64 {
+	all := n.metric()
+	if all == nil {
+		panic("compactroute: network has no metric; call EnsureMetric first")
+	}
+	return all[u].Dist[v]
+}
+
+// shortest returns d(u,v) when the metric is available, else 0 (which
+// Result.Stretch treats as "unknown", reporting 1).
+func (n *Network) shortest(u, v NodeID) float64 {
+	all := n.metric()
+	if all == nil {
+		return 0
+	}
+	return all[u].Dist[v]
+}
+
+// buildMetric returns the metric for scheme construction, computing
+// it first when building on a loaded network (construction needs the
+// full metric by definition).
+func (n *Network) buildMetric() []*sssp.Result {
+	n.EnsureMetric()
+	return n.metric()
+}
 
 // Options configures the paper's scheme (see core.Params for the
 // experiment-only knobs).
@@ -128,7 +192,7 @@ type Scheme struct {
 
 // NewScheme builds the paper's scheme (Theorem 1) over the network.
 func NewScheme(net *Network, o Options) (*Scheme, error) {
-	s, err := core.BuildWithAPSP(net.g, net.apsp, core.Params{
+	s, err := core.BuildWithAPSP(net.g, net.buildMetric(), core.Params{
 		K:       o.K,
 		Seed:    o.Seed,
 		SFactor: o.SFactor,
@@ -142,7 +206,7 @@ func NewScheme(net *Network, o Options) (*Scheme, error) {
 // NewSchemeFromParams exposes every experiment knob (ablation modes,
 // load factors); see core.Params.
 func NewSchemeFromParams(net *Network, p core.Params) (*Scheme, error) {
-	s, err := core.BuildWithAPSP(net.g, net.apsp, p)
+	s, err := core.BuildWithAPSP(net.g, net.buildMetric(), p)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +222,7 @@ func (s *Scheme) Core() *core.Scheme {
 
 // NewFullTable builds the stretch-1 full-table baseline.
 func NewFullTable(net *Network) (*Scheme, error) {
-	f, err := baseline.NewFullTable(net.g, net.apsp)
+	f, err := baseline.NewFullTable(net.g, net.buildMetric())
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +231,7 @@ func NewFullTable(net *Network) (*Scheme, error) {
 
 // NewAPCover builds the aspect-ratio-dependent tree-cover baseline.
 func NewAPCover(net *Network, k int, seed uint64) (*Scheme, error) {
-	a, err := baseline.NewAPCover(net.g, net.apsp, baseline.APCoverParams{K: k, Seed: seed})
+	a, err := baseline.NewAPCover(net.g, net.buildMetric(), baseline.APCoverParams{K: k, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +240,7 @@ func NewAPCover(net *Network, k int, seed uint64) (*Scheme, error) {
 
 // NewLandmarkChain builds the scale-free unbounded-stretch baseline.
 func NewLandmarkChain(net *Network, k int, seed uint64) (*Scheme, error) {
-	l, err := baseline.NewLandmarkChain(net.g, net.apsp, baseline.LandmarkChainParams{K: k, Seed: seed})
+	l, err := baseline.NewLandmarkChain(net.g, net.buildMetric(), baseline.LandmarkChainParams{K: k, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +249,7 @@ func NewLandmarkChain(net *Network, k int, seed uint64) (*Scheme, error) {
 
 // NewTZ builds the Thorup–Zwick labeled baseline.
 func NewTZ(net *Network, k int, seed uint64) (*Scheme, error) {
-	z, err := baseline.NewTZ(net.g, net.apsp, baseline.TZParams{K: k, Seed: seed})
+	z, err := baseline.NewTZ(net.g, net.buildMetric(), baseline.TZParams{K: k, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +286,7 @@ func (s *Scheme) Route(src, dst NodeID) (Result, error) {
 		Cost:         res.Cost,
 		Hops:         res.Hops,
 		HeaderBits:   int64(res.MaxHeaderBits),
-		ShortestCost: s.net.apsp[src].Dist[dst],
+		ShortestCost: s.net.shortest(src, dst),
 	}, nil
 }
 
@@ -244,7 +308,7 @@ func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
 		HeaderBits: int64(res.MaxHeaderBits),
 	}
 	if dst, ok := s.net.g.Lookup(dstName); ok {
-		out.ShortestCost = s.net.apsp[src].Dist[dst]
+		out.ShortestCost = s.net.shortest(src, dst)
 	}
 	return out, nil
 }
@@ -256,6 +320,7 @@ func (s *Scheme) MeasureStretch(sampleStride int) (*Stretch, error) {
 	if sampleStride < 1 {
 		sampleStride = 1
 	}
+	s.net.EnsureMetric() // stretch is meaningless without d(u,v)
 	var st Stretch
 	n := s.net.N()
 	for u := 0; u < n; u += sampleStride {
@@ -293,6 +358,36 @@ func (s *Scheme) RouteByLabel(srcLabel, dstLabel string) (Result, error) {
 	}
 	return s.Route(src, dst)
 }
+
+// Save persists a built paper-scheme to w in the versioned binary
+// format of internal/codec (magic "CRSC"): the routing tables, the
+// landmark and cover trees, the decomposition, and the storage
+// accounting inputs. Only schemes from NewScheme/NewSchemeFromParams
+// can be saved; the comparison baselines have no persistent form.
+func Save(w io.Writer, s *Scheme) error {
+	c := s.Core()
+	if c == nil {
+		return fmt.Errorf("compactroute: only the paper's scheme can be saved, not %s", s.Name())
+	}
+	return codec.Encode(w, c)
+}
+
+// Load reads a scheme saved by Save and rehydrates it into
+// ready-to-route form without recomputing all-pairs shortest paths —
+// the build-once/route-many entry point. The loaded network has no
+// metric: RouteByName returns correct Cost and Hops, but ShortestCost
+// is 0 (and Stretch reports 1) until Network().EnsureMetric is called.
+func Load(r io.Reader) (*Scheme, error) {
+	c, err := codec.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	net := &Network{g: c.G()}
+	return newScheme(net, c, c), nil
+}
+
+// Network exposes the scheme's network (read-only use).
+func (s *Scheme) Network() *Network { return s.net }
 
 // SaveNetwork writes the network's graph in the text workload format
 // (see internal/gio): replayable via LoadNetwork, cmd/routesim -graph,

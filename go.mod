@@ -1,0 +1,3 @@
+module compactroute
+
+go 1.24

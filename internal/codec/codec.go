@@ -1,0 +1,500 @@
+// Package codec persists built routing schemes in a versioned,
+// length-prefixed binary format, converting the expensive construction
+// (all-pairs shortest paths, decomposition, landmark hierarchy, tree
+// covers) into a pay-once artifact that a serving process loads in
+// O(scheme size).
+//
+// # Format
+//
+// A stream is the 4-byte magic "CRSC", a little-endian uint16 version,
+// then a series of sections, each
+//
+//	id   uint8
+//	len  uint64  (payload length in bytes)
+//	...  payload
+//
+// terminated by the footer section (id 0xFF) whose 4-byte payload is
+// the IEEE CRC-32 of every byte after the version field and before the
+// footer. Unknown section ids are skipped on read (forward
+// compatibility); missing required sections are an error. All integers
+// are little-endian; floats are IEEE 754 bit patterns. Within
+// sections, slices are a uint32 count followed by the elements.
+//
+// Section ids of version 1 (see DESIGN.md §"Persistence format" for
+// the field-level layout):
+//
+//	1 graph     CSR arrays, names, labels
+//	2 params    normalized core.Params (carries the rebuild seeds)
+//	3 decomp    ranges, classes, range sets
+//	4 landmark  ranks, capacities, centers
+//	5 levels    per-(node, level) routing pointers
+//	6 trees     landmark trees as parent relations
+//	7 covers    per-scale covers: filter, homes, trees
+//	8 report    build report counters
+//
+// Encoding is deterministic: encoding a scheme, decoding it, and
+// encoding the result yields identical bytes (the property tests pin
+// this), which makes stored schemes content-addressable and diffable.
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"compactroute/internal/core"
+	"compactroute/internal/graph"
+)
+
+// Magic identifies a scheme stream.
+var Magic = [4]byte{'C', 'R', 'S', 'C'}
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// Section ids.
+const (
+	secGraph    = 1
+	secParams   = 2
+	secDecomp   = 3
+	secLandmark = 4
+	secLevels   = 5
+	secTrees    = 6
+	secCovers   = 7
+	secReport   = 8
+	secFooter   = 0xFF
+)
+
+// maxCount bounds any single slice length read from a stream, so a
+// corrupt count fails fast instead of attempting a huge allocation.
+const maxCount = 1 << 28
+
+// Encode writes a built scheme to w.
+func Encode(w io.Writer, s *core.Scheme) error {
+	return EncodeSnapshot(w, s.Export())
+}
+
+// Decode reads a scheme from r and rehydrates it into ready-to-route
+// form without recomputing shortest paths.
+func Decode(r io.Reader) (*core.Scheme, error) {
+	snap, err := DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromSnapshot(snap)
+}
+
+// EncodeSnapshot writes a scheme snapshot to w.
+func EncodeSnapshot(w io.Writer, snap *core.Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	var vbuf [2]byte
+	binary.LittleEndian.PutUint16(vbuf[:], Version)
+	if _, err := bw.Write(vbuf[:]); err != nil {
+		return err
+	}
+
+	sections := []struct {
+		id   uint8
+		emit func(*enc)
+	}{
+		{secGraph, func(e *enc) { e.graph(snap.Graph) }},
+		{secParams, func(e *enc) { e.params(&snap.Params) }},
+		{secDecomp, func(e *enc) { e.decomp(snap.Decomp) }},
+		{secLandmark, func(e *enc) { e.landmark(snap.Landmark) }},
+		{secLevels, func(e *enc) { e.levels(snap.Levels) }},
+		{secTrees, func(e *enc) { e.trees(snap.Trees) }},
+		{secCovers, func(e *enc) { e.covers(snap.Covers) }},
+		{secReport, func(e *enc) { e.report(&snap.Report) }},
+	}
+	var payload bytes.Buffer
+	for _, sec := range sections {
+		payload.Reset()
+		e := &enc{w: &payload}
+		sec.emit(e)
+		if err := writeSection(out, sec.id, payload.Bytes()); err != nil {
+			return err
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if err := writeSection(bw, secFooter, sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeSection(w io.Writer, id uint8, payload []byte) error {
+	var hdr [9]byte
+	hdr[0] = id
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// DecodeSnapshot reads a scheme snapshot from r.
+func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("codec: bad magic %q (not a scheme file)", magic[:])
+	}
+	var vbuf [2]byte
+	if _, err := io.ReadFull(br, vbuf[:]); err != nil {
+		return nil, fmt.Errorf("codec: reading version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(vbuf[:]); v != Version {
+		return nil, fmt.Errorf("codec: unsupported version %d (have %d)", v, Version)
+	}
+
+	crc := crc32.NewIEEE()
+	snap := &core.Snapshot{}
+	seen := make(map[uint8]bool)
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("codec: reading section header: %w", err)
+		}
+		id := hdr[0]
+		length := binary.LittleEndian.Uint64(hdr[1:])
+		if length > 1<<40 {
+			return nil, fmt.Errorf("codec: section %d claims %d bytes", id, length)
+		}
+		payload, err := readPayload(br, length)
+		if err != nil {
+			return nil, fmt.Errorf("codec: reading section %d: %w", id, err)
+		}
+		if id == secFooter {
+			if length != 4 {
+				return nil, fmt.Errorf("codec: footer has %d bytes", length)
+			}
+			want := binary.LittleEndian.Uint32(payload)
+			if got := crc.Sum32(); got != want {
+				return nil, fmt.Errorf("codec: checksum mismatch: stream %08x, computed %08x", want, got)
+			}
+			break
+		}
+		crc.Write(hdr[:])
+		crc.Write(payload)
+		if seen[id] {
+			return nil, fmt.Errorf("codec: duplicate section %d", id)
+		}
+		seen[id] = true
+		d := &dec{r: payload}
+		switch id {
+		case secGraph:
+			snap.Graph, err = d.graph()
+		case secParams:
+			err = d.params(&snap.Params)
+		case secDecomp:
+			snap.Decomp, err = d.decomp()
+		case secLandmark:
+			snap.Landmark, err = d.landmark()
+		case secLevels:
+			snap.Levels, err = d.levels()
+		case secTrees:
+			snap.Trees, err = d.trees()
+		case secCovers:
+			snap.Covers, err = d.covers()
+		case secReport:
+			err = d.report(&snap.Report)
+		default:
+			// Unknown section from a future minor revision: skip.
+		}
+		if err != nil {
+			return nil, fmt.Errorf("codec: section %d: %w", id, err)
+		}
+		if len(d.r) != 0 && knownSection(id) {
+			return nil, fmt.Errorf("codec: section %d has %d trailing bytes", id, len(d.r))
+		}
+	}
+	for _, id := range []uint8{secGraph, secParams, secDecomp, secLandmark, secLevels, secTrees, secCovers, secReport} {
+		if !seen[id] {
+			return nil, fmt.Errorf("codec: missing section %d", id)
+		}
+	}
+	return snap, nil
+}
+
+func knownSection(id uint8) bool {
+	return id >= secGraph && id <= secReport
+}
+
+// readPayload reads a length-prefixed payload in bounded chunks, so a
+// corrupt length on a short stream fails with ErrUnexpectedEOF instead
+// of attempting one giant allocation up front.
+func readPayload(r io.Reader, length uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if length <= chunk {
+		buf := make([]byte, length)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for uint64(len(buf)) < length {
+		step := length - uint64(len(buf))
+		if step > chunk {
+			step = chunk
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// --- primitive encoder ---
+
+type enc struct {
+	w *bytes.Buffer
+}
+
+func (e *enc) u8(v uint8) { e.w.WriteByte(v) }
+func (e *enc) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.u8(b)
+}
+func (e *enc) u32(v uint32)  { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); e.w.Write(b[:]) }
+func (e *enc) i32(v int32)   { e.u32(uint32(v)) }
+func (e *enc) u64(v uint64)  { var b [8]byte; binary.LittleEndian.PutUint64(b[:], v); e.w.Write(b[:]) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *enc) i32s(vs []int32) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i32(v)
+	}
+}
+
+func (e *enc) ids(vs []graph.NodeID) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i32(int32(v))
+	}
+}
+
+func (e *enc) u64s(vs []uint64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u64(v)
+	}
+}
+
+func (e *enc) f64s(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+func (e *enc) bools(vs []bool) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.bool(v)
+	}
+}
+
+func (e *enc) i8s(vs []int8) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u8(uint8(v))
+	}
+}
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.w.WriteString(s)
+}
+
+// --- primitive decoder ---
+
+type dec struct {
+	r []byte
+}
+
+func (d *dec) need(n int) ([]byte, error) {
+	if len(d.r) < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.r[:n]
+	d.r = d.r[n:]
+	return b, nil
+}
+
+func (d *dec) u8() (uint8, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *dec) bool() (bool, error) {
+	v, err := d.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, fmt.Errorf("invalid bool %d", v)
+	}
+	return v == 1, nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *dec) i32() (int32, error) {
+	v, err := d.u32()
+	return int32(v), err
+}
+
+func (d *dec) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *dec) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+func (d *dec) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *dec) count() (int, error) {
+	v, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxCount {
+		return 0, fmt.Errorf("count %d exceeds limit", v)
+	}
+	return int(v), nil
+}
+
+func (d *dec) i32s() ([]int32, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = d.i32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *dec) ids() ([]graph.NodeID, error) {
+	vs, err := d.i32s()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]graph.NodeID, len(vs))
+	for i, v := range vs {
+		out[i] = graph.NodeID(v)
+	}
+	return out, nil
+}
+
+func (d *dec) u64s() ([]uint64, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *dec) f64s() ([]float64, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = d.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *dec) bools() ([]bool, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, n)
+	for i := range out {
+		if out[i], err = d.bool(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *dec) i8s() ([]int8, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int8, n)
+	for i := range out {
+		v, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int8(v)
+	}
+	return out, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.count()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.need(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,420 @@
+package codec
+
+import (
+	"fmt"
+
+	"compactroute/internal/core"
+	"compactroute/internal/cover"
+	"compactroute/internal/decomp"
+	"compactroute/internal/graph"
+	"compactroute/internal/landmark"
+	"compactroute/internal/tree"
+)
+
+// --- graph section ---
+
+func (e *enc) graph(s *graph.Snapshot) {
+	e.u64s(s.Names)
+	e.i32s(s.Offsets)
+	e.ids(s.Targets)
+	e.f64s(s.Weights)
+	e.i32s(s.RevPort)
+	e.u64(uint64(s.M))
+	e.u32(uint32(len(s.LabelIDs)))
+	for i, id := range s.LabelIDs {
+		e.i32(int32(id))
+		e.str(s.Labels[i])
+	}
+}
+
+func (d *dec) graph() (*graph.Snapshot, error) {
+	s := &graph.Snapshot{}
+	var err error
+	if s.Names, err = d.u64s(); err != nil {
+		return nil, err
+	}
+	if s.Offsets, err = d.i32s(); err != nil {
+		return nil, err
+	}
+	if s.Targets, err = d.ids(); err != nil {
+		return nil, err
+	}
+	if s.Weights, err = d.f64s(); err != nil {
+		return nil, err
+	}
+	if s.RevPort, err = d.i32s(); err != nil {
+		return nil, err
+	}
+	m, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if m > maxCount {
+		return nil, fmt.Errorf("edge count %d exceeds limit", m)
+	}
+	s.M = int(m)
+	nl, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nl; i++ {
+		id, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		label, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		s.LabelIDs = append(s.LabelIDs, graph.NodeID(id))
+		s.Labels = append(s.Labels, label)
+	}
+	return s, nil
+}
+
+// --- params section ---
+
+func (e *enc) params(p *core.Params) {
+	e.i32(int32(p.K))
+	e.u64(p.Seed)
+	e.f64(p.SFactor)
+	e.f64(p.LoadFactor)
+	e.i32(int32(p.DenseGap))
+	e.u8(uint8(p.Mode))
+	e.bool(p.DeterministicLandmarks)
+}
+
+func (d *dec) params(p *core.Params) error {
+	k, err := d.i32()
+	if err != nil {
+		return err
+	}
+	p.K = int(k)
+	if p.Seed, err = d.u64(); err != nil {
+		return err
+	}
+	if p.SFactor, err = d.f64(); err != nil {
+		return err
+	}
+	if p.LoadFactor, err = d.f64(); err != nil {
+		return err
+	}
+	gap, err := d.i32()
+	if err != nil {
+		return err
+	}
+	p.DenseGap = int(gap)
+	mode, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if mode > uint8(core.DenseOnly) {
+		return fmt.Errorf("invalid mode %d", mode)
+	}
+	p.Mode = core.Mode(mode)
+	if p.DeterministicLandmarks, err = d.bool(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- decomposition section ---
+
+func (e *enc) decomp(s *decomp.Snapshot) {
+	e.i32(int32(s.K))
+	e.i32(int32(s.DenseGap))
+	e.f64(s.MinW)
+	e.i32(int32(s.CapJ))
+	e.u32(uint32(len(s.Ranges)))
+	for u := range s.Ranges {
+		e.i32s(s.Ranges[u])
+		e.bools(s.Dense[u])
+		e.i32s(s.RSet[u])
+	}
+}
+
+func (d *dec) decomp() (*decomp.Snapshot, error) {
+	s := &decomp.Snapshot{}
+	k, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	s.K = int(k)
+	gap, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	s.DenseGap = int(gap)
+	if s.MinW, err = d.f64(); err != nil {
+		return nil, err
+	}
+	capJ, err := d.i32()
+	if err != nil {
+		return nil, err
+	}
+	s.CapJ = int(capJ)
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	s.Ranges = make([][]int32, n)
+	s.Dense = make([][]bool, n)
+	s.RSet = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		if s.Ranges[u], err = d.i32s(); err != nil {
+			return nil, err
+		}
+		if s.Dense[u], err = d.bools(); err != nil {
+			return nil, err
+		}
+		if s.RSet[u], err = d.i32s(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// --- landmark section ---
+
+func (e *enc) landmark(s *landmark.Snapshot) {
+	e.i32(int32(s.K))
+	e.i32(int32(s.Top))
+	e.i32(int32(s.SCap))
+	e.i32(int32(s.SCapTop))
+	e.i8s(s.Rank)
+	e.u32(uint32(len(s.MRank)))
+	for u := range s.MRank {
+		e.i8s(s.MRank[u])
+		e.ids(s.Centers[u])
+	}
+}
+
+func (d *dec) landmark() (*landmark.Snapshot, error) {
+	s := &landmark.Snapshot{}
+	for _, dst := range []*int{&s.K, &s.Top, &s.SCap, &s.SCapTop} {
+		v, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	var err error
+	if s.Rank, err = d.i8s(); err != nil {
+		return nil, err
+	}
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	s.MRank = make([][]int8, n)
+	s.Centers = make([][]graph.NodeID, n)
+	for u := 0; u < n; u++ {
+		if s.MRank[u], err = d.i8s(); err != nil {
+			return nil, err
+		}
+		if s.Centers[u], err = d.ids(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// --- levels section ---
+
+const (
+	levelFlagDense = 1 << 0
+	levelFlagSkip  = 1 << 1
+)
+
+func (e *enc) levels(levels [][]core.LevelState) {
+	e.u32(uint32(len(levels)))
+	for u := range levels {
+		e.u32(uint32(len(levels[u])))
+		for _, ls := range levels[u] {
+			flags := uint8(0)
+			if ls.Dense {
+				flags |= levelFlagDense
+			}
+			if ls.Skip {
+				flags |= levelFlagSkip
+			}
+			e.u8(flags)
+			e.i32(int32(ls.Center))
+			e.u8(ls.Bound)
+			e.i32(ls.Scale)
+			e.i32(ls.TreeIdx)
+		}
+	}
+}
+
+func (d *dec) levels() ([][]core.LevelState, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]core.LevelState, n)
+	for u := 0; u < n; u++ {
+		c, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		ls := make([]core.LevelState, c)
+		for i := range ls {
+			flags, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if flags&^(levelFlagDense|levelFlagSkip) != 0 {
+				return nil, fmt.Errorf("invalid level flags %#x", flags)
+			}
+			ls[i].Dense = flags&levelFlagDense != 0
+			ls[i].Skip = flags&levelFlagSkip != 0
+			center, err := d.i32()
+			if err != nil {
+				return nil, err
+			}
+			ls[i].Center = graph.NodeID(center)
+			if ls[i].Bound, err = d.u8(); err != nil {
+				return nil, err
+			}
+			if ls[i].Scale, err = d.i32(); err != nil {
+				return nil, err
+			}
+			if ls[i].TreeIdx, err = d.i32(); err != nil {
+				return nil, err
+			}
+		}
+		out[u] = ls
+	}
+	return out, nil
+}
+
+// --- trees section ---
+
+func (e *enc) tree(s *tree.Snapshot) {
+	e.ids(s.Nodes)
+	e.i32s(s.Parents)
+}
+
+func (d *dec) tree() (*tree.Snapshot, error) {
+	s := &tree.Snapshot{}
+	var err error
+	if s.Nodes, err = d.ids(); err != nil {
+		return nil, err
+	}
+	if s.Parents, err = d.i32s(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (e *enc) trees(ts []core.CenterTree) {
+	e.u32(uint32(len(ts)))
+	for _, ct := range ts {
+		e.i32(int32(ct.Center))
+		e.tree(ct.Tree)
+	}
+}
+
+func (d *dec) trees() ([]core.CenterTree, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.CenterTree, n)
+	for i := range out {
+		c, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		out[i].Center = graph.NodeID(c)
+		if out[i].Tree, err = d.tree(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- covers section ---
+
+func (e *enc) covers(cs []core.ScaleCover) {
+	e.u32(uint32(len(cs)))
+	for _, sc := range cs {
+		e.i32(sc.Scale)
+		e.f64(sc.Cover.Rho)
+		e.i32(int32(sc.Cover.K))
+		e.bools(sc.Cover.Member)
+		e.i32s(sc.Cover.Home)
+		e.u32(uint32(len(sc.Cover.Trees)))
+		for _, ts := range sc.Cover.Trees {
+			e.tree(ts)
+		}
+	}
+}
+
+func (d *dec) covers() ([]core.ScaleCover, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ScaleCover, n)
+	for i := range out {
+		if out[i].Scale, err = d.i32(); err != nil {
+			return nil, err
+		}
+		cs := &cover.Snapshot{}
+		if cs.Rho, err = d.f64(); err != nil {
+			return nil, err
+		}
+		k, err := d.i32()
+		if err != nil {
+			return nil, err
+		}
+		cs.K = int(k)
+		if cs.Member, err = d.bools(); err != nil {
+			return nil, err
+		}
+		if cs.Home, err = d.i32s(); err != nil {
+			return nil, err
+		}
+		tc, err := d.count()
+		if err != nil {
+			return nil, err
+		}
+		cs.Trees = make([]*tree.Snapshot, tc)
+		for ti := range cs.Trees {
+			if cs.Trees[ti], err = d.tree(); err != nil {
+				return nil, err
+			}
+		}
+		out[i].Cover = cs
+	}
+	return out, nil
+}
+
+// --- report section ---
+
+func (e *enc) report(r *core.BuildReport) {
+	for _, v := range []int{
+		r.ForcedMembers, r.Lemma3Checked, r.Lemma3Violations,
+		r.TrieLoadViolations, r.LandmarkTrees, r.CoverTrees,
+		r.CoverScales, r.DenseLevels, r.SparseLevels,
+	} {
+		e.i64(int64(v))
+	}
+}
+
+func (d *dec) report(r *core.BuildReport) error {
+	for _, dst := range []*int{
+		&r.ForcedMembers, &r.Lemma3Checked, &r.Lemma3Violations,
+		&r.TrieLoadViolations, &r.LandmarkTrees, &r.CoverTrees,
+		&r.CoverScales, &r.DenseLevels, &r.SparseLevels,
+	} {
+		v, err := d.i64()
+		if err != nil {
+			return err
+		}
+		*dst = int(v)
+	}
+	return nil
+}

@@ -146,6 +146,7 @@ type Scheme struct {
 	g      *graph.Graph
 	k      int
 	mode   Mode
+	params Params // normalized build parameters, kept for persistence
 	dec    *decomp.Decomposition
 	lm     *landmark.Hierarchy
 	trees  map[graph.NodeID]*landmarkTree
@@ -210,6 +211,7 @@ func BuildWithAPSP(g *graph.Graph, all []*sssp.Result, p Params) (*Scheme, error
 		g:      g,
 		k:      p.K,
 		mode:   p.Mode,
+		params: p,
 		dec:    dec,
 		lm:     lm,
 		trees:  make(map[graph.NodeID]*landmarkTree),

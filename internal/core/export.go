@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"compactroute/internal/cover"
+	"compactroute/internal/covroute"
+	"compactroute/internal/decomp"
+	"compactroute/internal/graph"
+	"compactroute/internal/landmark"
+	"compactroute/internal/nitree"
+	"compactroute/internal/sssp"
+	"compactroute/internal/tree"
+	"compactroute/internal/xrand"
+)
+
+// Snapshot is the exported persistent form of a built Scheme: the
+// graph, the build parameters and report, the compact decomposition
+// and landmark state, every per-(node, level) routing pointer, and the
+// landmark/cover trees in parent-relation form.
+//
+// The split between what is stored and what is recomputed is the
+// design center of persistence: everything whose construction needs
+// all-pairs shortest paths (ranges, classes, centers, bounds, tree
+// shapes, home assignments) is stored; everything that is a cheap
+// deterministic function of the stored state (tries, rendezvous
+// tables, labels, storage accounting) is rebuilt on rehydration from
+// the seeds carried in Params. Rehydration therefore costs O(scheme
+// size), not O(n·SSSP), and reproduces the original scheme exactly.
+type Snapshot struct {
+	Params   Params
+	Report   BuildReport
+	Graph    *graph.Snapshot
+	Decomp   *decomp.Snapshot
+	Landmark *landmark.Snapshot
+	// Levels[u][i] is the routing state of node u's phase i.
+	Levels [][]LevelState
+	// Trees holds the landmark trees sorted by center id.
+	Trees []CenterTree
+	// Covers holds the per-scale covers sorted by scale.
+	Covers []ScaleCover
+}
+
+// LevelState is the persistent form of one (node, level) routing
+// pointer.
+type LevelState struct {
+	Dense   bool
+	Skip    bool
+	Center  graph.NodeID
+	Bound   uint8
+	Scale   int32
+	TreeIdx int32
+}
+
+// CenterTree pairs a landmark with its tree.
+type CenterTree struct {
+	Center graph.NodeID
+	Tree   *tree.Snapshot
+}
+
+// ScaleCover pairs a dense scale with its cover.
+type ScaleCover struct {
+	Scale int32
+	Cover *cover.Snapshot
+}
+
+// Export captures the scheme's persistent state. The result shares
+// memory with the scheme; treat it as read-only.
+func (s *Scheme) Export() *Snapshot {
+	snap := &Snapshot{
+		Params:   s.params,
+		Report:   s.Report,
+		Graph:    s.g.Snapshot(),
+		Decomp:   s.dec.Snapshot(),
+		Landmark: s.lm.Snapshot(),
+		Levels:   make([][]LevelState, len(s.levels)),
+	}
+	for u := range s.levels {
+		ls := make([]LevelState, len(s.levels[u]))
+		for i, info := range s.levels[u] {
+			ls[i] = LevelState{
+				Dense:   info.dense,
+				Skip:    info.skip,
+				Center:  info.center,
+				Bound:   info.bound,
+				Scale:   info.scale,
+				TreeIdx: info.treeIdx,
+			}
+		}
+		snap.Levels[u] = ls
+	}
+	centers := make([]graph.NodeID, 0, len(s.trees))
+	for c := range s.trees {
+		centers = append(centers, c)
+	}
+	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+	for _, c := range centers {
+		snap.Trees = append(snap.Trees, CenterTree{Center: c, Tree: s.trees[c].t.Snapshot()})
+	}
+	scales := make([]int32, 0, len(s.covers))
+	for j := range s.covers {
+		scales = append(scales, j)
+	}
+	sort.Slice(scales, func(i, j int) bool { return scales[i] < scales[j] })
+	for _, j := range scales {
+		snap.Covers = append(snap.Covers, ScaleCover{Scale: j, Cover: s.covers[j].cov.Snapshot()})
+	}
+	return snap
+}
+
+// FromSnapshot rehydrates a ready-to-route Scheme without recomputing
+// shortest paths. Tries and rendezvous tables are rebuilt from the
+// persisted trees and the seeds in snap.Params — the same deterministic
+// constructions the original build ran — so the rehydrated scheme
+// routes identically to the exported one.
+func FromSnapshot(snap *Snapshot) (*Scheme, error) {
+	g, err := graph.FromSnapshot(snap.Graph)
+	if err != nil {
+		return nil, err
+	}
+	p := snap.Params
+	if p.K < 1 {
+		return nil, fmt.Errorf("core: snapshot k=%d", p.K)
+	}
+	dec, err := decomp.FromSnapshot(g, snap.Decomp)
+	if err != nil {
+		return nil, err
+	}
+	if dec.K() != p.K {
+		return nil, fmt.Errorf("core: snapshot decomposition k=%d, params k=%d", dec.K(), p.K)
+	}
+	lm, err := landmark.FromSnapshot(g, snap.Landmark)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheme{
+		g:      g,
+		k:      p.K,
+		mode:   p.Mode,
+		params: p,
+		dec:    dec,
+		lm:     lm,
+		trees:  make(map[graph.NodeID]*landmarkTree, len(snap.Trees)),
+		covers: make(map[int32]*coverAtScale, len(snap.Covers)),
+		Report: snap.Report,
+	}
+
+	// Landmark trees: rebuild each tree and its Lemma 4 trie with the
+	// center-derived seed the original build used. Independent per
+	// center, so fan out.
+	built := make([]*landmarkTree, len(snap.Trees))
+	errs := make([]error, len(snap.Trees))
+	sssp.ParallelFor(len(snap.Trees), 0, func(ci int) {
+		ct := snap.Trees[ci]
+		t, err := tree.FromSnapshot(g, ct.Tree)
+		if err != nil {
+			errs[ci] = fmt.Errorf("core: tree of center %d: %w", ct.Center, err)
+			return
+		}
+		if t.Root() != ct.Center {
+			errs[ci] = fmt.Errorf("core: tree of center %d rooted at %d", ct.Center, t.Root())
+			return
+		}
+		ni, err := nitree.New(t, nitree.Params{
+			K:          p.K,
+			UniverseN:  g.N(),
+			LoadFactor: p.LoadFactor,
+			Seed:       xrand.Hash64(p.Seed, uint64(ct.Center)),
+		})
+		if err != nil {
+			errs[ci] = fmt.Errorf("core: trie of center %d: %w", ct.Center, err)
+			return
+		}
+		built[ci] = &landmarkTree{t: t, ni: ni}
+	})
+	for ci, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		c := snap.Trees[ci].Center
+		if _, dup := s.trees[c]; dup {
+			return nil, fmt.Errorf("core: snapshot repeats center %d", c)
+		}
+		s.trees[c] = built[ci]
+	}
+
+	// Covers: rebuild each scale's trees and rendezvous structures.
+	for _, sc := range snap.Covers {
+		cov, err := cover.FromSnapshot(g, sc.Cover)
+		if err != nil {
+			return nil, fmt.Errorf("core: cover at scale %d: %w", sc.Scale, err)
+		}
+		cas := &coverAtScale{cov: cov, routes: make([]*covroute.Scheme, len(cov.Trees))}
+		for ti, t := range cov.Trees {
+			cas.routes[ti] = covroute.New(t, xrand.Hash64(p.Seed^0xc0ffee, uint64(sc.Scale)<<20|uint64(ti)))
+		}
+		if _, dup := s.covers[sc.Scale]; dup {
+			return nil, fmt.Errorf("core: snapshot repeats scale %d", sc.Scale)
+		}
+		s.covers[sc.Scale] = cas
+	}
+
+	// Levels: restore and validate every routing pointer against the
+	// rebuilt structures so a corrupt snapshot fails here, not mid-route.
+	if len(snap.Levels) != g.N() {
+		return nil, fmt.Errorf("core: snapshot has levels for %d of %d nodes", len(snap.Levels), g.N())
+	}
+	s.levels = make([][]levelInfo, g.N())
+	for u := range snap.Levels {
+		if len(snap.Levels[u]) != p.K+1 {
+			return nil, fmt.Errorf("core: node %d has %d levels, want %d", u, len(snap.Levels[u]), p.K+1)
+		}
+		infos := make([]levelInfo, p.K+1)
+		for i, ls := range snap.Levels[u] {
+			info := levelInfo{
+				dense:   ls.Dense,
+				skip:    ls.Skip,
+				center:  ls.Center,
+				bound:   ls.Bound,
+				scale:   ls.Scale,
+				treeIdx: ls.TreeIdx,
+			}
+			switch {
+			case info.skip:
+			case info.dense:
+				cas, ok := s.covers[info.scale]
+				if !ok {
+					return nil, fmt.Errorf("core: node %d level %d references missing scale %d", u, i, info.scale)
+				}
+				if info.treeIdx < 0 || int(info.treeIdx) >= len(cas.routes) {
+					return nil, fmt.Errorf("core: node %d level %d references tree %d of %d at scale %d",
+						u, i, info.treeIdx, len(cas.routes), info.scale)
+				}
+				if !cas.cov.Trees[info.treeIdx].Contains(graph.NodeID(u)) {
+					return nil, fmt.Errorf("core: node %d not in its level-%d home tree", u, i)
+				}
+			default:
+				lt, ok := s.trees[info.center]
+				if !ok {
+					return nil, fmt.Errorf("core: node %d level %d references missing center %d", u, i, info.center)
+				}
+				if !lt.t.Contains(graph.NodeID(u)) {
+					return nil, fmt.Errorf("core: node %d not in the tree of its level-%d center %d", u, i, info.center)
+				}
+			}
+			infos[i] = info
+		}
+		s.levels[u] = infos
+	}
+	s.cacheSelfLabels()
+	s.account()
+	return s, nil
+}

@@ -1,0 +1,73 @@
+package cover
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/tree"
+)
+
+// Snapshot is the exported persistent form of a Cover: its parameters,
+// the member filter, every tree (in compact parent-relation form), and
+// the home-tree assignment. The per-node membership lists are rebuilt
+// from the trees on rehydration.
+type Snapshot struct {
+	Rho    float64
+	K      int
+	Member []bool
+	Trees  []*tree.Snapshot
+	Home   []int32
+}
+
+// Snapshot captures the cover's persistent state.
+func (c *Cover) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Rho:    c.rho,
+		K:      c.k,
+		Member: c.member,
+		Home:   c.home,
+		Trees:  make([]*tree.Snapshot, len(c.Trees)),
+	}
+	for i, t := range c.Trees {
+		s.Trees[i] = t.Snapshot()
+	}
+	return s
+}
+
+// FromSnapshot rehydrates a Cover over g, rebuilding each tree and the
+// membership index.
+func FromSnapshot(g *graph.Graph, s *Snapshot) (*Cover, error) {
+	n := g.N()
+	if len(s.Member) != n || len(s.Home) != n {
+		return nil, fmt.Errorf("cover: snapshot sized for %d/%d nodes, graph has %d",
+			len(s.Member), len(s.Home), n)
+	}
+	c := &Cover{
+		g:          g,
+		rho:        s.Rho,
+		k:          s.K,
+		member:     s.Member,
+		home:       s.Home,
+		Trees:      make([]*tree.Tree, len(s.Trees)),
+		membership: make([][]int32, n),
+	}
+	for i, ts := range s.Trees {
+		t, err := tree.FromSnapshot(g, ts)
+		if err != nil {
+			return nil, fmt.Errorf("cover: tree %d: %w", i, err)
+		}
+		c.Trees[i] = t
+	}
+	for v := 0; v < n; v++ {
+		if h := s.Home[v]; h >= int32(len(c.Trees)) || (h < 0 && s.Member[v]) {
+			return nil, fmt.Errorf("cover: node %d has home tree %d of %d", v, h, len(c.Trees))
+		}
+	}
+	for ti, t := range c.Trees {
+		for i := 0; i < t.Len(); i++ {
+			v := t.Node(i)
+			c.membership[v] = append(c.membership[v], int32(ti))
+		}
+	}
+	return c, nil
+}

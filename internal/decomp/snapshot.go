@@ -1,0 +1,74 @@
+package decomp
+
+import (
+	"fmt"
+
+	"compactroute/internal/graph"
+)
+
+// Snapshot is the exported persistent form of a Decomposition: the
+// ranges, level classes, and range sets of every node, plus the
+// normalization scalars. The shortest-path results the decomposition
+// was built from are deliberately excluded — they are the expensive
+// build-time input persistence exists to avoid recomputing — so a
+// rehydrated decomposition answers all range/class queries (Range,
+// Dense, RangeSet, Radius, …) but not the ball queries (A, E, F),
+// which only the builders use.
+type Snapshot struct {
+	K        int
+	DenseGap int
+	MinW     float64
+	CapJ     int
+	Ranges   [][]int32
+	Dense    [][]bool
+	RSet     [][]int32
+}
+
+// Snapshot captures the decomposition's persistent state.
+func (d *Decomposition) Snapshot() *Snapshot {
+	return &Snapshot{
+		K:        d.k,
+		DenseGap: d.denseGap,
+		MinW:     d.minW,
+		CapJ:     d.capJ,
+		Ranges:   d.ranges,
+		Dense:    d.dense,
+		RSet:     d.rset,
+	}
+}
+
+// FromSnapshot rehydrates a Decomposition over g without shortest-path
+// results (see Snapshot for what that implies).
+func FromSnapshot(g *graph.Graph, s *Snapshot) (*Decomposition, error) {
+	n := g.N()
+	if s.K < 1 {
+		return nil, fmt.Errorf("decomp: snapshot k=%d", s.K)
+	}
+	if len(s.Ranges) != n || len(s.Dense) != n || len(s.RSet) != n {
+		return nil, fmt.Errorf("decomp: snapshot sized for %d/%d/%d nodes, graph has %d",
+			len(s.Ranges), len(s.Dense), len(s.RSet), n)
+	}
+	for u := 0; u < n; u++ {
+		if len(s.Ranges[u]) != s.K+2 {
+			return nil, fmt.Errorf("decomp: node %d has %d ranges, want %d", u, len(s.Ranges[u]), s.K+2)
+		}
+		if len(s.Dense[u]) != s.K+1 {
+			return nil, fmt.Errorf("decomp: node %d has %d classes, want %d", u, len(s.Dense[u]), s.K+1)
+		}
+	}
+	return &Decomposition{
+		g:        g,
+		k:        s.K,
+		denseGap: s.DenseGap,
+		minW:     s.MinW,
+		capJ:     s.CapJ,
+		ranges:   s.Ranges,
+		dense:    s.Dense,
+		rset:     s.RSet,
+	}, nil
+}
+
+// HasMetric reports whether the decomposition still holds the
+// shortest-path results it was built from (false after rehydration);
+// the ball queries A, E, and F require them.
+func (d *Decomposition) HasMetric() bool { return d.all != nil }

@@ -227,7 +227,7 @@ func (h *Hierarchy) SCapAt(i int) int {
 // S returns S(u,i) in (distance, name) order (do not mutate). Levels
 // above the top occupied rank are empty.
 func (h *Hierarchy) S(u graph.NodeID, i int) []graph.NodeID {
-	if i > h.top {
+	if i > h.top || h.s == nil {
 		return nil
 	}
 	return h.s[u][i]

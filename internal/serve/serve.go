@@ -1,0 +1,270 @@
+// Package serve is the concurrent query-serving layer over a built
+// routing scheme: a bounded worker pool that turns unbounded HTTP
+// concurrency into a fixed routing parallelism, fronted by a sharded
+// LRU cache of routing results.
+//
+// The shape follows the paper's economics. A compact routing scheme
+// spends its budget at construction time (Õ(n^{1/k}) bits per node,
+// APSP, tree covers) precisely so that queries are cheap; a serving
+// process therefore wants to (a) admit any number of callers, (b)
+// bound the number of simultaneously-walking route computations to the
+// hardware, and (c) never recompute a route it has already walked —
+// routes are deterministic for a fixed scheme, so caching is sound.
+// Shards keep the cache's lock fine-grained under the -race detector
+// and real contention alike.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Router is the query interface the pool serves. compactroute.Scheme
+// and core.Scheme both satisfy it through a small adapter in the
+// caller (the daemon uses the facade's RouteByName directly).
+type Router interface {
+	RouteByName(srcName, dstName uint64) (Result, error)
+}
+
+// RouterFunc adapts a function to the Router interface.
+type RouterFunc func(srcName, dstName uint64) (Result, error)
+
+// RouteByName implements Router.
+func (f RouterFunc) RouteByName(srcName, dstName uint64) (Result, error) {
+	return f(srcName, dstName)
+}
+
+// Result is the cached routing outcome. It mirrors the facade's Result
+// fields that are deterministic for a fixed scheme (stretch-related
+// fields are included when the scheme has a metric, zero otherwise).
+type Result struct {
+	Delivered    bool
+	Cost         float64
+	Hops         int
+	HeaderBits   int64
+	ShortestCost float64
+}
+
+// Stats is a point-in-time snapshot of pool counters.
+type Stats struct {
+	Requests  uint64 // queries admitted
+	Hits      uint64 // served from cache
+	Misses    uint64 // routed by a worker
+	Errors    uint64 // routing errors
+	Rejected  uint64 // canceled while waiting for a worker
+	InFlight  int64  // currently routing
+	CacheLen  int    // entries resident
+	CacheCap  int    // configured capacity
+	Workers   int    // pool size
+	CacheOff  bool   // cache disabled
+	ShardsLen int    // number of cache shards
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent route computations; 0 means GOMAXPROCS.
+	Workers int
+	// CacheSize is the total cached results across shards; 0 means
+	// 1<<16, negative disables caching.
+	CacheSize int
+	// Shards is the cache shard count; 0 means 16, rounded up to a
+	// power of two.
+	Shards int
+}
+
+// Pool serves routing queries through a bounded worker pool and a
+// sharded LRU result cache. It is safe for concurrent use.
+type Pool struct {
+	router  Router
+	slots   chan struct{}
+	shards  []*shard
+	mask    uint64
+	perCap  int
+	noCache bool
+
+	requests atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	errors   atomic.Uint64
+	rejected atomic.Uint64
+	inFlight atomic.Int64
+}
+
+// NewPool builds a pool over r.
+func NewPool(r Router, o Options) *Pool {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	for shards&(shards-1) != 0 {
+		shards++
+	}
+	size := o.CacheSize
+	noCache := size < 0
+	if size == 0 {
+		size = 1 << 16
+	}
+	perCap := (size + shards - 1) / shards
+	if perCap < 1 {
+		perCap = 1
+	}
+	p := &Pool{
+		router:  r,
+		slots:   make(chan struct{}, workers),
+		shards:  make([]*shard, shards),
+		mask:    uint64(shards - 1),
+		perCap:  perCap,
+		noCache: noCache,
+	}
+	for i := range p.shards {
+		p.shards[i] = newShard(perCap)
+	}
+	return p
+}
+
+// Route answers one query, consulting the cache first and bounding the
+// underlying computation by the worker pool. It blocks while all
+// workers are busy; cancel ctx to give up waiting.
+func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, error) {
+	p.requests.Add(1)
+	key := cacheKey(srcName, dstName)
+	sh := p.shard(key)
+	if !p.noCache {
+		if res, ok := sh.get(key, srcName, dstName); ok {
+			p.hits.Add(1)
+			return res, nil
+		}
+	}
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		p.rejected.Add(1)
+		return Result{}, fmt.Errorf("serve: %w", ctx.Err())
+	}
+	p.inFlight.Add(1)
+	res, err := p.router.RouteByName(srcName, dstName)
+	p.inFlight.Add(-1)
+	<-p.slots
+	if err != nil {
+		p.errors.Add(1)
+		return Result{}, err
+	}
+	p.misses.Add(1)
+	if !p.noCache {
+		sh.put(key, srcName, dstName, res)
+	}
+	return res, nil
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	s := Stats{
+		Requests:  p.requests.Load(),
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Errors:    p.errors.Load(),
+		Rejected:  p.rejected.Load(),
+		InFlight:  p.inFlight.Load(),
+		Workers:   cap(p.slots),
+		CacheOff:  p.noCache,
+		ShardsLen: len(p.shards),
+	}
+	if !p.noCache {
+		for _, sh := range p.shards {
+			s.CacheLen += sh.len()
+		}
+		s.CacheCap = p.perCap * len(p.shards)
+	}
+	return s
+}
+
+func (p *Pool) shard(key uint64) *shard {
+	// Multiply-shift mix so adjacent (src,dst) pairs spread across
+	// shards; the low bits of the raw key are highly regular.
+	key *= 0x9e3779b97f4a7c15
+	return p.shards[(key>>33)&p.mask]
+}
+
+// cacheKey folds an ordered (src, dst) name pair into one 64-bit key.
+// Names are arbitrary uint64s, so the fold must mix both halves; this
+// is the 128→64 finalizer step of splitmix applied to each half.
+func cacheKey(src, dst uint64) uint64 {
+	h := src + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h ^= dst + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// --- one LRU shard ---
+
+type shard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[uint64]*list.Element
+	order *list.List // front = most recent
+}
+
+// entry keeps the original (src, dst) pair alongside the result: the
+// map is keyed by a 64-bit fold of the pair, and a fold collision must
+// read as a miss, never as someone else's route.
+type entry struct {
+	key      uint64
+	src, dst uint64
+	res      Result
+}
+
+func newShard(capacity int) *shard {
+	return &shard{
+		cap:   capacity,
+		items: make(map[uint64]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+func (s *shard) get(key, src, dst uint64) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	e := el.Value.(*entry)
+	if e.src != src || e.dst != dst {
+		return Result{}, false // key collision: not our pair
+	}
+	s.order.MoveToFront(el)
+	return e.res, true
+}
+
+func (s *shard) put(key, src, dst uint64, res Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		e.src, e.dst, e.res = src, dst, res
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&entry{key: key, src: src, dst: dst, res: res})
+	if s.order.Len() > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.items, last.Value.(*entry).key)
+	}
+}
+
+func (s *shard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

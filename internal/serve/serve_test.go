@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRouter returns a deterministic result derived from the pair and
+// counts how many times it was actually invoked.
+type echoRouter struct {
+	calls atomic.Uint64
+	block chan struct{} // when non-nil, Route blocks until closed
+}
+
+func (e *echoRouter) RouteByName(src, dst uint64) (Result, error) {
+	e.calls.Add(1)
+	if e.block != nil {
+		<-e.block
+	}
+	if dst == 0xdead {
+		return Result{}, errors.New("unknown destination")
+	}
+	return Result{Delivered: true, Cost: float64(src + dst), Hops: int(src % 7)}, nil
+}
+
+func TestPoolCachesDeterministicResults(t *testing.T) {
+	r := &echoRouter{}
+	p := NewPool(r, Options{Workers: 4, CacheSize: 128})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := p.Route(ctx, 10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered || res.Cost != 30 {
+			t.Fatalf("wrong result %+v", res)
+		}
+	}
+	if got := r.calls.Load(); got != 1 {
+		t.Fatalf("router invoked %d times, want 1 (cache)", got)
+	}
+	st := p.Stats()
+	if st.Requests != 3 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPoolCacheDisabled(t *testing.T) {
+	r := &echoRouter{}
+	p := NewPool(r, Options{Workers: 2, CacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := p.Route(context.Background(), 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.calls.Load(); got != 3 {
+		t.Fatalf("router invoked %d times, want 3 (cache off)", got)
+	}
+}
+
+func TestPoolErrorsAreNotCached(t *testing.T) {
+	r := &echoRouter{}
+	p := NewPool(r, Options{Workers: 2, CacheSize: 64})
+	for i := 0; i < 2; i++ {
+		if _, err := p.Route(context.Background(), 1, 0xdead); err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	if got := r.calls.Load(); got != 2 {
+		t.Fatalf("router invoked %d times, want 2 (errors not cached)", got)
+	}
+	if st := p.Stats(); st.Errors != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	const workers = 3
+	p := NewPool(r, Options{Workers: workers, CacheSize: -1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct pairs so caching could not collapse them anyway.
+			p.Route(context.Background(), uint64(i), uint64(1000+i))
+		}(i)
+	}
+	// Wait until the pool saturates, then verify it never exceeds the cap.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().InFlight < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %+v", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.Stats().InFlight; got != workers {
+		t.Fatalf("in-flight %d, want exactly %d", got, workers)
+	}
+	close(r.block)
+	wg.Wait()
+	if got := p.Stats().InFlight; got != 0 {
+		t.Fatalf("in-flight %d after drain", got)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 1, CacheSize: -1})
+	go p.Route(context.Background(), 1, 2) // occupies the only worker
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().InFlight < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Route(ctx, 3, 4); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if st := p.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	close(r.block)
+}
+
+func TestLRUEviction(t *testing.T) {
+	sh := newShard(2)
+	sh.put(1, 10, 11, Result{Cost: 1})
+	sh.put(2, 20, 21, Result{Cost: 2})
+	sh.get(1, 10, 11) // touch 1 so 2 is the eviction victim
+	sh.put(3, 30, 31, Result{Cost: 3})
+	if _, ok := sh.get(2, 20, 21); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	for _, k := range []uint64{1, 3} {
+		if _, ok := sh.get(k, k*10, k*10+1); !ok {
+			t.Fatalf("%d should be resident", k)
+		}
+	}
+}
+
+// TestCollisionReadsAsMiss: two different pairs behind the same folded
+// key must never see each other's results.
+func TestCollisionReadsAsMiss(t *testing.T) {
+	sh := newShard(4)
+	sh.put(42, 1, 2, Result{Cost: 12})
+	if _, ok := sh.get(42, 3, 4); ok {
+		t.Fatal("colliding pair served a foreign result")
+	}
+	if res, ok := sh.get(42, 1, 2); !ok || res.Cost != 12 {
+		t.Fatalf("own pair should still hit: %+v %v", res, ok)
+	}
+}
+
+func TestPoolConcurrentMixedLoad(t *testing.T) {
+	r := &echoRouter{}
+	p := NewPool(r, Options{Workers: 4, CacheSize: 256, Shards: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				src, dst := uint64(i%40), uint64((g*i)%40)
+				res, err := p.Route(context.Background(), src, dst)
+				if err != nil {
+					t.Errorf("route %d/%d: %v", src, dst, err)
+					return
+				}
+				if want := float64(src + dst); res.Cost != want {
+					t.Errorf("route %d/%d: cost %v want %v", src, dst, res.Cost, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Requests != 4000 || st.Hits+st.Misses != st.Requests {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.CacheLen > st.CacheCap {
+		t.Fatalf("cache overflow: %+v", st)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+		return Result{}, nil
+	}), Options{Shards: 16, CacheSize: 1 << 12})
+	counts := make(map[*shard]int)
+	for i := 0; i < 4096; i++ {
+		counts[p.shard(cacheKey(uint64(i), uint64(i+1)))]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("keys landed on %d of 16 shards", len(counts))
+	}
+	for sh, c := range counts {
+		if c > 4096/16*4 {
+			t.Fatalf("shard %p got %d of 4096 keys", sh, c)
+		}
+	}
+}
+
+func ExampleRouterFunc() {
+	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+		return Result{Delivered: true, Cost: 1}, nil
+	}), Options{Workers: 1})
+	res, _ := p.Route(context.Background(), 1, 2)
+	fmt.Println(res.Delivered)
+	// Output: true
+}
