@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench ci
+.PHONY: build test race lint bench smoke ci
 
 build:
 	$(GO) build ./...
@@ -29,4 +29,9 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-ci: build lint test race bench
+# End-to-end serving smoke: scheme build -> routed -> loadgen replay
+# of three workload patterns -> graceful SIGTERM drain.
+smoke:
+	sh scripts/smoke_serving.sh
+
+ci: build lint test race bench smoke

@@ -1,0 +1,163 @@
+package compactroute
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pair is one batched query between internal node ids.
+type Pair struct {
+	Src, Dst NodeID
+}
+
+// RouteBatch routes every pair concurrently across the given number of
+// workers (0 or negative means GOMAXPROCS) and returns the results in
+// input order. A built scheme is immutable, so the fan-out needs no
+// locking; on error the lowest-index failure is returned and the
+// remaining work is abandoned.
+func (s *Scheme) RouteBatch(pairs []Pair, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	results := make([]Result, len(pairs))
+	if len(pairs) == 0 {
+		return results, nil
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errIdx = -1
+		first  error
+	)
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, first = i, err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errIdx >= 0
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) || failed() {
+					return
+				}
+				res, err := s.Route(pairs[i].Src, pairs[i].Dst)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, first
+	}
+	return results, nil
+}
+
+// MeasureStretch routes every ordered pair (or a strided sample when
+// sampleStride > 1) and returns the stretch distribution. It errors on
+// the first non-delivered pair. Rows are fanned across GOMAXPROCS
+// workers; each row accumulates into its own Stretch and the rows are
+// merged in order, so the distribution is identical — sample order
+// included — to a serial sweep.
+func (s *Scheme) MeasureStretch(sampleStride int) (*Stretch, error) {
+	return s.measureStretch(sampleStride, runtime.GOMAXPROCS(0))
+}
+
+func (s *Scheme) measureStretch(sampleStride, workers int) (*Stretch, error) {
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	s.net.EnsureMetric() // stretch is meaningless without d(u,v)
+	n := s.net.N()
+	rows := make([]int, 0, (n+sampleStride-1)/sampleStride)
+	for u := 0; u < n; u += sampleStride {
+		rows = append(rows, u)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	perRow := make([]*Stretch, len(rows))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fail != nil
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rows) || failed() {
+					return
+				}
+				st, err := s.measureRow(rows[i])
+				if err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = err
+					}
+					mu.Unlock()
+					return
+				}
+				perRow[i] = st
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+	var st Stretch
+	for _, row := range perRow {
+		st.Merge(row)
+	}
+	return &st, nil
+}
+
+// measureRow routes u against every other node.
+func (s *Scheme) measureRow(u int) (*Stretch, error) {
+	var st Stretch
+	for v := 0; v < s.net.N(); v++ {
+		if u == v {
+			continue
+		}
+		res, err := s.Route(NodeID(u), NodeID(v))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Delivered {
+			return nil, fmt.Errorf("compactroute: %s failed to deliver %d→%d", s.Name(), u, v)
+		}
+		st.Add(res.Cost, res.ShortestCost)
+	}
+	return &st, nil
+}

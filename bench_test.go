@@ -40,6 +40,7 @@ func BenchmarkT7LandmarkClaims(b *testing.B)    { runExperiment(b, "T7") }
 func BenchmarkT8SchemeTable(b *testing.B)       { runExperiment(b, "T8") }
 func BenchmarkT9Ablation(b *testing.B)          { runExperiment(b, "T9") }
 func BenchmarkT10PhaseCosts(b *testing.B)       { runExperiment(b, "T10") }
+func BenchmarkP1ParallelMeasure(b *testing.B)   { runExperiment(b, "P1") }
 
 // --- micro-benchmarks ---
 

@@ -1,0 +1,276 @@
+// Command loadgen replays workload patterns against a running routed
+// daemon over HTTP, measuring sustained throughput and the latency
+// distribution — the denominator of the build-once/route-many trade,
+// observed from the client side.
+//
+//	routesim -n 2000 -k 4 -save net.crsc
+//	routed -scheme net.crsc -addr :8347 &
+//	loadgen -scheme net.crsc -url http://localhost:8347 \
+//	        -pattern uniform,zipf,gravity,local -queries 20000 -concurrency 32
+//
+// The scheme file gives loadgen the node names to query (the daemon
+// and the generator must be handed the same file); no metric is
+// computed unless the adversarial pattern is requested, which ranks
+// candidate pairs by locally measured stretch and replays the worst.
+// Each worker drives its own deterministic query stream, so a run is
+// reproducible end to end given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/graph"
+	"compactroute/internal/stats"
+	"compactroute/internal/workload"
+)
+
+func main() {
+	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save; source of the node names to query (required)")
+	baseURL := flag.String("url", "http://localhost:8347", "base URL of the routed daemon")
+	patternList := flag.String("pattern", "uniform,zipf,gravity,local", "comma-separated workload patterns (add adversarial to hammer worst-stretch pairs; costs one local APSP)")
+	queries := flag.Int("queries", 10000, "requests per pattern")
+	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
+	seed := flag.Uint64("seed", 1, "seed for all query streams")
+	warmup := flag.Int("warmup", 0, "untimed warmup requests per pattern")
+	zipfS := flag.Float64("zipf-s", 0, "zipf skew exponent (0: 1.1)")
+	localHops := flag.Int("local-hops", 0, "hop radius for the local pattern (0: 2)")
+	candidates := flag.Int("candidates", 0, "candidate pairs the adversarial pattern scores (0: 4096)")
+	keep := flag.Int("keep", 0, "worst pairs the adversarial pattern replays (0: 64)")
+	hist := flag.Int("hist", 0, "print a latency histogram with this many buckets (0: off)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if *schemeFile == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -scheme is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queries < 1 || *concurrency < 1 {
+		fail(fmt.Errorf("-queries and -concurrency must be ≥ 1"))
+	}
+	f, err := os.Open(*schemeFile)
+	if err != nil {
+		fail(err)
+	}
+	scheme, err := compactroute.Load(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var patterns []workload.Pattern
+	for _, p := range strings.Split(*patternList, ",") {
+		patterns = append(patterns, workload.Pattern(strings.TrimSpace(p)))
+	}
+	base := workload.Options{
+		Seed:       *seed,
+		ZipfS:      *zipfS,
+		LocalHops:  *localHops,
+		Candidates: *candidates,
+		Keep:       *keep,
+	}
+	client := newClient(*concurrency, *timeout)
+	fmt.Printf("loadgen: %s, %d nodes, %d queries/pattern, concurrency %d\n",
+		*baseURL, scheme.Network().N(), *queries, *concurrency)
+
+	table := stats.NewTable("latency by workload pattern",
+		"pattern", "queries", "errors", "qps", "p50", "p95", "p99", "max")
+	var histograms []string
+	for _, p := range patterns {
+		streams, err := patternStreams(p, scheme, *concurrency, base)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := replay(client, *baseURL, streams, *queries, *warmup)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", p, err))
+		}
+		table.AddRow(string(p), rep.queries, rep.failed,
+			fmt.Sprintf("%.0f", rep.qps()),
+			fmtLatency(rep.latency.Percentile(50)),
+			fmtLatency(rep.latency.Percentile(95)),
+			fmtLatency(rep.latency.Percentile(99)),
+			fmtLatency(rep.latency.Max()))
+		if *hist > 0 {
+			histograms = append(histograms,
+				fmt.Sprintf("-- %s --\n%s", p, rep.latency.Histogram(*hist, fmtLatency)))
+		}
+	}
+	fmt.Println(table)
+	for _, h := range histograms {
+		fmt.Println(h)
+	}
+}
+
+// newClient returns an HTTP client sized for the replay concurrency.
+func newClient(concurrency int, timeout time.Duration) *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = concurrency
+	tr.MaxIdleConnsPerHost = concurrency
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+// patternStreams builds one deterministic stream per worker: every
+// worker shares the seed (so hotspots, candidate sets, and balls are
+// the same targets) and gets a distinct Fork (so the draw sequences
+// differ and the aggregate traffic keeps the pattern's shape). The
+// adversarial pattern ranks its shared candidate set once through a
+// memoizing ranker.
+func patternStreams(p workload.Pattern, s *compactroute.Scheme, workers int, base workload.Options) ([]*workload.Stream, error) {
+	if p == workload.Adversarial {
+		s.Network().EnsureMetric() // stretch ranking needs d(u,v)
+		base.Rank = memoRanker(s)
+	}
+	streams := make([]*workload.Stream, workers)
+	for w := range streams {
+		o := base
+		o.Fork = uint64(w)
+		st, err := workload.New(p, s.Network().Graph(), o)
+		if err != nil {
+			return nil, err
+		}
+		streams[w] = st
+	}
+	return streams, nil
+}
+
+// memoRanker scores a pair by its locally measured stretch, caching
+// scores so identical per-worker candidate sets are routed once.
+func memoRanker(s *compactroute.Scheme) func(u, v graph.NodeID) float64 {
+	type pair struct{ u, v graph.NodeID }
+	var mu sync.Mutex
+	memo := make(map[pair]float64)
+	return func(u, v graph.NodeID) float64 {
+		mu.Lock()
+		score, ok := memo[pair{u, v}]
+		mu.Unlock()
+		if ok {
+			return score
+		}
+		res, err := s.Route(u, v)
+		if err != nil || !res.Delivered {
+			score = 0 // unroutable pairs are not interesting adversaries
+		} else {
+			score = res.Stretch()
+		}
+		mu.Lock()
+		memo[pair{u, v}] = score
+		mu.Unlock()
+		return score
+	}
+}
+
+// report summarizes one pattern's replay.
+type report struct {
+	queries int // requests issued (excluding warmup)
+	failed  int // non-200 responses
+	elapsed time.Duration
+	latency *stats.Sample // seconds, successful requests only
+}
+
+func (r report) qps() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.queries) / r.elapsed.Seconds()
+}
+
+// replay drives one worker per stream against the daemon and merges
+// the per-worker latency samples. The warmup phase completes on every
+// worker before the clock starts, so neither throughput nor latency
+// includes it. Transport-level errors abort the run; HTTP error
+// statuses (a saturated daemon answering 503) are counted and the
+// replay continues.
+func replay(client *http.Client, baseURL string, streams []*workload.Stream, queries, warmup int) (report, error) {
+	workers := len(streams)
+	if workers > queries {
+		workers = queries
+		streams = streams[:workers]
+	}
+	type workerResult struct {
+		lat    stats.Sample
+		failed int
+		err    error
+	}
+	results := make([]workerResult, workers)
+	// split spreads a request budget so the worker totals are exact.
+	split := func(total, w int) int {
+		per := total / workers
+		if w < total%workers {
+			per++
+		}
+		return per
+	}
+	phase := func(warm bool) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			total := queries
+			if warm {
+				total = warmup
+			}
+			wg.Add(1)
+			go func(w, per int) {
+				defer wg.Done()
+				r := &results[w]
+				for i := 0; i < per && r.err == nil; i++ {
+					q := streams[w].Next()
+					t0 := time.Now()
+					ok, err := get(client, baseURL, q)
+					switch {
+					case err != nil:
+						r.err = err
+					case warm: // untimed, uncounted
+					case !ok:
+						r.failed++
+					default:
+						r.lat.Add(time.Since(t0).Seconds())
+					}
+				}
+			}(w, split(total, w))
+		}
+		wg.Wait()
+	}
+	if warmup > 0 {
+		phase(true)
+	}
+	start := time.Now()
+	phase(false)
+	rep := report{queries: queries, elapsed: time.Since(start), latency: &stats.Sample{}}
+	for w := range results {
+		if results[w].err != nil {
+			return report{}, results[w].err
+		}
+		rep.failed += results[w].failed
+		rep.latency.Merge(&results[w].lat)
+	}
+	return rep, nil
+}
+
+// get issues one routing query, reporting whether it was answered 200.
+func get(client *http.Client, baseURL string, q workload.Query) (bool, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", baseURL, q.SrcName, q.DstName))
+	if err != nil {
+		return false, err
+	}
+	// Drain so the connection is reusable.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// fmtLatency renders a latency in seconds as a duration.
+func fmtLatency(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/serve"
+	"compactroute/internal/workload"
+)
+
+// testDaemon builds a small scheme, round-trips it through Save/Load
+// (the file the generator and daemon would share), and serves it the
+// way cmd/routed does: a serve.Pool behind a /route handler.
+func testDaemon(t *testing.T) (*compactroute.Scheme, *httptest.Server) {
+	t.Helper()
+	net := compactroute.RandomNetwork(5, 80, 0.08, compactroute.UniformWeights(1, 5))
+	built, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 3, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compactroute.Save(&buf, built); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := compactroute.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
+		res, err := loaded.RouteByName(src, dst)
+		if err != nil {
+			return serve.Result{}, err
+		}
+		return serve.Result{Delivered: res.Delivered, Cost: res.Cost, Hops: res.Hops}, nil
+	}), serve.Options{Workers: 4, CacheSize: 1 << 10})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		src, err1 := strconv.ParseUint(r.URL.Query().Get("src"), 10, 64)
+		dst, err2 := strconv.ParseUint(r.URL.Query().Get("dst"), 10, 64)
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad name", http.StatusBadRequest)
+			return
+		}
+		res, err := pool.Route(context.Background(), src, dst)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		json.NewEncoder(w).Encode(res)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return loaded, ts
+}
+
+// TestReplayPatterns drives the full client path for several workload
+// patterns (the loadgen acceptance shape: throughput + percentiles
+// for ≥ 3 patterns).
+func TestReplayPatterns(t *testing.T) {
+	scheme, ts := testDaemon(t)
+	client := newClient(4, 5*time.Second)
+	base := workload.Options{Seed: 1, Candidates: 64, Keep: 8}
+	for _, p := range []workload.Pattern{workload.Uniform, workload.Zipf, workload.Gravity, workload.Local, workload.Adversarial} {
+		streams, err := patternStreams(p, scheme, 4, base)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		const queries = 120
+		rep, err := replay(client, ts.URL, streams, queries, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if rep.queries != queries {
+			t.Fatalf("%s: report counts %d queries, want %d", p, rep.queries, queries)
+		}
+		if rep.failed != 0 {
+			t.Fatalf("%s: %d failed requests against a healthy daemon", p, rep.failed)
+		}
+		if rep.latency.N() != queries {
+			t.Fatalf("%s: %d latency samples for %d queries", p, rep.latency.N(), queries)
+		}
+		if rep.qps() <= 0 {
+			t.Fatalf("%s: qps %v", p, rep.qps())
+		}
+		if p50, max := rep.latency.Percentile(50), rep.latency.Max(); p50 <= 0 || max < p50 {
+			t.Fatalf("%s: implausible latency p50=%v max=%v", p, p50, max)
+		}
+	}
+}
+
+// TestReplayCountsHTTPFailures: HTTP error statuses are counted, not
+// fatal, and contribute no latency samples.
+func TestReplayCountsHTTPFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	scheme, _ := testDaemon(t)
+	streams, err := patternStreams(workload.Uniform, scheme, 2, workload.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replay(newClient(2, time.Second), ts.URL, streams, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed != 20 || rep.latency.N() != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// TestReplayAbortsOnTransportError: a dead daemon is an error, not a
+// zero-latency success.
+func TestReplayAbortsOnTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listening
+	scheme, _ := testDaemon(t)
+	streams, err := patternStreams(workload.Uniform, scheme, 2, workload.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay(newClient(2, time.Second), ts.URL, streams, 10, 0); err == nil {
+		t.Fatal("replay against a dead daemon did not error")
+	}
+}
+
+func TestFmtLatency(t *testing.T) {
+	if got := fmtLatency(0.00153); got != "1.53ms" {
+		t.Fatalf("fmtLatency = %q", got)
+	}
+}

@@ -24,7 +24,7 @@ import (
 	"compactroute"
 	"compactroute/internal/bench"
 	"compactroute/internal/serve"
-	"compactroute/internal/xrand"
+	"compactroute/internal/workload"
 )
 
 func main() {
@@ -41,6 +41,7 @@ func main() {
 	queries := flag.Float64("queries", 1e5, "queries to run for -load")
 	workers := flag.Int("workers", 0, "concurrent query workers for -load (0: GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1<<16, "result cache entries for -load (negative: disable)")
+	pattern := flag.String("pattern", "uniform", "workload pattern for -load queries (uniform, zipf, gravity, local, adversarial)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -54,7 +55,7 @@ func main() {
 			fail(err)
 		}
 	case *loadFile != "":
-		if err := loadAndQuery(*loadFile, int(*queries), *workers, *cacheSize, *seed); err != nil {
+		if err := loadAndQuery(*loadFile, int(*queries), *workers, *cacheSize, *seed, workload.Pattern(*pattern)); err != nil {
 			fail(err)
 		}
 	case *all:
@@ -118,8 +119,9 @@ func buildAndSave(path string, n, k int, p, sfactor float64, seed uint64) error 
 }
 
 // loadAndQuery measures the recurring side: deserialization once, then
-// sustained random query throughput through the serving pool.
-func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) error {
+// sustained query throughput through the serving pool under a named
+// workload pattern.
+func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64, pattern workload.Pattern) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -131,12 +133,36 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) err
 		return err
 	}
 	loadTime := time.Since(t0)
-	g := s.Network().Graph()
 	nn := s.Network().N()
 	fmt.Printf("loaded %s (%d nodes) in %v — no APSP, no construction\n", s.Name(), nn, loadTime.Round(time.Millisecond))
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	wopts := workload.Options{Seed: seed}
+	if pattern == workload.Adversarial {
+		s.Network().EnsureMetric() // stretch ranking needs d(u,v)
+		// Memoized: every worker's stream ranks the same shared
+		// candidate set, so each pair should be routed once, not once
+		// per worker.
+		type pair struct{ u, v compactroute.NodeID }
+		var mu sync.Mutex
+		memo := make(map[pair]float64)
+		wopts.Rank = func(u, v compactroute.NodeID) float64 {
+			mu.Lock()
+			score, ok := memo[pair{u, v}]
+			mu.Unlock()
+			if ok {
+				return score
+			}
+			if res, err := s.Route(u, v); err == nil && res.Delivered {
+				score = res.Stretch()
+			}
+			mu.Lock()
+			memo[pair{u, v}] = score
+			mu.Unlock()
+			return score
+		}
 	}
 	pool := serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
 		res, err := s.RouteByName(src, dst)
@@ -152,6 +178,16 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) err
 	if workers > queries {
 		workers = queries
 	}
+	// One deterministic stream per worker: shared seed (same pattern
+	// structure) with a per-worker fork (distinct draw sequences).
+	streams := make([]*workload.Stream, workers)
+	for w := range streams {
+		o := wopts
+		o.Fork = uint64(w)
+		if streams[w], err = workload.New(pattern, s.Network().Graph(), o); err != nil {
+			return err
+		}
+	}
 	t1 := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -163,11 +199,9 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) err
 		wg.Add(1)
 		go func(w, per int) {
 			defer wg.Done()
-			r := xrand.New(seed ^ uint64(w)<<17)
 			for i := 0; i < per; i++ {
-				src := g.Name(compactroute.NodeID(r.Intn(nn)))
-				dst := g.Name(compactroute.NodeID(r.Intn(nn)))
-				if _, err := pool.Route(context.Background(), src, dst); err != nil {
+				q := streams[w].Next()
+				if _, err := pool.Route(context.Background(), q.SrcName, q.DstName); err != nil {
 					errs[w] = err
 					return
 				}
@@ -182,14 +216,14 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64) err
 	}
 	elapsed := time.Since(t1)
 	st := pool.Stats()
-	fmt.Printf("ran %d queries with %d workers in %v: %.0f queries/sec\n",
-		st.Requests, workers, elapsed.Round(time.Millisecond),
+	fmt.Printf("ran %d %s queries with %d workers in %v: %.0f queries/sec\n",
+		st.Requests, pattern, workers, elapsed.Round(time.Millisecond),
 		float64(st.Requests)/elapsed.Seconds())
 	hitRate := 0.0
 	if st.Hits+st.Misses > 0 {
 		hitRate = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
 	}
-	fmt.Printf("  cache: %d hits, %d misses (%.1f%% hit rate), %d/%d resident\n",
-		st.Hits, st.Misses, hitRate, st.CacheLen, st.CacheCap)
+	fmt.Printf("  cache: %d hits, %d misses, %d coalesced (%.1f%% hit rate), %d/%d resident\n",
+		st.Hits, st.Misses, st.Coalesced, hitRate, st.CacheLen, st.CacheCap)
 	return nil
 }

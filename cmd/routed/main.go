@@ -11,19 +11,29 @@
 //	GET /healthz                      liveness + scheme identity
 //	GET /stats                        worker pool and cache counters
 //
-// Names accept decimal or 0x-prefixed hex. Queries run on a bounded
-// worker pool with a sharded LRU result cache (see internal/serve);
-// -workers and -cache size them.
+// Names accept decimal or 0x-prefixed hex (and nothing else — no
+// octal). Queries run on a bounded worker pool with a sharded
+// single-flight LRU result cache (see internal/serve); -workers and
+// -cache size it. A query the daemon cannot serve because the caller
+// gave up (or the daemon is saturated and the wait was canceled)
+// answers 503 with a Retry-After; only unknown names answer 422. The
+// listener carries read/write/idle timeouts and drains gracefully on
+// SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"compactroute"
@@ -37,6 +47,7 @@ func main() {
 	cacheSize := flag.Int("cache", 1<<16, "result cache capacity in entries (negative: disable)")
 	shards := flag.Int("shards", 16, "cache shard count")
 	metric := flag.Bool("metric", false, "compute the shortest-path metric at startup so responses carry true stretch (costs one APSP)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *schemeFile == "" {
@@ -55,16 +66,55 @@ func main() {
 		log.Fatalf("routed: loading %s: %v", *schemeFile, err)
 	}
 	loadTime := time.Since(start)
-	if *metric {
-		scheme.Network().EnsureMetric()
-	}
 	log.Printf("routed: loaded %s (%d nodes, %d edges, max table %s bits/node) in %v",
 		scheme.Name(), scheme.Network().N(), scheme.Network().Graph().M(),
 		strconv.FormatInt(scheme.MaxTableBits(), 10), loadTime)
 
-	srv := newServer(scheme, serve.Options{Workers: *workers, CacheSize: *cacheSize, Shards: *shards})
-	log.Printf("routed: serving on %s (workers=%d cache=%d)", *addr, srv.pool.Stats().Workers, *cacheSize)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv := buildDaemon(scheme, *metric, serve.Options{Workers: *workers, CacheSize: *cacheSize, Shards: *shards})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// A routing answer is tiny and a query is one GET: anything
+		// slow is a stuck peer holding a connection, not real work.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      15 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("routed: serving on %s (workers=%d cache=%d metric=%v)",
+		*addr, srv.pool.Stats().Workers, *cacheSize, scheme.Network().HasMetric())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("routed: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("routed: signal received, draining for up to %v", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Fatalf("routed: shutdown: %v", err)
+		}
+		log.Printf("routed: drained cleanly")
+	}
+}
+
+// buildDaemon assembles the HTTP surface, ensuring the metric (when
+// requested) strictly BEFORE the serving pool exists: the pool caches
+// ShortestCost at computation time and never refreshes it, so a
+// metric that appeared after the first query would leave stale
+// ShortestCost=0 entries behind forever (the staleness invariant
+// documented in internal/serve). Constructing the pool last makes
+// that state unreachable.
+func buildDaemon(s *compactroute.Scheme, metric bool, o serve.Options) *server {
+	if metric {
+		s.Network().EnsureMetric()
+	}
+	return newServer(s, o)
 }
 
 // server is the HTTP surface over one loaded scheme. Split from main
@@ -122,8 +172,17 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.pool.Route(r.Context(), src, dst)
 	if err != nil {
-		// Unknown names and canceled waits are the caller's problem;
-		// anything else would be a scheme invariant violation.
+		// A canceled or timed-out wait for a worker is the daemon
+		// being saturated (or the caller leaving), not a bad query:
+		// tell the caller to come back, not that the request was
+		// malformed.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		// Unknown names are the caller's problem; anything else would
+		// be a scheme invariant violation.
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -154,11 +213,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.pool.Stats())
 }
 
+// parseName parses a node name as decimal or 0x-prefixed hex — and
+// nothing else. ParseUint's base 0 would accept octal ("010" → 8)
+// and underscores, silently corrupting lookups of decimal names with
+// leading zeros.
 func parseName(s string) (uint64, error) {
 	if s == "" {
 		return 0, fmt.Errorf("missing")
 	}
-	return strconv.ParseUint(s, 0, 64)
+	if len(s) > 2 && (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

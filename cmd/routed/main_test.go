@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -124,20 +125,148 @@ func TestServerRejectsBadInput(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	for _, q := range []string{
-		"/route",                      // missing both
-		"/route?src=1",                // missing dst
-		"/route?src=zzz&dst=1",        // unparsable
-		"/route?src=1&dst=0xFFFFFFFF", // unknown name
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{"/route", http.StatusBadRequest},                               // missing both
+		{"/route?src=1", http.StatusBadRequest},                         // missing dst
+		{"/route?src=zzz&dst=1", http.StatusBadRequest},                 // unparsable
+		{"/route?src=0o17&dst=1", http.StatusBadRequest},                // no octal
+		{"/route?src=1&dst=0xFFFFFFFF", http.StatusUnprocessableEntity}, // unknown name
 	} {
-		resp, err := http.Get(ts.URL + q)
+		resp, err := http.Get(ts.URL + tc.q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			t.Fatalf("%s: expected failure status, got 200", q)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.q, resp.StatusCode, tc.want)
 		}
+	}
+}
+
+// TestParseNameBases: documented contract is decimal or 0x-hex — in
+// particular ParseUint's base-0 octal reading of leading zeros
+// ("010" → 8) must not resurface.
+func TestParseNameBases(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"010", 10, true}, // decimal, NOT octal 8
+		{"018", 18, true}, // invalid as octal, fine as decimal
+		{"16", 16, true},
+		{"0x10", 16, true},
+		{"0X1F", 31, true},
+		{"0xDEADBEEF", 0xdeadbeef, true},
+		{"18446744073709551615", ^uint64(0), true},
+		{"", 0, false},
+		{"zzz", 0, false},
+		{"0x", 0, false},
+		{"0xzz", 0, false},
+		{"0b101", 0, false}, // no binary
+		{"0o17", 0, false},  // no octal, explicit prefix included
+		{"1_000", 0, false}, // no digit separators
+		{"-1", 0, false},
+	} {
+		got, err := parseName(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseName(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseName(%q) = %d, want error", tc.in, got)
+		}
+	}
+}
+
+// TestServer503OnCanceledWait: a request whose context is already
+// dead is the daemon being saturated or the caller leaving — a
+// retryable 503 with Retry-After, never a 422.
+func TestServer503OnCanceledWait(t *testing.T) {
+	srv, net := buildServer(t)
+	g := net.Graph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET",
+		fmt.Sprintf("/route?src=%d&dst=%d", g.Name(0), g.Name(1)), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// An unknown name through the same path stays a 422.
+	req = httptest.NewRequest("GET", "/route?src=1&dst=2", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown name: status %d, want 422", rec.Code)
+	}
+}
+
+// TestMetricOrderingUnreachableStaleness: buildDaemon applies -metric
+// strictly before the pool exists, so a daemon started with -metric
+// can never cache a ShortestCost=0 result (the staleness invariant
+// documented in internal/serve).
+func TestMetricOrderingUnreachableStaleness(t *testing.T) {
+	net := compactroute.RandomNetwork(7, 90, 0.07, compactroute.UniformWeights(1, 6))
+	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 11, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compactroute.Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := compactroute.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Network().HasMetric() {
+		t.Fatal("loaded scheme unexpectedly has a metric")
+	}
+	srv := buildDaemon(loaded, true, serve.Options{Workers: 2, CacheSize: 64})
+	if !loaded.Network().HasMetric() {
+		t.Fatal("buildDaemon(-metric) returned before the metric existed — stale cache entries are reachable")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	g := net.Graph()
+	// Route the same cross-node pair twice: the second answer is the
+	// cached entry, and it must carry the metric too.
+	url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(1))
+	for i, want := range []string{"cold", "cached"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr routeResponse
+		err = json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.ShortestCost <= 0 || rr.Stretch < 1 {
+			t.Fatalf("%s response %d has no stretch: %+v", want, i, rr)
+		}
+	}
+	var st serve.Stats
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("expected one cold miss and one cached hit, got %+v", st)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"compactroute/internal/bench"
 	"compactroute/internal/codec"
 	"compactroute/internal/core"
 	"compactroute/internal/gen"
@@ -37,6 +38,7 @@ func main() {
 	saveFile := flag.String("save", "", "persist the built scheme to this file (codec binary format; serve it with cmd/routed)")
 	loadFile := flag.String("load", "", "load a persisted scheme instead of building one (skips APSP and construction)")
 	dotFile := flag.String("dot", "", "write the last traced route as Graphviz DOT to this file")
+	measure := flag.Int("measure", 0, "also measure the stretch distribution over a 1/N-strided sample of sources, fanned across all cores (0: off; loaded schemes pay one APSP)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -104,6 +106,19 @@ func main() {
 		}
 	}
 	fmt.Printf("build report: %+v\n\n", s.Report)
+
+	if *measure > 0 {
+		if all == nil {
+			all = sssp.AllPairsParallel(g, 0) // loaded scheme: metric absent
+		}
+		t0 := time.Now()
+		st, err := bench.Measure(g, all, s, *measure, 0, true)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("stretch (stride %d, all cores, %v): %s\n\n",
+			*measure, time.Since(t0).Round(time.Millisecond), st)
+	}
 
 	// shortest returns d(u,v), computing single-source results lazily
 	// when the scheme was loaded without the metric.

@@ -313,34 +313,6 @@ func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
 	return out, nil
 }
 
-// MeasureStretch routes every ordered pair (or a strided sample when
-// sampleStride > 1) and returns the stretch distribution. It errors on
-// the first non-delivered pair.
-func (s *Scheme) MeasureStretch(sampleStride int) (*Stretch, error) {
-	if sampleStride < 1 {
-		sampleStride = 1
-	}
-	s.net.EnsureMetric() // stretch is meaningless without d(u,v)
-	var st Stretch
-	n := s.net.N()
-	for u := 0; u < n; u += sampleStride {
-		for v := 0; v < n; v++ {
-			if u == v {
-				continue
-			}
-			res, err := s.Route(NodeID(u), NodeID(v))
-			if err != nil {
-				return nil, err
-			}
-			if !res.Delivered {
-				return nil, fmt.Errorf("compactroute: %s failed to deliver %d→%d", s.Name(), u, v)
-			}
-			st.Add(res.Cost, res.ShortestCost)
-		}
-	}
-	return &st, nil
-}
-
 // AddLabeled registers a node by an arbitrary string label (hashed to
 // its 64-bit routing name per §2.1's long-label generalization). Use
 // on a builder before BuildNetwork.

@@ -43,6 +43,7 @@ var Experiments = map[string]Runner{
 	"T8":  RunT8,
 	"T9":  RunT9,
 	"T10": RunT10,
+	"P1":  RunP1,
 }
 
 // IDs returns the experiment ids in canonical order.
@@ -51,10 +52,20 @@ func IDs() []string {
 	for id := range Experiments {
 		ids = append(ids, id)
 	}
+	rank := func(id string) int { // tables, then figures, then perf
+		switch id[0] {
+		case 'T':
+			return 0
+		case 'F':
+			return 1
+		default:
+			return 2
+		}
+	}
 	sort.Slice(ids, func(i, j int) bool {
 		a, b := ids[i], ids[j]
-		if a[0] != b[0] { // F before T? keep T first then F
-			return a[0] == 'T'
+		if rank(a) != rank(b) {
+			return rank(a) < rank(b)
 		}
 		if len(a) != len(b) {
 			return len(a) < len(b)
@@ -85,30 +96,8 @@ func newNet(g *graph.Graph) *net { return &net{g: g, apsp: sssp.AllPairs(g)} }
 
 // measure routes a strided sample of ordered pairs through a router
 // and returns the stretch distribution; it errors on non-delivery for
-// routers that must always deliver.
+// routers that must always deliver. Rows fan across all cores (see
+// Measure); the distribution is identical to a serial sweep.
 func (n *net) measure(r sim.Router, stride int, requireDelivery bool) (*stats.Stretch, error) {
-	if stride < 1 {
-		stride = 1
-	}
-	e := sim.NewEngine(n.g)
-	var st stats.Stretch
-	for u := 0; u < n.g.N(); u += stride {
-		for v := 0; v < n.g.N(); v++ {
-			if u == v {
-				continue
-			}
-			res, err := e.Route(r, graph.NodeID(u), n.g.Name(graph.NodeID(v)))
-			if err != nil {
-				return nil, err
-			}
-			if !res.Delivered {
-				if requireDelivery {
-					return nil, fmt.Errorf("%s: %d→%d not delivered", r.Name(), u, v)
-				}
-				continue
-			}
-			st.Add(res.Cost, n.apsp[u].Dist[v])
-		}
-	}
-	return &st, nil
+	return Measure(n.g, n.apsp, r, stride, 0, requireDelivery)
 }

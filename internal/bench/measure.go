@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+	"compactroute/internal/stats"
+)
+
+// Measure routes a strided sample of ordered pairs through a router
+// and returns the stretch distribution, fanning source rows across
+// the given number of workers (0 means GOMAXPROCS). Built schemes are
+// immutable and per-message state lives in the header, so the fan-out
+// is safe for every router in this repository. Each row accumulates
+// into its own Stretch and rows merge in row order, so the result is
+// identical — sample order included — to a serial sweep regardless of
+// worker count. It errors on non-delivery when requireDelivery is set
+// (routers that must always deliver) and skips the pair otherwise.
+func Measure(g *graph.Graph, apsp []*sssp.Result, r sim.Router, stride, workers int, requireDelivery bool) (*stats.Stretch, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rows := make([]int, 0, (g.N()+stride-1)/stride)
+	for u := 0; u < g.N(); u += stride {
+		rows = append(rows, u)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	perRow := make([]*stats.Stretch, len(rows))
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fail != nil
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			e := sim.NewEngine(g)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rows) || failed() {
+					return
+				}
+				st, err := measureRow(e, apsp, r, rows[i], requireDelivery)
+				if err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = err
+					}
+					mu.Unlock()
+					return
+				}
+				perRow[i] = st
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+	var st stats.Stretch
+	for _, row := range perRow {
+		st.Merge(row)
+	}
+	return &st, nil
+}
+
+// measureRow routes one source against every destination.
+func measureRow(e *sim.Engine, apsp []*sssp.Result, r sim.Router, u int, requireDelivery bool) (*stats.Stretch, error) {
+	g := e.Graph()
+	var st stats.Stretch
+	for v := 0; v < g.N(); v++ {
+		if u == v {
+			continue
+		}
+		res, err := e.Route(r, graph.NodeID(u), g.Name(graph.NodeID(v)))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Delivered {
+			if requireDelivery {
+				return nil, fmt.Errorf("%s: %d→%d not delivered", r.Name(), u, v)
+			}
+			continue
+		}
+		st.Add(res.Cost, apsp[u].Dist[v])
+	}
+	return &st, nil
+}
+
+// measureSerial is the single-core reference sweep P1 compares
+// against (and the pre-parallelization behavior of every experiment).
+func measureSerial(g *graph.Graph, apsp []*sssp.Result, r sim.Router, stride int, requireDelivery bool) (*stats.Stretch, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	e := sim.NewEngine(g)
+	var st stats.Stretch
+	for u := 0; u < g.N(); u += stride {
+		row, err := measureRow(e, apsp, r, u, requireDelivery)
+		if err != nil {
+			return nil, err
+		}
+		st.Merge(row)
+	}
+	return &st, nil
+}

@@ -1,7 +1,8 @@
 // Package serve is the concurrent query-serving layer over a built
 // routing scheme: a bounded worker pool that turns unbounded HTTP
 // concurrency into a fixed routing parallelism, fronted by a sharded
-// LRU cache of routing results.
+// LRU cache of routing results with single-flight duplicate
+// suppression.
 //
 // The shape follows the paper's economics. A compact routing scheme
 // spends its budget at construction time (Õ(n^{1/k}) bits per node,
@@ -9,14 +10,26 @@
 // process therefore wants to (a) admit any number of callers, (b)
 // bound the number of simultaneously-walking route computations to the
 // hardware, and (c) never recompute a route it has already walked —
-// routes are deterministic for a fixed scheme, so caching is sound.
+// routes are deterministic for a fixed scheme, so caching is sound,
+// and N concurrent identical misses coalesce onto one computation
+// (single flight) rather than racing N workers over the same walk.
 // Shards keep the cache's lock fine-grained under the -race detector
 // and real contention alike.
+//
+// Staleness invariant: a cached Result snapshots ShortestCost at
+// computation time. A scheme served before its network has a metric
+// (compactroute.Load without EnsureMetric) caches ShortestCost = 0,
+// and those entries are never refreshed — the cache trusts the scheme
+// to be immutable. A daemon that wants true stretch in responses must
+// therefore ensure the metric BEFORE the first query is admitted
+// (cmd/routed computes it between Load and pool construction); calling
+// EnsureMetric on a warm pool leaves every already-cached pair stale.
 package serve
 
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,7 +53,8 @@ func (f RouterFunc) RouteByName(srcName, dstName uint64) (Result, error) {
 
 // Result is the cached routing outcome. It mirrors the facade's Result
 // fields that are deterministic for a fixed scheme (stretch-related
-// fields are included when the scheme has a metric, zero otherwise).
+// fields are included when the scheme has a metric, zero otherwise —
+// see the staleness invariant in the package comment).
 type Result struct {
 	Delivered    bool
 	Cost         float64
@@ -49,19 +63,22 @@ type Result struct {
 	ShortestCost float64
 }
 
-// Stats is a point-in-time snapshot of pool counters.
+// Stats is a point-in-time snapshot of pool counters. Every admitted
+// request lands in exactly one of Hits, Misses, Coalesced, Errors, or
+// Rejected.
 type Stats struct {
 	Requests  uint64 // queries admitted
 	Hits      uint64 // served from cache
 	Misses    uint64 // routed by a worker
+	Coalesced uint64 // joined an identical in-flight computation
 	Errors    uint64 // routing errors
-	Rejected  uint64 // canceled while waiting for a worker
+	Rejected  uint64 // canceled while waiting for a worker or a flight
 	InFlight  int64  // currently routing
 	CacheLen  int    // entries resident
-	CacheCap  int    // configured capacity
+	CacheCap  int    // configured capacity (exactly as requested)
 	Workers   int    // pool size
 	CacheOff  bool   // cache disabled
-	ShardsLen int    // number of cache shards
+	ShardsLen int    // number of cache shards (0 when disabled)
 }
 
 // Options configures a Pool.
@@ -69,81 +86,139 @@ type Options struct {
 	// Workers bounds concurrent route computations; 0 means GOMAXPROCS.
 	Workers int
 	// CacheSize is the total cached results across shards; 0 means
-	// 1<<16, negative disables caching.
+	// 1<<16, negative disables caching (and single-flight with it).
 	CacheSize int
 	// Shards is the cache shard count; 0 means 16, rounded up to a
-	// power of two.
+	// power of two (and down so no shard has a zero quota).
 	Shards int
 }
 
 // Pool serves routing queries through a bounded worker pool and a
 // sharded LRU result cache. It is safe for concurrent use.
 type Pool struct {
-	router  Router
-	slots   chan struct{}
-	shards  []*shard
-	mask    uint64
-	perCap  int
-	noCache bool
+	router   Router
+	slots    chan struct{}
+	shards   []*shard
+	mask     uint64
+	cacheCap int
+	noCache  bool
 
-	requests atomic.Uint64
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	errors   atomic.Uint64
-	rejected atomic.Uint64
-	inFlight atomic.Int64
+	requests  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	errors    atomic.Uint64
+	rejected  atomic.Uint64
+	inFlight  atomic.Int64
 }
 
-// NewPool builds a pool over r.
+// NewPool builds a pool over r. With caching disabled (negative
+// CacheSize) no shard structures are allocated at all.
 func NewPool(r Router, o Options) *Pool {
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	p := &Pool{
+		router:  r,
+		slots:   make(chan struct{}, workers),
+		noCache: o.CacheSize < 0,
+	}
+	if p.noCache {
+		return p
+	}
+	size := o.CacheSize
+	if size == 0 {
+		size = 1 << 16
+	}
 	shards := o.Shards
 	if shards <= 0 {
 		shards = 16
 	}
-	// Round up to a power of two so shard selection is a mask.
+	// Round up to a power of two so shard selection is a mask…
 	for shards&(shards-1) != 0 {
 		shards++
 	}
-	size := o.CacheSize
-	noCache := size < 0
-	if size == 0 {
-		size = 1 << 16
+	// …then down so every shard holds at least one entry and the
+	// per-shard quotas sum to exactly the requested capacity.
+	for shards > size {
+		shards /= 2
 	}
-	perCap := (size + shards - 1) / shards
-	if perCap < 1 {
-		perCap = 1
-	}
-	p := &Pool{
-		router:  r,
-		slots:   make(chan struct{}, workers),
-		shards:  make([]*shard, shards),
-		mask:    uint64(shards - 1),
-		perCap:  perCap,
-		noCache: noCache,
-	}
+	p.shards = make([]*shard, shards)
+	p.mask = uint64(shards - 1)
+	p.cacheCap = size
 	for i := range p.shards {
-		p.shards[i] = newShard(perCap)
+		quota := size / shards
+		if i < size%shards {
+			quota++
+		}
+		p.shards[i] = newShard(quota)
 	}
 	return p
 }
 
 // Route answers one query, consulting the cache first and bounding the
-// underlying computation by the worker pool. It blocks while all
-// workers are busy; cancel ctx to give up waiting.
+// underlying computation by the worker pool. Concurrent identical
+// misses coalesce: one caller leads the computation, the rest wait for
+// its result. It blocks while all workers are busy; cancel ctx to give
+// up waiting.
 func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	p.requests.Add(1)
+	if err := ctx.Err(); err != nil {
+		p.rejected.Add(1)
+		return Result{}, fmt.Errorf("serve: %w", err)
+	}
+	if p.noCache {
+		return p.compute(ctx, srcName, dstName)
+	}
 	key := cacheKey(srcName, dstName)
 	sh := p.shard(key)
-	if !p.noCache {
+	for {
 		if res, ok := sh.get(key, srcName, dstName); ok {
 			p.hits.Add(1)
 			return res, nil
 		}
+		fl, role := sh.joinFlight(key, srcName, dstName)
+		switch role {
+		case flightFollower:
+			select {
+			case <-fl.done:
+				if fl.err != nil {
+					if isCanceled(fl.err) {
+						// The leader gave up waiting for a worker, but
+						// this follower's own context is still live:
+						// re-run the admission so a healthy caller
+						// becomes the new leader instead of inheriting
+						// a stranger's cancellation.
+						continue
+					}
+					p.errors.Add(1)
+					return Result{}, fl.err
+				}
+				p.coalesced.Add(1)
+				return fl.res, nil
+			case <-ctx.Done():
+				p.rejected.Add(1)
+				return Result{}, fmt.Errorf("serve: %w", ctx.Err())
+			}
+		case flightBypass:
+			// A different pair behind the same folded key is in
+			// flight; a collision must never read as someone else's
+			// route, so this request computes independently.
+			return p.compute(ctx, srcName, dstName)
+		}
+		res, err := p.compute(ctx, srcName, dstName)
+		if err == nil {
+			sh.put(key, srcName, dstName, res)
+		}
+		sh.resolveFlight(key, fl, res, err)
+		return res, err
 	}
+}
+
+// compute takes a worker slot and walks the route, maintaining the
+// per-request counters.
+func (p *Pool) compute(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -159,10 +234,11 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 		return Result{}, err
 	}
 	p.misses.Add(1)
-	if !p.noCache {
-		sh.put(key, srcName, dstName, res)
-	}
 	return res, nil
+}
+
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats returns a point-in-time snapshot of the counters.
@@ -171,6 +247,7 @@ func (p *Pool) Stats() Stats {
 		Requests:  p.requests.Load(),
 		Hits:      p.hits.Load(),
 		Misses:    p.misses.Load(),
+		Coalesced: p.coalesced.Load(),
 		Errors:    p.errors.Load(),
 		Rejected:  p.rejected.Load(),
 		InFlight:  p.inFlight.Load(),
@@ -182,7 +259,7 @@ func (p *Pool) Stats() Stats {
 		for _, sh := range p.shards {
 			s.CacheLen += sh.len()
 		}
-		s.CacheCap = p.perCap * len(p.shards)
+		s.CacheCap = p.cacheCap
 	}
 	return s
 }
@@ -208,10 +285,11 @@ func cacheKey(src, dst uint64) uint64 {
 // --- one LRU shard ---
 
 type shard struct {
-	mu    sync.Mutex
-	cap   int
-	items map[uint64]*list.Element
-	order *list.List // front = most recent
+	mu      sync.Mutex
+	cap     int
+	items   map[uint64]*list.Element
+	order   *list.List // front = most recent
+	flights map[uint64]*flight
 }
 
 // entry keeps the original (src, dst) pair alongside the result: the
@@ -223,11 +301,31 @@ type entry struct {
 	res      Result
 }
 
+// flight is one in-progress computation that identical concurrent
+// misses attach to. The leader publishes res/err before closing done,
+// so followers reading after <-done need no further synchronization.
+type flight struct {
+	src, dst uint64
+	waiters  int // followers attached (under the shard lock)
+	done     chan struct{}
+	res      Result
+	err      error
+}
+
+type flightRole uint8
+
+const (
+	flightLeader flightRole = iota
+	flightFollower
+	flightBypass // fold collision with a different in-flight pair
+)
+
 func newShard(capacity int) *shard {
 	return &shard{
-		cap:   capacity,
-		items: make(map[uint64]*list.Element, capacity),
-		order: list.New(),
+		cap:     capacity,
+		items:   make(map[uint64]*list.Element, capacity),
+		order:   list.New(),
+		flights: make(map[uint64]*flight),
 	}
 }
 
@@ -261,6 +359,32 @@ func (s *shard) put(key, src, dst uint64, res Result) {
 		s.order.Remove(last)
 		delete(s.items, last.Value.(*entry).key)
 	}
+}
+
+// joinFlight attaches to the in-flight computation for (src, dst), or
+// registers a new one with the caller as leader.
+func (s *shard) joinFlight(key, src, dst uint64) (*flight, flightRole) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fl, ok := s.flights[key]; ok {
+		if fl.src != src || fl.dst != dst {
+			return nil, flightBypass
+		}
+		fl.waiters++
+		return fl, flightFollower
+	}
+	fl := &flight{src: src, dst: dst, done: make(chan struct{})}
+	s.flights[key] = fl
+	return fl, flightLeader
+}
+
+// resolveFlight publishes the leader's outcome and releases followers.
+func (s *shard) resolveFlight(key uint64, fl *flight, res Result, err error) {
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
 }
 
 func (s *shard) len() int {

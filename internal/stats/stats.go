@@ -7,13 +7,13 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
-// Stretch accumulates per-pair stretch samples.
+// Stretch accumulates per-pair stretch samples over a Sample
+// accumulator (the same one latency measurements use).
 type Stretch struct {
-	samples []float64
+	s Sample
 }
 
 // Add records one routed pair. Pairs at distance zero (self routes)
@@ -30,51 +30,32 @@ func (s *Stretch) Add(cost, dist float64) {
 	if r < 1 {
 		r = 1
 	}
-	s.samples = append(s.samples, r)
+	s.s.Add(r)
+}
+
+// Merge appends all of o's samples to s in o's insertion order, so
+// merging per-worker accumulators in worker order reproduces a serial
+// measurement exactly. o is unchanged.
+func (s *Stretch) Merge(o *Stretch) {
+	if o != nil {
+		s.s.Merge(&o.s)
+	}
 }
 
 // N returns the number of samples.
-func (s *Stretch) N() int { return len(s.samples) }
+func (s *Stretch) N() int { return s.s.N() }
 
 // Max returns the maximum stretch (the paper's stretch factor).
-func (s *Stretch) Max() float64 {
-	m := 0.0
-	for _, v := range s.samples {
-		if v > m {
-			m = v
-		}
-	}
-	return m
-}
+func (s *Stretch) Max() float64 { return s.s.Max() }
 
 // Mean returns the average stretch.
-func (s *Stretch) Mean() float64 {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	t := 0.0
-	for _, v := range s.samples {
-		t += v
-	}
-	return t / float64(len(s.samples))
-}
+func (s *Stretch) Mean() float64 { return s.s.Mean() }
 
 // Percentile returns the p-th percentile (p in [0,100]).
-func (s *Stretch) Percentile(p float64) float64 {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), s.samples...)
-	sort.Float64s(sorted)
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
+func (s *Stretch) Percentile(p float64) float64 { return s.s.Percentile(p) }
+
+// Sample exposes the underlying accumulator (e.g. for histograms).
+func (s *Stretch) Sample() *Sample { return &s.s }
 
 // String summarizes the distribution.
 func (s *Stretch) String() string {

@@ -1,0 +1,47 @@
+#!/bin/sh
+# End-to-end serving smoke: build a scheme, serve it with routed, and
+# replay three workload patterns against it over HTTP with loadgen —
+# then ask for a graceful shutdown and require a clean exit. Mirrors
+# the CI "serving smoke" step; run locally with `make smoke`.
+set -eu
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	# set -e is live inside traps: keep every command failure-proof so
+	# the rm always runs.
+	if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+addr=127.0.0.1:18347
+go build -o "$tmp/routesim" ./cmd/routesim
+go build -o "$tmp/routed" ./cmd/routed
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+"$tmp/routesim" -n 160 -k 2 -sfactor 0.5 -save "$tmp/net.crsc" >/dev/null
+
+"$tmp/routed" -scheme "$tmp/net.crsc" -addr "$addr" &
+pid=$!
+
+ok=""
+for _ in $(seq 1 100); do
+	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "smoke: routed never became healthy" >&2; exit 1; }
+
+"$tmp/loadgen" -scheme "$tmp/net.crsc" -url "http://$addr" \
+	-pattern uniform,zipf,local -queries 3000 -concurrency 8 -hist 6
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+wait "$pid"
+status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "smoke: routed exited $status on SIGTERM" >&2; exit 1; }
+echo "smoke: serving path OK (build -> serve -> replay -> drain)"
