@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench smoke ci
+.PHONY: build test race lint vuln bench benchjson smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,20 +18,36 @@ race:
 	$(GO) test -race -short ./...
 
 lint:
-	@fmt_out=$$(gofmt -l .); \
+	@fmt_out=$$(gofmt -l . examples cmd internal); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+
+# Known-vulnerability scan (network access required on first run).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 # Smoke-compile and single-shot every benchmark so perf code paths
 # cannot rot unnoticed.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Machine-readable experiment results (JSON Lines), the BENCH_*.json
+# perf-trajectory format. Written to the file first (a pipe through
+# tee would mask a routebench failure behind tee's exit status), then
+# shown and checked non-empty.
+benchjson:
+	$(GO) run ./cmd/routebench -exp P1 -quick -json > BENCH_P1.json
+	@cat BENCH_P1.json
+	@test -s BENCH_P1.json || { echo "benchjson: empty BENCH_P1.json" >&2; exit 1; }
+
 # End-to-end serving smoke: scheme build -> routed -> loadgen replay
 # of three workload patterns -> graceful SIGTERM drain.
 smoke:
 	sh scripts/smoke_serving.sh
 
-ci: build lint test race bench smoke
+# vuln is not in the local ci chain: it downloads the vulnerability
+# database and the govulncheck tool, so it needs network access. The
+# pipeline runs it as its own step.
+ci: build lint test race bench benchjson smoke

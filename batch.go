@@ -155,7 +155,7 @@ func (s *Scheme) measureRow(u int) (*Stretch, error) {
 			return nil, err
 		}
 		if !res.Delivered {
-			return nil, fmt.Errorf("compactroute: %s failed to deliver %d→%d", s.Name(), u, v)
+			return nil, fmt.Errorf("compactroute: %s %d→%d: %w", s.Name(), u, v, ErrNotDelivered)
 		}
 		st.Add(res.Cost, res.ShortestCost)
 	}

@@ -160,8 +160,12 @@ func memoRanker(s *compactroute.Scheme) func(u, v graph.NodeID) float64 {
 			return score
 		}
 		res, err := s.Route(u, v)
-		if err != nil || !res.Delivered {
-			score = 0 // unroutable pairs are not interesting adversaries
+		if err != nil || !res.Delivered || !res.MetricKnown {
+			// Unroutable pairs are not interesting adversaries, and an
+			// unknown stretch (MetricKnown false) must not score as the
+			// sentinel "optimal" 1 — EnsureMetric runs before ranking,
+			// so this is belt-and-braces against reordering.
+			score = 0
 		} else {
 			score = res.Stretch()
 		}

@@ -33,8 +33,8 @@ func testDaemon(t *testing.T) (*compactroute.Scheme, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
-		res, err := loaded.RouteByName(src, dst)
+	pool := serve.NewPool(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
+		res, err := loaded.RouteByNameCtx(ctx, src, dst)
 		if err != nil {
 			return serve.Result{}, err
 		}

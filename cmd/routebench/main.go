@@ -1,14 +1,21 @@
 // Command routebench regenerates the reproduction's experiment tables
-// (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md) and measures
-// the build-once/route-many split the persistence layer enables.
+// (T1–T10, F1–F2, P1; see DESIGN.md §2 and EXPERIMENTS.md) and
+// measures the build-once/route-many split the persistence layer
+// enables. -json switches every experiment table to machine-readable
+// JSON Lines (one object per table), the format the BENCH_*.json perf
+// trajectory files record.
 //
 // Usage:
 //
-//	routebench -all                        # every experiment, full sizes
-//	routebench -exp T2                     # one experiment
-//	routebench -exp T1 -quick              # smoke sizes
-//	routebench -save net.crsc -n 2000 -k 4 # pay the build, persist it
-//	routebench -load net.crsc -queries 1e5 # measure pure query cost
+//	routebench -all                         # every experiment, full sizes
+//	routebench -exp T2                      # one experiment
+//	routebench -exp T1 -quick -json         # smoke sizes, JSON output
+//	routebench -save net.crsc -n 2000 -k 4  # pay the build, persist it
+//	routebench -save ft.crsc -scheme fulltable -n 500
+//	routebench -load net.crsc -queries 1e5  # measure pure query cost
+//
+// -save builds any persistable registry kind (-scheme; default
+// paper); -load serves whatever kind the file holds.
 package main
 
 import (
@@ -31,9 +38,11 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (one of "+strings.Join(bench.IDs(), ", ")+")")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smoke-test sizes")
+	jsonOut := flag.Bool("json", false, "emit experiment results as JSON Lines (one object per table) instead of text tables")
 	seed := flag.Uint64("seed", 1, "seed for all randomized constructions")
-	saveFile := flag.String("save", "", "build a scheme (see -n/-k/-p/-sfactor) and persist it to this file, reporting build vs save cost")
+	saveFile := flag.String("save", "", "build a scheme (see -scheme/-n/-k/-p/-sfactor) and persist it to this file, reporting build vs save cost")
 	loadFile := flag.String("load", "", "load a persisted scheme and benchmark query throughput, reporting load vs query cost")
+	kind := flag.String("scheme", "paper", "registry kind to build for -save (persistable kinds only; see compactroute.Kinds)")
 	n := flag.Int("n", 2000, "node count for -save")
 	k := flag.Int("k", 4, "trade-off parameter for -save")
 	p := flag.Float64("p", 0, "gnp edge probability for -save (0: 8/n)")
@@ -48,10 +57,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, JSON: *jsonOut}
 	switch {
 	case *saveFile != "":
-		if err := buildAndSave(*saveFile, *n, *k, *p, *sfactor, *seed); err != nil {
+		if err := buildAndSave(*saveFile, *kind, *n, *k, *p, *sfactor, *seed); err != nil {
 			fail(err)
 		}
 	case *loadFile != "":
@@ -78,18 +87,24 @@ func main() {
 	}
 }
 
-// buildAndSave pays the one-time construction cost and persists the
-// result, reporting where the time went — the numerator of the
-// build-once/route-many trade.
-func buildAndSave(path string, n, k int, p, sfactor float64, seed uint64) error {
+// buildAndSave pays the one-time construction cost for a registry kind
+// and persists the result, reporting where the time went — the
+// numerator of the build-once/route-many trade.
+func buildAndSave(path, kind string, n, k int, p, sfactor float64, seed uint64) error {
 	if p <= 0 {
 		p = 8 / float64(n)
+	}
+	if info, ok := compactroute.LookupKind(kind); !ok {
+		return fmt.Errorf("unknown scheme kind %q (have %s)", kind, strings.Join(compactroute.Kinds(), ", "))
+	} else if !info.Persistable {
+		return fmt.Errorf("kind %q has no persistent form; persistable kinds: %s",
+			kind, strings.Join(persistableKinds(), ", "))
 	}
 	t0 := time.Now()
 	net := compactroute.RandomNetwork(seed, n, p, compactroute.UniformWeights(1, 8))
 	metricTime := time.Since(t0)
 	t1 := time.Now()
-	s, err := compactroute.NewScheme(net, compactroute.Options{K: k, Seed: seed, SFactor: sfactor})
+	s, err := compactroute.Build(net, compactroute.Config{Kind: kind, K: k, Seed: seed, SFactor: sfactor})
 	if err != nil {
 		return err
 	}
@@ -118,6 +133,17 @@ func buildAndSave(path string, n, k int, p, sfactor float64, seed uint64) error 
 	return nil
 }
 
+// persistableKinds lists the registry kinds Save supports.
+func persistableKinds() []string {
+	var out []string
+	for _, kind := range compactroute.Kinds() {
+		if info, ok := compactroute.LookupKind(kind); ok && info.Persistable {
+			out = append(out, kind)
+		}
+	}
+	return out
+}
+
 // loadAndQuery measures the recurring side: deserialization once, then
 // sustained query throughput through the serving pool under a named
 // workload pattern.
@@ -134,7 +160,8 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64, pat
 	}
 	loadTime := time.Since(t0)
 	nn := s.Network().N()
-	fmt.Printf("loaded %s (%d nodes) in %v — no APSP, no construction\n", s.Name(), nn, loadTime.Round(time.Millisecond))
+	fmt.Printf("loaded %s (kind %s, %d nodes) in %v — no APSP, no construction\n",
+		s.Name(), s.Kind(), nn, loadTime.Round(time.Millisecond))
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -155,7 +182,9 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64, pat
 			if ok {
 				return score
 			}
-			if res, err := s.Route(u, v); err == nil && res.Delivered {
+			// MetricKnown guards the ranking: an unknown stretch must
+			// rank as uninteresting, not as optimal.
+			if res, err := s.Route(u, v); err == nil && res.Delivered && res.MetricKnown {
 				score = res.Stretch()
 			}
 			mu.Lock()
@@ -164,8 +193,8 @@ func loadAndQuery(path string, queries, workers, cacheSize int, seed uint64, pat
 			return score
 		}
 	}
-	pool := serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
-		res, err := s.RouteByName(src, dst)
+	pool := serve.NewPool(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
+		res, err := s.RouteByNameCtx(ctx, src, dst)
 		if err != nil {
 			return serve.Result{}, err
 		}

@@ -1,11 +1,17 @@
-// Command routed is the route-serving daemon: it loads a scheme
-// persisted by cmd/routesim -save (or compactroute.Save) and answers
-// routing queries over HTTP — build once, route many. Startup performs
-// no APSP and no scheme construction; it is bounded by deserialization
-// alone.
+// Command routed is the route-serving daemon: build once, route many.
+// It serves any scheme kind in the registry, either loaded from a file
+// persisted by compactroute.Save or built at startup by kind name:
 //
-//	routesim -n 2000 -k 4 -save net.crsc     # pay the build once
-//	routed -scheme net.crsc -addr :8347      # serve it forever
+//	routesim -n 2000 -k 4 -save net.crsc      # pay the build once
+//	routed -scheme net.crsc -addr :8347       # serve the file forever
+//
+//	routed -scheme tz -k 3 -n 500             # build a registry kind…
+//	routed -scheme apcover -graph topo.txt    # …over a generated or
+//	                                          #   saved topology
+//
+// -scheme names either a registered kind (see compactroute.Kinds:
+// paper, fulltable, apcover, landmark, tz) or a scheme file; kinds
+// win, so a file named like a kind needs a path separator ("./tz").
 //
 //	GET /route?src=<name>&dst=<name>  route between external names
 //	GET /healthz                      liveness + scheme identity
@@ -14,11 +20,12 @@
 // Names accept decimal or 0x-prefixed hex (and nothing else — no
 // octal). Queries run on a bounded worker pool with a sharded
 // single-flight LRU result cache (see internal/serve); -workers and
-// -cache size it. A query the daemon cannot serve because the caller
-// gave up (or the daemon is saturated and the wait was canceled)
-// answers 503 with a Retry-After; only unknown names answer 422. The
-// listener carries read/write/idle timeouts and drains gracefully on
-// SIGINT/SIGTERM.
+// -cache size it. Error responses follow the typed taxonomy via
+// errors.Is: an unknown source name is the caller's fault (422); a
+// query the daemon could not serve because it is saturated or the
+// caller gave up answers 503 with a Retry-After; anything else is a
+// scheme invariant violation (500). The listener carries
+// read/write/idle timeouts and drains gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -41,34 +48,36 @@ import (
 )
 
 func main() {
-	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save (required)")
+	schemeArg := flag.String("scheme", "", "scheme to serve: a registry kind ("+strings.Join(compactroute.Kinds(), ", ")+") or a file written by compactroute.Save (required)")
 	addr := flag.String("addr", ":8347", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent route computations (0: GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1<<16, "result cache capacity in entries (negative: disable)")
 	shards := flag.Int("shards", 16, "cache shard count")
-	metric := flag.Bool("metric", false, "compute the shortest-path metric at startup so responses carry true stretch (costs one APSP)")
+	metric := flag.Bool("metric", false, "compute the shortest-path metric at startup so responses carry true stretch (costs one APSP on loaded schemes; built schemes already have it)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+	k := flag.Int("k", 3, "trade-off parameter when building a kind")
+	n := flag.Int("n", 512, "node count for the generated topology when building a kind without -graph")
+	p := flag.Float64("p", 0, "gnp edge probability for the generated topology (0: 8/n)")
+	seed := flag.Uint64("seed", 1, "seed for generation and construction when building a kind")
+	sfactor := flag.Float64("sfactor", 0.25, "landmark S-set constant for kind paper")
+	graphFile := flag.String("graph", "", "build the kind over this topology file (gio text format) instead of generating one")
 	flag.Parse()
 
-	if *schemeFile == "" {
+	if *schemeArg == "" {
 		fmt.Fprintln(os.Stderr, "routed: -scheme is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*schemeFile)
+	start := time.Now()
+	scheme, how, err := resolveScheme(*schemeArg, buildOpts{
+		k: *k, n: *n, p: *p, seed: *seed, sfactor: *sfactor, graphFile: *graphFile,
+	})
 	if err != nil {
 		log.Fatalf("routed: %v", err)
 	}
-	start := time.Now()
-	scheme, err := compactroute.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("routed: loading %s: %v", *schemeFile, err)
-	}
-	loadTime := time.Since(start)
-	log.Printf("routed: loaded %s (%d nodes, %d edges, max table %s bits/node) in %v",
-		scheme.Name(), scheme.Network().N(), scheme.Network().Graph().M(),
-		strconv.FormatInt(scheme.MaxTableBits(), 10), loadTime)
+	log.Printf("routed: %s %s (%d nodes, %d edges, max table %s bits/node) in %v",
+		how, scheme.Name(), scheme.Network().N(), scheme.Network().Graph().M(),
+		strconv.FormatInt(scheme.MaxTableBits(), 10), time.Since(start))
 
 	srv := buildDaemon(scheme, *metric, serve.Options{Workers: *workers, CacheSize: *cacheSize, Shards: *shards})
 	hs := &http.Server{
@@ -103,11 +112,66 @@ func main() {
 	}
 }
 
+// buildOpts carries the construction knobs for kind-named schemes.
+type buildOpts struct {
+	k         int
+	n         int
+	p         float64
+	seed      uint64
+	sfactor   float64
+	graphFile string
+}
+
+// resolveScheme turns the -scheme argument into a served scheme:
+// registered kinds are built (over -graph or a generated topology),
+// anything else is opened as a persisted scheme file.
+func resolveScheme(arg string, o buildOpts) (*compactroute.Scheme, string, error) {
+	if _, isKind := compactroute.LookupKind(arg); isKind {
+		net, err := buildNetwork(o)
+		if err != nil {
+			return nil, "", err
+		}
+		s, err := compactroute.Build(net, compactroute.Config{
+			Kind: arg, K: o.k, Seed: o.seed, SFactor: o.sfactor,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return s, "built", nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, "", fmt.Errorf("%v (not a registered kind: %s)", err, strings.Join(compactroute.Kinds(), ", "))
+	}
+	defer f.Close()
+	s, err := compactroute.Load(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("loading %s: %w", arg, err)
+	}
+	return s, "loaded", nil
+}
+
+func buildNetwork(o buildOpts) (*compactroute.Network, error) {
+	if o.graphFile != "" {
+		f, err := os.Open(o.graphFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return compactroute.LoadNetwork(f)
+	}
+	p := o.p
+	if p <= 0 {
+		p = 8 / float64(o.n)
+	}
+	return compactroute.RandomNetwork(o.seed, o.n, p, compactroute.UniformWeights(1, 8)), nil
+}
+
 // buildDaemon assembles the HTTP surface, ensuring the metric (when
 // requested) strictly BEFORE the serving pool exists: the pool caches
 // ShortestCost at computation time and never refreshes it, so a
 // metric that appeared after the first query would leave stale
-// ShortestCost=0 entries behind forever (the staleness invariant
+// MetricKnown=false entries behind forever (the staleness invariant
 // documented in internal/serve). Constructing the pool last makes
 // that state unreachable.
 func buildDaemon(s *compactroute.Scheme, metric bool, o serve.Options) *server {
@@ -117,8 +181,8 @@ func buildDaemon(s *compactroute.Scheme, metric bool, o serve.Options) *server {
 	return newServer(s, o)
 }
 
-// server is the HTTP surface over one loaded scheme. Split from main
-// so tests can drive it with httptest.
+// server is the HTTP surface over one scheme. Split from main so
+// tests can drive it with httptest.
 type server struct {
 	scheme *compactroute.Scheme
 	pool   *serve.Pool
@@ -127,8 +191,8 @@ type server struct {
 
 func newServer(s *compactroute.Scheme, o serve.Options) *server {
 	srv := &server{scheme: s}
-	srv.pool = serve.NewPool(serve.RouterFunc(func(src, dst uint64) (serve.Result, error) {
-		res, err := s.RouteByName(src, dst)
+	srv.pool = serve.NewPool(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
+		res, err := s.RouteByNameCtx(ctx, src, dst)
 		if err != nil {
 			return serve.Result{}, err
 		}
@@ -138,6 +202,7 @@ func newServer(s *compactroute.Scheme, o serve.Options) *server {
 			Hops:         res.Hops,
 			HeaderBits:   res.HeaderBits,
 			ShortestCost: res.ShortestCost,
+			MetricKnown:  res.MetricKnown,
 		}, nil
 	}), o)
 	srv.mux = http.NewServeMux()
@@ -159,6 +224,26 @@ type routeResponse struct {
 	Stretch      float64 `json:"stretch,omitempty"`
 }
 
+// statusFor maps a routing error onto an HTTP status through the
+// typed taxonomy — errors.Is on the sentinels, never error text:
+//
+//	422  the caller named a node that does not exist
+//	503  saturation or cancellation: retryable back-pressure
+//	500  anything else would be a scheme invariant violation
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, compactroute.ErrUnknownName),
+		errors.Is(err, compactroute.ErrUnknownLabel):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, compactroute.ErrSaturated),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	src, err := parseName(r.URL.Query().Get("src"))
 	if err != nil {
@@ -172,29 +257,24 @@ func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.pool.Route(r.Context(), src, dst)
 	if err != nil {
-		// A canceled or timed-out wait for a worker is the daemon
-		// being saturated (or the caller leaving), not a bad query:
-		// tell the caller to come back, not that the request was
-		// malformed.
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code := statusFor(err)
+		if code == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-			return
 		}
-		// Unknown names are the caller's problem; anything else would
-		// be a scheme invariant violation.
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		httpError(w, code, "%v", err)
 		return
 	}
 	resp := routeResponse{
-		Delivered:    res.Delivered,
-		Cost:         res.Cost,
-		Hops:         res.Hops,
-		HeaderBits:   res.HeaderBits,
-		ShortestCost: res.ShortestCost,
+		Delivered:  res.Delivered,
+		Cost:       res.Cost,
+		Hops:       res.Hops,
+		HeaderBits: res.HeaderBits,
 	}
-	if res.ShortestCost > 0 {
-		resp.Stretch = res.Cost / res.ShortestCost
+	if res.MetricKnown {
+		resp.ShortestCost = res.ShortestCost
+		if res.ShortestCost > 0 {
+			resp.Stretch = res.Cost / res.ShortestCost
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -203,6 +283,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status": "ok",
 		"scheme": s.scheme.Name(),
+		"kind":   s.scheme.Kind(),
 		"nodes":  s.scheme.Network().N(),
 		"edges":  s.scheme.Network().Graph().M(),
 		"metric": s.scheme.Network().HasMetric(),

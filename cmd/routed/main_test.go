@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -267,6 +269,103 @@ func TestMetricOrderingUnreachableStaleness(t *testing.T) {
 	}
 	if st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("expected one cold miss and one cached hit, got %+v", st)
+	}
+}
+
+// TestStatusForMapping is the satellite regression test: every typed
+// error maps to its pinned status code via errors.Is — 422 for names
+// the caller invented, 503 for saturation/cancellation, 500 for
+// anything that would be a scheme invariant violation.
+func TestStatusForMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("route: %w", compactroute.ErrUnknownName), http.StatusUnprocessableEntity},
+		{fmt.Errorf("route: %w", compactroute.ErrUnknownLabel), http.StatusUnprocessableEntity},
+		{fmt.Errorf("serve: %w: %w", compactroute.ErrSaturated, context.Canceled), http.StatusServiceUnavailable},
+		{fmt.Errorf("serve: %w", context.Canceled), http.StatusServiceUnavailable},
+		{fmt.Errorf("serve: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},
+		{fmt.Errorf("sim: invariant violated"), http.StatusInternalServerError},
+	} {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestServeEveryRegistryKind: `routed -scheme <kind>` must serve each
+// registry kind end-to-end — resolve, build, answer /route with a
+// delivered result, and identify the kind on /healthz.
+func TestServeEveryRegistryKind(t *testing.T) {
+	for _, kind := range compactroute.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			scheme, how, err := resolveScheme(kind, buildOpts{k: 2, n: 70, seed: 9, sfactor: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if how != "built" || scheme.Kind() != kind {
+				t.Fatalf("resolved %q as %s kind %q", kind, how, scheme.Kind())
+			}
+			srv := newServer(scheme, serve.Options{Workers: 2, CacheSize: 64})
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+
+			g := scheme.Network().Graph()
+			url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(compactroute.NodeID(g.N()-1)))
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rr routeResponse
+			err = json.NewDecoder(resp.Body).Decode(&rr)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK || !rr.Delivered {
+				t.Fatalf("kind %s route: status %d, %+v, %v", kind, resp.StatusCode, rr, err)
+			}
+
+			hresp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h struct {
+				Kind string `json:"kind"`
+			}
+			err = json.NewDecoder(hresp.Body).Decode(&h)
+			hresp.Body.Close()
+			if err != nil || h.Kind != kind {
+				t.Fatalf("healthz kind = %q, want %q (%v)", h.Kind, kind, err)
+			}
+		})
+	}
+}
+
+// TestResolveSchemeFileFallback: a -scheme value that is not a kind
+// loads as a file; garbage errors mentioning the registry.
+func TestResolveSchemeFileFallback(t *testing.T) {
+	net := compactroute.RandomNetwork(3, 60, 0.1, compactroute.UniformWeights(1, 4))
+	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 4, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.crsc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compactroute.Save(f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, how, err := resolveScheme(path, buildOpts{})
+	if err != nil || how != "loaded" || loaded.Kind() != "paper" {
+		t.Fatalf("resolveScheme(file) = %q kind %q, %v", how, loaded.Kind(), err)
+	}
+	if _, _, err := resolveScheme(filepath.Join(t.TempDir(), "nope.crsc"), buildOpts{}); err == nil {
+		t.Fatal("nonexistent file resolved")
 	}
 }
 

@@ -4,26 +4,38 @@
 // weighted graphs with stretch O(k) and Õ(n^{1/k})-bit routing tables
 // per node, independent of the network's aspect ratio.
 //
-// The package is a facade over the internal implementation:
+// The paper describes a *family* of schemes along the space-stretch
+// curve; the package exposes the whole family through one registry.
+// Every scheme — the paper's (kind "paper"), the stretch-1 full-table
+// strawman ("fulltable"), the Awerbuch–Peleg-style hierarchy
+// ("apcover"), the scale-free landmark chain ("landmark"), and
+// Thorup–Zwick labeled routing ("tz") — is built by name with Build
+// and served, benchmarked, and persisted through the same interface:
 //
 //	b := compactroute.NewBuilder()
 //	a := b.AddNode(0xCAFE) // nodes have arbitrary 64-bit names
 //	c := b.AddNode(0xBEEF)
 //	b.AddEdge(a, c, 2.5)
 //	net, _ := compactroute.BuildNetwork(b)
-//	scheme, _ := compactroute.NewScheme(net, compactroute.Options{K: 3})
+//	scheme, _ := compactroute.Build(net, compactroute.Config{Kind: "paper", K: 3})
 //	res, _ := scheme.RouteByName(0xCAFE, 0xBEEF)
 //	fmt.Println(res.Cost, res.Hops)
 //
-// Alongside the paper's scheme the package exposes the comparison
-// baselines its evaluation needs (full tables, an aspect-ratio-
-// dependent Awerbuch–Peleg-style hierarchy, a scale-free landmark
-// chain, and Thorup–Zwick labeled routing), synthetic network
-// generators, and stretch statistics. See DESIGN.md for the full
-// system inventory and EXPERIMENTS.md for the reproduced results.
+// Routing honors cancellation: RouteCtx/RouteByNameCtx thread the
+// context into the hop loop, so long multi-hop routes abort promptly
+// with a wrapped context.Canceled. Failures carry the typed error
+// taxonomy of errors.go (ErrUnknownName, ErrSaturated, …), matched
+// with errors.Is. Persistable kinds round-trip through Save/Load in
+// the kind-tagged binary format of internal/codec.
+//
+// Alongside the schemes the package exposes synthetic network
+// generators and stretch statistics. See DESIGN.md for the full
+// system inventory (and the v1→v2 API migration table) and
+// EXPERIMENTS.md for the reproduced results.
 package compactroute
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -35,6 +47,7 @@ import (
 	"compactroute/internal/core"
 	"compactroute/internal/gio"
 	"compactroute/internal/graph"
+	"compactroute/internal/schemes"
 	"compactroute/internal/sim"
 	"compactroute/internal/sssp"
 	"compactroute/internal/stats"
@@ -52,6 +65,19 @@ func NewBuilder() *GraphBuilder { return graph.NewBuilder() }
 
 // Stretch aggregates routed-vs-shortest ratios.
 type Stretch = stats.Stretch
+
+// internal type shorthands shared with registry.go.
+type (
+	graphT     = graph.Graph
+	ssspResult = sssp.Result
+	bitsT      = bitsize.Bits
+)
+
+// tableSizer is the storage-accounting face every scheme presents.
+type tableSizer interface {
+	MaxTableBits() bitsize.Bits
+	MeanTableBits() float64
+}
 
 // Network is a frozen graph with its shortest-path metric, shared by
 // every scheme built on it. The metric is optional (networks from
@@ -78,6 +104,16 @@ func WrapGraph(g *graph.Graph) *Network {
 	n := &Network{g: g}
 	all := sssp.AllPairsParallel(g, 0)
 	n.apsp.Store(&all)
+	return n
+}
+
+// adoptNetwork wraps a graph together with already-computed all-pairs
+// results (no recomputation) — the bridge registered builders use.
+func adoptNetwork(g *graph.Graph, apsp []*sssp.Result) *Network {
+	n := &Network{g: g}
+	if apsp != nil {
+		n.apsp.Store(&apsp)
+	}
 	return n
 }
 
@@ -118,23 +154,34 @@ func (n *Network) EnsureMetric() {
 }
 
 // Distance returns the shortest-path distance between two nodes. It
-// panics on a loaded network without EnsureMetric.
+// panics on a loaded network without EnsureMetric; use TryDistance
+// where the metric may legitimately be absent.
 func (n *Network) Distance(u, v NodeID) float64 {
-	all := n.metric()
-	if all == nil {
+	d, err := n.TryDistance(u, v)
+	if err != nil {
 		panic("compactroute: network has no metric; call EnsureMetric first")
 	}
-	return all[u].Dist[v]
+	return d
 }
 
-// shortest returns d(u,v) when the metric is available, else 0 (which
-// Result.Stretch treats as "unknown", reporting 1).
-func (n *Network) shortest(u, v NodeID) float64 {
+// TryDistance returns the shortest-path distance between two nodes,
+// or a wrapped ErrNoMetric when the network's metric is absent.
+func (n *Network) TryDistance(u, v NodeID) (float64, error) {
 	all := n.metric()
 	if all == nil {
-		return 0
+		return 0, fmt.Errorf("compactroute: distance %d→%d: %w", u, v, ErrNoMetric)
 	}
-	return all[u].Dist[v]
+	return all[u].Dist[v], nil
+}
+
+// shortest returns d(u,v) and whether the metric was available to
+// answer (Result.MetricKnown).
+func (n *Network) shortest(u, v NodeID) (float64, bool) {
+	all := n.metric()
+	if all == nil {
+		return 0, false
+	}
+	return all[u].Dist[v], true
 }
 
 // buildMetric returns the metric for scheme construction, computing
@@ -145,8 +192,9 @@ func (n *Network) buildMetric() []*sssp.Result {
 	return n.metric()
 }
 
-// Options configures the paper's scheme (see core.Params for the
-// experiment-only knobs).
+// Options configures the paper's scheme for NewScheme (see core.Params
+// for the experiment-only knobs). New code should prefer
+// Build(net, Config{Kind: "paper", ...}).
 type Options struct {
 	// K is the space-stretch trade-off parameter: stretch O(k),
 	// tables Õ(n^{1/k}).
@@ -167,11 +215,21 @@ type Result struct {
 	Hops int
 	// HeaderBits is the largest routing header observed in flight.
 	HeaderBits int64
-	// ShortestCost is the shortest-path distance (for stretch).
+	// ShortestCost is the shortest-path distance (for stretch). It is
+	// meaningful only when MetricKnown.
 	ShortestCost float64
+	// MetricKnown reports that ShortestCost is real: the network had
+	// its metric and the destination resolved when this result was
+	// computed. False means "unknown" — never "distance zero" — and
+	// Stretch then reports its sentinel 1. Measurement paths must
+	// check it so an unloaded metric can't masquerade as optimality.
+	MetricKnown bool
 }
 
-// Stretch returns Cost/ShortestCost (1 for self-routes).
+// Stretch returns Cost/ShortestCost. When the stretch is unknowable
+// (self-routes, or MetricKnown == false because the network had no
+// metric) it returns the sentinel 1; callers that must distinguish
+// "optimal" from "unknown" check MetricKnown.
 func (r Result) Stretch() float64 {
 	if r.ShortestCost <= 0 {
 		return 1
@@ -182,25 +240,16 @@ func (r Result) Stretch() float64 {
 // Scheme is a built routing scheme bound to its network.
 type Scheme struct {
 	net    *Network
+	kind   string // registry kind; "" for pre-registry constructions
 	router sim.Router
 	engine *sim.Engine
-	table  interface {
-		MaxTableBits() bitsize.Bits
-		MeanTableBits() float64
-	}
+	table  tableSizer
 }
 
 // NewScheme builds the paper's scheme (Theorem 1) over the network.
+// Equivalent to Build with Config{Kind: "paper"}.
 func NewScheme(net *Network, o Options) (*Scheme, error) {
-	s, err := core.BuildWithAPSP(net.g, net.buildMetric(), core.Params{
-		K:       o.K,
-		Seed:    o.Seed,
-		SFactor: o.SFactor,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return newScheme(net, s, s), nil
+	return Build(net, Config{Kind: KindPaper, K: o.K, Seed: o.Seed, SFactor: o.SFactor})
 }
 
 // NewSchemeFromParams exposes every experiment knob (ablation modes,
@@ -210,7 +259,7 @@ func NewSchemeFromParams(net *Network, p core.Params) (*Scheme, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newScheme(net, s, s), nil
+	return newScheme(net, KindPaper, s, s), nil
 }
 
 // Core returns the underlying core scheme when this Scheme wraps one
@@ -220,51 +269,50 @@ func (s *Scheme) Core() *core.Scheme {
 	return c
 }
 
+// The built-in registry kinds (see Kinds for the full, live list),
+// aliased from internal/schemes, the single owner of the strings.
+const (
+	KindPaper         = schemes.KindPaper
+	KindFullTable     = schemes.KindFullTable
+	KindAPCover       = schemes.KindAPCover
+	KindLandmarkChain = schemes.KindLandmarkChain
+	KindTZ            = schemes.KindTZ
+)
+
 // NewFullTable builds the stretch-1 full-table baseline.
+// Equivalent to Build with Config{Kind: "fulltable"}.
 func NewFullTable(net *Network) (*Scheme, error) {
-	f, err := baseline.NewFullTable(net.g, net.buildMetric())
-	if err != nil {
-		return nil, err
-	}
-	return newScheme(net, f, f), nil
+	return Build(net, Config{Kind: KindFullTable})
 }
 
 // NewAPCover builds the aspect-ratio-dependent tree-cover baseline.
+// Equivalent to Build with Config{Kind: "apcover"}.
 func NewAPCover(net *Network, k int, seed uint64) (*Scheme, error) {
-	a, err := baseline.NewAPCover(net.g, net.buildMetric(), baseline.APCoverParams{K: k, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return newScheme(net, a, a), nil
+	return Build(net, Config{Kind: KindAPCover, K: k, Seed: seed})
 }
 
 // NewLandmarkChain builds the scale-free unbounded-stretch baseline.
+// Equivalent to Build with Config{Kind: "landmark"}.
 func NewLandmarkChain(net *Network, k int, seed uint64) (*Scheme, error) {
-	l, err := baseline.NewLandmarkChain(net.g, net.buildMetric(), baseline.LandmarkChainParams{K: k, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return newScheme(net, l, l), nil
+	return Build(net, Config{Kind: KindLandmarkChain, K: k, Seed: seed})
 }
 
 // NewTZ builds the Thorup–Zwick labeled baseline.
+// Equivalent to Build with Config{Kind: "tz"}.
 func NewTZ(net *Network, k int, seed uint64) (*Scheme, error) {
-	z, err := baseline.NewTZ(net.g, net.buildMetric(), baseline.TZParams{K: k, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return newScheme(net, z, z), nil
+	return Build(net, Config{Kind: KindTZ, K: k, Seed: seed})
 }
 
-func newScheme(net *Network, r sim.Router, t interface {
-	MaxTableBits() bitsize.Bits
-	MeanTableBits() float64
-}) *Scheme {
-	return &Scheme{net: net, router: r, engine: sim.NewEngine(net.g), table: t}
+func newScheme(net *Network, kind string, r sim.Router, t tableSizer) *Scheme {
+	return &Scheme{net: net, kind: kind, router: r, engine: sim.NewEngine(net.g), table: t}
 }
 
 // Name identifies the scheme in tables.
 func (s *Scheme) Name() string { return s.router.Name() }
+
+// Kind returns the registry kind this scheme was built (or loaded)
+// as, e.g. "paper" or "tz".
+func (s *Scheme) Kind() string { return s.kind }
 
 // MaxTableBits returns the largest per-node routing table.
 func (s *Scheme) MaxTableBits() int64 { return int64(s.table.MaxTableBits()) }
@@ -274,30 +322,46 @@ func (s *Scheme) MeanTableBits() float64 { return s.table.MeanTableBits() }
 
 // Route delivers a message between internal ids.
 func (s *Scheme) Route(src, dst NodeID) (Result, error) {
+	return s.RouteCtx(context.Background(), src, dst)
+}
+
+// RouteCtx is Route honoring cancellation: the context threads into
+// the hop loop, so canceling it aborts a long route promptly with a
+// wrapped context.Canceled (or DeadlineExceeded).
+func (s *Scheme) RouteCtx(ctx context.Context, src, dst NodeID) (Result, error) {
 	if int(src) >= s.net.N() || int(dst) >= s.net.N() || src < 0 || dst < 0 {
 		return Result{}, fmt.Errorf("compactroute: invalid endpoint %d→%d", src, dst)
 	}
-	res, err := s.engine.Route(s.router, src, s.net.g.Name(dst))
+	res, err := s.engine.RouteCtx(ctx, s.router, src, s.net.g.Name(dst))
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
-		Delivered:    res.Delivered,
-		Cost:         res.Cost,
-		Hops:         res.Hops,
-		HeaderBits:   int64(res.MaxHeaderBits),
-		ShortestCost: s.net.shortest(src, dst),
-	}, nil
+	out := Result{
+		Delivered:  res.Delivered,
+		Cost:       res.Cost,
+		Hops:       res.Hops,
+		HeaderBits: int64(res.MaxHeaderBits),
+	}
+	out.ShortestCost, out.MetricKnown = s.net.shortest(src, dst)
+	return out, nil
 }
 
 // RouteByName delivers a message between external names — the
 // operation the name-independent model is about.
 func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
+	return s.RouteByNameCtx(context.Background(), srcName, dstName)
+}
+
+// RouteByNameCtx is RouteByName honoring cancellation. An unknown
+// source name errors with a wrapped ErrUnknownName; an unknown
+// destination is searched for and reported as Delivered == false
+// (that asymmetry is the name-independent model).
+func (s *Scheme) RouteByNameCtx(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	src, ok := s.net.g.Lookup(srcName)
 	if !ok {
-		return Result{}, fmt.Errorf("compactroute: unknown source name %#x", srcName)
+		return Result{}, fmt.Errorf("compactroute: source name %#x: %w", srcName, ErrUnknownName)
 	}
-	res, err := s.engine.Route(s.router, src, dstName)
+	res, err := s.engine.RouteCtx(ctx, s.router, src, dstName)
 	if err != nil {
 		return Result{}, err
 	}
@@ -308,7 +372,7 @@ func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
 		HeaderBits: int64(res.MaxHeaderBits),
 	}
 	if dst, ok := s.net.g.Lookup(dstName); ok {
-		out.ShortestCost = s.net.shortest(src, dst)
+		out.ShortestCost, out.MetricKnown = s.net.shortest(src, dst)
 	}
 	return out, nil
 }
@@ -320,42 +384,68 @@ func AddLabeled(b *GraphBuilder, label string) NodeID { return b.AddLabeled(labe
 
 // RouteByLabel delivers a message between string-labeled nodes.
 func (s *Scheme) RouteByLabel(srcLabel, dstLabel string) (Result, error) {
+	return s.RouteByLabelCtx(context.Background(), srcLabel, dstLabel)
+}
+
+// RouteByLabelCtx is RouteByLabel honoring cancellation. Unknown
+// labels error with a wrapped ErrUnknownLabel.
+func (s *Scheme) RouteByLabelCtx(ctx context.Context, srcLabel, dstLabel string) (Result, error) {
 	src, ok := s.net.g.LookupLabel(srcLabel)
 	if !ok {
-		return Result{}, fmt.Errorf("compactroute: unknown source label %q", srcLabel)
+		return Result{}, fmt.Errorf("compactroute: source label %q: %w", srcLabel, ErrUnknownLabel)
 	}
 	dst, ok := s.net.g.LookupLabel(dstLabel)
 	if !ok {
-		return Result{}, fmt.Errorf("compactroute: unknown destination label %q", dstLabel)
+		return Result{}, fmt.Errorf("compactroute: destination label %q: %w", dstLabel, ErrUnknownLabel)
 	}
-	return s.Route(src, dst)
+	return s.RouteCtx(ctx, src, dst)
 }
 
-// Save persists a built paper-scheme to w in the versioned binary
-// format of internal/codec (magic "CRSC"): the routing tables, the
-// landmark and cover trees, the decomposition, and the storage
-// accounting inputs. Only schemes from NewScheme/NewSchemeFromParams
-// can be saved; the comparison baselines have no persistent form.
+// Save persists a built scheme to w in the kind-tagged versioned
+// binary format of internal/codec (magic "CRSC", format v2). Only
+// persistable kinds can be saved — the paper's scheme (everything the
+// construction computed: routing tables, landmark and cover trees,
+// the decomposition, storage accounting inputs) and the full-table
+// baseline (the next-hop tables). Other kinds error with a wrapped
+// ErrNotPersistable.
 func Save(w io.Writer, s *Scheme) error {
-	c := s.Core()
-	if c == nil {
-		return fmt.Errorf("compactroute: only the paper's scheme can be saved, not %s", s.Name())
+	switch r := s.router.(type) {
+	case *core.Scheme:
+		return codec.EncodePayload(w, &codec.Payload{Kind: codec.KindPaper, Core: r.Export()})
+	case *baseline.FullTable:
+		return codec.EncodePayload(w, &codec.Payload{Kind: codec.KindFullTable, Full: r.Export()})
+	default:
+		return fmt.Errorf("compactroute: saving %s: %w", s.Name(), ErrNotPersistable)
 	}
-	return codec.Encode(w, c)
 }
 
-// Load reads a scheme saved by Save and rehydrates it into
-// ready-to-route form without recomputing all-pairs shortest paths —
-// the build-once/route-many entry point. The loaded network has no
-// metric: RouteByName returns correct Cost and Hops, but ShortestCost
-// is 0 (and Stretch reports 1) until Network().EnsureMetric is called.
+// Load reads a scheme saved by Save — any persistable kind, v1 or v2
+// streams — and rehydrates it into ready-to-route form without
+// recomputing all-pairs shortest paths: the build-once/route-many
+// entry point. The loaded network has no metric: RouteByName returns
+// correct Cost and Hops, but ShortestCost is unknown (MetricKnown ==
+// false, Stretch reports 1) until Network().EnsureMetric is called.
 func Load(r io.Reader) (*Scheme, error) {
-	c, err := codec.Decode(r)
+	p, err := codec.DecodePayload(r)
 	if err != nil {
 		return nil, err
 	}
-	net := &Network{g: c.G()}
-	return newScheme(net, c, c), nil
+	switch p.Kind {
+	case codec.KindPaper:
+		c, err := core.FromSnapshot(p.Core)
+		if err != nil {
+			return nil, err
+		}
+		return newScheme(&Network{g: c.G()}, KindPaper, c, c), nil
+	case codec.KindFullTable:
+		f, err := baseline.FullTableFromSnapshot(p.Full)
+		if err != nil {
+			return nil, err
+		}
+		return newScheme(&Network{g: f.G()}, KindFullTable, f, f), nil
+	default:
+		return nil, fmt.Errorf("compactroute: loading kind %q: %w", p.Kind, ErrNotPersistable)
+	}
 }
 
 // Network exposes the scheme's network (read-only use).

@@ -1,0 +1,44 @@
+package compactroute
+
+import "compactroute/internal/routeerr"
+
+// The typed error taxonomy of the v2 API. Every error the facade (and
+// the layers under it) returns wraps one of these sentinels, so
+// callers classify outcomes with errors.Is instead of matching error
+// text:
+//
+//	res, err := scheme.RouteByNameCtx(ctx, src, dst)
+//	switch {
+//	case errors.Is(err, compactroute.ErrUnknownName):
+//	    // 422: the caller asked about a node that does not exist
+//	case errors.Is(err, compactroute.ErrSaturated),
+//	    errors.Is(err, context.Canceled):
+//	    // 503: back-pressure or a caller that left; retryable
+//	}
+//
+// cmd/routed's status-code mapping is built exactly this way.
+var (
+	// ErrUnknownName: a routing query's source name is not in the
+	// network. (An unknown destination is not an error — the scheme
+	// searches and reports Delivered == false.)
+	ErrUnknownName = routeerr.ErrUnknownName
+	// ErrUnknownLabel: a label-routing query for an unregistered label.
+	ErrUnknownLabel = routeerr.ErrUnknownLabel
+	// ErrNotDelivered: a route terminated without reaching its
+	// destination, on a path where delivery is mandatory
+	// (MeasureStretch, RouteBatch).
+	ErrNotDelivered = routeerr.ErrNotDelivered
+	// ErrNoMetric: an operation needed the shortest-path metric on a
+	// network that has none (Load starts without one; EnsureMetric
+	// computes it).
+	ErrNoMetric = routeerr.ErrNoMetric
+	// ErrSaturated: the serving layer could not admit the query before
+	// its context expired. Retryable.
+	ErrSaturated = routeerr.ErrSaturated
+	// ErrNotPersistable: Save was asked for a scheme kind with no
+	// persistent form.
+	ErrNotPersistable = routeerr.ErrNotPersistable
+	// ErrUnknownKind: Build named a scheme kind absent from the
+	// registry (see Kinds).
+	ErrUnknownKind = routeerr.ErrUnknownKind
+)

@@ -50,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	scheme, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 7})
+	scheme, err := compactroute.Build(net, compactroute.Config{Kind: "paper", K: 2, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,4 +81,22 @@ func main() {
 	}
 	fmt.Printf("\ntopology round-trips through the workload format: %d nodes, %v\n",
 		reloaded.N(), reloaded.N() == net.N())
+
+	// Persist the built scheme itself (the kind-tagged codec format
+	// cmd/routed serves): loading skips APSP and construction, which
+	// is the entire build-once/route-many economics.
+	var sbuf bytes.Buffer
+	if err := compactroute.Save(&sbuf, scheme); err != nil {
+		log.Fatal(err)
+	}
+	served, err := compactroute.Load(&sbuf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := served.RouteByLabel("host-0-0", "host-7-3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheme round-trips through the codec as kind %q: delivered=%v cost=%.1f\n",
+		served.Kind(), res.Delivered, res.Cost)
 }

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"compactroute"
 )
@@ -20,7 +22,7 @@ import (
 func main() {
 	const n = 300
 	net := compactroute.ScaleFreeNetwork(11, n, 2, compactroute.UniformWeights(1, 10))
-	scheme, err := compactroute.NewScheme(net, compactroute.Options{K: 3, Seed: 5, SFactor: 1})
+	scheme, err := compactroute.Build(net, compactroute.Config{Kind: "paper", K: 3, Seed: 5, SFactor: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,9 +53,14 @@ func main() {
 		keyHash := compactroute.HashName(99, uint64(len(key))<<32|uint64(qi))
 		owner := responsible(keyHash)
 		// A random client looks the key up by routing to the owner's
-		// name — no location information needed, only the hash.
+		// name — no location information needed, only the hash. Serving
+		// paths route with a deadline so a slow lookup cannot hold a
+		// caller hostage (RouteByNameCtx wraps context.DeadlineExceeded
+		// on expiry).
 		client := names[(qi*37)%n]
-		res, err := scheme.RouteByName(client, owner)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		res, err := scheme.RouteByNameCtx(ctx, client, owner)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -40,11 +40,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// k controls the trade-off: stretch O(k), tables Õ(n^{1/k}).
-	scheme, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 42})
+	// Every scheme in the repository is built by registry kind — this
+	// is the paper's; compactroute.Kinds() lists the alternatives.
+	// K controls the trade-off: stretch O(k), tables Õ(n^{1/k}).
+	scheme, err := compactroute.Build(net, compactroute.Config{Kind: "paper", K: 2, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("built kind %q (registry: %v)\n", scheme.Kind(), compactroute.Kinds())
 
 	// Route by name — the only address the sender needs.
 	res, err := scheme.RouteByName(0x3AD2, 0x0510) // Madrid → Oslo

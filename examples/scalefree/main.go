@@ -17,11 +17,11 @@ func main() {
 	for _, topExp := range []int{8, 16, 24, 32, 36} {
 		net := compactroute.AspectLadderNetwork(7, 2, 5, topExp)
 
-		ours, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 1, SFactor: 2})
+		ours, err := compactroute.Build(net, compactroute.Config{Kind: "paper", K: 2, Seed: 1, SFactor: 2})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ap, err := compactroute.NewAPCover(net, 2, 1)
+		ap, err := compactroute.Build(net, compactroute.Config{Kind: "apcover", K: 2, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,7 +12,7 @@ import (
 
 func main() {
 	net := compactroute.RandomNetwork(3, 256, 8.0/256, compactroute.UniformWeights(1, 8))
-	full, err := compactroute.NewFullTable(net)
+	full, err := compactroute.Build(net, compactroute.Config{Kind: "fulltable"})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func main() {
 	fmt.Printf("%-10s  %-15d  %-13.3f  %-12.3f\n", "full", full.MaxTableBits(), st.Mean(), st.Max())
 
 	for _, k := range []int{2, 3, 4, 5} {
-		s, err := compactroute.NewScheme(net, compactroute.Options{K: k, Seed: 9, SFactor: 1})
+		s, err := compactroute.Build(net, compactroute.Config{Kind: "paper", K: k, Seed: 9, SFactor: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -114,6 +114,9 @@ func (f *FullTable) Step(x graph.NodeID, hh sim.Header) (sim.Action, int, error)
 	return sim.Forward, int(port), nil
 }
 
+// G returns the underlying graph.
+func (f *FullTable) G() *graph.Graph { return f.g }
+
 // MaxTableBits returns the largest per-node table.
 func (f *FullTable) MaxTableBits() bitsize.Bits { return f.acct.MaxNodeBits() }
 

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"fmt"
+
+	"compactroute/internal/bitsize"
+	"compactroute/internal/graph"
+)
+
+// FullTableSnapshot is the persistent form of the stretch-1 baseline:
+// the graph plus every node's next-hop ports. Unlike the paper scheme,
+// nothing is recomputed on rehydration — the table *is* the scheme —
+// so this is the cheapest possible build-once/route-many artifact (and
+// the largest, which is exactly the trade the paper quantifies).
+type FullTableSnapshot struct {
+	Graph *graph.Snapshot
+	// Next[u][v] is the port at u toward v (-1 when unreachable).
+	Next [][]int32
+}
+
+// Export captures the baseline's persistent state. The result shares
+// memory with the scheme; treat it as read-only.
+func (f *FullTable) Export() *FullTableSnapshot {
+	return &FullTableSnapshot{Graph: f.g.Snapshot(), Next: f.next}
+}
+
+// FullTableFromSnapshot rehydrates a ready-to-route FullTable. Ports
+// are validated against the rebuilt graph so a corrupt snapshot fails
+// here, not mid-route; the storage accounting is a deterministic
+// function of the graph shape and is recomputed.
+func FullTableFromSnapshot(snap *FullTableSnapshot) (*FullTable, error) {
+	g, err := graph.FromSnapshot(snap.Graph)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if len(snap.Next) != n {
+		return nil, fmt.Errorf("baseline: snapshot has %d next-hop rows for %d nodes", len(snap.Next), n)
+	}
+	for u, row := range snap.Next {
+		if len(row) != n {
+			return nil, fmt.Errorf("baseline: node %d has %d next-hop entries, want %d", u, len(row), n)
+		}
+		deg := int32(g.Degree(graph.NodeID(u)))
+		// -1 ("no hop": self or unreachable) is legitimate table state
+		// and handled at route time; anything else must be a real port.
+		for v, port := range row {
+			if port < -1 || port >= deg {
+				return nil, fmt.Errorf("baseline: node %d stores port %d toward %d (degree %d)", u, port, v, deg)
+			}
+		}
+	}
+	f := &FullTable{g: g, next: snap.Next, acct: bitsize.NewAccountant(n)}
+	idb := bitsize.IDBits(n)
+	for u := 0; u < n; u++ {
+		pb := bitsize.IDBits(g.Degree(graph.NodeID(u)))
+		f.acct.Add(u, "next-hop-table", bitsize.Bits(n-1)*(idb+pb))
+	}
+	return f, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"compactroute/internal/bitsize"
 	"compactroute/internal/graph"
+	"compactroute/internal/routeerr"
 	"compactroute/internal/sim"
 	"compactroute/internal/sssp"
 	"compactroute/internal/tree"
@@ -219,11 +220,13 @@ func (h *tzHeader) Bits() bitsize.Bits { return h.label.Bits() + 8 }
 func (z *TZ) Name() string { return fmt.Sprintf("tz-labeled-k%d", z.k) }
 
 // Begin implements sim.Router: dstName is resolved to a label out of
-// band (labels are the model's addresses).
+// band (labels are the model's addresses). A name no node carries has
+// no label and is the caller's error (wrapped ErrUnknownName) — unlike
+// the name-independent schemes, TZ cannot go searching for it.
 func (z *TZ) Begin(src graph.NodeID, dstName uint64) (sim.Header, error) {
 	id, ok := z.g.Lookup(dstName)
 	if !ok {
-		return nil, fmt.Errorf("baseline: tz: unknown destination name %#x", dstName)
+		return nil, fmt.Errorf("baseline: tz: destination name %#x: %w", dstName, routeerr.ErrUnknownName)
 	}
 	return &tzHeader{label: z.labels[id], pivotIx: -1}, nil
 }

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +25,30 @@ type Config struct {
 	Quick bool
 	// Seed drives all sampling.
 	Seed uint64
+	// JSON switches every runner's output from aligned text tables to
+	// one JSON object per table (JSON Lines), the machine-readable form
+	// cmd/routebench -json emits for perf-trajectory tracking. Prose
+	// notes ("expected shape: …") appear only in text mode.
+	JSON bool
+}
+
+// emit writes one experiment table in the configured format, plus any
+// explanatory notes (text mode only — the notes restate expectations,
+// not measurements, so they would be noise in a data stream).
+func (cfg Config) emit(w io.Writer, tb *stats.Table, notes ...string) error {
+	if cfg.JSON {
+		enc := json.NewEncoder(w)
+		return enc.Encode(tb)
+	}
+	if _, err := fmt.Fprint(w, tb.String()); err != nil {
+		return err
+	}
+	for _, n := range notes {
+		if _, err := fmt.Fprintln(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Runner is one experiment.
@@ -75,10 +100,14 @@ func IDs() []string {
 	return ids
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order. In JSON mode the stream
+// is pure JSON Lines (tables identify themselves by title); in text
+// mode each experiment gets a banner.
 func RunAll(w io.Writer, cfg Config) error {
 	for _, id := range IDs() {
-		fmt.Fprintf(w, "\n### experiment %s ###\n", id)
+		if !cfg.JSON {
+			fmt.Fprintf(w, "\n### experiment %s ###\n", id)
+		}
 		if err := Experiments[id](w, cfg); err != nil {
 			return fmt.Errorf("bench: %s: %w", id, err)
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -20,6 +21,46 @@ func TestAllExperimentsQuick(t *testing.T) {
 			out := buf.String()
 			if !strings.Contains(out, "==") || !strings.Contains(out, "expected") && id != "T8" {
 				t.Fatalf("%s produced unexpected output:\n%s", id, out)
+			}
+		})
+	}
+}
+
+// TestJSONOutput: with Config.JSON every runner must emit pure JSON
+// Lines — one {"title", "columns", "rows"} object per table, no text
+// banners or prose — so BENCH_*.json trajectory files are parseable
+// without scraping.
+func TestJSONOutput(t *testing.T) {
+	for _, id := range []string{"T1", "T8", "P1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Experiments[id](&buf, Config{Quick: true, Seed: 1, JSON: true}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			dec := json.NewDecoder(&buf)
+			tables := 0
+			for dec.More() {
+				var tb struct {
+					Title   string     `json:"title"`
+					Columns []string   `json:"columns"`
+					Rows    [][]string `json:"rows"`
+				}
+				if err := dec.Decode(&tb); err != nil {
+					t.Fatalf("%s: line %d: %v", id, tables+1, err)
+				}
+				if tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table %+v", id, tb)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s: row has %d cells for %d columns", id, len(row), len(tb.Columns))
+					}
+				}
+				tables++
+			}
+			if tables == 0 {
+				t.Fatalf("%s emitted no JSON tables", id)
 			}
 		})
 	}

@@ -14,6 +14,7 @@ import (
 	"compactroute/internal/graph"
 	"compactroute/internal/landmark"
 	"compactroute/internal/nitree"
+	"compactroute/internal/schemes"
 	"compactroute/internal/sssp"
 	"compactroute/internal/stats"
 	"compactroute/internal/tree"
@@ -54,9 +55,7 @@ func RunT1(w io.Writer, cfg Config) error {
 				float64(s.MaxTableBits())/bound, st.Mean(), st.Max(), st.Max()/float64(k))
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected shape: bits/node falls with k, stretch rises ~linearly (max/k roughly flat)")
-	return nil
+	return cfg.emit(w, tb, "expected shape: bits/node falls with k, stretch rises ~linearly (max/k roughly flat)")
 }
 
 // RunT2 reproduces the scale-free headline: the scheme's tables stay
@@ -94,9 +93,7 @@ func RunT2(w io.Writer, cfg Config) error {
 		tb.AddRow(te, g.N(), int64(s.MaxTableBits()), stS.Max(),
 			ap.Scales(), int64(ap.MaxTableBits()), stA.Max())
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected shape: agm06 bits flat in Δ; apcover scales/bits grow ∝ log Δ")
-	return nil
+	return cfg.emit(w, tb, "expected shape: agm06 bits flat in Δ; apcover scales/bits grow ∝ log Δ")
 }
 
 // RunT3 reproduces the §1 comparison: linear stretch at Õ(n^{1/k})
@@ -165,9 +162,7 @@ func RunT3(w io.Writer, cfg Config) error {
 			tb.AddRow(wl.name, "tz labeled [29] (weaker model)", k, int64(z.MaxTableBits()), st.Mean(), st.Percentile(99), st.Max())
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected shape: agm06 max stretch stays O(k); landmark-chain max stretch grows with the diameter; tz lower but labeled")
-	return nil
+	return cfg.emit(w, tb, "expected shape: agm06 max stretch stays O(k); landmark-chain max stretch grows with the diameter; tz lower but labeled")
 }
 
 func familySet(cfg Config, n int) []struct {
@@ -216,9 +211,7 @@ func RunF1(w io.Writer, cfg Config) error {
 		}
 		tb.AddRow(fam.name, fam.g.N(), d.DenseLevelCount(), checked, viol, maxR, 6*(k+1))
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: zero violations (Lemma 2 is deterministic); |R(u)| = O(k), independent of Δ")
-	return nil
+	return cfg.emit(w, tb, "expected: zero violations (Lemma 2 is deterministic); |R(u)| = O(k), independent of Δ")
 }
 
 // RunF2 reproduces Figure 2 / Lemma 3: the sparse-neighborhood
@@ -247,9 +240,7 @@ func RunF2(w io.Writer, cfg Config) error {
 		}
 		tb.AddRow(fam.name, fam.g.N(), checked, viol, rate)
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: zero violations whp with the paper's constant 16")
-	return nil
+	return cfg.emit(w, tb, "expected: zero violations whp with the paper's constant 16")
 }
 
 // RunT4 reproduces Lemma 4: j-bounded search stretch ≤ 2j−1, negative
@@ -312,9 +303,7 @@ func RunT4(w io.Writer, cfg Config) error {
 		}
 		tb.AddRow(k, ni.Sigma(), ni.BucketCap(), maxStretch, 2*k-1, maxNegRatio, maxBits, ni.ReseedCount)
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: search stretch ≤ 2k-1; negative ratio ≤ 1; bits fall with k")
-	return nil
+	return cfg.emit(w, tb, "expected: search stretch ≤ 2k-1; negative ratio ≤ 1; bits fall with k")
 }
 
 func pathCost(g *graph.Graph, path []graph.NodeID) float64 {
@@ -351,9 +340,7 @@ func RunT5(w io.Writer, cfg Config) error {
 				c.MaxRadius()/(float64(2*k+1)*rho), c.MaxEdge()/(2*rho))
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: membership ≤ 2k·n^{1/k}; radius and edge ratios ≤ 1")
-	return nil
+	return cfg.emit(w, tb, "expected: membership ≤ 2k·n^{1/k}; radius and edge ratios ≤ 1")
 }
 
 // RunT6 reproduces Lemma 7: lookups on cover trees stay within
@@ -406,12 +393,10 @@ func RunT6(w io.Writer, cfg Config) error {
 		}
 	}
 	tb.AddRow(len(c.Trees), maxTree, maxPos, maxNeg, maxLoad)
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: both ratios ≤ 1 and positive (implementation achieves ≤ 4·rad alone)")
 	if maxTree < 10 || maxPos == 0 {
 		return fmt.Errorf("T6 vacuous: largest tree %d, max ratio %v", maxTree, maxPos)
 	}
-	return nil
+	return cfg.emit(w, tb, "expected: both ratios ≤ 1 and positive (implementation achieves ≤ 4·rad alone)")
 }
 
 // RunT7 reproduces Claims 1 and 2: landmark hitting and congestion.
@@ -444,13 +429,25 @@ func RunT7(w io.Writer, cfg Config) error {
 			tb.AddRow(fam.name, kind, c1, v1, c2, v2, lm.LevelSize(1), lm.LevelSize(2))
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: zero Claim 1 violations (by construction for derandomized); zero Claim 2 whp")
-	return nil
+	return cfg.emit(w, tb, "expected: zero Claim 1 violations (by construction for derandomized); zero Claim 2 whp")
+}
+
+// t8Ks maps each registry kind to the trade-off parameters T8 sweeps
+// for it (fulltable has none; nil means "build once, k irrelevant").
+// Kinds registered after init are compared at k = 2 and 3 like the
+// paper's scheme — the comparison table grows with the registry.
+var t8Ks = map[string][]int{
+	schemes.KindPaper:         {2, 3},
+	schemes.KindTZ:            {2, 3},
+	schemes.KindAPCover:       {2},
+	schemes.KindLandmarkChain: {3},
+	schemes.KindFullTable:     nil,
 }
 
 // RunT8 reproduces the related-work comparison (§1.3) on one graph:
-// space and stretch for every scheme in the repository.
+// space and stretch for every scheme kind in the registry — the table
+// enumerates schemes.Kinds() rather than a hard-coded constructor
+// list, so a newly registered kind shows up without touching T8.
 func RunT8(w io.Writer, cfg Config) error {
 	n, stride := 256, 2
 	if cfg.Quick {
@@ -459,63 +456,31 @@ func RunT8(w io.Writer, cfg Config) error {
 	g := gen.Gnp(cfg.Seed+51, n, 8/float64(n), gen.Uniform(1, 8))
 	nn := newNet(g)
 	tb := stats.NewTable(fmt.Sprintf("T8: scheme comparison (gnp n=%d)", n),
-		"scheme", "model", "max bits/node", "mean bits/node", "mean stretch", "max stretch")
+		"kind", "scheme", "model", "max bits/node", "mean bits/node", "mean stretch", "max stretch")
 
-	ft, err := baseline.NewFullTable(nn.g, nn.apsp)
-	if err != nil {
-		return err
-	}
-	st, err := nn.measure(ft, stride, true)
-	if err != nil {
-		return err
-	}
-	tb.AddRow("full-table", "name-indep", int64(ft.MaxTableBits()), ft.MeanTableBits(), st.Mean(), st.Max())
-
-	for _, k := range []int{2, 3} {
-		s, err := core.BuildWithAPSP(nn.g, nn.apsp, core.Params{K: k, Seed: cfg.Seed, SFactor: 1})
-		if err != nil {
-			return err
+	for _, kind := range schemes.Kinds() {
+		info, _ := schemes.Lookup(kind)
+		ks, pinned := t8Ks[kind]
+		if !pinned {
+			ks = []int{2, 3}
 		}
-		st, err := nn.measure(s, stride, true)
-		if err != nil {
-			return err
+		if ks == nil {
+			ks = []int{0}
 		}
-		tb.AddRow(fmt.Sprintf("agm06 k=%d (this paper)", k), "name-indep, scale-free",
-			int64(s.MaxTableBits()), s.MeanTableBits(), st.Mean(), st.Max())
-	}
-	ap, err := baseline.NewAPCover(nn.g, nn.apsp, baseline.APCoverParams{K: 2, Seed: cfg.Seed})
-	if err != nil {
-		return err
-	}
-	st, err = nn.measure(ap, stride, true)
-	if err != nil {
-		return err
-	}
-	tb.AddRow("ap-cover k=2 [9,10]+[3]", "name-indep, log Δ space", int64(ap.MaxTableBits()), ap.MeanTableBits(), st.Mean(), st.Max())
-
-	lc, err := baseline.NewLandmarkChain(nn.g, nn.apsp, baseline.LandmarkChainParams{K: 3, Seed: cfg.Seed})
-	if err != nil {
-		return err
-	}
-	st, err = nn.measure(lc, stride, true)
-	if err != nil {
-		return err
-	}
-	tb.AddRow("landmark-chain k=3 [7,8,6]-family", "name-indep, scale-free", int64(lc.MaxTableBits()), lc.MeanTableBits(), st.Mean(), st.Max())
-
-	for _, k := range []int{2, 3} {
-		z, err := baseline.NewTZ(nn.g, nn.apsp, baseline.TZParams{K: k, Seed: cfg.Seed})
-		if err != nil {
-			return err
+		for _, k := range ks {
+			s, err := schemes.Build(nn.g, nn.apsp, schemes.Config{Kind: kind, K: k, Seed: cfg.Seed, SFactor: 1})
+			if err != nil {
+				return fmt.Errorf("T8: kind %s k=%d: %w", kind, k, err)
+			}
+			st, err := nn.measure(s, stride, true)
+			if err != nil {
+				return fmt.Errorf("T8: kind %s k=%d: %w", kind, k, err)
+			}
+			tb.AddRow(kind, s.Name(), info.Model,
+				int64(s.MaxTableBits()), s.MeanTableBits(), st.Mean(), st.Max())
 		}
-		st, err := nn.measure(z, stride, true)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(fmt.Sprintf("tz k=%d [29]", k), "labeled (weaker model)", int64(z.MaxTableBits()), z.MeanTableBits(), st.Mean(), st.Max())
 	}
-	fmt.Fprint(w, tb.String())
-	return nil
+	return cfg.emit(w, tb)
 }
 
 // RunT9 reproduces the §1.2 ablation: why the decomposition needs both
@@ -550,11 +515,10 @@ func RunT9(w io.Writer, cfg Config) error {
 				int64(s.MaxTableBits()), s.Report.ForcedMembers, st.Mean(), st.Max())
 		}
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: dense-only pays stretch (no Lemma 2 guarantee on sparse levels).")
-	fmt.Fprintln(w, "note: sparse-only is competitive at these sizes — its cost (Lemma 3 repairs on")
-	fmt.Fprintln(w, "dense levels) grows with n and with tighter S-set caps; see EXPERIMENTS.md.")
-	return nil
+	return cfg.emit(w, tb,
+		"expected: dense-only pays stretch (no Lemma 2 guarantee on sparse levels).",
+		"note: sparse-only is competitive at these sizes — its cost (Lemma 3 repairs on",
+		"dense levels) grows with n and with tighter S-set caps; see EXPERIMENTS.md.")
 }
 
 // RunT10 reproduces Lemmas 9/11: per-phase search costs stay within
@@ -626,7 +590,5 @@ func RunT10(w io.Writer, cfg Config) error {
 		tb.AddRow(wl.name, "failed sparse (÷ k·2^{a(u,i+1)})", failSparse, maxFailSparse)
 		tb.AddRow(wl.name, "finding (÷ k·(d+2^{a(u,i)}))", finds, maxFind)
 	}
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintln(w, "expected: all ratios O(1) — the lemmas' hidden constants, measured")
-	return nil
+	return cfg.emit(w, tb, "expected: all ratios O(1) — the lemmas' hidden constants, measured")
 }

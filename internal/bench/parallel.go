@@ -64,8 +64,7 @@ func RunP1(w io.Writer, cfg Config) error {
 		serialTime.Round(time.Millisecond).String(),
 		parallelTime.Round(time.Millisecond).String(),
 		speedup)
-	fmt.Fprint(w, tb.String())
-	fmt.Fprintf(w, "distributions identical (n=%d mean=%.4f max=%.4f); expected shape: speedup → workers as n grows\n",
-		serial.N(), serial.Mean(), serial.Max())
-	return nil
+	return cfg.emit(w, tb, fmt.Sprintf(
+		"distributions identical (n=%d mean=%.4f max=%.4f); expected shape: speedup → workers as n grows",
+		serial.N(), serial.Mean(), serial.Max()))
 }

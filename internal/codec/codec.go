@@ -20,17 +20,23 @@
 // are little-endian; floats are IEEE 754 bit patterns. Within
 // sections, slices are a uint32 count followed by the elements.
 //
-// Section ids of version 1 (see DESIGN.md §"Persistence format" for
-// the field-level layout):
+// Version 2 streams open with a kind section naming the scheme kind
+// the remaining sections describe; version 1 streams predate the kind
+// tag and always hold the paper's scheme. Both versions read.
 //
-//	1 graph     CSR arrays, names, labels
-//	2 params    normalized core.Params (carries the rebuild seeds)
-//	3 decomp    ranges, classes, range sets
-//	4 landmark  ranks, capacities, centers
-//	5 levels    per-(node, level) routing pointers
-//	6 trees     landmark trees as parent relations
-//	7 covers    per-scale covers: filter, homes, trees
-//	8 report    build report counters
+// Section ids (see DESIGN.md §"Persistence format" for the
+// field-level layout):
+//
+//	1 graph     CSR arrays, names, labels          (all kinds)
+//	2 params    normalized core.Params             (kind "paper")
+//	3 decomp    ranges, classes, range sets        (kind "paper")
+//	4 landmark  ranks, capacities, centers         (kind "paper")
+//	5 levels    per-(node, level) routing pointers (kind "paper")
+//	6 trees     landmark trees as parent relations (kind "paper")
+//	7 covers    per-scale covers                   (kind "paper")
+//	8 report    build report counters              (kind "paper")
+//	9 kind      scheme kind string                 (v2+, first section)
+//	10 nexthop  per-node next-hop ports            (kind "fulltable")
 //
 // Encoding is deterministic: encoding a scheme, decoding it, and
 // encoding the result yields identical bytes (the property tests pin
@@ -46,15 +52,25 @@ import (
 	"io"
 	"math"
 
+	"compactroute/internal/baseline"
 	"compactroute/internal/core"
 	"compactroute/internal/graph"
+	"compactroute/internal/routeerr"
+	"compactroute/internal/schemes"
 )
 
 // Magic identifies a scheme stream.
 var Magic = [4]byte{'C', 'R', 'S', 'C'}
 
 // Version is the current format version.
-const Version uint16 = 1
+const Version uint16 = 2
+
+// Scheme kinds with a persistent form, aliased from the registry
+// (internal/schemes owns the kind strings).
+const (
+	KindPaper     = schemes.KindPaper
+	KindFullTable = schemes.KindFullTable
+)
 
 // Section ids.
 const (
@@ -66,20 +82,31 @@ const (
 	secTrees    = 6
 	secCovers   = 7
 	secReport   = 8
+	secKind     = 9
+	secNextHop  = 10
 	secFooter   = 0xFF
 )
+
+// Payload is one persisted scheme: the kind tag plus the snapshot for
+// that kind (exactly one of the snapshot fields is set).
+type Payload struct {
+	Kind string
+	Core *core.Snapshot
+	Full *baseline.FullTableSnapshot
+}
 
 // maxCount bounds any single slice length read from a stream, so a
 // corrupt count fails fast instead of attempting a huge allocation.
 const maxCount = 1 << 28
 
-// Encode writes a built scheme to w.
+// Encode writes a built paper scheme to w.
 func Encode(w io.Writer, s *core.Scheme) error {
 	return EncodeSnapshot(w, s.Export())
 }
 
-// Decode reads a scheme from r and rehydrates it into ready-to-route
-// form without recomputing shortest paths.
+// Decode reads a paper scheme from r and rehydrates it into
+// ready-to-route form without recomputing shortest paths. Use
+// DecodePayload when the stream's kind is not known in advance.
 func Decode(r io.Reader) (*core.Scheme, error) {
 	snap, err := DecodeSnapshot(r)
 	if err != nil {
@@ -88,8 +115,71 @@ func Decode(r io.Reader) (*core.Scheme, error) {
 	return core.FromSnapshot(snap)
 }
 
-// EncodeSnapshot writes a scheme snapshot to w.
+// EncodeSnapshot writes a paper-scheme snapshot to w.
 func EncodeSnapshot(w io.Writer, snap *core.Snapshot) error {
+	return EncodePayload(w, &Payload{Kind: KindPaper, Core: snap})
+}
+
+// DecodeSnapshot reads a paper-scheme snapshot from r, rejecting
+// streams of any other kind.
+func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
+	p, err := DecodePayload(r)
+	if err != nil {
+		return nil, err
+	}
+	if p.Kind != KindPaper {
+		return nil, fmt.Errorf("codec: stream holds a %q scheme, want %q", p.Kind, KindPaper)
+	}
+	return p.Core, nil
+}
+
+// sectionsFor returns the ordered section list of a payload's kind.
+func sectionsFor(p *Payload) ([]struct {
+	id   uint8
+	emit func(*enc)
+}, error) {
+	type sec = struct {
+		id   uint8
+		emit func(*enc)
+	}
+	switch p.Kind {
+	case KindPaper:
+		snap := p.Core
+		if snap == nil {
+			return nil, fmt.Errorf("codec: kind %q without a core snapshot", p.Kind)
+		}
+		return []sec{
+			{secGraph, func(e *enc) { e.graph(snap.Graph) }},
+			{secParams, func(e *enc) { e.params(&snap.Params) }},
+			{secDecomp, func(e *enc) { e.decomp(snap.Decomp) }},
+			{secLandmark, func(e *enc) { e.landmark(snap.Landmark) }},
+			{secLevels, func(e *enc) { e.levels(snap.Levels) }},
+			{secTrees, func(e *enc) { e.trees(snap.Trees) }},
+			{secCovers, func(e *enc) { e.covers(snap.Covers) }},
+			{secReport, func(e *enc) { e.report(&snap.Report) }},
+		}, nil
+	case KindFullTable:
+		snap := p.Full
+		if snap == nil {
+			return nil, fmt.Errorf("codec: kind %q without a full-table snapshot", p.Kind)
+		}
+		return []sec{
+			{secGraph, func(e *enc) { e.graph(snap.Graph) }},
+			{secNextHop, func(e *enc) { e.nextHop(snap.Next) }},
+		}, nil
+	default:
+		return nil, fmt.Errorf("codec: %w %q", routeerr.ErrNotPersistable, p.Kind)
+	}
+}
+
+// EncodePayload writes a kind-tagged scheme payload to w in the
+// current format version. The kind section always comes first so a
+// reader can dispatch before touching kind-specific sections.
+func EncodePayload(w io.Writer, p *Payload) error {
+	sections, err := sectionsFor(p)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	crc := crc32.NewIEEE()
 	out := io.MultiWriter(bw, crc)
@@ -103,20 +193,14 @@ func EncodeSnapshot(w io.Writer, snap *core.Snapshot) error {
 		return err
 	}
 
-	sections := []struct {
-		id   uint8
-		emit func(*enc)
-	}{
-		{secGraph, func(e *enc) { e.graph(snap.Graph) }},
-		{secParams, func(e *enc) { e.params(&snap.Params) }},
-		{secDecomp, func(e *enc) { e.decomp(snap.Decomp) }},
-		{secLandmark, func(e *enc) { e.landmark(snap.Landmark) }},
-		{secLevels, func(e *enc) { e.levels(snap.Levels) }},
-		{secTrees, func(e *enc) { e.trees(snap.Trees) }},
-		{secCovers, func(e *enc) { e.covers(snap.Covers) }},
-		{secReport, func(e *enc) { e.report(&snap.Report) }},
-	}
 	var payload bytes.Buffer
+	{
+		e := &enc{w: &payload}
+		e.str(p.Kind)
+		if err := writeSection(out, secKind, payload.Bytes()); err != nil {
+			return err
+		}
+	}
 	for _, sec := range sections {
 		payload.Reset()
 		e := &enc{w: &payload}
@@ -144,8 +228,18 @@ func writeSection(w io.Writer, id uint8, payload []byte) error {
 	return err
 }
 
-// DecodeSnapshot reads a scheme snapshot from r.
-func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
+// requiredSections maps each kind to the section set its snapshot
+// needs. The kind section itself is required in v2 streams and absent
+// from v1 streams (which are implicitly KindPaper).
+var requiredSections = map[string][]uint8{
+	KindPaper:     {secGraph, secParams, secDecomp, secLandmark, secLevels, secTrees, secCovers, secReport},
+	KindFullTable: {secGraph, secNextHop},
+}
+
+// DecodePayload reads a kind-tagged scheme payload from r, accepting
+// both the current version and version-1 streams (which predate the
+// kind tag and always hold the paper's scheme).
+func DecodePayload(r io.Reader) (*Payload, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -158,13 +252,21 @@ func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
 	if _, err := io.ReadFull(br, vbuf[:]); err != nil {
 		return nil, fmt.Errorf("codec: reading version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(vbuf[:]); v != Version {
-		return nil, fmt.Errorf("codec: unsupported version %d (have %d)", v, Version)
+	version := binary.LittleEndian.Uint16(vbuf[:])
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("codec: unsupported version %d (have %d)", version, Version)
 	}
 
 	crc := crc32.NewIEEE()
-	snap := &core.Snapshot{}
+	p := &Payload{}
+	if version == 1 {
+		// v1 predates the kind tag: the stream is a paper scheme.
+		p.Kind = KindPaper
+		p.Core = &core.Snapshot{}
+	}
+	var next [][]int32
 	seen := make(map[uint8]bool)
+	first := true
 	for {
 		var hdr [9]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -195,24 +297,66 @@ func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
 			return nil, fmt.Errorf("codec: duplicate section %d", id)
 		}
 		seen[id] = true
+		if version >= 2 && first && id != secKind {
+			return nil, fmt.Errorf("codec: v%d stream opens with section %d, want the kind section", version, id)
+		}
+		first = false
 		d := &dec{r: payload}
 		switch id {
+		case secKind:
+			if version == 1 {
+				return nil, fmt.Errorf("codec: v1 stream carries a kind section")
+			}
+			kind, err := d.str()
+			if err != nil {
+				return nil, fmt.Errorf("codec: kind section: %w", err)
+			}
+			p.Kind = kind
+			switch kind {
+			case KindPaper:
+				p.Core = &core.Snapshot{}
+			case KindFullTable:
+				p.Full = &baseline.FullTableSnapshot{}
+			default:
+				return nil, fmt.Errorf("codec: %w: stream holds unknown kind %q", routeerr.ErrUnknownKind, kind)
+			}
 		case secGraph:
-			snap.Graph, err = d.graph()
-		case secParams:
-			err = d.params(&snap.Params)
-		case secDecomp:
-			snap.Decomp, err = d.decomp()
-		case secLandmark:
-			snap.Landmark, err = d.landmark()
-		case secLevels:
-			snap.Levels, err = d.levels()
-		case secTrees:
-			snap.Trees, err = d.trees()
-		case secCovers:
-			snap.Covers, err = d.covers()
-		case secReport:
-			err = d.report(&snap.Report)
+			var g *graph.Snapshot
+			if g, err = d.graph(); err == nil {
+				switch {
+				case p.Core != nil:
+					p.Core.Graph = g
+				case p.Full != nil:
+					p.Full.Graph = g
+				default:
+					return nil, fmt.Errorf("codec: graph section before the kind section")
+				}
+			}
+		case secParams, secDecomp, secLandmark, secLevels, secTrees, secCovers, secReport:
+			if p.Core == nil {
+				return nil, fmt.Errorf("codec: section %d in a %q stream", id, p.Kind)
+			}
+			switch id {
+			case secParams:
+				err = d.params(&p.Core.Params)
+			case secDecomp:
+				p.Core.Decomp, err = d.decomp()
+			case secLandmark:
+				p.Core.Landmark, err = d.landmark()
+			case secLevels:
+				p.Core.Levels, err = d.levels()
+			case secTrees:
+				p.Core.Trees, err = d.trees()
+			case secCovers:
+				p.Core.Covers, err = d.covers()
+			case secReport:
+				err = d.report(&p.Core.Report)
+			}
+		case secNextHop:
+			if p.Full == nil {
+				return nil, fmt.Errorf("codec: next-hop section in a %q stream", p.Kind)
+			}
+			next, err = d.nextHop()
 		default:
 			// Unknown section from a future minor revision: skip.
 		}
@@ -223,16 +367,24 @@ func DecodeSnapshot(r io.Reader) (*core.Snapshot, error) {
 			return nil, fmt.Errorf("codec: section %d has %d trailing bytes", id, len(d.r))
 		}
 	}
-	for _, id := range []uint8{secGraph, secParams, secDecomp, secLandmark, secLevels, secTrees, secCovers, secReport} {
+	// A v2 stream with no sections at all never hits the kind-first
+	// check in the loop; an empty kind must not read as a valid payload.
+	if version >= 2 && p.Kind == "" {
+		return nil, fmt.Errorf("codec: stream has no kind section")
+	}
+	for _, id := range requiredSections[p.Kind] {
 		if !seen[id] {
 			return nil, fmt.Errorf("codec: missing section %d", id)
 		}
 	}
-	return snap, nil
+	if p.Full != nil {
+		p.Full.Next = next
+	}
+	return p, nil
 }
 
 func knownSection(id uint8) bool {
-	return id >= secGraph && id <= secReport
+	return (id >= secGraph && id <= secReport) || id == secKind || id == secNextHop
 }
 
 // readPayload reads a length-prefixed payload in bounded chunks, so a

@@ -2,6 +2,7 @@ package codec_test
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -109,11 +110,12 @@ func TestRoundTripProperty(t *testing.T) {
 }
 
 // TestGoldenFile pins the on-disk format: the committed golden file
-// must decode, rehydrate, route, and re-encode to the exact committed
-// bytes. Regenerate with CODEC_WRITE_GOLDEN=1 go test ./internal/codec
-// after an intentional format change (and bump Version).
+// (current version) must decode, rehydrate, route, and re-encode to
+// the exact committed bytes. Regenerate with CODEC_WRITE_GOLDEN=1 go
+// test ./internal/codec after an intentional format change (and bump
+// Version).
 func TestGoldenFile(t *testing.T) {
-	golden := filepath.Join("testdata", "golden_v1.crsc")
+	golden := filepath.Join("testdata", "golden_v2.crsc")
 	if os.Getenv("CODEC_WRITE_GOLDEN") != "" {
 		s := buildGolden(t)
 		var buf bytes.Buffer
@@ -149,6 +151,58 @@ func TestGoldenFile(t *testing.T) {
 	if !bytes.Equal(want, got.Bytes()) {
 		t.Fatalf("golden re-encoding differs from committed file (%d vs %d bytes); "+
 			"format changed without a version bump?", len(want), got.Len())
+	}
+}
+
+// TestGoldenV1StillLoads is the backward-compatibility pin: the
+// golden_v1.crsc file was written by the format-v1 encoder (before the
+// kind tag existed) and must keep loading forever. Decoding takes the
+// v1 path (kind implicitly "paper"); the rehydrated scheme must route
+// and must round-trip through the *current* format identically to a
+// freshly built equivalent.
+func TestGoldenV1StillLoads(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_v1.crsc"))
+	if err != nil {
+		t.Fatalf("%v (the v1 golden is a committed artifact; it is never regenerated)", err)
+	}
+	p, err := codec.DecodePayload(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != codec.KindPaper || p.Core == nil {
+		t.Fatalf("v1 stream decoded as kind %q", p.Kind)
+	}
+	s, err := codec.Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.G()
+	delivered, _, _, err := s.RouteTrace(0, g.Name(compactroute.NodeID(g.N()-1)))
+	if err != nil || !delivered {
+		t.Fatalf("v1 golden scheme does not route: delivered=%v err=%v", delivered, err)
+	}
+	// Re-encoding upgrades the stream to the current version; the
+	// upgraded bytes must themselves decode to a scheme that routes
+	// identically.
+	var upgraded bytes.Buffer
+	if err := codec.Encode(&upgraded, s); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, upgraded.Bytes()) {
+		t.Fatal("re-encoding a v1 stream should produce a current-version stream")
+	}
+	s2, err := codec.Decode(bytes.NewReader(upgraded.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 5 {
+		for v := 0; v < g.N(); v += 7 {
+			ok1, _, c1, err1 := s.RouteTrace(compactroute.NodeID(u), g.Name(compactroute.NodeID(v)))
+			ok2, _, c2, err2 := s2.RouteTrace(compactroute.NodeID(u), g.Name(compactroute.NodeID(v)))
+			if err1 != nil || err2 != nil || ok1 != ok2 || c1 != c2 {
+				t.Fatalf("v1 vs upgraded diverge at %d→%d: %v/%v cost %v/%v", u, v, err1, err2, c1, c2)
+			}
+		}
 	}
 }
 
@@ -200,6 +254,17 @@ func TestCorruptionDetected(t *testing.T) {
 		}
 	}
 
+	// A v2 stream with no sections at all (magic + version + a
+	// consistent footer) must not decode as a valid empty payload.
+	empty := []byte{
+		'C', 'R', 'S', 'C', 2, 0, // magic, version 2
+		0xFF, 4, 0, 0, 0, 0, 0, 0, 0, // footer header: id, len=4
+		0, 0, 0, 0, // CRC-32 of zero section bytes
+	}
+	if _, err := codec.DecodePayload(bytes.NewReader(empty)); err == nil {
+		t.Fatal("kindless empty v2 stream went undetected")
+	}
+
 	// Wrong magic and wrong version.
 	mut := append([]byte(nil), data...)
 	mut[0] = 'X'
@@ -213,16 +278,28 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
-// TestSaveRejectsBaselines: only the paper's scheme has a persistent
-// form; the baselines must refuse cleanly instead of writing garbage.
-func TestSaveRejectsBaselines(t *testing.T) {
+// TestSaveRejectsNonPersistableKinds: kinds without a persistent form
+// must refuse cleanly — with the typed sentinel, not by writing
+// garbage. (fulltable gained a persistent form in format v2 and is
+// covered by the facade round-trip tests.)
+func TestSaveRejectsNonPersistableKinds(t *testing.T) {
 	net := compactroute.RandomNetwork(2, 40, 0.15, compactroute.UnitWeights())
-	ft, err := compactroute.NewFullTable(net)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := compactroute.Save(&bytes.Buffer{}, ft); err == nil {
-		t.Fatal("saving a baseline should fail")
+	for _, kind := range compactroute.Kinds() {
+		info, _ := compactroute.LookupKind(kind)
+		if info.Persistable {
+			continue
+		}
+		s, err := compactroute.Build(net, compactroute.Config{Kind: kind, K: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := compactroute.Save(&buf, s); !errors.Is(err, compactroute.ErrNotPersistable) {
+			t.Fatalf("saving kind %s: err %v, want ErrNotPersistable", kind, err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("saving kind %s wrote %d bytes before refusing", kind, buf.Len())
+		}
 	}
 }
 

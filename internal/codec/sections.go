@@ -392,6 +392,29 @@ func (d *dec) covers() ([]core.ScaleCover, error) {
 	return out, nil
 }
 
+// --- next-hop section (kind "fulltable") ---
+
+func (e *enc) nextHop(next [][]int32) {
+	e.u32(uint32(len(next)))
+	for _, row := range next {
+		e.i32s(row)
+	}
+}
+
+func (d *dec) nextHop() ([][]int32, error) {
+	n, err := d.count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int32, n)
+	for u := range out {
+		if out[u], err = d.i32s(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // --- report section ---
 
 func (e *enc) report(r *core.BuildReport) {

@@ -1,0 +1,53 @@
+// Package routeerr defines the typed error taxonomy every layer of the
+// repository reports through. The sentinels are wrapped (never returned
+// bare) so call sites can attach context while consumers classify with
+// errors.Is:
+//
+//	res, err := scheme.RouteByNameCtx(ctx, src, dst)
+//	switch {
+//	case errors.Is(err, routeerr.ErrUnknownName):  // caller's fault: 422
+//	case errors.Is(err, routeerr.ErrSaturated):    // back-pressure: 503
+//	}
+//
+// The facade re-exports each sentinel (compactroute.ErrUnknownName and
+// friends), so external callers never import this package directly;
+// internal packages wrap these originals, and both spellings satisfy
+// errors.Is because they are the same value.
+package routeerr
+
+import "errors"
+
+var (
+	// ErrUnknownName reports a routing query whose source name is not
+	// in the network. (An unknown *destination* name is not an error:
+	// name-independent schemes search for it and report non-delivery.)
+	ErrUnknownName = errors.New("unknown node name")
+
+	// ErrUnknownLabel reports a label-routing query for a string label
+	// no node registered.
+	ErrUnknownLabel = errors.New("unknown node label")
+
+	// ErrNotDelivered reports a route that terminated without reaching
+	// its destination, from paths where delivery is mandatory (stretch
+	// measurement, batch sweeps).
+	ErrNotDelivered = errors.New("route not delivered")
+
+	// ErrNoMetric reports an operation that needs the all-pairs
+	// shortest-path metric on a network that has none (schemes
+	// rehydrated by Load start without one).
+	ErrNoMetric = errors.New("network has no shortest-path metric")
+
+	// ErrSaturated reports a query the serving layer could not admit
+	// before the caller's context expired: every worker was busy for
+	// the whole wait (or the caller arrived already canceled). It is
+	// retryable by definition.
+	ErrSaturated = errors.New("serving pool saturated")
+
+	// ErrNotPersistable reports a Save of a scheme kind that has no
+	// persistent form.
+	ErrNotPersistable = errors.New("scheme kind has no persistent form")
+
+	// ErrUnknownKind reports a Build (or Load) naming a scheme kind
+	// absent from the registry.
+	ErrUnknownKind = errors.New("unknown scheme kind")
+)

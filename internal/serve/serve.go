@@ -16,14 +16,15 @@
 // Shards keep the cache's lock fine-grained under the -race detector
 // and real contention alike.
 //
-// Staleness invariant: a cached Result snapshots ShortestCost at
-// computation time. A scheme served before its network has a metric
-// (compactroute.Load without EnsureMetric) caches ShortestCost = 0,
-// and those entries are never refreshed — the cache trusts the scheme
-// to be immutable. A daemon that wants true stretch in responses must
-// therefore ensure the metric BEFORE the first query is admitted
-// (cmd/routed computes it between Load and pool construction); calling
-// EnsureMetric on a warm pool leaves every already-cached pair stale.
+// Staleness invariant: a cached Result snapshots ShortestCost (and
+// MetricKnown) at computation time. A scheme served before its network
+// has a metric (compactroute.Load without EnsureMetric) caches
+// MetricKnown = false, and those entries are never refreshed — the
+// cache trusts the scheme to be immutable. A daemon that wants true
+// stretch in responses must therefore ensure the metric BEFORE the
+// first query is admitted (cmd/routed computes it between Load and
+// pool construction); calling EnsureMetric on a warm pool leaves every
+// already-cached pair stale.
 package serve
 
 import (
@@ -34,33 +35,45 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"compactroute/internal/routeerr"
 )
 
-// Router is the query interface the pool serves. compactroute.Scheme
-// and core.Scheme both satisfy it through a small adapter in the
-// caller (the daemon uses the facade's RouteByName directly).
+// ErrSaturated wraps every rejection: a query that could not be
+// admitted (or whose flight could not be joined) before its context
+// expired. Callers classify with errors.Is; the underlying context
+// error (Canceled or DeadlineExceeded) stays in the chain too.
+var ErrSaturated = routeerr.ErrSaturated
+
+// Router is the query interface the pool serves: the facade's
+// RouteByNameCtx shape. The context is the caller's — the pool hands
+// it through so a canceled request aborts its route mid-walk.
 type Router interface {
-	RouteByName(srcName, dstName uint64) (Result, error)
+	RouteByName(ctx context.Context, srcName, dstName uint64) (Result, error)
 }
 
 // RouterFunc adapts a function to the Router interface.
-type RouterFunc func(srcName, dstName uint64) (Result, error)
+type RouterFunc func(ctx context.Context, srcName, dstName uint64) (Result, error)
 
 // RouteByName implements Router.
-func (f RouterFunc) RouteByName(srcName, dstName uint64) (Result, error) {
-	return f(srcName, dstName)
+func (f RouterFunc) RouteByName(ctx context.Context, srcName, dstName uint64) (Result, error) {
+	return f(ctx, srcName, dstName)
 }
 
 // Result is the cached routing outcome. It mirrors the facade's Result
 // fields that are deterministic for a fixed scheme (stretch-related
-// fields are included when the scheme has a metric, zero otherwise —
-// see the staleness invariant in the package comment).
+// fields are meaningful only when MetricKnown — see the staleness
+// invariant in the package comment).
 type Result struct {
 	Delivered    bool
 	Cost         float64
 	Hops         int
 	HeaderBits   int64
 	ShortestCost float64
+	// MetricKnown marks ShortestCost as real: the scheme's network had
+	// its metric when this result was computed. A false value means
+	// "unknown", never "zero distance".
+	MetricKnown bool
 }
 
 // Stats is a point-in-time snapshot of pool counters. Every admitted
@@ -166,7 +179,7 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 	p.requests.Add(1)
 	if err := ctx.Err(); err != nil {
 		p.rejected.Add(1)
-		return Result{}, fmt.Errorf("serve: %w", err)
+		return Result{}, fmt.Errorf("serve: %w: %w", ErrSaturated, err)
 	}
 	if p.noCache {
 		return p.compute(ctx, srcName, dstName)
@@ -199,7 +212,7 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 				return fl.res, nil
 			case <-ctx.Done():
 				p.rejected.Add(1)
-				return Result{}, fmt.Errorf("serve: %w", ctx.Err())
+				return Result{}, fmt.Errorf("serve: %w: %w", ErrSaturated, ctx.Err())
 			}
 		case flightBypass:
 			// A different pair behind the same folded key is in
@@ -223,13 +236,21 @@ func (p *Pool) compute(ctx context.Context, srcName, dstName uint64) (Result, er
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
 		p.rejected.Add(1)
-		return Result{}, fmt.Errorf("serve: %w", ctx.Err())
+		return Result{}, fmt.Errorf("serve: %w: %w", ErrSaturated, ctx.Err())
 	}
 	p.inFlight.Add(1)
-	res, err := p.router.RouteByName(srcName, dstName)
+	res, err := p.router.RouteByName(ctx, srcName, dstName)
 	p.inFlight.Add(-1)
 	<-p.slots
 	if err != nil {
+		// A route aborted mid-walk because the caller left is the same
+		// condition as a canceled wait (the context threads through the
+		// hop loop now), not a scheme error — so it carries the same
+		// ErrSaturated classification as every other rejection.
+		if isCanceled(err) {
+			p.rejected.Add(1)
+			return Result{}, fmt.Errorf("serve: %w: %w", ErrSaturated, err)
+		}
 		p.errors.Add(1)
 		return Result{}, err
 	}

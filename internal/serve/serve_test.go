@@ -17,7 +17,7 @@ type echoRouter struct {
 	block chan struct{} // when non-nil, Route blocks until closed
 }
 
-func (e *echoRouter) RouteByName(src, dst uint64) (Result, error) {
+func (e *echoRouter) RouteByName(ctx context.Context, src, dst uint64) (Result, error) {
 	e.calls.Add(1)
 	if e.block != nil {
 		<-e.block
@@ -124,8 +124,15 @@ func TestPoolContextCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := p.Route(ctx, 3, 4); err == nil {
+	_, err := p.Route(ctx, 3, 4)
+	if err == nil {
 		t.Fatal("expected cancellation error")
+	}
+	// Both classifications must hold: the typed saturation sentinel for
+	// status mapping, and the underlying context error for callers that
+	// distinguish cancellation from deadline expiry.
+	if !errors.Is(err, ErrSaturated) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("rejection error %v lacks ErrSaturated/context.Canceled", err)
 	}
 	if st := p.Stats(); st.Rejected != 1 {
 		t.Fatalf("stats %+v", st)
@@ -195,7 +202,7 @@ func TestPoolConcurrentMixedLoad(t *testing.T) {
 }
 
 func TestShardDistribution(t *testing.T) {
-	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+	p := NewPool(RouterFunc(func(ctx context.Context, src, dst uint64) (Result, error) {
 		return Result{}, nil
 	}), Options{Shards: 16, CacheSize: 1 << 12})
 	counts := make(map[*shard]int)
@@ -448,10 +455,11 @@ func TestCacheCapExact(t *testing.T) {
 // package comment and cmd/routed's -metric ordering).
 func TestShortestCostStalenessInvariant(t *testing.T) {
 	metricReady := false
-	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+	p := NewPool(RouterFunc(func(ctx context.Context, src, dst uint64) (Result, error) {
 		res := Result{Delivered: true, Cost: 10}
 		if metricReady {
 			res.ShortestCost = 5
+			res.MetricKnown = true
 		}
 		return res, nil
 	}), Options{Workers: 1, CacheSize: 16})
@@ -476,7 +484,7 @@ func TestShortestCostStalenessInvariant(t *testing.T) {
 }
 
 func ExampleRouterFunc() {
-	p := NewPool(RouterFunc(func(src, dst uint64) (Result, error) {
+	p := NewPool(RouterFunc(func(ctx context.Context, src, dst uint64) (Result, error) {
 		return Result{Delivered: true, Cost: 1}, nil
 	}), Options{Workers: 1})
 	res, _ := p.Route(context.Background(), 1, 2)

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"compactroute/internal/bitsize"
@@ -91,6 +92,16 @@ func (e *Engine) hopCap() int {
 
 // Route delivers one message and accounts its cost.
 func (e *Engine) Route(r Router, src graph.NodeID, dstName uint64) (Result, error) {
+	return e.RouteCtx(context.Background(), r, src, dstName)
+}
+
+// RouteCtx is Route honoring cancellation: the hop loop checks ctx
+// between steps, so a canceled context aborts a long multi-hop route
+// promptly with a wrapped context error (errors.Is-matchable against
+// context.Canceled / context.DeadlineExceeded) instead of walking to
+// completion. Contexts that can never be canceled (context.Background)
+// pay nothing.
+func (e *Engine) RouteCtx(ctx context.Context, r Router, src graph.NodeID, dstName uint64) (Result, error) {
 	h, err := r.Begin(src, dstName)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: %s: begin: %w", r.Name(), err)
@@ -99,9 +110,15 @@ func (e *Engine) Route(r Router, src graph.NodeID, dstName uint64) (Result, erro
 	if e.Trace {
 		res.Path = append(res.Path, src)
 	}
+	cancelable := ctx.Done() != nil
 	cur := src
 	cap := e.hopCap()
 	for {
+		if cancelable {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("sim: %s: canceled after %d hops: %w", r.Name(), res.Hops, err)
+			}
+		}
 		act, port, err := r.Step(cur, h)
 		if err != nil {
 			return res, fmt.Errorf("sim: %s: step at %d: %w", r.Name(), cur, err)

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -105,6 +106,23 @@ func formatFloat(v float64) string {
 	default:
 		return fmt.Sprintf("%.3f", v)
 	}
+}
+
+// MarshalJSON renders the table as one machine-readable object:
+// {"title": …, "columns": […], "rows": [[…]]}. Cells are the same
+// formatted strings the text rendering prints, so the two views of a
+// run are value-identical and JSON consumers need no locale-sensitive
+// reparsing rules.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.title, Columns: t.header, Rows: rows})
 }
 
 // String renders the table with aligned columns.

@@ -7,6 +7,72 @@ import (
 	"testing"
 )
 
+// TestSaveLoadEveryPersistableKind is the registry-wide round-trip:
+// every kind the registry marks persistable must Save, Load back with
+// the same kind and storage accounting, and answer routing queries
+// identically to the in-memory original — the v2 format's core
+// contract. (The v1→v2 compatibility path is pinned separately by the
+// codec package's golden-file tests.)
+func TestSaveLoadEveryPersistableKind(t *testing.T) {
+	net := RandomNetwork(31, 70, 0.09, UniformWeights(1, 5))
+	g := net.Graph()
+	covered := 0
+	for _, kind := range Kinds() {
+		info, _ := LookupKind(kind)
+		if !info.Persistable {
+			continue
+		}
+		covered++
+		t.Run(kind, func(t *testing.T) {
+			s, err := Build(net, Config{Kind: kind, K: 2, Seed: 7, SFactor: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Save(&buf, s); err != nil {
+				t.Fatal(err)
+			}
+			first := append([]byte(nil), buf.Bytes()...)
+			l, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Kind() != kind || l.Name() != s.Name() {
+				t.Fatalf("loaded %q/%q, want kind %q name %q", l.Kind(), l.Name(), kind, s.Name())
+			}
+			if l.Network().HasMetric() {
+				t.Fatal("load must not recompute the metric")
+			}
+			if l.MaxTableBits() != s.MaxTableBits() || l.MeanTableBits() != s.MeanTableBits() {
+				t.Fatalf("storage accounting diverges: %d/%v vs %d/%v",
+					l.MaxTableBits(), l.MeanTableBits(), s.MaxTableBits(), s.MeanTableBits())
+			}
+			// Deterministic re-encoding: saving the loaded scheme must
+			// reproduce the stream byte for byte.
+			var second bytes.Buffer
+			if err := Save(&second, l); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, second.Bytes()) {
+				t.Fatalf("re-encoding differs: %d vs %d bytes", len(first), second.Len())
+			}
+			for u := 0; u < net.N(); u += 5 {
+				for v := 0; v < net.N(); v += 7 {
+					a, err1 := s.RouteByName(g.Name(NodeID(u)), g.Name(NodeID(v)))
+					b, err2 := l.RouteByName(g.Name(NodeID(u)), g.Name(NodeID(v)))
+					if err1 != nil || err2 != nil || a.Delivered != b.Delivered ||
+						a.Cost != b.Cost || a.Hops != b.Hops || a.HeaderBits != b.HeaderBits {
+						t.Fatalf("route %d→%d diverges: %+v/%v vs %+v/%v", u, v, a, err1, b, err2)
+					}
+				}
+			}
+		})
+	}
+	if covered < 2 {
+		t.Fatalf("only %d persistable kinds in the registry; fulltable regressed?", covered)
+	}
+}
+
 // TestSaveLoadQuick is the always-on round-trip check at facade level
 // (the codec package carries the family/property matrix).
 func TestSaveLoadQuick(t *testing.T) {

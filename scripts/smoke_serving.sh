@@ -1,8 +1,15 @@
 #!/bin/sh
-# End-to-end serving smoke: build a scheme, serve it with routed, and
-# replay three workload patterns against it over HTTP with loadgen —
-# then ask for a graceful shutdown and require a clean exit. Mirrors
-# the CI "serving smoke" step; run locally with `make smoke`.
+# End-to-end serving smoke, two passes:
+#
+#  1. The persisted-file flow: build a scheme with routesim -save,
+#     serve the file with routed, replay three workload patterns over
+#     HTTP with loadgen, then ask for a graceful shutdown and require
+#     a clean exit.
+#  2. The registry flow: for EVERY scheme kind the registry lists,
+#     `routed -scheme <kind>` over a shared topology file must come up
+#     healthy, identify its kind on /healthz, and deliver a route.
+#
+# Mirrors the CI "serving smoke" step; run locally with `make smoke`.
 set -eu
 
 tmp=$(mktemp -d)
@@ -19,21 +26,27 @@ addr=127.0.0.1:18347
 go build -o "$tmp/routesim" ./cmd/routesim
 go build -o "$tmp/routed" ./cmd/routed
 go build -o "$tmp/loadgen" ./cmd/loadgen
+go build -o "$tmp/graphgen" ./cmd/graphgen
+
+wait_healthy() {
+	ok=""
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
+			ok=1
+			break
+		fi
+		sleep 0.1
+	done
+	[ -n "$ok" ] || { echo "smoke: routed never became healthy" >&2; exit 1; }
+}
+
+# --- pass 1: persisted-file flow ---
 
 "$tmp/routesim" -n 160 -k 2 -sfactor 0.5 -save "$tmp/net.crsc" >/dev/null
 
 "$tmp/routed" -scheme "$tmp/net.crsc" -addr "$addr" &
 pid=$!
-
-ok=""
-for _ in $(seq 1 100); do
-	if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then
-		ok=1
-		break
-	fi
-	sleep 0.1
-done
-[ -n "$ok" ] || { echo "smoke: routed never became healthy" >&2; exit 1; }
+wait_healthy
 
 "$tmp/loadgen" -scheme "$tmp/net.crsc" -url "http://$addr" \
 	-pattern uniform,zipf,local -queries 3000 -concurrency 8 -hist 6
@@ -44,4 +57,37 @@ wait "$pid"
 status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "smoke: routed exited $status on SIGTERM" >&2; exit 1; }
-echo "smoke: serving path OK (build -> serve -> replay -> drain)"
+echo "smoke: persisted-file path OK (build -> serve -> replay -> drain)"
+
+# --- pass 2: every registry kind by name ---
+
+"$tmp/graphgen" -family gnp -n 90 -p 0.09 -seed 7 >"$tmp/topo.txt"
+# Two node names straight from the topology file ("v <id> <name>").
+src=$(awk '$1 == "v" && $2 == 0 { print $3 }' "$tmp/topo.txt")
+dst=$(awk '$1 == "v" && $2 == 89 { print $3 }' "$tmp/topo.txt")
+[ -n "$src" ] && [ -n "$dst" ] || { echo "smoke: no names in topo.txt" >&2; exit 1; }
+
+for kind in paper fulltable apcover landmark tz; do
+	"$tmp/routed" -scheme "$kind" -graph "$tmp/topo.txt" -k 2 -sfactor 0.5 -addr "$addr" &
+	pid=$!
+	wait_healthy
+
+	health=$(curl -sf "http://$addr/healthz")
+	case "$health" in
+	*"\"kind\":\"$kind\""*) ;;
+	*) echo "smoke: kind $kind healthz says: $health" >&2; exit 1 ;;
+	esac
+
+	body=$(curl -sf "http://$addr/route?src=$src&dst=$dst")
+	case "$body" in
+	*'"delivered":true'*) ;;
+	*) echo "smoke: kind $kind route answered: $body" >&2; exit 1 ;;
+	esac
+
+	kill -TERM "$pid"
+	wait "$pid" || { echo "smoke: routed ($kind) exited non-zero on SIGTERM" >&2; exit 1; }
+	pid=""
+	echo "smoke: kind $kind serves end-to-end"
+done
+
+echo "smoke: serving path OK (file flow + all registry kinds)"
