@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vuln bench benchjson smoke ci
+.PHONY: build test race lint docs vuln bench benchjson smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ lint:
 	fi
 	$(GO) vet ./...
 
+# Docs gate: every package carries its doc comment, the README front
+# door exists and links the deep docs, and go vet is clean. The ci
+# chain sets CHECK_DOCS_NO_VET=1 because lint already ran vet.
+docs:
+	sh scripts/check_docs.sh
+
 # Known-vulnerability scan (network access required on first run).
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
@@ -41,6 +47,9 @@ benchjson:
 	$(GO) run ./cmd/routebench -exp P1 -quick -json > BENCH_P1.json
 	@cat BENCH_P1.json
 	@test -s BENCH_P1.json || { echo "benchjson: empty BENCH_P1.json" >&2; exit 1; }
+	$(GO) run ./cmd/routebench -bench b1 -n 512 -json > BENCH_B1.json
+	@cat BENCH_B1.json
+	@test -s BENCH_B1.json || { echo "benchjson: empty BENCH_B1.json" >&2; exit 1; }
 
 # End-to-end serving smoke: scheme build -> routed -> loadgen replay
 # of three workload patterns -> graceful SIGTERM drain.
@@ -51,3 +60,5 @@ smoke:
 # database and the govulncheck tool, so it needs network access. The
 # pipeline runs it as its own step.
 ci: build lint test race bench benchjson smoke
+ci: export CHECK_DOCS_NO_VET = 1
+ci: docs

@@ -10,6 +10,7 @@
 //	routebench -all                         # every experiment, full sizes
 //	routebench -exp T2                      # one experiment
 //	routebench -exp T1 -quick -json         # smoke sizes, JSON output
+//	routebench -bench b1 -n 512 -json       # build-pipeline cost at one size
 //	routebench -save net.crsc -n 2000 -k 4  # pay the build, persist it
 //	routebench -save ft.crsc -scheme fulltable -n 500
 //	routebench -load net.crsc -queries 1e5  # measure pure query cost
@@ -36,6 +37,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (one of "+strings.Join(bench.IDs(), ", ")+")")
+	benchName := flag.String("bench", "", "cost benchmark to run at the -n size (b1: build pipeline wall time + peak alloc)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smoke-test sizes")
 	jsonOut := flag.Bool("json", false, "emit experiment results as JSON Lines (one object per table) instead of text tables")
@@ -43,7 +45,7 @@ func main() {
 	saveFile := flag.String("save", "", "build a scheme (see -scheme/-n/-k/-p/-sfactor) and persist it to this file, reporting build vs save cost")
 	loadFile := flag.String("load", "", "load a persisted scheme and benchmark query throughput, reporting load vs query cost")
 	kind := flag.String("scheme", "paper", "registry kind to build for -save (persistable kinds only; see compactroute.Kinds)")
-	n := flag.Int("n", 2000, "node count for -save")
+	n := flag.Int("n", 2000, "node count for -save and -bench")
 	k := flag.Int("k", 4, "trade-off parameter for -save")
 	p := flag.Float64("p", 0, "gnp edge probability for -save (0: 8/n)")
 	sfactor := flag.Float64("sfactor", 0.25, "landmark S-set constant for -save")
@@ -59,6 +61,16 @@ func main() {
 	}
 	cfg := bench.Config{Quick: *quick, Seed: *seed, JSON: *jsonOut}
 	switch {
+	case *benchName != "":
+		if !strings.EqualFold(*benchName, "b1") {
+			fmt.Fprintf(os.Stderr, "routebench: unknown benchmark %q (have b1)\n", *benchName)
+			os.Exit(2)
+		}
+		// -n pins one size (the CI smoke uses 512); the canonical
+		// multi-size sweep runs via -exp B1.
+		if err := bench.RunB1Sizes(os.Stdout, cfg, []int{*n}); err != nil {
+			fail(err)
+		}
 	case *saveFile != "":
 		if err := buildAndSave(*saveFile, *kind, *n, *k, *p, *sfactor, *seed); err != nil {
 			fail(err)

@@ -212,6 +212,7 @@ func newServer(s *compactroute.Scheme, o serve.Options) *server {
 	return srv
 }
 
+// ServeHTTP dispatches to the daemon's route/healthz/stats handlers.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // routeResponse is the JSON shape of a routing answer.

@@ -28,6 +28,11 @@
 // with errors.Is. Persistable kinds round-trip through Save/Load in
 // the kind-tagged binary format of internal/codec.
 //
+// At scale, construction need not materialize the Θ(n²) all-pairs
+// metric: BuildStream feeds builders a parallel per-source
+// shortest-path stream (DESIGN.md §6) with bit-identical results, and
+// WrapGraphLazy adopts a graph without paying for its metric at all.
+//
 // Alongside the schemes the package exposes synthetic network
 // generators and stretch statistics. See DESIGN.md for the full
 // system inventory (and the v1→v2 API migration table) and
@@ -106,6 +111,16 @@ func WrapGraph(g *graph.Graph) *Network {
 	n.apsp.Store(&all)
 	return n
 }
+
+// WrapGraphLazy adopts an already-built graph without computing its
+// Θ(n²) metric — the entry point for building at scales where the
+// materialized metric is the bottleneck. Schemes built over a lazy
+// network with BuildStream construct from a result stream that the
+// streaming kinds consume in bounded memory (kind "paper"
+// materializes for the build's duration — see BuildStream); routed
+// results report MetricKnown == false (stretch unknown, exactly like
+// a network rehydrated by Load) until EnsureMetric is called.
+func WrapGraphLazy(g *graph.Graph) *Network { return &Network{g: g} }
 
 // adoptNetwork wraps a graph together with already-computed all-pairs
 // results (no recomputation) — the bridge registered builders use.

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,7 +41,16 @@ type APCoverParams struct {
 }
 
 // NewAPCover builds covers at every scale of the graph's aspect ratio.
+// It is NewAPCoverStream over a materialized source.
 func NewAPCover(g *graph.Graph, all []*sssp.Result, p APCoverParams) (*APCover, error) {
+	return NewAPCoverStream(context.Background(), g, sssp.Materialized(g, all), p)
+}
+
+// NewAPCoverStream is NewAPCover fed by a per-source result stream.
+// The shortest-path sweep only contributes one scalar here — the
+// maximum eccentricity, fixing the number of radius scales — so the
+// builder folds the stream in O(1) state and discards every row.
+func NewAPCoverStream(ctx context.Context, g *graph.Graph, src sssp.Source, p APCoverParams) (*APCover, error) {
 	if p.K < 1 {
 		return nil, fmt.Errorf("baseline: apcover k must be ≥ 1")
 	}
@@ -52,10 +62,14 @@ func NewAPCover(g *graph.Graph, all []*sssp.Result, p APCoverParams) (*APCover, 
 		minW = 1
 	}
 	maxD := 0.0
-	for _, r := range all {
+	err := src.Each(ctx, func(r *sssp.Result) error {
 		if rad := r.Radius(); rad > maxD {
 			maxD = rad
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: apcover build: %w", err)
 	}
 	aspect := math.Max(maxD/minW, 1)
 	scaleCount := int(math.Ceil(math.Log2(aspect))) + 1
@@ -64,6 +78,9 @@ func NewAPCover(g *graph.Graph, all []*sssp.Result, p APCoverParams) (*APCover, 
 	}
 	a := &APCover{g: g, k: p.K, minW: minW, acct: bitsize.NewAccountant(g.N())}
 	for i := 0; i < scaleCount; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baseline: apcover build: %w", err)
+		}
 		rho := minW * math.Ldexp(1, i)
 		cov, err := cover.Build(g, cover.Params{K: p.K, Rho: rho})
 		if err != nil {
@@ -111,6 +128,7 @@ type apHeader struct {
 	cov   *covroute.Route
 }
 
+// Bits implements sim.Header: the in-flight header size.
 func (h *apHeader) Bits() bitsize.Bits {
 	b := bitsize.NameBits + 16
 	if h.cov != nil {

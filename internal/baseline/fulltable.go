@@ -21,6 +21,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"compactroute/internal/bitsize"
@@ -38,35 +39,36 @@ type FullTable struct {
 }
 
 // NewFullTable builds next-hop tables from all-pairs shortest paths.
+// It is NewFullTableStream over a materialized source; the streaming
+// entry point is the one that scales.
 func NewFullTable(g *graph.Graph, all []*sssp.Result) (*FullTable, error) {
-	if len(all) != g.N() {
-		return nil, fmt.Errorf("baseline: got %d results for %d nodes", len(all), g.N())
-	}
+	return NewFullTableStream(context.Background(), g, sssp.Materialized(g, all))
+}
+
+// NewFullTableStream builds next-hop tables from a per-source result
+// stream. Each source's table row depends only on that source's
+// shortest-path tree, so the builder consumes one row at a time and
+// never holds more shortest-path state than the source keeps in
+// flight — the n×n output table itself is the scheme's storage, not
+// working memory.
+func NewFullTableStream(ctx context.Context, g *graph.Graph, src sssp.Source) (*FullTable, error) {
 	n := g.N()
-	f := &FullTable{g: g, next: make([][]int32, n), acct: bitsize.NewAccountant(n)}
-	for u := 0; u < n; u++ {
-		f.next[u] = make([]int32, n)
-		for v := range f.next[u] {
-			f.next[u][v] = -1
-		}
+	if src.N() != n {
+		return nil, fmt.Errorf("baseline: got %d results for %d nodes", src.N(), n)
 	}
-	// Walk each SPT: the first hop from the source toward v is the
-	// reverse of the last parent step, so fill tables by walking each
-	// destination's parent chain once per source.
-	for src := 0; src < n; src++ {
-		r := all[src]
-		for v := 0; v < n; v++ {
-			if v == src || !r.Reached(graph.NodeID(v)) {
-				continue
-			}
-			// Ascend from v until the node below src.
-			x := graph.NodeID(v)
-			for r.Parent[x] != graph.NodeID(src) {
-				x = r.Parent[x]
-			}
-			// The port at src toward x: reverse of x's parent port.
-			f.next[src][v] = int32(f.g.ReversePort(x, int(r.ParentPort[x])))
-		}
+	f := &FullTable{g: g, next: make([][]int32, n), acct: bitsize.NewAccountant(n)}
+	rows := 0
+	err := src.Each(ctx, func(r *sssp.Result) error {
+		f.next[r.Source] = f.fillRow(r)
+		rows++
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: fulltable build: %w", err)
+	}
+	if rows != n {
+		// A short stream would leave nil rows that panic at route time.
+		return nil, fmt.Errorf("baseline: source delivered %d of %d rows", rows, n)
 	}
 	idb := bitsize.IDBits(n)
 	for u := 0; u < n; u++ {
@@ -76,12 +78,53 @@ func NewFullTable(g *graph.Graph, all []*sssp.Result) (*FullTable, error) {
 	return f, nil
 }
 
+// fillRow computes one source's next-hop row from its shortest-path
+// tree: the first hop toward v is the reverse of the parent step just
+// below the source. Parent chains are walked with memoization (every
+// node on the chain shares v's first hop), so a row costs O(n) instead
+// of O(n · depth).
+func (f *FullTable) fillRow(r *sssp.Result) []int32 {
+	src := r.Source
+	row := make([]int32, f.g.N())
+	for v := range row {
+		row[v] = -1
+	}
+	var chain []graph.NodeID
+	for v := 0; v < f.g.N(); v++ {
+		if graph.NodeID(v) == src || !r.Reached(graph.NodeID(v)) {
+			continue
+		}
+		if row[v] >= 0 {
+			continue // memoized by an earlier chain walk
+		}
+		// Ascend until the node below src or an already-filled node.
+		chain = chain[:0]
+		x := graph.NodeID(v)
+		for r.Parent[x] != src && row[x] < 0 {
+			chain = append(chain, x)
+			x = r.Parent[x]
+		}
+		port := row[x]
+		if port < 0 {
+			// x is the child of src on the path: the port at src toward
+			// x is the reverse of x's parent port.
+			port = int32(f.g.ReversePort(x, int(r.ParentPort[x])))
+			row[x] = port
+		}
+		for _, y := range chain {
+			row[y] = port
+		}
+	}
+	return row
+}
+
 // ftHeader is a FullTable routing header: just the destination name.
 type ftHeader struct {
 	dst graph.NodeID
 	ok  bool
 }
 
+// Bits implements sim.Header: the in-flight header size.
 func (h *ftHeader) Bits() bitsize.Bits { return bitsize.NameBits }
 
 // Name implements sim.Router.

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -50,8 +51,36 @@ type LandmarkChainParams struct {
 	Seed uint64
 }
 
-// NewLandmarkChain builds the scheme.
+// NewLandmarkChain builds the scheme. It is NewLandmarkChainStream
+// over a materialized source.
 func NewLandmarkChain(g *graph.Graph, all []*sssp.Result, p LandmarkChainParams) (*LandmarkChain, error) {
+	return NewLandmarkChainStream(context.Background(), g, sssp.Materialized(g, all), p)
+}
+
+// lcRow is the slice of a shortest-path result the chain publication
+// pass needs from a landmark source: the parent links (for leg paths)
+// and parent ports (for the top-landmark climbing tables). Retaining
+// only these keeps a streamed build at O(#landmarks · n) extra memory
+// — in expectation n^{1-1/k} of the n rows — instead of Θ(n²).
+type lcRow struct {
+	source     graph.NodeID
+	parent     []graph.NodeID
+	parentPort []int32
+}
+
+// pathTo reconstructs the shortest path source→to from the retained
+// parent links; nil if unreached.
+func (r *lcRow) pathTo(to graph.NodeID) []graph.NodeID {
+	return sssp.PathFromParents(r.parent, r.source, to)
+}
+
+// NewLandmarkChainStream builds the scheme from a per-source result
+// stream in one pass. Rows are consumed in source order: every node's
+// chain waypoints are resolved from its own row while it is in hand,
+// and only landmark rows (needed later as leg-path sources) are
+// retained — slimmed to parents and ports, so their distance and
+// enumeration arrays are dropped immediately.
+func NewLandmarkChainStream(ctx context.Context, g *graph.Graph, src sssp.Source, p LandmarkChainParams) (*LandmarkChain, error) {
 	if p.K < 1 {
 		return nil, fmt.Errorf("baseline: landmarkchain k must be ≥ 1")
 	}
@@ -71,7 +100,8 @@ func NewLandmarkChain(g *graph.Graph, all []*sssp.Result, p LandmarkChainParams)
 		l.chain[i] = make(map[chainKey]int32)
 	}
 	// Nested levels: rank(v) = number of consecutive successful coin
-	// flips with probability n^{-1/k}.
+	// flips with probability n^{-1/k}. Sampling happens before the
+	// stream so the retention predicate (rank ≥ 1) is known up front.
 	rng := xrand.New(p.Seed ^ 0x17ead)
 	keep := math.Pow(float64(n), -1/float64(p.K))
 	rank := make([]int, n)
@@ -100,38 +130,56 @@ func NewLandmarkChain(g *graph.Graph, all []*sssp.Result, p LandmarkChainParams)
 	}
 	sort.Slice(l.tops, func(i, j int) bool { return l.tops[i] < l.tops[j] })
 
+	// Stream pass: resolve every node's chain waypoints from its own
+	// row; retain the slim rows of landmarks (leg-path sources) and
+	// tops (climbing tables). When top == 0 every node is a landmark
+	// and retention degenerates to the full sweep — matching the
+	// scheme's own Θ(n²) storage in that regime.
+	retain := make(map[graph.NodeID]*lcRow)
+	waypoints := make([][]graph.NodeID, n)
+	err := src.Each(ctx, func(r *sssp.Result) error {
+		v := r.Source
+		if rank[v] >= 1 || rank[v] >= top {
+			retain[v] = &lcRow{source: v, parent: r.Parent, parentPort: r.ParentPort}
+		}
+		name := g.Name(v)
+		ti := int(xrand.Hash64(p.Seed, name) % uint64(len(l.tops)))
+		wps := []graph.NodeID{l.tops[ti]}
+		for lev := top - 1; lev >= 1; lev-- {
+			c := r.Closest(1, func(w graph.NodeID) bool { return rank[w] >= lev })
+			if len(c) == 1 && c[0] != wps[len(wps)-1] {
+				wps = append(wps, c[0])
+			}
+		}
+		if wps[len(wps)-1] != v {
+			wps = append(wps, v)
+		}
+		waypoints[v] = wps
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: landmarkchain build: %w", err)
+	}
+
 	// Every node stores its SPT port toward every top landmark.
 	l.topPort = make([][]int32, len(l.tops))
 	for ti, t := range l.tops {
-		r := all[t]
 		ports := make([]int32, n)
-		for v := 0; v < n; v++ {
-			ports[v] = r.ParentPort[v] // port at v toward t (SPT parent)
-		}
+		copy(ports, retain[t].parentPort) // port at v toward t (SPT parent)
 		l.topPort[ti] = ports
 	}
 
 	// Publish chains: top = hash(name); then nearest landmark of each
-	// lower level (from the node itself); finally the node.
+	// lower level (from the node itself); finally the node. Each leg is
+	// a shortest path from a retained landmark row; every node along it
+	// stores the next port for (name, leg).
 	for v := 0; v < n; v++ {
 		name := g.Name(graph.NodeID(v))
-		ti := int(xrand.Hash64(p.Seed, name) % uint64(len(l.tops)))
-		waypoints := []graph.NodeID{l.tops[ti]}
-		for lev := top - 1; lev >= 1; lev-- {
-			c := all[v].Closest(1, func(w graph.NodeID) bool { return rank[w] >= lev })
-			if len(c) == 1 && c[0] != waypoints[len(waypoints)-1] {
-				waypoints = append(waypoints, c[0])
-			}
-		}
-		if waypoints[len(waypoints)-1] != graph.NodeID(v) {
-			waypoints = append(waypoints, graph.NodeID(v))
-		}
-		l.legs[name] = uint8(len(waypoints) - 1)
-		// Each leg is a shortest path; every node along it stores the
-		// next port for (name, leg).
-		for leg := 0; leg+1 < len(waypoints); leg++ {
-			from, to := waypoints[leg], waypoints[leg+1]
-			path := all[from].PathTo(to)
+		wps := waypoints[v]
+		l.legs[name] = uint8(len(wps) - 1)
+		for leg := 0; leg+1 < len(wps); leg++ {
+			from, to := wps[leg], wps[leg+1]
+			path := retain[from].pathTo(to)
 			for i := 0; i+1 < len(path); i++ {
 				port := g.PortTo(path[i], path[i+1])
 				l.chain[path[i]][chainKey{name, uint8(leg)}] = int32(port)
@@ -165,6 +213,7 @@ type lcHeader struct {
 	leg    int16 // -1 while climbing to the top landmark
 }
 
+// Bits implements sim.Header: the in-flight header size.
 func (h *lcHeader) Bits() bitsize.Bits { return bitsize.NameBits + 48 }
 
 // Name implements sim.Router.

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -77,8 +78,21 @@ type TZParams struct {
 	Seed uint64
 }
 
-// NewTZ builds the labeled scheme.
+// NewTZ builds the labeled scheme. It is NewTZStream over a
+// materialized source.
 func NewTZ(g *graph.Graph, all []*sssp.Result, p TZParams) (*TZ, error) {
+	return NewTZStream(context.Background(), g, sssp.Materialized(g, all), p)
+}
+
+// NewTZStream builds the labeled scheme from a per-source result
+// stream in two passes. Pass one consumes each node's row to find its
+// per-level pivots and d(v, A_i); pass two consumes each landmark's
+// row — every node is a level-0 landmark — to test cluster membership
+// and build the cluster tree from that row's parents. Neither pass
+// retains a row, so working memory stays O(k·n) plus the cluster trees
+// themselves; the price is one extra sweep over the source (a
+// streaming source recomputes, a materialized one re-reads).
+func NewTZStream(ctx context.Context, g *graph.Graph, src sssp.Source, p TZParams) (*TZ, error) {
 	if p.K < 1 {
 		return nil, fmt.Errorf("baseline: tz k must be ≥ 1")
 	}
@@ -108,20 +122,22 @@ func NewTZ(g *graph.Graph, all []*sssp.Result, p TZParams) (*TZ, error) {
 		}
 	}
 
-	// distToLevel[v][i] = d(v, A_i); +Inf above the top occupied level.
+	// Pass 1 — pivots: distToLevel[v][i] = d(v, A_i); +Inf above the
+	// top occupied level. Uses only v's own row, consumed in order.
 	distToLevel := make([][]float64, n)
 	pivot := make([][]graph.NodeID, n)
-	for v := 0; v < n; v++ {
+	err := src.Each(ctx, func(r *sssp.Result) error {
+		v := r.Source
 		distToLevel[v] = make([]float64, p.K+1)
 		pivot[v] = make([]graph.NodeID, p.K)
 		for i := 0; i <= p.K; i++ {
 			distToLevel[v][i] = math.Inf(1)
 		}
 		for i := 0; i <= top; i++ {
-			c := all[v].Closest(1, func(w graph.NodeID) bool { return rank[w] >= i })
+			c := r.Closest(1, func(w graph.NodeID) bool { return rank[w] >= i })
 			if len(c) == 1 {
 				pivot[v][i] = c[0]
-				distToLevel[v][i] = all[v].Dist[c[0]]
+				distToLevel[v][i] = r.Dist[c[0]]
 			}
 		}
 		// Collapse pivots above the top occupied level onto the top.
@@ -129,27 +145,37 @@ func NewTZ(g *graph.Graph, all []*sssp.Result, p TZParams) (*TZ, error) {
 			pivot[v][i] = pivot[v][top]
 			distToLevel[v][i] = distToLevel[v][top]
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: tz build (pivot pass): %w", err)
 	}
 
-	// Clusters: C(w) = {v : d(v,w) < d(v, A_{rank(w)+1})}; V for
-	// top-level landmarks.
-	for w := 0; w < n; w++ {
+	// Pass 2 — clusters: C(w) = {v : d(v,w) < d(v, A_{rank(w)+1})}; V
+	// for top-level landmarks. Membership and the cluster tree both
+	// come from w's own row (d(v,w) = d(w,v) on an undirected graph).
+	err = src.Each(ctx, func(r *sssp.Result) error {
+		w := int(r.Source)
 		rw := rank[w]
 		isTop := rw >= top
 		members := []graph.NodeID{}
 		for v := 0; v < n; v++ {
-			if isTop || all[w].Dist[v] < distToLevel[v][rw+1] {
+			if isTop || r.Dist[v] < distToLevel[v][rw+1] {
 				members = append(members, graph.NodeID(v))
 			}
 		}
 		if len(members) == 1 && members[0] == graph.NodeID(w) && !isTop {
-			continue // singleton cluster: no structure needed
+			return nil // singleton cluster: no structure needed
 		}
-		t, err := tree.FromPaths(g, graph.NodeID(w), all[w].Parent, members)
+		t, err := tree.FromPaths(g, graph.NodeID(w), r.Parent, members)
 		if err != nil {
-			return nil, fmt.Errorf("baseline: tz cluster of %d: %w", w, err)
+			return fmt.Errorf("baseline: tz cluster of %d: %w", w, err)
 		}
 		z.trees[graph.NodeID(w)] = &tzTree{t: t, lr: treeroute.New(t)}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: tz build (cluster pass): %w", err)
 	}
 
 	// Labels: per level the pivot and v's tree label in its cluster.
@@ -214,6 +240,7 @@ type tzHeader struct {
 	pivotIx int // -1 until the source commits to a pivot
 }
 
+// Bits implements sim.Header: the in-flight header size.
 func (h *tzHeader) Bits() bitsize.Bits { return h.label.Bits() + 8 }
 
 // Name implements sim.Router.

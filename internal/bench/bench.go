@@ -1,6 +1,7 @@
 // Package bench implements the experiment harness: one runner per
-// table/figure of DESIGN.md §2 (T1–T10, F1–F2), each printing the
-// series the reproduction reports in EXPERIMENTS.md.
+// table/figure of DESIGN.md §2 (T1–T10, F1–F2) plus the harness's own
+// performance runners (P1 parallel query sweep, B1 build pipeline),
+// each printing the series the reproduction reports in EXPERIMENTS.md.
 //
 // Every runner is deterministic given its seed and comes in two sizes:
 // Quick (used by the testing.B wrappers and smoke tests) and full
@@ -69,6 +70,7 @@ var Experiments = map[string]Runner{
 	"T9":  RunT9,
 	"T10": RunT10,
 	"P1":  RunP1,
+	"B1":  RunB1,
 }
 
 // IDs returns the experiment ids in canonical order.

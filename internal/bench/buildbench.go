@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/schemes"
+	"compactroute/internal/sssp"
+	"compactroute/internal/stats"
+)
+
+// peakTracker samples runtime.ReadMemStats on a short interval and
+// tracks the peak heap allocation above a GC'd baseline — the working
+// memory a build actually demanded, the quantity B1 contrasts between
+// the materialized and streaming pipelines.
+type peakTracker struct {
+	baseline uint64
+	peak     atomic.Uint64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// startPeakTracker GCs to a clean baseline, then samples until Stop.
+func startPeakTracker(interval time.Duration) *peakTracker {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t := &peakTracker{
+		baseline: ms.HeapAlloc,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				for {
+					old := t.peak.Load()
+					if ms.HeapAlloc <= old || t.peak.CompareAndSwap(old, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+	return t
+}
+
+// Stop halts sampling, takes one final sample, and returns the peak
+// allocation above the baseline. known follows the Result.MetricKnown
+// convention: false means the sampler cannot vouch for the number (no
+// sample — tick or final — ever exceeded the baseline, e.g. the build
+// finished and freed between ticks), and callers must render "n/a"
+// rather than a misleading 0.
+func (t *peakTracker) Stop() (extraBytes uint64, known bool) {
+	close(t.stop)
+	<-t.done
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > t.peak.Load() {
+		t.peak.Store(ms.HeapAlloc)
+	}
+	peak := t.peak.Load()
+	if peak <= t.baseline {
+		return 0, false
+	}
+	return peak - t.baseline, true
+}
+
+// fmtPeak renders a peak-allocation measurement, honoring the n/a
+// guard.
+func fmtPeak(bytes uint64, known bool) string {
+	if !known {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fMiB", float64(bytes)/(1<<20))
+}
+
+// b1Mode is one build-pipeline configuration B1 times.
+type b1Mode struct {
+	name    string
+	workers int
+	build   func(ctx context.Context, g *graph.Graph, cfg schemes.Config, workers int) (schemes.Scheme, error)
+}
+
+// b1Modes contrasts the historical materialize-APSP-then-build flow
+// with the streaming pipeline at one and all cores.
+var b1Modes = []b1Mode{
+	{"apsp+build", 0, func(ctx context.Context, g *graph.Graph, cfg schemes.Config, workers int) (schemes.Scheme, error) {
+		return schemes.Build(g, sssp.AllPairsParallel(g, workers), cfg)
+	}},
+	{"stream-1", 1, func(ctx context.Context, g *graph.Graph, cfg schemes.Config, workers int) (schemes.Scheme, error) {
+		return schemes.BuildStream(ctx, g, sssp.Streamed(g, workers), cfg)
+	}},
+	{"stream-N", 0, func(ctx context.Context, g *graph.Graph, cfg schemes.Config, workers int) (schemes.Scheme, error) {
+		return schemes.BuildStream(ctx, g, sssp.Streamed(g, workers), cfg)
+	}},
+}
+
+// RunB1 measures construction cost — wall time and peak working
+// memory vs n — across the build pipelines, for a streaming-friendly
+// kind (landmark: retains only landmark rows) and the strawman
+// (fulltable: output-dominated). Serial-vs-parallel speedup of the
+// streaming path is reported per size; the streamed schemes are
+// property-tested elsewhere to be identical to the materialized ones,
+// so B1 is purely a cost measurement.
+func RunB1(w io.Writer, cfg Config) error {
+	sizes := []int{512, 1024, 2048}
+	if cfg.Quick {
+		sizes = []int{256}
+	}
+	return RunB1Sizes(w, cfg, sizes)
+}
+
+// RunB1Sizes is RunB1 over explicit graph sizes (cmd/routebench
+// -bench b1 -n).
+func RunB1Sizes(w io.Writer, cfg Config, sizes []int) error {
+	kinds := []string{schemes.KindLandmarkChain, schemes.KindFullTable}
+	workers := runtime.GOMAXPROCS(0)
+	tb := stats.NewTable("B1: build pipeline cost (streaming vs materialized APSP)",
+		"kind", "n", "mode", "workers", "wall", "peak-alloc", "speedup")
+	for _, kind := range kinds {
+		for _, n := range sizes {
+			g := gen.Gnp(cfg.Seed, n, 8/float64(n), gen.Uniform(1, 8))
+			type outcome struct {
+				wall  time.Duration
+				peak  uint64
+				known bool
+			}
+			results := make([]outcome, len(b1Modes))
+			for mi, mode := range b1Modes {
+				bcfg := schemes.Config{Kind: kind, K: 3, Seed: cfg.Seed}
+				tracker := startPeakTracker(2 * time.Millisecond)
+				t0 := time.Now()
+				s, err := mode.build(context.Background(), g, bcfg, mode.workers)
+				wall := time.Since(t0)
+				peak, known := tracker.Stop()
+				if err != nil {
+					return fmt.Errorf("B1: %s/%s n=%d: %w", kind, mode.name, n, err)
+				}
+				if s.MaxTableBits() <= 0 {
+					return fmt.Errorf("B1: %s/%s n=%d: built scheme reports no storage", kind, mode.name, n)
+				}
+				results[mi] = outcome{wall: wall, peak: peak, known: known}
+			}
+			serial := results[1].wall // stream-1 is the speedup baseline
+			for mi, mode := range b1Modes {
+				mw := mode.workers
+				if mw <= 0 {
+					mw = workers
+				}
+				speedup := 0.0
+				if results[mi].wall > 0 {
+					speedup = float64(serial) / float64(results[mi].wall)
+				}
+				tb.AddRow(kind, n, mode.name, mw,
+					results[mi].wall.Round(time.Millisecond).String(),
+					fmtPeak(results[mi].peak, results[mi].known),
+					fmt.Sprintf("%.2f", speedup))
+			}
+		}
+	}
+	return cfg.emit(w, tb,
+		"speedup is stream-1 wall time over the row's wall time; expected shape: stream-N → workers as n grows",
+		"peak-alloc is sampled heap above a GC'd baseline; n/a means the sampler cannot vouch for a number (never 0)")
+}

@@ -1,0 +1,215 @@
+package schemes_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"compactroute/internal/gen"
+	"compactroute/internal/graph"
+	"compactroute/internal/schemes"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+)
+
+// testGraph builds a connected gnp instance at the density every
+// experiment uses (expected degree 8).
+func testGraph(t testing.TB, seed uint64, n int) *graph.Graph {
+	t.Helper()
+	g := gen.Gnp(seed, n, 8/float64(n), gen.Uniform(1, 8))
+	if !g.Connected() {
+		t.Fatalf("gnp(seed=%d, n=%d) not connected; pick another seed", seed, n)
+	}
+	return g
+}
+
+// routeFingerprint routes every ordered pair and folds the full result
+// (delivery, cost, hops, header bits) into a comparable table — the
+// routes and the stretch table in one sweep.
+func routeFingerprint(t *testing.T, g *graph.Graph, s schemes.Scheme) []sim.Result {
+	t.Helper()
+	e := sim.NewEngine(g)
+	out := make([]sim.Result, 0, g.N()*g.N())
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if u == v {
+				continue
+			}
+			res, err := e.Route(s, graph.NodeID(u), g.Name(graph.NodeID(v)))
+			if err != nil {
+				t.Fatalf("%s: route %d→%d: %v", s.Name(), u, v, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// TestStreamEqualsMaterialized is the streaming pipeline's acceptance
+// property: for every registered kind, the scheme built from a
+// streamed source set must equal the APSP-built scheme — same routes
+// (delivery, cost, hops, headers) on every ordered pair, same storage
+// accounting.
+func TestStreamEqualsMaterialized(t *testing.T) {
+	g := testGraph(t, 3, 48)
+	apsp := sssp.AllPairs(g)
+	for _, kind := range schemes.Kinds() {
+		for _, workers := range []int{1, 4} {
+			cfg := schemes.Config{Kind: kind, K: 2, Seed: 7}
+			want, err := schemes.Build(g, apsp, cfg)
+			if err != nil {
+				t.Fatalf("Build(%q): %v", kind, err)
+			}
+			got, err := schemes.BuildStream(context.Background(), g, sssp.Streamed(g, workers), cfg)
+			if err != nil {
+				t.Fatalf("BuildStream(%q, workers=%d): %v", kind, workers, err)
+			}
+			if want.MaxTableBits() != got.MaxTableBits() || want.MeanTableBits() != got.MeanTableBits() {
+				t.Fatalf("%q workers=%d: table bits diverge: max %d/%d mean %v/%v", kind, workers,
+					got.MaxTableBits(), want.MaxTableBits(), got.MeanTableBits(), want.MeanTableBits())
+			}
+			wr := routeFingerprint(t, g, want)
+			gr := routeFingerprint(t, g, got)
+			for i := range wr {
+				if wr[i].Delivered != gr[i].Delivered || wr[i].Cost != gr[i].Cost ||
+					wr[i].Hops != gr[i].Hops || wr[i].MaxHeaderBits != gr[i].MaxHeaderBits {
+					t.Fatalf("%q workers=%d: route %d diverges: streamed %+v, materialized %+v",
+						kind, workers, i, gr[i], wr[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamFromMaterializedSource: feeding the cached metric through
+// the stream path (what the facade does on a warm Network) must also
+// reproduce the materialized build.
+func TestStreamFromMaterializedSource(t *testing.T) {
+	g := testGraph(t, 3, 48)
+	apsp := sssp.AllPairs(g)
+	for _, kind := range schemes.Kinds() {
+		cfg := schemes.Config{Kind: kind, K: 2, Seed: 7}
+		want, err := schemes.Build(g, apsp, cfg)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		got, err := schemes.BuildStream(context.Background(), g, sssp.Materialized(g, apsp), cfg)
+		if err != nil {
+			t.Fatalf("BuildStream(%q): %v", kind, err)
+		}
+		if want.MaxTableBits() != got.MaxTableBits() || want.MeanTableBits() != got.MeanTableBits() {
+			t.Fatalf("%q: table bits diverge over materialized source", kind)
+		}
+	}
+}
+
+// cancelAfter wraps a Source and cancels the build after delivering a
+// fixed number of rows — a deterministic mid-build cancellation.
+type cancelAfter struct {
+	sssp.Source
+	cancel context.CancelFunc
+	after  int
+}
+
+func (c *cancelAfter) Each(ctx context.Context, fn func(r *sssp.Result) error) error {
+	seen := 0
+	return c.Source.Each(ctx, func(r *sssp.Result) error {
+		seen++
+		if seen == c.after {
+			c.cancel()
+		}
+		return fn(r)
+	})
+}
+
+// TestBuildStreamCancellation: a context canceled mid-build must
+// surface as a wrapped context.Canceled from every kind, and the
+// stream's workers must all wind down (no goroutine leak).
+func TestBuildStreamCancellation(t *testing.T) {
+	g := testGraph(t, 3, 96)
+	before := runtime.NumGoroutine()
+	for _, kind := range schemes.Kinds() {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &cancelAfter{Source: sssp.Streamed(g, 4), cancel: cancel, after: 5}
+		_, err := schemes.BuildStream(ctx, g, src, schemes.Config{Kind: kind, K: 2, Seed: 7})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("BuildStream(%q) after mid-build cancel: got %v, want wrapped context.Canceled", kind, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutine leak after canceled builds: %d before, %d after", before, got)
+	}
+}
+
+// TestBuildStreamPreCanceled: an already-canceled context fails fast
+// for every kind.
+func TestBuildStreamPreCanceled(t *testing.T) {
+	g := testGraph(t, 3, 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range schemes.Kinds() {
+		_, err := schemes.BuildStream(ctx, g, sssp.Streamed(g, 2), schemes.Config{Kind: kind, K: 2, Seed: 7})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("BuildStream(%q) pre-canceled: got %v", kind, err)
+		}
+	}
+}
+
+// TestBuildStreamFallback: a kind registered without a stream hook
+// still builds through BuildStream via the materialize fallback.
+func TestBuildStreamFallback(t *testing.T) {
+	schemes.Register(schemes.Info{
+		Kind:        "stream-test-fallback",
+		Description: "test-only kind without a BuildStream hook",
+		Build: func(g *graph.Graph, apsp []*sssp.Result, cfg schemes.Config) (schemes.Scheme, error) {
+			if len(apsp) != g.N() {
+				return nil, fmt.Errorf("fallback got %d rows for %d nodes", len(apsp), g.N())
+			}
+			return schemes.Build(g, apsp, schemes.Config{Kind: "fulltable"})
+		},
+	})
+	g := testGraph(t, 3, 24)
+	s, err := schemes.BuildStream(context.Background(), g, sssp.Streamed(g, 2),
+		schemes.Config{Kind: "stream-test-fallback"})
+	if err != nil {
+		t.Fatalf("fallback BuildStream: %v", err)
+	}
+	if s.MaxTableBits() <= 0 {
+		t.Fatal("fallback scheme has no storage")
+	}
+}
+
+// TestBigStreamedBuild is the scale acceptance check: a gnp n=8192
+// build through the streaming path, which holds O(workers·n)
+// shortest-path state instead of the ~1.3 GiB materialized metric.
+// It sweeps ~n single-source Dijkstra runs, so it only runs when
+// explicitly requested:
+//
+//	COMPACTROUTE_BIG_BUILD=1 go test ./internal/schemes -run BigStreamed -v
+func TestBigStreamedBuild(t *testing.T) {
+	if os.Getenv("COMPACTROUTE_BIG_BUILD") == "" {
+		t.Skip("set COMPACTROUTE_BIG_BUILD=1 to run the n=8192 streaming build")
+	}
+	n := 8192
+	g := testGraph(t, 1, n)
+	s, err := schemes.BuildStream(context.Background(), g, sssp.Streamed(g, 0),
+		schemes.Config{Kind: schemes.KindLandmarkChain, K: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("streamed n=%d build: %v", n, err)
+	}
+	if s.MaxTableBits() <= 0 {
+		t.Fatal("big build produced no storage")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Logf("n=%d streamed build done: heap in use %d MiB", n, ms.HeapInuse>>20)
+}

@@ -23,8 +23,10 @@ func newIndexedHeap(n int) *indexedHeap {
 	return h
 }
 
+// Len returns the number of queued nodes.
 func (h *indexedHeap) Len() int { return len(h.heap) }
 
+// Contains reports whether u is currently queued.
 func (h *indexedHeap) Contains(u graph.NodeID) bool { return h.pos[u] >= 0 }
 
 // Push inserts u with the given key. u must not already be present.

@@ -1,0 +1,224 @@
+package sssp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"compactroute/internal/graph"
+)
+
+// randomGraph builds a connected weighted graph for source tests.
+func randomGraph(t *testing.T, seed int64, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNode(uint64(0xA000 + i))
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(ids[i], ids[rng.Intn(i)], 1+rng.Float64()*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = b.AddEdge(ids[u], ids[v], 1+rng.Float64()*7) // dup edges error; ignore
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sameResult compares two per-source results field by field.
+func sameResult(a, b *Result) error {
+	if a.Source != b.Source {
+		return fmt.Errorf("source %d vs %d", a.Source, b.Source)
+	}
+	if len(a.Dist) != len(b.Dist) || len(a.Order) != len(b.Order) {
+		return fmt.Errorf("shape mismatch")
+	}
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] || a.Parent[v] != b.Parent[v] || a.ParentPort[v] != b.ParentPort[v] {
+			return fmt.Errorf("row %d differs at node %d", a.Source, v)
+		}
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			return fmt.Errorf("row %d order differs at %d", a.Source, i)
+		}
+	}
+	return nil
+}
+
+// TestStreamedMatchesAllPairs: the streamed source must deliver the
+// exact AllPairs results, in source order, at every worker count.
+func TestStreamedMatchesAllPairs(t *testing.T) {
+	g := randomGraph(t, 7, 80)
+	want := AllPairs(g)
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		src := Streamed(g, workers)
+		next := 0
+		err := src.Each(context.Background(), func(r *Result) error {
+			if int(r.Source) != next {
+				return fmt.Errorf("workers=%d: got source %d, want %d (out of order)", workers, r.Source, next)
+			}
+			if err := sameResult(want[next], r); err != nil {
+				return fmt.Errorf("workers=%d: %w", workers, err)
+			}
+			next++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != g.N() {
+			t.Fatalf("workers=%d: delivered %d rows, want %d", workers, next, g.N())
+		}
+	}
+}
+
+// TestStreamedReiterable: builders (tz) take two passes over a source;
+// both passes must see identical rows.
+func TestStreamedReiterable(t *testing.T) {
+	g := randomGraph(t, 11, 40)
+	src := Streamed(g, 4)
+	var first []*Result
+	if err := src.Each(context.Background(), func(r *Result) error {
+		first = append(first, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	if err := src.Each(context.Background(), func(r *Result) error {
+		if err := sameResult(first[i], r); err != nil {
+			return fmt.Errorf("pass 2 row %d: %w", i, err)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaterializedSource: wrapping precomputed results streams the
+// same pointers and Materialize returns them without copying.
+func TestMaterializedSource(t *testing.T) {
+	g := randomGraph(t, 3, 30)
+	all := AllPairs(g)
+	src := Materialized(g, all)
+	i := 0
+	if err := src.Each(context.Background(), func(r *Result) error {
+		if r != all[i] {
+			return fmt.Errorf("row %d: not the wrapped result", i)
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Materialize(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &back[0] != &all[0] {
+		t.Fatal("Materialize of a materialized source must not copy")
+	}
+}
+
+// TestMaterializeStreamed: materializing a streamed source equals a
+// plain AllPairs sweep.
+func TestMaterializeStreamed(t *testing.T) {
+	g := randomGraph(t, 5, 50)
+	want := AllPairs(g)
+	got, err := Materialize(context.Background(), Streamed(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if err := sameResult(want[i], got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStreamedCancellation: canceling mid-stream returns a wrapped
+// context.Canceled and releases every worker goroutine.
+func TestStreamedCancellation(t *testing.T) {
+	g := randomGraph(t, 9, 120)
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		rows := 0
+		err := Streamed(g, workers).Each(ctx, func(r *Result) error {
+			rows++
+			if rows == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want wrapped context.Canceled", workers, err)
+		}
+		if rows >= g.N() {
+			t.Fatalf("workers=%d: stream ran to completion despite cancel", workers)
+		}
+	}
+	// Workers must wind down; allow the scheduler a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutine leak after cancellation: %d before, %d after", before, got)
+	}
+}
+
+// TestStreamedFnError: a consumer error stops the stream and is
+// returned verbatim.
+func TestStreamedFnError(t *testing.T) {
+	g := randomGraph(t, 13, 60)
+	sentinel := errors.New("consumer says stop")
+	rows := 0
+	err := Streamed(g, 4).Each(context.Background(), func(r *Result) error {
+		rows++
+		if rows == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the consumer's error", err)
+	}
+	if rows != 3 {
+		t.Fatalf("fn ran %d times after erroring at 3", rows)
+	}
+}
+
+// TestStreamedPreCanceled: an already-canceled context yields no rows.
+func TestStreamedPreCanceled(t *testing.T) {
+	g := randomGraph(t, 1, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Streamed(g, 2).Each(ctx, func(r *Result) error {
+		t.Fatal("fn must not run under a canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want wrapped context.Canceled", err)
+	}
+}

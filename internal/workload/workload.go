@@ -45,12 +45,13 @@ type Query struct {
 // Pattern names a traffic shape.
 type Pattern string
 
+// The named traffic shapes (see the package comment for semantics).
 const (
-	Uniform     Pattern = "uniform"
-	Zipf        Pattern = "zipf"
-	Gravity     Pattern = "gravity"
-	Local       Pattern = "local"
-	Adversarial Pattern = "adversarial"
+	Uniform     Pattern = "uniform"     // independent uniform pairs
+	Zipf        Pattern = "zipf"        // Zipf-skewed destination hotspots
+	Gravity     Pattern = "gravity"     // P(u,v) ∝ deg(u)·deg(v)
+	Local       Pattern = "local"       // destinations in a small hop-ball
+	Adversarial Pattern = "adversarial" // replays the worst-stretch pairs
 )
 
 // Patterns returns every pattern in canonical order.

@@ -1,10 +1,12 @@
 package compactroute
 
 import (
+	"context"
 	"fmt"
 
 	"compactroute/internal/schemes"
 	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
 )
 
 // Config selects and parameterizes a scheme kind for Build. Kinds
@@ -47,8 +49,45 @@ func LookupKind(kind string) (KindInfo, bool) {
 // construction path of the v2 API, replacing the per-scheme
 // constructors of v1 (see DESIGN.md §1 for the migration table). An
 // unregistered kind errors with a wrapped ErrUnknownKind.
+//
+// Build materializes the network's full metric first (computing it on
+// a lazy or loaded network); for large networks prefer BuildStream,
+// which feeds builders a bounded-memory result stream instead.
 func Build(net *Network, cfg Config) (*Scheme, error) {
 	r, err := schemes.Build(net.g, net.buildMetric(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newScheme(net, cfg.Kind, r, r), nil
+}
+
+// BuildStream constructs a scheme of cfg.Kind through the streaming
+// build pipeline (DESIGN.md §6): single-source shortest-path rows fan
+// across GOMAXPROCS workers and stream — in deterministic source
+// order — into the kind's builder, which consumes them in O(n)
+// working memory unless it explicitly materializes. The result is
+// identical to Build's over the same network.
+//
+// On a network that already has its metric (BuildNetwork, WrapGraph)
+// the stream replays the cached results without recomputation. On a
+// lazy network (WrapGraphLazy, Load) rows are computed on the fly and
+// dropped after use, so for the streaming kinds (fulltable, apcover,
+// landmark, tz) the Θ(n²) metric is never resident; kind "paper" —
+// and any externally registered kind without a stream hook —
+// explicitly materializes the rows for the build's duration instead
+// (DESIGN.md §6). Either way the network afterwards still has no
+// metric, and stretch stays unknown until EnsureMetric.
+//
+// Cancelling ctx aborts construction promptly with a wrapped
+// context.Canceled (or DeadlineExceeded) and releases all workers.
+func BuildStream(ctx context.Context, net *Network, cfg Config) (*Scheme, error) {
+	var src sssp.Source
+	if all := net.metric(); all != nil {
+		src = sssp.Materialized(net.g, all)
+	} else {
+		src = sssp.Streamed(net.g, 0)
+	}
+	r, err := schemes.BuildStream(ctx, net.g, src, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -90,5 +129,8 @@ type registeredScheme struct {
 	table tableSizer
 }
 
-func (r registeredScheme) MaxTableBits() bitsT    { return r.table.MaxTableBits() }
+// MaxTableBits returns the largest per-node table.
+func (r registeredScheme) MaxTableBits() bitsT { return r.table.MaxTableBits() }
+
+// MeanTableBits returns the mean per-node table size.
 func (r registeredScheme) MeanTableBits() float64 { return r.table.MeanTableBits() }

@@ -1,0 +1,66 @@
+#!/bin/sh
+# check_docs.sh — the CI docs gate. Fails when any package is missing
+# its package-level doc comment (library packages need "// Package <name>",
+# main packages a "// Command <name>" or demo-style header on the file
+# carrying the package clause) or when go vet is unhappy. Run from the
+# repo root: sh scripts/check_docs.sh
+set -eu
+
+fail=0
+
+# Every package directory must contain at least one non-test .go file
+# whose leading comment block documents the package.
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	rel=${dir#"$(pwd)/"}
+	[ "$rel" = "$dir" ] && rel=.
+	found=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		[ -f "$f" ] || continue
+		# Accept "// Package foo ..." anywhere in the file head (the
+		# doc comment directly precedes the package clause), or the
+		# command/demo convention for package main.
+		if head -40 "$f" | grep -Eq '^// (Package|Command) [A-Za-z0-9_]'; then
+			found=1
+			break
+		fi
+		# Demo mains (examples/) document themselves as "// <Title> demo"
+		# or similar prose. Go's attachment rule applies: the comment
+		# line must sit *directly* above the package clause (a detached
+		# license header with a blank line between does not count).
+		if awk '/^package /{ exit } { prev = $0 } END { if (prev ~ /^\/\//) exit 0; exit 1 }' "$f" &&
+			grep -q '^package main$' "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "check_docs: package $rel has no package doc comment" >&2
+		fail=1
+	fi
+done
+
+# README is a satellite of the same contract: the repo front door must
+# exist and link the deep docs.
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+	if [ ! -s "$doc" ]; then
+		echo "check_docs: $doc missing or empty" >&2
+		fail=1
+	fi
+done
+if ! grep -q 'DESIGN.md' README.md || ! grep -q 'EXPERIMENTS.md' README.md; then
+	echo "check_docs: README.md must link DESIGN.md and EXPERIMENTS.md" >&2
+	fail=1
+fi
+
+# Standalone runs drive vet too; pipelines that already ran vet as
+# their own step (make ci, the CI workflow) skip the duplicate pass.
+if [ "${CHECK_DOCS_NO_VET:-}" != "1" ]; then
+	go vet ./... || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+	echo "check_docs: FAILED" >&2
+	exit 1
+fi
+echo "check_docs: ok"

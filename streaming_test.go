@@ -1,0 +1,86 @@
+package compactroute
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestBuildStreamLazyNetwork: the facade's streaming build over a
+// metric-less network routes correctly, reports stretch as unknown
+// (MetricKnown false), and recovers stretch after EnsureMetric —
+// mirroring the Load contract.
+func TestBuildStreamLazyNetwork(t *testing.T) {
+	warm := RandomNetwork(5, 60, 8.0/60, UniformWeights(1, 8))
+	lazy := WrapGraphLazy(warm.Graph())
+	if lazy.HasMetric() {
+		t.Fatal("WrapGraphLazy must not compute the metric")
+	}
+	// The five built-ins only: other root tests register throwaway
+	// kinds (e.g. one that never delivers) in the shared registry.
+	for _, kind := range []string{KindPaper, KindFullTable, KindAPCover, KindLandmarkChain, KindTZ} {
+		ref, err := Build(warm, Config{Kind: kind, K: 2, Seed: 9})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", kind, err)
+		}
+		s, err := BuildStream(context.Background(), lazy, Config{Kind: kind, K: 2, Seed: 9})
+		if err != nil {
+			t.Fatalf("BuildStream(%q): %v", kind, err)
+		}
+		if lazy.HasMetric() {
+			t.Fatalf("BuildStream(%q) materialized the lazy network's metric", kind)
+		}
+		g := warm.Graph()
+		res, err := s.RouteByName(g.Name(0), g.Name(NodeID(warm.N()-1)))
+		if err != nil || !res.Delivered {
+			t.Fatalf("BuildStream(%q) route: %+v, %v", kind, res, err)
+		}
+		if res.MetricKnown {
+			t.Fatalf("BuildStream(%q): stretch must be unknown on a lazy network", kind)
+		}
+		want, err := ref.RouteByName(g.Name(0), g.Name(NodeID(warm.N()-1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != want.Cost || res.Hops != want.Hops {
+			t.Fatalf("BuildStream(%q) diverges from Build: cost %v/%v hops %d/%d",
+				kind, res.Cost, want.Cost, res.Hops, want.Hops)
+		}
+	}
+	lazy.EnsureMetric()
+	s, err := BuildStream(context.Background(), lazy, Config{Kind: KindFullTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := warm.Graph()
+	res, err := s.RouteByName(g.Name(0), g.Name(1))
+	if err != nil || !res.MetricKnown {
+		t.Fatalf("after EnsureMetric stretch must be known: %+v, %v", res, err)
+	}
+	if res.Stretch() != 1 {
+		t.Fatalf("fulltable stretch = %v, want 1", res.Stretch())
+	}
+}
+
+// TestBuildStreamCanceled: facade-level cancellation surfaces the
+// wrapped context error — on a lazy network (streamed source) and on
+// a warm one (materialized fast path, which once skipped the ctx
+// check and silently built the paper scheme anyway).
+func TestBuildStreamCanceled(t *testing.T) {
+	warm := RandomNetwork(5, 40, 0.2, UniformWeights(1, 8))
+	lazy := WrapGraphLazy(warm.Graph())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		net  *Network
+		kind string
+	}{
+		{"lazy/streamed", lazy, KindTZ},
+		{"warm/materialized", warm, KindPaper},
+	} {
+		if _, err := BuildStream(ctx, tc.net, Config{Kind: tc.kind, K: 2}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: got %v, want wrapped context.Canceled", tc.name, err)
+		}
+	}
+}
