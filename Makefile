@@ -8,8 +8,10 @@ GO ?= go
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order every run, so inter-test state
+# dependencies cannot hide (the seed is printed for reproduction).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race tests run the -short suite: the 2k-node persistence acceptance
 # test is exercised (unraced) by `make test`, and racing it would
@@ -50,6 +52,9 @@ benchjson:
 	$(GO) run ./cmd/routebench -bench b1 -n 512 -json > BENCH_B1.json
 	@cat BENCH_B1.json
 	@test -s BENCH_B1.json || { echo "benchjson: empty BENCH_B1.json" >&2; exit 1; }
+	$(GO) run ./cmd/routebench -exp D1 -quick -json > BENCH_D1.json
+	@cat BENCH_D1.json
+	@test -s BENCH_D1.json || { echo "benchjson: empty BENCH_D1.json" >&2; exit 1; }
 
 # End-to-end serving smoke: scheme build -> routed -> loadgen replay
 # of three workload patterns -> graceful SIGTERM drain.

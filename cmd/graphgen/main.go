@@ -5,6 +5,16 @@
 //	e <u> <v> <weight>
 //
 // Families match the generators used by the experiments; see -h.
+//
+// With -mutations K it also emits a deterministic, seedable mutation
+// trace of K topology changes valid against the generated graph
+// (weight churn, edge adds, connectivity-safe removals, anchored node
+// joins — see internal/dynamic) to the -mutout file. The pair feeds
+// the dynamic serving path end to end:
+//
+//	graphgen -family gnp -n 500 -seed 3 -mutations 200 -mutout churn.mut > topo.txt
+//	routed -scheme tz -graph topo.txt &
+//	loadgen -graph topo.txt -mutations churn.mut ...
 package main
 
 import (
@@ -12,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"compactroute/internal/dynamic"
 	"compactroute/internal/gen"
 	"compactroute/internal/gio"
 	"compactroute/internal/graph"
@@ -29,6 +40,8 @@ func main() {
 	wlo := flag.Float64("wlo", 1, "uniform weight low")
 	whi := flag.Float64("whi", 8, "uniform weight high")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	mutations := flag.Int("mutations", 0, "also emit a deterministic mutation trace of this many topology changes (requires -mutout)")
+	mutout := flag.String("mutout", "", "file the mutation trace is written to (the graph itself goes to stdout)")
 	flag.Parse()
 
 	w := gen.Uniform(*wlo, *whi)
@@ -67,5 +80,31 @@ func main() {
 	if err := gio.Write(os.Stdout, g); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
+	}
+
+	if *mutations > 0 {
+		if *mutout == "" {
+			fmt.Fprintln(os.Stderr, "graphgen: -mutations needs -mutout (the graph occupies stdout)")
+			os.Exit(2)
+		}
+		muts, err := dynamic.GenerateTrace(g, *mutations, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*mutout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		if err := dynamic.WriteTrace(f, muts); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
 	}
 }

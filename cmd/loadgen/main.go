@@ -9,14 +9,36 @@
 //	        -pattern uniform,zipf,gravity,local -queries 20000 -concurrency 32
 //
 // The scheme file gives loadgen the node names to query (the daemon
-// and the generator must be handed the same file); no metric is
-// computed unless the adversarial pattern is requested, which ranks
-// candidate pairs by locally measured stretch and replays the worst.
-// Each worker drives its own deterministic query stream, so a run is
+// and the generator must be handed the same file); -graph accepts a
+// topology file (gio text) instead, pairing with `routed -scheme
+// <kind> -graph`. No metric is computed unless the adversarial
+// pattern is requested, which ranks candidate pairs by locally
+// measured stretch and replays the worst (and needs -scheme). Each
+// worker drives its own deterministic query stream, so a run is
 // reproducible end to end given -seed.
+//
+// # Churn
+//
+// Against a dynamic daemon (routed serving a registry kind), loadgen
+// interleaves topology churn with the replay: -mutations names a
+// trace file (cmd/graphgen -mutations), and one mutation is POSTed to
+// /mutate every -mutate-every completed queries, with a background
+// rebuild triggered via /rebuild every -rebuild-every mutations — the
+// client-side view of mutate → rebuild → hot swap under live traffic:
+//
+//	graphgen -family gnp -n 500 -mutations 200 -mutout churn.mut > topo.txt
+//	routed -scheme tz -graph topo.txt &
+//	loadgen -graph topo.txt -mutations churn.mut -queries 20000
+//
+// The trace is consumed in order across patterns, and a final
+// synchronous rebuild flushes whatever is still pending; the churn
+// summary reports mutations applied, rebuilds triggered, and POST
+// failures (zero on a healthy daemon).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,16 +46,23 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"compactroute"
+	"compactroute/internal/dynamic"
+	"compactroute/internal/gio"
 	"compactroute/internal/graph"
 	"compactroute/internal/stats"
 	"compactroute/internal/workload"
 )
 
 func main() {
-	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save; source of the node names to query (required)")
+	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save; source of the node names to query (this or -graph is required)")
+	graphFile := flag.String("graph", "", "topology file (gio text format) as the node-name source instead of -scheme")
+	mutationsFile := flag.String("mutations", "", "mutation trace file (cmd/graphgen -mutations): interleave topology churn with the replay")
+	mutateEvery := flag.Int("mutate-every", 50, "completed queries between mutation POSTs (churn mode)")
+	rebuildEvery := flag.Int("rebuild-every", 25, "mutations between background rebuild triggers (churn mode; 0: final rebuild only)")
 	baseURL := flag.String("url", "http://localhost:8347", "base URL of the routed daemon")
 	patternList := flag.String("pattern", "uniform,zipf,gravity,local", "comma-separated workload patterns (add adversarial to hammer worst-stretch pairs; costs one local APSP)")
 	queries := flag.Int("queries", 10000, "requests per pattern")
@@ -52,22 +81,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	if *schemeFile == "" {
-		fmt.Fprintln(os.Stderr, "loadgen: -scheme is required")
+	if (*schemeFile == "") == (*graphFile == "") {
+		fmt.Fprintln(os.Stderr, "loadgen: exactly one of -scheme or -graph is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 	if *queries < 1 || *concurrency < 1 {
 		fail(fmt.Errorf("-queries and -concurrency must be ≥ 1"))
 	}
-	f, err := os.Open(*schemeFile)
-	if err != nil {
-		fail(err)
-	}
-	scheme, err := compactroute.Load(f)
-	f.Close()
-	if err != nil {
-		fail(err)
+	var (
+		scheme *compactroute.Scheme // nil with -graph
+		g      *graph.Graph
+	)
+	if *schemeFile != "" {
+		f, err := os.Open(*schemeFile)
+		if err != nil {
+			fail(err)
+		}
+		scheme, err = compactroute.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		g = scheme.Network().Graph()
+	} else {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fail(err)
+		}
+		g, err = gio.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	var patterns []workload.Pattern
@@ -83,17 +129,44 @@ func main() {
 	}
 	client := newClient(*concurrency, *timeout)
 	fmt.Printf("loadgen: %s, %d nodes, %d queries/pattern, concurrency %d\n",
-		*baseURL, scheme.Network().N(), *queries, *concurrency)
+		*baseURL, g.N(), *queries, *concurrency)
+
+	var churner *churn
+	if *mutationsFile != "" {
+		mf, err := os.Open(*mutationsFile)
+		if err != nil {
+			fail(err)
+		}
+		muts, err := dynamic.ReadTrace(mf)
+		mf.Close()
+		if err != nil {
+			fail(err)
+		}
+		if *mutateEvery < 1 {
+			fail(fmt.Errorf("-mutate-every must be ≥ 1"))
+		}
+		churner = &churn{
+			client: client, baseURL: *baseURL, muts: muts,
+			mutateEvery: *mutateEvery, rebuildEvery: *rebuildEvery,
+		}
+		churner.start()
+		fmt.Printf("loadgen: churning %d mutations (1 per %d queries, rebuild per %d mutations)\n",
+			len(muts), *mutateEvery, *rebuildEvery)
+	}
 
 	table := stats.NewTable("latency by workload pattern",
 		"pattern", "queries", "errors", "qps", "p50", "p95", "p99", "max")
 	var histograms []string
 	for _, p := range patterns {
-		streams, err := patternStreams(p, scheme, *concurrency, base)
+		streams, err := patternStreams(p, g, scheme, *concurrency, base)
 		if err != nil {
 			fail(err)
 		}
-		rep, err := replay(client, *baseURL, streams, *queries, *warmup)
+		var counter *atomic.Uint64
+		if churner != nil {
+			counter = &churner.counter
+		}
+		rep, err := replay(client, *baseURL, streams, *queries, *warmup, counter)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", p, err))
 		}
@@ -112,6 +185,12 @@ func main() {
 	for _, h := range histograms {
 		fmt.Println(h)
 	}
+	if churner != nil {
+		if err := churner.finish(); err != nil {
+			fail(fmt.Errorf("churn: %w", err))
+		}
+		fmt.Println(churner.summary())
+	}
 }
 
 // newClient returns an HTTP client sized for the replay concurrency.
@@ -127,9 +206,12 @@ func newClient(concurrency int, timeout time.Duration) *http.Client {
 // the same targets) and gets a distinct Fork (so the draw sequences
 // differ and the aggregate traffic keeps the pattern's shape). The
 // adversarial pattern ranks its shared candidate set once through a
-// memoizing ranker.
-func patternStreams(p workload.Pattern, s *compactroute.Scheme, workers int, base workload.Options) ([]*workload.Stream, error) {
+// memoizing ranker, which needs a local scheme (-scheme, not -graph).
+func patternStreams(p workload.Pattern, g *graph.Graph, s *compactroute.Scheme, workers int, base workload.Options) ([]*workload.Stream, error) {
 	if p == workload.Adversarial {
+		if s == nil {
+			return nil, fmt.Errorf("the adversarial pattern ranks pairs by locally measured stretch and needs -scheme, not -graph")
+		}
 		s.Network().EnsureMetric() // stretch ranking needs d(u,v)
 		base.Rank = memoRanker(s)
 	}
@@ -137,13 +219,111 @@ func patternStreams(p workload.Pattern, s *compactroute.Scheme, workers int, bas
 	for w := range streams {
 		o := base
 		o.Fork = uint64(w)
-		st, err := workload.New(p, s.Network().Graph(), o)
+		st, err := workload.New(p, g, o)
 		if err != nil {
 			return nil, err
 		}
 		streams[w] = st
 	}
 	return streams, nil
+}
+
+// churn is the mutation side of a dynamic replay: a single goroutine
+// that walks the trace in order, POSTing one mutation to /mutate
+// every mutateEvery completed queries (paced by the counter the
+// replay workers increment) and scheduling a background rebuild via
+// /rebuild every rebuildEvery mutations. A POST failure stops the
+// churn — mutations are stateful, so replaying the rest of the trace
+// after a gap could only produce spurious 422s.
+type churn struct {
+	client       *http.Client
+	baseURL      string
+	muts         []dynamic.Mutation
+	mutateEvery  int
+	rebuildEvery int
+
+	counter  atomic.Uint64 // completed queries, fed by replay workers
+	stop     chan struct{}
+	done     chan struct{}
+	applied  int
+	rebuilds int
+	err      error
+}
+
+func (c *churn) start() {
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run()
+}
+
+func (c *churn) run() {
+	defer close(c.done)
+	for c.applied < len(c.muts) {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		if c.counter.Load() < uint64(c.applied+1)*uint64(c.mutateEvery) {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if c.err = c.post("/mutate", c.muts[c.applied]); c.err != nil {
+			return
+		}
+		c.applied++
+		if c.rebuildEvery > 0 && c.applied%c.rebuildEvery == 0 {
+			if c.err = c.post("/rebuild", nil); c.err != nil {
+				return
+			}
+			c.rebuilds++
+		}
+	}
+}
+
+// finish stops the churn goroutine and flushes whatever is still
+// pending with one synchronous rebuild, so the daemon ends the run on
+// a version that has absorbed every applied mutation.
+func (c *churn) finish() error {
+	close(c.stop)
+	<-c.done
+	if c.err != nil {
+		return c.err
+	}
+	if c.applied > 0 {
+		if err := c.post("/rebuild?wait=1", nil); err != nil {
+			return err
+		}
+		c.rebuilds++
+	}
+	return nil
+}
+
+// post issues one churn POST, treating any non-2xx answer as an error.
+func (c *churn) post(path string, body any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := c.client.Post(c.baseURL+path, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+func (c *churn) summary() string {
+	return fmt.Sprintf("churn: %d/%d mutations applied, %d rebuilds triggered",
+		c.applied, len(c.muts), c.rebuilds)
 }
 
 // memoRanker scores a pair by its locally measured stretch, caching
@@ -196,8 +376,9 @@ func (r report) qps() float64 {
 // worker before the clock starts, so neither throughput nor latency
 // includes it. Transport-level errors abort the run; HTTP error
 // statuses (a saturated daemon answering 503) are counted and the
-// replay continues.
-func replay(client *http.Client, baseURL string, streams []*workload.Stream, queries, warmup int) (report, error) {
+// replay continues. A non-nil counter receives one increment per
+// completed timed query — the churn pacing signal.
+func replay(client *http.Client, baseURL string, streams []*workload.Stream, queries, warmup int, counter *atomic.Uint64) (report, error) {
 	workers := len(streams)
 	if workers > queries {
 		workers = queries
@@ -240,6 +421,9 @@ func replay(client *http.Client, baseURL string, streams []*workload.Stream, que
 						r.failed++
 					default:
 						r.lat.Add(time.Since(t0).Seconds())
+						if counter != nil {
+							counter.Add(1)
+						}
 					}
 				}
 			}(w, split(total, w))

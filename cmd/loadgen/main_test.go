@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
 	"compactroute"
+	"compactroute/internal/dynamic"
 	"compactroute/internal/serve"
 	"compactroute/internal/workload"
 )
@@ -68,12 +70,12 @@ func TestReplayPatterns(t *testing.T) {
 	client := newClient(4, 5*time.Second)
 	base := workload.Options{Seed: 1, Candidates: 64, Keep: 8}
 	for _, p := range []workload.Pattern{workload.Uniform, workload.Zipf, workload.Gravity, workload.Local, workload.Adversarial} {
-		streams, err := patternStreams(p, scheme, 4, base)
+		streams, err := patternStreams(p, scheme.Network().Graph(), scheme, 4, base)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
 		const queries = 120
-		rep, err := replay(client, ts.URL, streams, queries, 8)
+		rep, err := replay(client, ts.URL, streams, queries, 8, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -103,11 +105,11 @@ func TestReplayCountsHTTPFailures(t *testing.T) {
 	}))
 	defer ts.Close()
 	scheme, _ := testDaemon(t)
-	streams, err := patternStreams(workload.Uniform, scheme, 2, workload.Options{Seed: 1})
+	streams, err := patternStreams(workload.Uniform, scheme.Network().Graph(), scheme, 2, workload.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := replay(newClient(2, time.Second), ts.URL, streams, 20, 0)
+	rep, err := replay(newClient(2, time.Second), ts.URL, streams, 20, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +124,11 @@ func TestReplayAbortsOnTransportError(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	ts.Close() // nothing listening
 	scheme, _ := testDaemon(t)
-	streams, err := patternStreams(workload.Uniform, scheme, 2, workload.Options{Seed: 1})
+	streams, err := patternStreams(workload.Uniform, scheme.Network().Graph(), scheme, 2, workload.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := replay(newClient(2, time.Second), ts.URL, streams, 10, 0); err == nil {
+	if _, err := replay(newClient(2, time.Second), ts.URL, streams, 10, 0, nil); err == nil {
 		t.Fatal("replay against a dead daemon did not error")
 	}
 }
@@ -134,5 +136,114 @@ func TestReplayAbortsOnTransportError(t *testing.T) {
 func TestFmtLatency(t *testing.T) {
 	if got := fmtLatency(0.00153); got != "1.53ms" {
 		t.Fatalf("fmtLatency = %q", got)
+	}
+}
+
+// TestChurnPacesMutationsAndRebuilds drives the churn goroutine
+// against a fake dynamic daemon and checks the trace is consumed in
+// order, paced by the query counter, with rebuilds at the configured
+// cadence and a final synchronous flush.
+func TestChurnPacesMutationsAndRebuilds(t *testing.T) {
+	var mu sync.Mutex
+	var gotMuts []dynamic.Mutation
+	rebuilds := 0
+	waits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch r.URL.Path {
+		case "/mutate":
+			var m dynamic.Mutation
+			if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+				t.Errorf("mutate body: %v", err)
+			}
+			gotMuts = append(gotMuts, m)
+		case "/rebuild":
+			rebuilds++
+			if r.URL.Query().Get("wait") != "" {
+				waits++
+			}
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	muts := []dynamic.Mutation{
+		{Op: dynamic.OpSetWeight, U: 1, V: 2, W: 3},
+		{Op: dynamic.OpSetWeight, U: 2, V: 3, W: 4},
+		{Op: dynamic.OpAddNode, Name: 9, V: 1, W: 1},
+		{Op: dynamic.OpRemoveEdge, U: 1, V: 2},
+	}
+	c := &churn{
+		client: ts.Client(), baseURL: ts.URL, muts: muts,
+		mutateEvery: 10, rebuildEvery: 2,
+	}
+	c.start()
+	// Feed the counter like replay workers would, in steps, and wait
+	// for the churn to catch up to each threshold.
+	for step := 1; step <= len(muts); step++ {
+		c.counter.Store(uint64(step * 10))
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(gotMuts)
+			mu.Unlock()
+			if n >= step {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("churn stalled at %d/%d mutations", n, step)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := c.finish(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotMuts) != len(muts) {
+		t.Fatalf("applied %d mutations, want %d", len(gotMuts), len(muts))
+	}
+	for i := range muts {
+		if gotMuts[i] != muts[i] {
+			t.Fatalf("mutation %d out of order: got %+v want %+v", i, gotMuts[i], muts[i])
+		}
+	}
+	// 2 cadence rebuilds (after mutations 2 and 4) + 1 final wait=1.
+	if rebuilds != 3 || waits != 1 {
+		t.Fatalf("rebuilds=%d waits=%d, want 3/1", rebuilds, waits)
+	}
+	if c.summary() == "" {
+		t.Fatal("empty churn summary")
+	}
+}
+
+// TestChurnStopsOnDaemonError: a 409 from a static daemon stops the
+// churn with the error rather than replaying an inconsistent suffix.
+func TestChurnStopsOnDaemonError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"static"}`, http.StatusConflict)
+	}))
+	defer ts.Close()
+	c := &churn{
+		client: ts.Client(), baseURL: ts.URL,
+		muts:        []dynamic.Mutation{{Op: dynamic.OpSetWeight, U: 1, V: 2, W: 3}},
+		mutateEvery: 1,
+	}
+	c.start()
+	c.counter.Store(100)
+	select {
+	case <-c.done: // the 409 stopped the churn on its own
+	case <-time.After(5 * time.Second):
+		t.Fatal("churn never attempted the POST")
+	}
+	if err := c.finish(); err == nil {
+		t.Fatal("churn against a static daemon did not error")
+	}
+	if c.applied != 0 {
+		t.Fatalf("applied=%d after rejection", c.applied)
 	}
 }

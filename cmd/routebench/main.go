@@ -1,9 +1,12 @@
 // Command routebench regenerates the reproduction's experiment tables
-// (T1–T10, F1–F2, P1; see DESIGN.md §2 and EXPERIMENTS.md) and
-// measures the build-once/route-many split the persistence layer
-// enables. -json switches every experiment table to machine-readable
-// JSON Lines (one object per table), the format the BENCH_*.json perf
-// trajectory files record.
+// (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md) and the
+// harness's own performance experiments — P1 (parallel query sweep),
+// B1 (streaming build cost), D1 (dynamic-topology churn: rebuild
+// latency, swap pause, staleness) — and measures the
+// build-once/route-many split the persistence layer enables. -json
+// switches every experiment table to machine-readable JSON Lines (one
+// object per table), the format the BENCH_*.json perf trajectory
+// files record.
 //
 // Usage:
 //
@@ -110,7 +113,7 @@ func buildAndSave(path, kind string, n, k int, p, sfactor float64, seed uint64) 
 		return fmt.Errorf("unknown scheme kind %q (have %s)", kind, strings.Join(compactroute.Kinds(), ", "))
 	} else if !info.Persistable {
 		return fmt.Errorf("kind %q has no persistent form; persistable kinds: %s",
-			kind, strings.Join(persistableKinds(), ", "))
+			kind, strings.Join(compactroute.PersistableKinds(), ", "))
 	}
 	t0 := time.Now()
 	net := compactroute.RandomNetwork(seed, n, p, compactroute.UniformWeights(1, 8))
@@ -143,17 +146,6 @@ func buildAndSave(path, kind string, n, k int, p, sfactor float64, seed uint64) 
 	fmt.Printf("  construction    %12v\n", buildTime.Round(time.Millisecond))
 	fmt.Printf("  serialization   %12v  (%d bytes → %s)\n", saveTime.Round(time.Millisecond), st.Size(), path)
 	return nil
-}
-
-// persistableKinds lists the registry kinds Save supports.
-func persistableKinds() []string {
-	var out []string
-	for _, kind := range compactroute.Kinds() {
-		if info, ok := compactroute.LookupKind(kind); ok && info.Persistable {
-			out = append(out, kind)
-		}
-	}
-	return out
 }
 
 // loadAndQuery measures the recurring side: deserialization once, then

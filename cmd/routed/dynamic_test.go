@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactroute"
+	"compactroute/internal/graph"
+	"compactroute/internal/serve"
+)
+
+// buildDynamicServer boots the dynamic serving surface over a fresh
+// topology, exactly as `routed -scheme <kind>` does.
+func buildDynamicServer(t *testing.T, kind string, n int, rebuildAfter int) (*server, *compactroute.Network) {
+	t.Helper()
+	net := compactroute.RandomNetwork(7, n, 8/float64(n), compactroute.UniformWeights(1, 6))
+	dyn, err := compactroute.NewDynamic(net, compactroute.DynamicOptions{
+		Configs: []compactroute.Config{{Kind: kind, K: 2, Seed: 11, SFactor: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newDynamicServer(dyn, kind, serve.Options{Workers: 4, CacheSize: 1 << 10}, rebuildAfter)
+	t.Cleanup(srv.Close)
+	return srv, net
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestStaticServerRejectsMutations: file-loaded schemes answer 409 on
+// the dynamic endpoints.
+func TestStaticServerRejectsMutations(t *testing.T) {
+	srv, _ := buildServer(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/mutate", "/rebuild"} {
+		resp, body := postJSON(t, ts, path, compactroute.MutSetWeight(1, 2, 3))
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s on static scheme: %d %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestMutateValidation: bad JSON is 400, a semantically invalid
+// mutation is 422 and atomically rejected.
+func TestMutateValidation(t *testing.T) {
+	srv, net := buildDynamicServer(t, "fulltable", 60, 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/mutate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", resp.StatusCode)
+	}
+	g := net.Graph()
+	// Batch with one invalid member: nothing applies.
+	resp, body := postJSON(t, ts, "/mutate", []compactroute.Mutation{
+		compactroute.MutAddEdge(g.Name(0), g.Name(1), 2),
+		compactroute.MutAddEdge(0xdeaddead, g.Name(1), 2), // unknown node
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid batch: %d %s", resp.StatusCode, body)
+	}
+	if got := srv.dyn.Pending(); got != 0 {
+		t.Fatalf("invalid batch applied %d mutations", got)
+	}
+	// A valid single mutation (bare object, not array) applies.
+	resp, body = postJSON(t, ts, "/mutate", compactroute.MutSetWeight(g.Name(0), firstNeighbor(net), 3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid mutate: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Applied int    `json:"applied"`
+		Seq     uint64 `json:"seq"`
+		Pending uint64 `json:"pending"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 1 || out.Seq != 1 || out.Pending != 1 {
+		t.Fatalf("mutate response %+v", out)
+	}
+}
+
+func firstNeighbor(net *compactroute.Network) uint64 {
+	g := net.Graph()
+	var name uint64
+	g.Neighbors(0, func(e graph.Edge) bool {
+		name = g.Name(e.To)
+		return false
+	})
+	return name
+}
+
+// TestEndToEndChurn is the acceptance scenario: ≥100 mutations arrive
+// over POST /mutate while concurrent clients replay queries and
+// rebuilds are triggered over HTTP. Zero requests may fail, the swap
+// pause must stay under a millisecond, and after the final swap the
+// served routes must be bit-identical to a cold build of the final
+// graph.
+func TestEndToEndChurn(t *testing.T) {
+	const nodes = 110
+	srv, net := buildDynamicServer(t, "fulltable", nodes, 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	g := net.Graph()
+	muts, err := compactroute.GenerateMutations(net, 120, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent query replay over base names (present in every
+	// version): every response must be 200 and delivered.
+	stop := make(chan struct{})
+	var queries, failures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := g.Name(compactroute.NodeID((w*13 + i) % nodes))
+				dst := g.Name(compactroute.NodeID((w*29 + i*7 + 1) % nodes))
+				resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, src, dst))
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"delivered":true`)) {
+					t.Logf("query %d→%d: %d %s", src, dst, resp.StatusCode, body)
+					failures.Add(1)
+					return
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	// Churn: 120 mutations in batches of 10, a synchronous rebuild
+	// every 3 batches (4 rebuilds total).
+	applied := 0
+	for b := 0; b < 12; b++ {
+		resp, body := postJSON(t, ts, "/mutate", muts[b*10:(b+1)*10])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutate batch %d: %d %s", b, resp.StatusCode, body)
+		}
+		applied += 10
+		if (b+1)%3 == 0 {
+			resp, body := postJSON(t, ts, "/rebuild?wait=1", nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("rebuild after batch %d: %d %s", b, resp.StatusCode, body)
+			}
+			var v compactroute.VersionInfo
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.MutTo != uint64(applied) {
+				t.Fatalf("rebuild sealed at %d, want %d", v.MutTo, applied)
+			}
+		}
+	}
+	// Let the replay observe the final version, then stop it.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d churn-time queries failed", failures.Load(), queries.Load()+failures.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during churn")
+	}
+
+	// The daemon reports the final version and a sub-millisecond pause.
+	resp, body := postJSON(t, ts, "/rebuild?wait=1", nil) // no-op: nothing pending
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final rebuild: %d %s", resp.StatusCode, body)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var st struct {
+		Dynamic struct {
+			Version    uint64 `json:"version"`
+			Pending    uint64 `json:"pending"`
+			Swaps      uint64 `json:"swaps"`
+			MaxPauseNs int64  `json:"maxPauseNs"`
+		} `json:"dynamic"`
+	}
+	if err := json.Unmarshal(sbody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Dynamic.Version != 4 || st.Dynamic.Pending != 0 || st.Dynamic.Swaps != 4 {
+		t.Fatalf("dynamic stats: %+v", st.Dynamic)
+	}
+	if st.Dynamic.MaxPauseNs <= 0 || st.Dynamic.MaxPauseNs >= int64(time.Millisecond) {
+		t.Fatalf("max swap pause %v, want (0, 1ms)", time.Duration(st.Dynamic.MaxPauseNs))
+	}
+
+	// Post-swap routes are bit-identical to a cold build of the final
+	// graph: same delivery, cost, hops, and header bits for a full
+	// strided sample, queried over HTTP against the live daemon.
+	finalNet, err := compactroute.ReplayNetwork(net, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := compactroute.Build(finalNet, compactroute.Config{Kind: "fulltable", K: 2, Seed: 11, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := finalNet.Graph()
+	client := ts.Client()
+	checked := 0
+	for s := 0; s < fg.N(); s += 5 {
+		for d := 1; d < fg.N(); d += 7 {
+			src, dst := fg.Name(compactroute.NodeID(s)), fg.Name(compactroute.NodeID(d))
+			want, err := cold.RouteByName(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, src, dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got routeResponse
+			err = json.NewDecoder(resp.Body).Decode(&got)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Delivered != want.Delivered || got.Cost != want.Cost ||
+				got.Hops != want.Hops || got.HeaderBits != want.HeaderBits {
+				t.Fatalf("route %d→%d diverged from cold build: live %+v cold %+v", src, dst, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no routes checked against the cold build")
+	}
+}
+
+// TestRebuildWaitParamIsBoolean: ?wait=0 (and garbage) takes the
+// async 202 branch with an application/json body; only an affirmative
+// value blocks for the outcome.
+func TestRebuildWaitParamIsBoolean(t *testing.T) {
+	srv, _ := buildDynamicServer(t, "fulltable", 50, 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, q := range []string{"", "?wait=0", "?wait=false", "?wait=nope"} {
+		resp, _ := postJSON(t, ts, "/rebuild"+q, nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("rebuild%s: %d, want 202", q, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("rebuild%s content type %q", q, ct)
+		}
+	}
+	resp, body := postJSON(t, ts, "/rebuild?wait=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebuild?wait=1: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAutoRebuild: -rebuild-after triggers the background rebuild
+// once the pending backlog crosses the threshold.
+func TestAutoRebuild(t *testing.T) {
+	srv, net := buildDynamicServer(t, "fulltable", 60, 8)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	muts, err := compactroute.GenerateMutations(net, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts, "/mutate", muts); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if v := srv.dyn.Version(); v.ID >= 1 && srv.dyn.Pending() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("auto rebuild never happened (version %d, pending %d)",
+				srv.dyn.Version().ID, srv.dyn.Pending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDynamicHealthz: the health endpoint reports the live version.
+func TestDynamicHealthz(t *testing.T) {
+	srv, _ := buildDynamicServer(t, "tz", 50, 0)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["dynamic"] != true || h["version"] != float64(0) || h["kind"] != "tz" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}

@@ -33,6 +33,13 @@
 // shortest-path stream (DESIGN.md §6) with bit-identical results, and
 // WrapGraphLazy adopts a graph without paying for its metric at all.
 //
+// Topologies need not be static either: NewDynamic serves a live
+// network through versioned snapshots — mutations accumulate in an
+// append-only log (Apply), rebuilds reconstruct every configured kind
+// in the background (Rebuild), and a hot swap publishes the result
+// with a microsecond pause while in-flight routes finish on the
+// version they started on (DESIGN.md §7).
+//
 // Alongside the schemes the package exposes synthetic network
 // generators and stretch statistics. See DESIGN.md for the full
 // system inventory (and the v1→v2 API migration table) and
@@ -424,14 +431,11 @@ func (s *Scheme) RouteByLabelCtx(ctx context.Context, srcLabel, dstLabel string)
 // baseline (the next-hop tables). Other kinds error with a wrapped
 // ErrNotPersistable.
 func Save(w io.Writer, s *Scheme) error {
-	switch r := s.router.(type) {
-	case *core.Scheme:
-		return codec.EncodePayload(w, &codec.Payload{Kind: codec.KindPaper, Core: r.Export()})
-	case *baseline.FullTable:
-		return codec.EncodePayload(w, &codec.Payload{Kind: codec.KindFullTable, Full: r.Export()})
-	default:
-		return fmt.Errorf("compactroute: saving %s: %w", s.Name(), ErrNotPersistable)
+	p, err := codec.PayloadFor(s.router)
+	if err != nil {
+		return fmt.Errorf("compactroute: saving scheme: %w", err)
 	}
+	return codec.EncodePayload(w, p)
 }
 
 // Load reads a scheme saved by Save — any persistable kind, v1 or v2

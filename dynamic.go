@@ -1,0 +1,317 @@
+package compactroute
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"compactroute/internal/dynamic"
+	"compactroute/internal/routeerr"
+)
+
+// Mutation is one topology change in the dynamic mutation log,
+// addressed by external node names. Construct with the Mut* helpers
+// or as a literal with the Op constants; see internal/dynamic for the
+// trace and JSON wire formats.
+type Mutation = dynamic.Mutation
+
+// MutationOp enumerates the mutation operations.
+type MutationOp = dynamic.Op
+
+// The mutation operations, re-exported from internal/dynamic.
+const (
+	OpAddNode    = dynamic.OpAddNode
+	OpAddEdge    = dynamic.OpAddEdge
+	OpRemoveEdge = dynamic.OpRemoveEdge
+	OpSetWeight  = dynamic.OpSetWeight
+)
+
+// MutAddNode returns an anchored add-node mutation: name joins the
+// topology linked to anchor by one edge of weight w, atomically —
+// every rebuild boundary sees it routable.
+func MutAddNode(name, anchor uint64, w float64) Mutation {
+	return Mutation{Op: OpAddNode, Name: name, V: anchor, W: w}
+}
+
+// MutAddEdge returns an add-edge mutation between existing nodes.
+func MutAddEdge(u, v uint64, w float64) Mutation {
+	return Mutation{Op: OpAddEdge, U: u, V: v, W: w}
+}
+
+// MutRemoveEdge returns a remove-edge mutation (every parallel edge
+// of the pair).
+func MutRemoveEdge(u, v uint64) Mutation {
+	return Mutation{Op: OpRemoveEdge, U: u, V: v}
+}
+
+// MutSetWeight returns a set-weight mutation (every parallel edge of
+// the pair).
+func MutSetWeight(u, v uint64, w float64) Mutation {
+	return Mutation{Op: OpSetWeight, U: u, V: v, W: w}
+}
+
+// GenerateMutations produces a deterministic, seedable churn trace of
+// k mutations valid against the network's graph: every mutation
+// replays and no removal ever disconnects the topology (see
+// cmd/graphgen -mutations).
+func GenerateMutations(net *Network, k int, seed uint64) ([]Mutation, error) {
+	return dynamic.GenerateTrace(net.g, k, seed)
+}
+
+// WriteMutations emits a mutation trace in the text format
+// cmd/graphgen -mutations writes.
+func WriteMutations(w io.Writer, muts []Mutation) error { return dynamic.WriteTrace(w, muts) }
+
+// ReadMutations parses a mutation trace in the text format.
+func ReadMutations(r io.Reader) ([]Mutation, error) { return dynamic.ReadTrace(r) }
+
+// ReplayNetwork applies a mutation trace to a network's graph and
+// returns the resulting network (metric computed) — the cold topology
+// a dynamic rebuild of the same mutation range converges to, byte-
+// identical in structure whether the range was replayed in one shot
+// or across many rebuilds.
+func ReplayNetwork(net *Network, muts []Mutation) (*Network, error) {
+	g, err := dynamic.Replay(net.g, muts)
+	if err != nil {
+		return nil, err
+	}
+	return WrapGraph(g), nil
+}
+
+// VersionInfo describes one sealed topology version: its lineage (the
+// parent version and the half-open mutation range (MutFrom, MutTo]
+// replayed on top of it) and the background build cost.
+type VersionInfo struct {
+	ID        uint64        `json:"id"`
+	Parent    uint64        `json:"parent"`
+	MutFrom   uint64        `json:"mutFrom"`
+	MutTo     uint64        `json:"mutTo"`
+	BuildWall time.Duration `json:"buildWallNs"`
+	Kinds     []string      `json:"kinds"`
+}
+
+// DynamicOptions configures NewDynamic.
+type DynamicOptions struct {
+	// Configs names the scheme kinds every version builds — one
+	// Config per kind, at least one, kinds distinct. Each rebuild
+	// reconstructs all of them through the streaming pipeline
+	// (BuildStream) over the replayed graph.
+	Configs []Config
+	// Workers bounds each rebuild's shortest-path fan-out; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// EnsureMetric computes the all-pairs metric of every version
+	// before it swaps in, so routed results always carry true stretch
+	// (Result.MetricKnown). It costs one APSP per rebuild, in the
+	// background — never on the serving path, and never after the
+	// swap (a metric appearing on a serving version would strand
+	// stale MetricKnown=false cache entries; see internal/serve).
+	EnsureMetric bool
+	// SnapshotDir, when set, persists every version before it swaps
+	// in: the sealed graph, each persistable kind with its lineage
+	// (codec v2), and a manifest (see internal/dynamic.Store).
+	SnapshotDir string
+}
+
+// Dynamic is a live topology serving one scheme set per sealed
+// version: mutations accumulate in an append-only log (Apply),
+// rebuilds replay them and construct fresh schemes in the background
+// (Rebuild), and a hot swap publishes the result — in-flight routes
+// finish on the version they started on, new requests see the new
+// one, and swap hooks (OnSwap) purge serving caches within the
+// sub-millisecond pause. See DESIGN.md §7.
+type Dynamic struct {
+	opts    DynamicOptions
+	top     *dynamic.Topology
+	baseNet *Network
+	store   *dynamic.Store
+
+	watchMu  sync.Mutex
+	watchers map[int]chan VersionInfo
+	watchSeq int
+}
+
+// dynVersion is the per-version facade state hung on the internal
+// version's Aux: the shared Network and the ready-to-route wrappers.
+type dynVersion struct {
+	net     *Network
+	schemes map[string]*Scheme
+}
+
+// NewDynamic seals net's graph as version 0, builds its schemes
+// synchronously, and returns the live handle. The network's metric —
+// if it has one — serves version 0's stretch reporting; later
+// versions follow DynamicOptions.EnsureMetric.
+func NewDynamic(net *Network, o DynamicOptions) (*Dynamic, error) {
+	d := &Dynamic{opts: o, baseNet: net, watchers: make(map[int]chan VersionInfo)}
+	if o.SnapshotDir != "" {
+		st, err := dynamic.NewStore(o.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		d.store = st
+	}
+	top, err := dynamic.NewTopology(net.g, dynamic.TopologyOptions{
+		Configs: o.Configs,
+		Workers: o.Workers,
+		PreSwap: d.preSwap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.top = top
+	// Watchers are notified from inside the swap itself (the hooks run
+	// under the serialized rebuild path), so events are exactly-once
+	// and arrive in version order even with concurrent Rebuild
+	// callers; the sends are non-blocking and cost nanoseconds.
+	top.Swapper().OnSwap(func(v *dynamic.Version) { d.notify(info(v)) })
+	return d, nil
+}
+
+// notify fans a swapped version's lineage out to the watchers without
+// ever blocking the swap.
+func (d *Dynamic) notify(vi VersionInfo) {
+	d.watchMu.Lock()
+	for _, ch := range d.watchers {
+		select {
+		case ch <- vi:
+		default: // a slow watcher drops updates, never blocks a swap
+		}
+	}
+	d.watchMu.Unlock()
+}
+
+// preSwap readies a freshly built version for serving: the facade
+// wrappers, the optional metric, and the optional snapshot — all the
+// expensive work, strictly before the swap.
+func (d *Dynamic) preSwap(v *dynamic.Version) error {
+	net := &Network{g: v.Graph()}
+	if v.ID == 0 && d.baseNet != nil {
+		net = d.baseNet
+	}
+	if d.opts.EnsureMetric {
+		net.EnsureMetric()
+	}
+	ds := &dynVersion{net: net, schemes: make(map[string]*Scheme, len(d.opts.Configs))}
+	for _, kind := range v.Kinds() {
+		s := v.Scheme(kind)
+		ds.schemes[kind] = newScheme(net, kind, s, s)
+	}
+	if d.store != nil {
+		if err := d.store.Save(v); err != nil {
+			return err
+		}
+	}
+	v.Aux = ds
+	return nil
+}
+
+// info renders a version's lineage.
+func info(v *dynamic.Version) VersionInfo {
+	return VersionInfo{
+		ID: v.ID, Parent: v.Parent, MutFrom: v.MutFrom, MutTo: v.MutTo,
+		BuildWall: v.BuildWall, Kinds: v.Kinds(),
+	}
+}
+
+// Apply validates and appends mutations to the log atomically (all or
+// none), returning the sequence number of the last one. The served
+// topology is unchanged until the next Rebuild.
+func (d *Dynamic) Apply(ms ...Mutation) (uint64, error) { return d.top.Apply(ms...) }
+
+// Pending returns how many accepted mutations the serving version has
+// not yet absorbed.
+func (d *Dynamic) Pending() uint64 { return d.top.Pending() }
+
+// Version returns the serving version's lineage.
+func (d *Dynamic) Version() VersionInfo { return info(d.top.Current()) }
+
+// Rebuild seals the log, replays the pending mutations, rebuilds
+// every configured kind in the background, and hot-swaps the new
+// version in (purging caches via the OnSwap hooks). Rebuilds
+// serialize; with nothing pending the current version is returned
+// unchanged. On error the old version keeps serving and the mutation
+// range stays pending.
+func (d *Dynamic) Rebuild(ctx context.Context) (VersionInfo, error) {
+	v, _, err := d.top.Rebuild(ctx)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	return info(v), nil
+}
+
+// OnSwap registers a hook run synchronously inside every swap, after
+// the new version is published — the place a serving layer purges its
+// result cache (serve.Pool.Purge). Hooks must be fast: they are part
+// of the measured swap pause.
+func (d *Dynamic) OnSwap(fn func(VersionInfo)) {
+	d.top.Swapper().OnSwap(func(v *dynamic.Version) { fn(info(v)) })
+}
+
+// Watch returns a channel receiving the lineage of every version
+// swapped in after the call, and a stop function releasing it. A
+// watcher that falls behind misses updates (sends never block a
+// swap); poll Version for the authoritative current state.
+func (d *Dynamic) Watch(buf int) (<-chan VersionInfo, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan VersionInfo, buf)
+	d.watchMu.Lock()
+	d.watchSeq++
+	id := d.watchSeq
+	d.watchers[id] = ch
+	d.watchMu.Unlock()
+	return ch, func() {
+		d.watchMu.Lock()
+		delete(d.watchers, id)
+		d.watchMu.Unlock()
+	}
+}
+
+// SwapStats reports how many swaps have been published and the last
+// and largest serving pause (the pointer store plus the OnSwap
+// hooks — the only serving-visible cost of a rebuild).
+func (d *Dynamic) SwapStats() (swaps uint64, lastPause, maxPause time.Duration) {
+	sw := d.top.Swapper()
+	return sw.Swaps(), sw.LastPause(), sw.MaxPause()
+}
+
+// current resolves the serving version's facade state: one atomic
+// load, after which everything — graph, engine, schemes, metric — is
+// immutable, so a concurrent swap can never tear a request across two
+// versions.
+func (d *Dynamic) current() (*dynamic.Version, *dynVersion) {
+	v := d.top.Current()
+	return v, v.Aux.(*dynVersion)
+}
+
+// Scheme returns the serving version's scheme of one kind (nil if the
+// kind is not configured). The returned scheme stays valid — bound to
+// its version — across later swaps.
+func (d *Dynamic) Scheme(kind string) *Scheme {
+	_, ds := d.current()
+	return ds.schemes[kind]
+}
+
+// Network returns the serving version's network.
+func (d *Dynamic) Network() *Network {
+	_, ds := d.current()
+	return ds.net
+}
+
+// RouteByNameCtx routes one message on the serving version's scheme
+// of the given kind. The version is resolved once, at admission:
+// in-flight routes finish on their version when a swap lands
+// mid-walk. An unconfigured kind wraps ErrUnknownKind; source-name
+// and delivery semantics follow Scheme.RouteByNameCtx.
+func (d *Dynamic) RouteByNameCtx(ctx context.Context, kind string, srcName, dstName uint64) (Result, error) {
+	v, ds := d.current()
+	s, ok := ds.schemes[kind]
+	if !ok {
+		return Result{}, fmt.Errorf("compactroute: dynamic version %d: %w %q", v.ID, routeerr.ErrUnknownKind, kind)
+	}
+	return s.RouteByNameCtx(ctx, srcName, dstName)
+}

@@ -1,0 +1,263 @@
+package compactroute
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func dynNet(tb testing.TB, n int, seed uint64) *Network {
+	tb.Helper()
+	net := RandomNetwork(seed, n, 8/float64(n), UniformWeights(1, 8))
+	if !net.Graph().Connected() {
+		tb.Fatalf("test network not connected (n=%d seed=%d)", n, seed)
+	}
+	return net
+}
+
+func TestDynamicApplyRebuildRoute(t *testing.T) {
+	net := dynNet(t, 96, 2)
+	d, err := NewDynamic(net, DynamicOptions{
+		Configs:      []Config{{Kind: KindFullTable}, {Kind: KindTZ, K: 2, Seed: 1}},
+		EnsureMetric: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Version(); v.ID != 0 || len(v.Kinds) != 2 {
+		t.Fatalf("v0 = %+v", v)
+	}
+	res, err := d.RouteByNameCtx(context.Background(), KindFullTable, net.Graph().Name(0), net.Graph().Name(1))
+	if err != nil || !res.Delivered || !res.MetricKnown {
+		t.Fatalf("v0 route: %+v err=%v", res, err)
+	}
+	if res.Stretch() != 1 {
+		t.Fatalf("fulltable stretch %v", res.Stretch())
+	}
+	if _, err := d.RouteByNameCtx(context.Background(), "nope", 1, 2); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+
+	muts, err := GenerateMutations(net, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(muts...); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 30 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	ch, stop := d.Watch(4)
+	defer stop()
+	vi, err := d.Rebuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.ID != 1 || vi.MutTo != 30 || vi.BuildWall <= 0 {
+		t.Fatalf("v1 = %+v", vi)
+	}
+	select {
+	case got := <-ch:
+		if got.ID != 1 {
+			t.Fatalf("watcher saw %+v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watcher never notified")
+	}
+	// New version serves with a metric (EnsureMetric) and new names.
+	for _, m := range muts {
+		if m.Op != OpAddNode {
+			continue
+		}
+		res, err := d.RouteByNameCtx(context.Background(), KindFullTable, m.Name, net.Graph().Name(0))
+		if err != nil || !res.Delivered || !res.MetricKnown {
+			t.Fatalf("route from joined node %#x: %+v err=%v", m.Name, res, err)
+		}
+	}
+	swaps, last, max := d.SwapStats()
+	if swaps != 1 || last <= 0 || max < last {
+		t.Fatalf("swap stats: %d %v %v", swaps, last, max)
+	}
+	// A rebuild with nothing pending swaps nothing and notifies nobody.
+	vi2, err := d.Rebuild(context.Background())
+	if err != nil || vi2.ID != 1 {
+		t.Fatalf("no-op rebuild: %+v err=%v", vi2, err)
+	}
+	if swaps, _, _ := d.SwapStats(); swaps != 1 {
+		t.Fatalf("no-op rebuild swapped (swaps=%d)", swaps)
+	}
+}
+
+func TestDynamicSnapshotDir(t *testing.T) {
+	net := dynNet(t, 64, 3)
+	dir := filepath.Join(t.TempDir(), "snaps")
+	d, err := NewDynamic(net, DynamicOptions{
+		Configs:     []Config{{Kind: KindFullTable}},
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts, err := GenerateMutations(net, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(muts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Rebuild(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Version 1's persisted fulltable loads through the plain facade
+	// and routes (lineage is provenance, not payload).
+	f := filepath.Join(dir, "v00000001.fulltable.crsc")
+	s, err := loadSchemeFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Network().Graph()
+	res, err := s.RouteByName(g.Name(0), g.Name(1))
+	if err != nil || !res.Delivered {
+		t.Fatalf("loaded snapshot route: %+v err=%v", res, err)
+	}
+	if res.Cost != mustRoute(t, d, KindFullTable, g.Name(0), g.Name(1)).Cost {
+		t.Fatal("snapshot and live version disagree")
+	}
+}
+
+func loadSchemeFile(path string) (*Scheme, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func mustRoute(t *testing.T, d *Dynamic, kind string, src, dst uint64) Result {
+	t.Helper()
+	res, err := d.RouteByNameCtx(context.Background(), kind, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDynamicSwapHammer is the -race concurrency satellite: routing
+// hammers RouteByNameCtx (directly and through a purging serve.Pool
+// registered via OnSwap) while the main goroutine churns mutations
+// and rebuilds. It asserts no torn reads (every result is internally
+// consistent and every route delivers), no stale ErrUnknownName for
+// names that exist in every version, and no goroutine leaks.
+func TestDynamicSwapHammer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	net := dynNet(t, 72, 11)
+	d, err := NewDynamic(net, DynamicOptions{
+		Configs: []Config{{Kind: KindFullTable}, {Kind: KindLandmarkChain, K: 2, Seed: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	baseN := g.N() // base names exist in every version (nodes are never removed)
+
+	rebuilds := 4
+	if testing.Short() {
+		rebuilds = 2
+	}
+	muts, err := GenerateMutations(net, rebuilds*12, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stopRoute := make(chan struct{})
+	var routed atomic.Uint64
+	var wg sync.WaitGroup
+	fail := make(chan error, 16)
+	report := func(err error) {
+		select {
+		case fail <- err:
+		default:
+		}
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kinds := []string{KindFullTable, KindLandmarkChain}
+			for i := 0; ; i++ {
+				select {
+				case <-stopRoute:
+					return
+				default:
+				}
+				src := g.Name(NodeID((w*31 + i) % baseN))
+				dst := g.Name(NodeID((w*17 + i*7 + 1) % baseN))
+				res, err := d.RouteByNameCtx(context.Background(), kinds[i%2], src, dst)
+				if err != nil {
+					report(err)
+					return
+				}
+				if src != dst && !res.Delivered {
+					report(errorsNewf("route %#x→%#x not delivered", src, dst))
+					return
+				}
+				if res.Delivered && src != dst && (res.Cost <= 0 || res.Hops <= 0) {
+					report(errorsNewf("torn result %+v", res))
+					return
+				}
+				routed.Add(1)
+			}
+		}(w)
+	}
+
+	for r := 0; r < rebuilds; r++ {
+		if _, err := d.Apply(muts[r*12 : (r+1)*12]...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Rebuild(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let routing observe the final version before stopping.
+	time.Sleep(20 * time.Millisecond)
+	close(stopRoute)
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+	if routed.Load() == 0 {
+		t.Fatal("no routes completed during churn")
+	}
+	swaps, _, maxPause := d.SwapStats()
+	if swaps != uint64(rebuilds) {
+		t.Fatalf("swaps = %d, want %d", swaps, rebuilds)
+	}
+	if maxPause <= 0 {
+		t.Fatalf("max pause = %v", maxPause)
+	}
+	// No goroutine leaks: everything the rebuilds spawned has exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d at start, %d after churn", base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func errorsNewf(format string, args ...any) error { return fmt.Errorf(format, args...) }

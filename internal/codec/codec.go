@@ -37,6 +37,7 @@
 //	8 report    build report counters              (kind "paper")
 //	9 kind      scheme kind string                 (v2+, first section)
 //	10 nexthop  per-node next-hop ports            (kind "fulltable")
+//	11 lineage  dynamic-topology provenance        (any kind, optional)
 //
 // Encoding is deterministic: encoding a scheme, decoding it, and
 // encoding the result yields identical bytes (the property tests pin
@@ -84,20 +85,58 @@ const (
 	secReport   = 8
 	secKind     = 9
 	secNextHop  = 10
+	secLineage  = 11
 	secFooter   = 0xFF
 )
 
+// Lineage records the dynamic-topology provenance of a persisted
+// scheme: which snapshot version it belongs to, the version it was
+// replayed from, the half-open mutation-log range (MutFrom, MutTo]
+// applied on top of that parent, and the background build cost. It is
+// optional for every kind — statically built schemes carry none — and
+// ignored by readers that predate it (unknown sections are skipped).
+type Lineage struct {
+	// Version is the snapshot version id (0: the base topology).
+	Version uint64
+	// Parent is the version this one was replayed from.
+	Parent uint64
+	// MutFrom, MutTo delimit the applied mutation range (MutFrom, MutTo].
+	MutFrom, MutTo uint64
+	// BuildWallNanos is the background construction wall time.
+	BuildWallNanos int64
+}
+
 // Payload is one persisted scheme: the kind tag plus the snapshot for
-// that kind (exactly one of the snapshot fields is set).
+// that kind (exactly one of the snapshot fields is set), and the
+// optional dynamic-topology lineage.
 type Payload struct {
 	Kind string
 	Core *core.Snapshot
 	Full *baseline.FullTableSnapshot
+	// Lineage is present when the scheme was persisted as part of a
+	// versioned topology snapshot (internal/dynamic); nil otherwise.
+	Lineage *Lineage
 }
 
 // maxCount bounds any single slice length read from a stream, so a
 // corrupt count fails fast instead of attempting a huge allocation.
 const maxCount = 1 << 28
+
+// PayloadFor exports a built scheme (its concrete router) into the
+// kind-tagged payload this codec persists — the single switch mapping
+// router types to persistent forms, shared by the facade's Save and
+// the dynamic snapshot store so the two can never disagree about what
+// persists. Kinds without a persistent form wrap ErrNotPersistable.
+func PayloadFor(router interface{ Name() string }) (*Payload, error) {
+	switch r := router.(type) {
+	case *core.Scheme:
+		return &Payload{Kind: KindPaper, Core: r.Export()}, nil
+	case *baseline.FullTable:
+		return &Payload{Kind: KindFullTable, Full: r.Export()}, nil
+	default:
+		return nil, fmt.Errorf("codec: %s: %w", router.Name(), routeerr.ErrNotPersistable)
+	}
+}
 
 // Encode writes a built paper scheme to w.
 func Encode(w io.Writer, s *core.Scheme) error {
@@ -198,6 +237,14 @@ func EncodePayload(w io.Writer, p *Payload) error {
 		e := &enc{w: &payload}
 		e.str(p.Kind)
 		if err := writeSection(out, secKind, payload.Bytes()); err != nil {
+			return err
+		}
+	}
+	if p.Lineage != nil {
+		payload.Reset()
+		e := &enc{w: &payload}
+		e.lineage(p.Lineage)
+		if err := writeSection(out, secLineage, payload.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -357,6 +404,11 @@ func DecodePayload(r io.Reader) (*Payload, error) {
 				return nil, fmt.Errorf("codec: next-hop section in a %q stream", p.Kind)
 			}
 			next, err = d.nextHop()
+		case secLineage:
+			if version == 1 {
+				return nil, fmt.Errorf("codec: v1 stream carries a lineage section")
+			}
+			p.Lineage, err = d.lineage()
 		default:
 			// Unknown section from a future minor revision: skip.
 		}
@@ -384,7 +436,7 @@ func DecodePayload(r io.Reader) (*Payload, error) {
 }
 
 func knownSection(id uint8) bool {
-	return (id >= secGraph && id <= secReport) || id == secKind || id == secNextHop
+	return (id >= secGraph && id <= secReport) || id == secKind || id == secNextHop || id == secLineage
 }
 
 // readPayload reads a length-prefixed payload in bounded chunks, so a

@@ -441,3 +441,34 @@ func (d *dec) report(r *core.BuildReport) error {
 	}
 	return nil
 }
+
+// --- lineage section ---
+
+func (e *enc) lineage(l *Lineage) {
+	e.u64(l.Version)
+	e.u64(l.Parent)
+	e.u64(l.MutFrom)
+	e.u64(l.MutTo)
+	e.i64(l.BuildWallNanos)
+}
+
+func (d *dec) lineage() (*Lineage, error) {
+	l := &Lineage{}
+	var err error
+	if l.Version, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if l.Parent, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if l.MutFrom, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if l.MutTo, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if l.BuildWallNanos, err = d.i64(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

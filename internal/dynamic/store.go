@@ -1,0 +1,167 @@
+package dynamic
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"compactroute/internal/codec"
+	"compactroute/internal/gio"
+	"compactroute/internal/graph"
+)
+
+// Store persists versioned topology snapshots to a directory. Each
+// version writes
+//
+//	v<id>.graph        the sealed graph (gio text format)
+//	v<id>.<kind>.crsc  each persistable scheme (codec v2 + lineage)
+//	v<id>.json         the manifest, written last
+//
+// The manifest is the commit point, written to a temp file and
+// renamed into place: List ignores versions without one, so a crash
+// mid-save leaves garbage bytes but never a half-version. One store
+// records ONE topology chain — Save refuses to overwrite a committed
+// version id, so a daemon restarted against a used directory fails
+// loudly instead of silently interleaving snapshots from unrelated
+// chains. Scheme files embed the same lineage the manifest records,
+// making each .crsc self-describing (a plain compactroute.Load sees
+// where it came from).
+type Store struct {
+	dir string
+}
+
+// Manifest describes one stored version.
+type Manifest struct {
+	Lineage codec.Lineage `json:"lineage"`
+	// Kinds lists every scheme kind built into the version.
+	Kinds []string `json:"kinds"`
+	// Persisted lists the subset with a .crsc file (persistable kinds).
+	Persisted []string `json:"persisted"`
+	// Graph is the graph file name, relative to the store directory.
+	Graph string `json:"graph"`
+}
+
+// NewStore opens (creating if needed) a snapshot directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dynamic: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) base(id uint64) string { return fmt.Sprintf("v%08d", id) }
+
+// Save persists a version: graph, every persistable scheme with its
+// lineage, then the manifest. Non-persistable kinds are listed in the
+// manifest but carry no bytes (they rebuild from the graph).
+func (st *Store) Save(v *Version) error {
+	lin := codec.Lineage{
+		Version:        v.ID,
+		Parent:         v.Parent,
+		MutFrom:        v.MutFrom,
+		MutTo:          v.MutTo,
+		BuildWallNanos: int64(v.BuildWall),
+	}
+	base := st.base(v.ID)
+	manifestPath := filepath.Join(st.dir, base+".json")
+	if _, err := os.Stat(manifestPath); err == nil {
+		return fmt.Errorf("dynamic: store: version %d is already committed in %s — one store records one topology chain; use a fresh directory per run", v.ID, st.dir)
+	}
+	gf, err := os.Create(filepath.Join(st.dir, base+".graph"))
+	if err != nil {
+		return fmt.Errorf("dynamic: store: %w", err)
+	}
+	if err := gio.Write(gf, v.Graph()); err != nil {
+		gf.Close()
+		return fmt.Errorf("dynamic: store: writing graph: %w", err)
+	}
+	if err := gf.Close(); err != nil {
+		return fmt.Errorf("dynamic: store: %w", err)
+	}
+
+	m := Manifest{Lineage: lin, Kinds: v.Kinds(), Graph: base + ".graph"}
+	for _, kind := range m.Kinds {
+		p, err := codec.PayloadFor(v.Scheme(kind))
+		if err != nil {
+			continue // rebuildable from the graph; manifest records the gap
+		}
+		p.Lineage = &lin
+		f, err := os.Create(filepath.Join(st.dir, base+"."+kind+".crsc"))
+		if err != nil {
+			return fmt.Errorf("dynamic: store: %w", err)
+		}
+		if err := codec.EncodePayload(f, p); err != nil {
+			f.Close()
+			return fmt.Errorf("dynamic: store: encoding %s: %w", kind, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("dynamic: store: %w", err)
+		}
+		m.Persisted = append(m.Persisted, kind)
+	}
+
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dynamic: store: %w", err)
+	}
+	// Temp-and-rename so the commit point is atomic: a crash can leave
+	// a stray .tmp (harmless — List globs v*.json only), never a
+	// truncated manifest that would poison List for the whole store.
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, append(mb, '\n'), 0o644); err != nil {
+		return fmt.Errorf("dynamic: store: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		return fmt.Errorf("dynamic: store: %w", err)
+	}
+	return nil
+}
+
+// List returns the manifests of every committed version, ordered by
+// version id.
+func (st *Store) List() ([]Manifest, error) {
+	paths, err := filepath.Glob(filepath.Join(st.dir, "v*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: store: %w", err)
+	}
+	out := make([]Manifest, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: store: %w", err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("dynamic: store: %s: %w", filepath.Base(p), err)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lineage.Version < out[j].Lineage.Version })
+	return out, nil
+}
+
+// LoadGraph rehydrates a stored version's sealed graph.
+func (st *Store) LoadGraph(id uint64) (*graph.Graph, error) {
+	f, err := os.Open(filepath.Join(st.dir, st.base(id)+".graph"))
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: store: %w", err)
+	}
+	defer f.Close()
+	return gio.Read(f)
+}
+
+// LoadPayload reads one stored scheme of a version (kind must be in
+// the manifest's Persisted set), lineage included.
+func (st *Store) LoadPayload(id uint64, kind string) (*codec.Payload, error) {
+	f, err := os.Open(filepath.Join(st.dir, st.base(id)+"."+kind+".crsc"))
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: store: %w", err)
+	}
+	defer f.Close()
+	return codec.DecodePayload(f)
+}

@@ -1,0 +1,223 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/routeerr"
+	"compactroute/internal/schemes"
+	"compactroute/internal/sim"
+	"compactroute/internal/sssp"
+)
+
+// Version is one sealed topology snapshot: the graph at a mutation-log
+// position plus the schemes built over it, all immutable once
+// published. Lineage fields record where it came from — the parent
+// version and the half-open mutation range (MutFrom, MutTo] replayed
+// on top of it — and what the build cost, which is what the snapshot
+// store persists alongside the scheme bytes.
+type Version struct {
+	// ID numbers versions from 0 (the base topology).
+	ID uint64
+	// Parent is the version this one was replayed from (== ID for the
+	// base version, which has no parent).
+	Parent uint64
+	// MutFrom, MutTo delimit the applied mutation range (MutFrom,
+	// MutTo] — MutTo is the log position this version seals.
+	MutFrom, MutTo uint64
+	// BuildWall is the background construction cost of this version
+	// (replay + every scheme build), none of it on the serving path.
+	BuildWall time.Duration
+
+	// Aux is an opaque per-version attachment for embedding layers,
+	// set in PreSwap and immutable once the version is published (the
+	// facade hangs its ready-to-route scheme wrappers here, so a
+	// request resolves everything it needs with the one atomic load
+	// Swapper.Current costs).
+	Aux any
+
+	graph   *graph.Graph
+	engine  *sim.Engine
+	schemes map[string]schemes.Scheme
+}
+
+// Graph returns the sealed topology.
+func (v *Version) Graph() *graph.Graph { return v.graph }
+
+// Scheme returns the built scheme of one kind, or nil.
+func (v *Version) Scheme(kind string) schemes.Scheme { return v.schemes[kind] }
+
+// Kinds returns the kinds built into this version, sorted.
+func (v *Version) Kinds() []string {
+	out := make([]string, 0, len(v.schemes))
+	for kind := range v.schemes {
+		out = append(out, kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Route routes one message on this version's scheme of the given
+// kind, entirely on this version — the caller owns the version
+// resolution (Swapper.Current), so a concurrent swap cannot move the
+// route between topologies mid-walk. An unknown source name wraps
+// routeerr.ErrUnknownName; an unknown destination is searched for and
+// reported as non-delivery (the name-independent model).
+func (v *Version) Route(ctx context.Context, kind string, srcName, dstName uint64) (sim.Result, error) {
+	s, ok := v.schemes[kind]
+	if !ok {
+		return sim.Result{}, fmt.Errorf("dynamic: version %d: %w %q", v.ID, routeerr.ErrUnknownKind, kind)
+	}
+	src, ok := v.graph.Lookup(srcName)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("dynamic: version %d: source name %#x: %w", v.ID, srcName, routeerr.ErrUnknownName)
+	}
+	return v.engine.RouteCtx(ctx, s, src, dstName)
+}
+
+// TopologyOptions configures NewTopology.
+type TopologyOptions struct {
+	// Configs names the scheme kinds every version builds, one per
+	// entry. At least one is required; kinds must be distinct.
+	Configs []schemes.Config
+	// Workers bounds the streaming build's shortest-path fan-out;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// PreSwap, when set, runs after a candidate version is fully built
+	// and before it is swapped in. It is the hook for anything heavy
+	// that must complete before the version serves — computing the
+	// metric, persisting the snapshot (Store.Save). An error aborts
+	// the rebuild; the old version keeps serving and the mutation
+	// range stays pending.
+	PreSwap func(*Version) error
+}
+
+// Topology is the dynamic-topology orchestrator: one mutation log, one
+// swapper, and a serialized rebuild path connecting them. Apply is
+// cheap and concurrent-safe; Rebuild does all expensive work in the
+// calling goroutine (daemons run it in the background) and publishes
+// the result with a sub-millisecond swap.
+type Topology struct {
+	opts    TopologyOptions
+	log     *Log
+	swapper *Swapper
+
+	rebuildMu sync.Mutex // one rebuild at a time
+}
+
+// NewTopology seals g as version 0, builds its schemes synchronously,
+// and starts the mutation log.
+func NewTopology(g *graph.Graph, opts TopologyOptions) (*Topology, error) {
+	if len(opts.Configs) == 0 {
+		return nil, fmt.Errorf("dynamic: NewTopology needs at least one scheme config")
+	}
+	seen := make(map[string]bool, len(opts.Configs))
+	for _, cfg := range opts.Configs {
+		if seen[cfg.Kind] {
+			return nil, fmt.Errorf("dynamic: duplicate kind %q in configs", cfg.Kind)
+		}
+		seen[cfg.Kind] = true
+	}
+	t := &Topology{opts: opts, log: NewLog(g)}
+	v0, err := t.build(context.Background(), g, 0, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PreSwap != nil {
+		if err := opts.PreSwap(v0); err != nil {
+			return nil, fmt.Errorf("dynamic: version 0 pre-swap: %w", err)
+		}
+	}
+	t.swapper = NewSwapper(v0)
+	return t, nil
+}
+
+// build constructs one version over g through the streaming pipeline.
+func (t *Topology) build(ctx context.Context, g *graph.Graph, id, parent, mutFrom, mutTo uint64) (*Version, error) {
+	v := &Version{
+		ID:      id,
+		Parent:  parent,
+		MutFrom: mutFrom,
+		MutTo:   mutTo,
+		graph:   g,
+		engine:  sim.NewEngine(g),
+		schemes: make(map[string]schemes.Scheme, len(t.opts.Configs)),
+	}
+	t0 := time.Now()
+	for _, cfg := range t.opts.Configs {
+		s, err := schemes.BuildStream(ctx, g, sssp.Streamed(g, t.opts.Workers), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: building version %d kind %q: %w", id, cfg.Kind, err)
+		}
+		v.schemes[cfg.Kind] = s
+	}
+	v.BuildWall = time.Since(t0)
+	return v, nil
+}
+
+// Log exposes the mutation log (Append, Len, Slice).
+func (t *Topology) Log() *Log { return t.log }
+
+// Swapper exposes the serving handle (Current, OnSwap, pause stats).
+func (t *Topology) Swapper() *Swapper { return t.swapper }
+
+// Apply validates and appends mutations to the log; the served
+// topology is unchanged until the next Rebuild. It returns the
+// sequence number of the last accepted mutation.
+func (t *Topology) Apply(ms ...Mutation) (uint64, error) { return t.log.Append(ms...) }
+
+// Current returns the serving version.
+func (t *Topology) Current() *Version { return t.swapper.Current() }
+
+// Pending returns how many accepted mutations the serving version has
+// not yet absorbed.
+func (t *Topology) Pending() uint64 {
+	// Order matters under concurrency: reading the version first could
+	// miss a swap and report phantom pending work, but reading the log
+	// first only ever undercounts mutations that arrived mid-call.
+	n := t.log.Len()
+	cur := t.Current()
+	if n <= cur.MutTo {
+		return 0
+	}
+	return n - cur.MutTo
+}
+
+// Rebuild seals the log at its current position, replays the pending
+// range onto the serving graph in the background, builds every
+// configured scheme through the streaming pipeline, runs PreSwap, and
+// hot-swaps the result in. Rebuilds are serialized; concurrent callers
+// queue. With nothing pending the serving version is returned
+// unchanged (no swap, zero pause).
+//
+// On any error — replay, build, canceled ctx, PreSwap — the old
+// version keeps serving untouched and the mutation range stays
+// pending for the next attempt.
+func (t *Topology) Rebuild(ctx context.Context) (v *Version, pause time.Duration, err error) {
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
+	cur := t.Current()
+	to := t.log.Len()
+	if to == cur.MutTo {
+		return cur, 0, nil
+	}
+	muts := t.log.Slice(cur.MutTo, to)
+	g, err := Replay(cur.graph, muts)
+	if err != nil {
+		return nil, 0, err
+	}
+	next, err := t.build(ctx, g, cur.ID+1, cur.ID, cur.MutTo, to)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t.opts.PreSwap != nil {
+		if err := t.opts.PreSwap(next); err != nil {
+			return nil, 0, fmt.Errorf("dynamic: version %d pre-swap: %w", next.ID, err)
+		}
+	}
+	return next, t.swapper.Swap(next), nil
+}

@@ -168,6 +168,21 @@ func (g *Graph) Neighbors(u NodeID, fn func(e Edge) bool) {
 	}
 }
 
+// ForEachEdge calls fn once per undirected edge in canonical order —
+// ascending u, then port order, each edge visited from its
+// lower-numbered endpoint — stopping early if fn returns false. The
+// order is the one gio.Write emits and the dynamic replay preserves,
+// so two graphs with identical CSR layouts enumerate identically.
+func (g *Graph) ForEachEdge(fn func(u, v NodeID, w float64) bool) {
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if u < g.targets[i] && !fn(u, g.targets[i], g.weights[i]) {
+				return
+			}
+		}
+	}
+}
+
 // PortTo returns some port of u leading to v over the lightest parallel
 // edge, or -1 if u and v are not adjacent.
 func (g *Graph) PortTo(u, v NodeID) int {

@@ -134,6 +134,22 @@ func Kinds() []string {
 	return ks
 }
 
+// PersistableKinds returns every registered kind with a persistent
+// form (codec support), sorted — the kinds Save accepts and a dynamic
+// snapshot store writes bytes for.
+func PersistableKinds() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	var ks []string
+	for k, info := range registry {
+		if info.Persistable {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 // Build constructs a scheme of cfg.Kind, wrapping ErrUnknownKind when
 // the kind is not registered.
 func Build(g *graph.Graph, apsp []*sssp.Result, cfg Config) (Scheme, error) {

@@ -25,6 +25,12 @@
 // first query is admitted (cmd/routed computes it between Load and
 // pool construction); calling EnsureMetric on a warm pool leaves every
 // already-cached pair stale.
+//
+// The one sanctioned way to serve a scheme that DOES change is to
+// swap in a new immutable scheme and call Purge in the same breath:
+// Purge discards every cached result and suppresses in-flight
+// re-population (a generation counter), which is exactly what the
+// dynamic-topology swap hook does (internal/dynamic, DESIGN.md §7).
 package serve
 
 import (
@@ -86,6 +92,7 @@ type Stats struct {
 	Coalesced uint64 // joined an identical in-flight computation
 	Errors    uint64 // routing errors
 	Rejected  uint64 // canceled while waiting for a worker or a flight
+	Purges    uint64 // full cache invalidations (Purge calls)
 	InFlight  int64  // currently routing
 	CacheLen  int    // entries resident
 	CacheCap  int    // configured capacity (exactly as requested)
@@ -122,6 +129,7 @@ type Pool struct {
 	coalesced atomic.Uint64
 	errors    atomic.Uint64
 	rejected  atomic.Uint64
+	purges    atomic.Uint64
 	inFlight  atomic.Int64
 }
 
@@ -187,6 +195,11 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 	key := cacheKey(srcName, dstName)
 	sh := p.shard(key)
 	for {
+		// The shard generation is read at admission: if a Purge lands
+		// anywhere between here and the result store, the store is
+		// suppressed — sh.put re-checks the generation under the shard
+		// lock, so the check and the insert are atomic (see Purge).
+		gen := sh.generation()
 		if res, ok := sh.get(key, srcName, dstName); ok {
 			p.hits.Add(1)
 			return res, nil
@@ -222,11 +235,35 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 		}
 		res, err := p.compute(ctx, srcName, dstName)
 		if err == nil {
-			sh.put(key, srcName, dstName, res)
+			sh.put(key, srcName, dstName, res, gen)
 		}
 		sh.resolveFlight(key, fl, res, err)
 		return res, err
 	}
+}
+
+// Purge discards every cached result and in-flight registration — the
+// hot-swap hook: after a topology swap, results computed on the old
+// version must neither be served nor re-populated. In-flight
+// computations are not interrupted (their callers resolved the old
+// version at admission and legitimately receive its answer), but the
+// per-shard generation bump prevents their results from entering the
+// cache — the admission generation is re-checked under the shard lock
+// at insert time, so no pre-purge result can slip in after the purge —
+// and clearing the flight tables makes every post-purge request lead
+// a fresh computation instead of following a pre-purge leader.
+//
+// Purge is cheap — a per-shard counter bump plus map reset — and safe
+// to call concurrently with serving; it is a no-op on a pool with
+// caching disabled.
+func (p *Pool) Purge() {
+	if p.noCache {
+		return
+	}
+	for _, sh := range p.shards {
+		sh.purge()
+	}
+	p.purges.Add(1)
 }
 
 // compute takes a worker slot and walks the route, maintaining the
@@ -271,6 +308,7 @@ func (p *Pool) Stats() Stats {
 		Coalesced: p.coalesced.Load(),
 		Errors:    p.errors.Load(),
 		Rejected:  p.rejected.Load(),
+		Purges:    p.purges.Load(),
 		InFlight:  p.inFlight.Load(),
 		Workers:   cap(p.slots),
 		CacheOff:  p.noCache,
@@ -311,6 +349,11 @@ type shard struct {
 	items   map[uint64]*list.Element
 	order   *list.List // front = most recent
 	flights map[uint64]*flight
+	// gen is the shard's purge generation. Written only under mu
+	// (purge); read lock-free at admission (generation) and re-checked
+	// under mu at insert (put), which makes check-and-insert atomic
+	// with respect to a concurrent purge.
+	gen atomic.Uint64
 }
 
 // entry keeps the original (src, dst) pair alongside the result: the
@@ -365,9 +408,19 @@ func (s *shard) get(key, src, dst uint64) (Result, bool) {
 	return e.res, true
 }
 
-func (s *shard) put(key, src, dst uint64, res Result) {
+// generation returns the shard's purge generation for admission-time
+// capture.
+func (s *shard) generation() uint64 { return s.gen.Load() }
+
+// put inserts a result computed by a request admitted at generation
+// gen, dropping it when a purge has intervened — a stale-topology
+// result must never re-populate a purged cache.
+func (s *shard) put(key, src, dst uint64, res Result, gen uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.gen.Load() != gen {
+		return
+	}
 	if el, ok := s.items[key]; ok {
 		e := el.Value.(*entry)
 		e.src, e.dst, e.res = src, dst, res
@@ -400,12 +453,34 @@ func (s *shard) joinFlight(key, src, dst uint64) (*flight, flightRole) {
 }
 
 // resolveFlight publishes the leader's outcome and releases followers.
+// The identity check matters under Purge: a purge replaces the flight
+// table, and a post-purge request may have registered a NEW flight
+// under this key — the old leader must release its own followers
+// without tearing down the new flight.
 func (s *shard) resolveFlight(key uint64, fl *flight, res Result, err error) {
 	s.mu.Lock()
-	delete(s.flights, key)
+	if s.flights[key] == fl {
+		delete(s.flights, key)
+	}
 	s.mu.Unlock()
 	fl.res, fl.err = res, err
 	close(fl.done)
+}
+
+// purge resets the shard: cached entries and flight registrations are
+// dropped (the flight objects themselves stay live for their leaders
+// to resolve). The fresh maps deliberately carry NO capacity hint:
+// purge runs inside the hot-swap pause, and pre-sizing a large
+// quota's buckets (newShard's job on the cold path) costs around a
+// millisecond at default capacity — the budget the entire swap must
+// stay under. Post-purge inserts re-grow the maps gradually instead.
+func (s *shard) purge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen.Add(1)
+	s.items = make(map[uint64]*list.Element)
+	s.order.Init()
+	s.flights = make(map[uint64]*flight)
 }
 
 func (s *shard) len() int {

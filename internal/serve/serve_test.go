@@ -142,10 +142,10 @@ func TestPoolContextCancellation(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	sh := newShard(2)
-	sh.put(1, 10, 11, Result{Cost: 1})
-	sh.put(2, 20, 21, Result{Cost: 2})
+	sh.put(1, 10, 11, Result{Cost: 1}, sh.generation())
+	sh.put(2, 20, 21, Result{Cost: 2}, sh.generation())
 	sh.get(1, 10, 11) // touch 1 so 2 is the eviction victim
-	sh.put(3, 30, 31, Result{Cost: 3})
+	sh.put(3, 30, 31, Result{Cost: 3}, sh.generation())
 	if _, ok := sh.get(2, 20, 21); ok {
 		t.Fatal("2 should have been evicted")
 	}
@@ -160,7 +160,7 @@ func TestLRUEviction(t *testing.T) {
 // key must never see each other's results.
 func TestCollisionReadsAsMiss(t *testing.T) {
 	sh := newShard(4)
-	sh.put(42, 1, 2, Result{Cost: 12})
+	sh.put(42, 1, 2, Result{Cost: 12}, sh.generation())
 	if _, ok := sh.get(42, 3, 4); ok {
 		t.Fatal("colliding pair served a foreign result")
 	}
@@ -490,4 +490,134 @@ func ExampleRouterFunc() {
 	res, _ := p.Route(context.Background(), 1, 2)
 	fmt.Println(res.Delivered)
 	// Output: true
+}
+
+// TestPurgeEmptiesCache: Purge drops every resident entry, counts in
+// Stats, and the next identical query recomputes.
+func TestPurgeEmptiesCache(t *testing.T) {
+	r := &echoRouter{}
+	p := NewPool(r, Options{Workers: 2, CacheSize: 64})
+	ctx := context.Background()
+	for i := uint64(0); i < 8; i++ {
+		if _, err := p.Route(ctx, i, i+100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.CacheLen != 8 {
+		t.Fatalf("resident %d, want 8", st.CacheLen)
+	}
+	p.Purge()
+	st := p.Stats()
+	if st.CacheLen != 0 || st.Purges != 1 {
+		t.Fatalf("after purge: %+v", st)
+	}
+	if _, err := p.Route(ctx, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.calls.Load(); got != 9 {
+		t.Fatalf("router invoked %d times, want 9 (post-purge recompute)", got)
+	}
+}
+
+// TestPurgeSuppressesInFlightRepopulation is the single-flight
+// interaction the hot-swap path depends on: a computation that was in
+// flight when Purge ran may answer its own caller (it resolved the
+// old topology at admission), but its result must NOT enter the
+// cache — otherwise a post-swap query could read a pre-swap route.
+func TestPurgeSuppressesInFlightRepopulation(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 4, CacheSize: 64})
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Route(context.Background(), 5, 6)
+		done <- err
+	}()
+	// Wait until the leader is computing (router invoked), then purge.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started computing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Purge()
+	close(r.block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.CacheLen != 0 {
+		t.Fatalf("pre-purge in-flight result was cached: %+v", st)
+	}
+	// The same query now recomputes (a miss, not a hit).
+	if _, err := p.Route(context.Background(), 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.calls.Load(); got != 2 {
+		t.Fatalf("router invoked %d times, want 2", got)
+	}
+	if st := p.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestPurgeDetachesFlights: a request arriving after Purge must lead a
+// fresh computation rather than follow a pre-purge leader, and the old
+// leader resolving must not tear down the new flight (identity check
+// in resolveFlight).
+func TestPurgeDetachesFlights(t *testing.T) {
+	r := &echoRouter{block: make(chan struct{})}
+	p := NewPool(r, Options{Workers: 4, CacheSize: 64})
+	oldDone := make(chan error, 1)
+	go func() {
+		_, err := p.Route(context.Background(), 5, 6)
+		oldDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started computing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Purge()
+	newDone := make(chan error, 1)
+	go func() {
+		_, err := p.Route(context.Background(), 5, 6)
+		newDone <- err
+	}()
+	// The post-purge request must become a leader itself: the router
+	// gets a second invocation even though the first never finished.
+	for r.calls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("post-purge request coalesced onto a purged flight (calls=%d)", r.calls.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(r.block)
+	if err := <-oldDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-newDone; err != nil {
+		t.Fatal(err)
+	}
+	// Old leader's resolve ran after the new flight existed; the new
+	// leader's result (same generation as its admission? it started
+	// after the purge, so it IS cached) must be resident exactly once.
+	st := p.Stats()
+	if st.Misses != 2 || st.Coalesced != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.CacheLen != 1 {
+		t.Fatalf("resident %d, want 1 (only the post-purge result)", st.CacheLen)
+	}
+}
+
+// TestPurgeNoCacheIsNoop: Purge on a cacheless pool must not panic or
+// count.
+func TestPurgeNoCacheIsNoop(t *testing.T) {
+	p := NewPool(&echoRouter{}, Options{Workers: 1, CacheSize: -1})
+	p.Purge()
+	if st := p.Stats(); st.Purges != 0 {
+		t.Fatalf("stats %+v", st)
+	}
 }

@@ -31,6 +31,10 @@ type KindInfo struct {
 // built-ins are "apcover", "fulltable", "landmark", "paper", and "tz".
 func Kinds() []string { return schemes.Kinds() }
 
+// PersistableKinds returns the registered kinds whose schemes
+// round-trip through Save/Load, sorted.
+func PersistableKinds() []string { return schemes.PersistableKinds() }
+
 // LookupKind returns a kind's registration metadata.
 func LookupKind(kind string) (KindInfo, bool) {
 	info, ok := schemes.Lookup(kind)

@@ -8,6 +8,10 @@
 #  2. The registry flow: for EVERY scheme kind the registry lists,
 #     `routed -scheme <kind>` over a shared topology file must come up
 #     healthy, identify its kind on /healthz, and deliver a route.
+#  3. The dynamic churn flow: graphgen emits a topology plus a
+#     mutation trace, routed serves the kind dynamically, and loadgen
+#     interleaves mutations and rebuilds with the replay; the daemon
+#     must end past version 0 with nothing pending and zero failures.
 #
 # Mirrors the CI "serving smoke" step; run locally with `make smoke`.
 set -eu
@@ -90,4 +94,36 @@ for kind in paper fulltable apcover landmark tz; do
 	echo "smoke: kind $kind serves end-to-end"
 done
 
-echo "smoke: serving path OK (file flow + all registry kinds)"
+# --- pass 3: dynamic churn (mutate -> rebuild -> hot swap) ---
+
+"$tmp/graphgen" -family gnp -n 90 -p 0.09 -seed 7 \
+	-mutations 60 -mutout "$tmp/churn.mut" >"$tmp/topo2.txt"
+
+"$tmp/routed" -scheme fulltable -graph "$tmp/topo2.txt" -addr "$addr" &
+pid=$!
+wait_healthy
+
+"$tmp/loadgen" -graph "$tmp/topo2.txt" -url "http://$addr" -pattern uniform,zipf \
+	-queries 2000 -concurrency 8 \
+	-mutations "$tmp/churn.mut" -mutate-every 40 -rebuild-every 20
+
+health=$(curl -sf "http://$addr/healthz")
+case "$health" in
+*'"dynamic":true'*) ;;
+*) echo "smoke: churn healthz not dynamic: $health" >&2; exit 1 ;;
+esac
+case "$health" in
+*'"pending":0'*) ;;
+*) echo "smoke: churn left mutations pending: $health" >&2; exit 1 ;;
+esac
+case "$health" in
+*'"version":0'*) echo "smoke: churn never swapped a version: $health" >&2; exit 1 ;;
+*) ;;
+esac
+
+kill -TERM "$pid"
+wait "$pid" || { echo "smoke: routed (churn) exited non-zero on SIGTERM" >&2; exit 1; }
+pid=""
+echo "smoke: dynamic churn path OK (mutate -> rebuild -> hot swap under replay)"
+
+echo "smoke: serving path OK (file flow + all registry kinds + churn)"
