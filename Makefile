@@ -55,6 +55,9 @@ benchjson:
 	$(GO) run ./cmd/routebench -exp D1 -quick -json > BENCH_D1.json
 	@cat BENCH_D1.json
 	@test -s BENCH_D1.json || { echo "benchjson: empty BENCH_D1.json" >&2; exit 1; }
+	$(GO) run ./cmd/routebench -exp S1 -quick -json > BENCH_S1.json
+	@cat BENCH_S1.json
+	@test -s BENCH_S1.json || { echo "benchjson: empty BENCH_S1.json" >&2; exit 1; }
 
 # End-to-end serving smoke: scheme build -> routed -> loadgen replay
 # of three workload patterns -> graceful SIGTERM drain.

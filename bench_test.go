@@ -4,13 +4,14 @@
 // (shortest paths, scheme construction, per-message routing).
 //
 // Regenerate the full-size tables with: go run ./cmd/routebench -all
-package compactroute
+package compactroute_test
 
 import (
 	"io"
 	"sync"
 	"testing"
 
+	"compactroute"
 	"compactroute/internal/bench"
 	"compactroute/internal/gen"
 	"compactroute/internal/graph"
@@ -61,10 +62,10 @@ func BenchmarkAPSP256(b *testing.B) {
 }
 
 func BenchmarkSchemeBuildK3N256(b *testing.B) {
-	net := RandomNetwork(3, 256, 8.0/256, UniformWeights(1, 8))
+	net := compactroute.RandomNetwork(3, 256, 8.0/256, compactroute.UniformWeights(1, 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := NewScheme(net, Options{K: 3, Seed: uint64(i), SFactor: 1}); err != nil {
+		if _, err := compactroute.NewScheme(net, compactroute.Options{K: 3, Seed: uint64(i), SFactor: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,37 +75,37 @@ func BenchmarkSchemeBuildK3N256(b *testing.B) {
 // benchmarks (construction excluded from timing).
 var routeBench struct {
 	once sync.Once
-	net  *Network
-	agm  *Scheme
-	full *Scheme
-	tz   *Scheme
+	net  *compactroute.Network
+	agm  *compactroute.Scheme
+	full *compactroute.Scheme
+	tz   *compactroute.Scheme
 }
 
 func routeSetup(b *testing.B) {
 	b.Helper()
 	routeBench.once.Do(func() {
-		routeBench.net = RandomNetwork(4, 256, 8.0/256, UniformWeights(1, 8))
+		routeBench.net = compactroute.RandomNetwork(4, 256, 8.0/256, compactroute.UniformWeights(1, 8))
 		var err error
-		if routeBench.agm, err = NewScheme(routeBench.net, Options{K: 3, Seed: 7, SFactor: 1}); err != nil {
+		if routeBench.agm, err = compactroute.NewScheme(routeBench.net, compactroute.Options{K: 3, Seed: 7, SFactor: 1}); err != nil {
 			panic(err)
 		}
-		if routeBench.full, err = NewFullTable(routeBench.net); err != nil {
+		if routeBench.full, err = compactroute.NewFullTable(routeBench.net); err != nil {
 			panic(err)
 		}
-		if routeBench.tz, err = NewTZ(routeBench.net, 3, 7); err != nil {
+		if routeBench.tz, err = compactroute.NewTZ(routeBench.net, 3, 7); err != nil {
 			panic(err)
 		}
 	})
 }
 
-func benchRoutes(b *testing.B, s *Scheme) {
+func benchRoutes(b *testing.B, s *compactroute.Scheme) {
 	b.Helper()
 	n := routeBench.net.N()
 	totalStretch, delivered := 0.0, 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src := NodeID(i % n)
-		dst := NodeID((i*131 + 17) % n)
+		src := compactroute.NodeID(i % n)
+		dst := compactroute.NodeID((i*131 + 17) % n)
 		if src == dst {
 			continue
 		}

@@ -1,0 +1,241 @@
+// Package client is the Go client for the routed/routefront HTTP
+// API. It always speaks the versioned /v1 surface and mirrors the
+// server's typed error taxonomy: any non-2xx answer comes back as an
+// *Error carrying the HTTP status and the server's message, so callers
+// distinguish a name they invented (422) from retryable back-pressure
+// (503) from a coordination conflict (409) without parsing bodies.
+//
+//	c := client.New("http://localhost:8347")
+//	res, err := c.RouteByName(ctx, src, dst)
+//	var apiErr *client.Error
+//	if errors.As(err, &apiErr) && apiErr.Status == 503 { retry() }
+//
+// The same client drives a single shard or a front-door — the
+// endpoints are identical; the front-door simply owns more names.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"compactroute"
+)
+
+// Error is a non-2xx API answer: the HTTP status plus the server's
+// error message. Transport failures (connection refused, timeouts)
+// are NOT Errors — they surface as the underlying error, which is how
+// callers tell "the server said no" from "there is no server".
+type Error struct {
+	Status  int
+	Message string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// IsStatus reports whether err is an API *Error with the given status.
+func IsStatus(err error, status int) bool {
+	var apiErr *Error
+	return errors.As(err, &apiErr) && apiErr.Status == status
+}
+
+// Client talks to one routed shard or one routefront front-door.
+// The zero value is not usable; construct with New. HTTP may be
+// replaced before first use (httptest clients, custom timeouts).
+type Client struct {
+	// BaseURL is the server root, without a trailing slash.
+	BaseURL string
+	// HTTP performs the requests. New installs a transport tuned for
+	// many small keep-alive requests to one host.
+	HTTP *http.Client
+}
+
+// New returns a client for the server at baseURL (scheme://host:port;
+// any trailing slash is trimmed).
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     time.Minute,
+			},
+		},
+	}
+}
+
+// Route is a routing answer. Version is the topology version the
+// route was computed on (absent for static schemes).
+type Route struct {
+	Delivered    bool    `json:"delivered"`
+	Cost         float64 `json:"cost"`
+	Hops         int     `json:"hops"`
+	HeaderBits   int64   `json:"headerBits"`
+	ShortestCost float64 `json:"shortestCost,omitempty"`
+	Stretch      float64 `json:"stretch,omitempty"`
+	Version      *uint64 `json:"version,omitempty"`
+}
+
+// Resolve is a name-resolution answer: existence of both names plus
+// the shortest-path distance between them, without walking a route.
+type Resolve struct {
+	SrcKnown     bool    `json:"srcKnown"`
+	DstKnown     bool    `json:"dstKnown"`
+	MetricKnown  bool    `json:"metricKnown"`
+	ShortestCost float64 `json:"shortestCost,omitempty"`
+	Version      *uint64 `json:"version,omitempty"`
+}
+
+// Health is a /v1/healthz answer. The dynamic fields are zero for
+// static servers.
+type Health struct {
+	Status    string `json:"status"`
+	Scheme    string `json:"scheme"`
+	Kind      string `json:"kind"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+	Metric    bool   `json:"metric"`
+	Dynamic   bool   `json:"dynamic"`
+	Version   uint64 `json:"version"`
+	Pending   uint64 `json:"pending"`
+	Mutations uint64 `json:"mutations"`
+	Swaps     uint64 `json:"swaps"`
+}
+
+// MutateReply reports an accepted mutation batch.
+type MutateReply struct {
+	Applied int    `json:"applied"`
+	Seq     uint64 `json:"seq"`
+	Pending uint64 `json:"pending"`
+}
+
+// RebuildReply reports an asynchronously scheduled rebuild (202).
+type RebuildReply struct {
+	Status  string `json:"status"`
+	Pending uint64 `json:"pending"`
+}
+
+// RouteByName routes between two external names.
+func (c *Client) RouteByName(ctx context.Context, src, dst uint64) (Route, error) {
+	var out Route
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/route?src=%d&dst=%d", src, dst), nil, &out)
+	return out, err
+}
+
+// Resolve reports name existence and the shortest-path distance
+// between two external names on the server's current topology.
+func (c *Client) Resolve(ctx context.Context, src, dst uint64) (Resolve, error) {
+	var out Resolve
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/resolve?src=%d&dst=%d", src, dst), nil, &out)
+	return out, err
+}
+
+// Mutate appends topology mutations atomically (all or none).
+func (c *Client) Mutate(ctx context.Context, muts ...compactroute.Mutation) (MutateReply, error) {
+	var out MutateReply
+	err := c.do(ctx, http.MethodPost, "/v1/mutate", muts, &out)
+	return out, err
+}
+
+// Rebuild schedules a background rebuild and returns immediately.
+func (c *Client) Rebuild(ctx context.Context) (RebuildReply, error) {
+	var out RebuildReply
+	err := c.do(ctx, http.MethodPost, "/v1/rebuild", nil, &out)
+	return out, err
+}
+
+// RebuildWait rebuilds and blocks until the new version serves.
+func (c *Client) RebuildWait(ctx context.Context) (compactroute.VersionInfo, error) {
+	var out compactroute.VersionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/rebuild?wait=1", nil, &out)
+	return out, err
+}
+
+// Stage runs the first half of a two-phase rebuild: the server builds
+// the next version (returned here) without swapping it in.
+func (c *Client) Stage(ctx context.Context) (compactroute.VersionInfo, error) {
+	var out compactroute.VersionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/rebuild?stage=1", nil, &out)
+	return out, err
+}
+
+// SwapTo commits a staged version by ID. A version the server has not
+// staged (and is not already serving) answers *Error status 409.
+func (c *Client) SwapTo(ctx context.Context, id uint64) (compactroute.VersionInfo, error) {
+	var out compactroute.VersionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/swap", map[string]uint64{"version": id}, &out)
+	return out, err
+}
+
+// Healthz fetches liveness, scheme identity, and the live version.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}
+
+// Stats fetches the serving counters as raw JSON — the shape differs
+// between a shard (pool + dynamic block) and a front-door (cluster
+// aggregate), so the client leaves interpretation to the caller.
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// do performs one JSON round-trip: 2xx decodes into out, anything
+// else becomes an *Error with the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s body: %w", path, err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &Error{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}

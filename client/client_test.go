@@ -1,0 +1,131 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"compactroute"
+	"compactroute/client"
+	"compactroute/internal/graph"
+	"compactroute/internal/server"
+)
+
+func bootShard(t *testing.T) (*client.Client, *server.Server) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Scheme: "fulltable", N: 60, K: 2, Seed: 11, SFactor: 0.5,
+		Workers: 2, CacheSize: 64, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), srv
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	c, srv := bootShard(t)
+	ctx := context.Background()
+	g := srv.Scheme().Network().Graph()
+	src, dst := g.Name(0), g.Name(1)
+
+	res, err := c.RouteByName(ctx, src, dst)
+	if err != nil || !res.Delivered {
+		t.Fatalf("RouteByName: %+v, %v", res, err)
+	}
+	if res.Version == nil || *res.Version != 0 {
+		t.Fatalf("RouteByName version %v, want 0", res.Version)
+	}
+	if res.ShortestCost <= 0 || res.Stretch < 1 {
+		t.Fatalf("RouteByName without stretch (built schemes carry the metric): %+v", res)
+	}
+
+	rv, err := c.Resolve(ctx, src, dst)
+	if err != nil || !rv.SrcKnown || !rv.DstKnown || rv.ShortestCost != res.ShortestCost {
+		t.Fatalf("Resolve: %+v, %v (route shortest %v)", rv, err, res.ShortestCost)
+	}
+
+	h, err := c.Healthz(ctx)
+	if err != nil || h.Status != "ok" || h.Kind != "fulltable" || !h.Dynamic || h.Version != 0 {
+		t.Fatalf("Healthz: %+v, %v", h, err)
+	}
+
+	// Mutate → two-phase stage/swap, entirely through the client.
+	g2 := srv.Scheme().Network().Graph()
+	var neighbor uint64
+	g2.Neighbors(0, func(e graph.Edge) bool {
+		neighbor = g2.Name(e.To)
+		return false
+	})
+	mr, err := c.Mutate(ctx, compactroute.MutSetWeight(src, neighbor, 2), compactroute.MutAddEdge(src, g2.Name(compactroute.NodeID(g2.N()-1)), 9))
+	if err != nil || mr.Applied != 2 || mr.Pending != 2 {
+		t.Fatalf("Mutate: %+v, %v", mr, err)
+	}
+	staged, err := c.Stage(ctx)
+	if err != nil || staged.ID != 1 {
+		t.Fatalf("Stage: %+v, %v", staged, err)
+	}
+	if h, _ := c.Healthz(ctx); h.Version != 0 {
+		t.Fatalf("stage published: serving %d", h.Version)
+	}
+	if _, err := c.SwapTo(ctx, 99); !client.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("SwapTo(99) = %v, want 409", err)
+	}
+	v, err := c.SwapTo(ctx, staged.ID)
+	if err != nil || v.ID != 1 {
+		t.Fatalf("SwapTo: %+v, %v", v, err)
+	}
+
+	// Plain rebuild paths.
+	rr, err := c.Rebuild(ctx)
+	if err != nil || rr.Status == "" {
+		t.Fatalf("Rebuild: %+v, %v", rr, err)
+	}
+	wv, err := c.RebuildWait(ctx)
+	if err != nil || wv.ID != 1 { // nothing pending: serving version back
+		t.Fatalf("RebuildWait: %+v, %v", wv, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil || !bytes.Contains(st, []byte(`"Requests"`)) || !bytes.Contains(st, []byte(`"dynamic"`)) {
+		t.Fatalf("Stats: %s, %v", st, err)
+	}
+}
+
+func TestClientErrorTaxonomy(t *testing.T) {
+	c, _ := bootShard(t)
+	ctx := context.Background()
+
+	// A name the caller invented: API error 422, visible via errors.As.
+	_, err := c.RouteByName(ctx, 0xFFFFFFFF, 1)
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown name: %v, want *Error 422", err)
+	}
+	if apiErr.Message == "" || apiErr.Error() == "" {
+		t.Fatalf("API error without message: %+v", apiErr)
+	}
+	if !client.IsStatus(err, http.StatusUnprocessableEntity) || client.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("IsStatus misclassified %v", err)
+	}
+
+	// An invalid mutation batch: 422, nothing applied.
+	if _, err := c.Mutate(ctx, compactroute.MutAddEdge(0xdeaddead, 0xdeadbeef, 1)); !client.IsStatus(err, 422) {
+		t.Fatalf("invalid mutation: %v, want 422", err)
+	}
+
+	// A server that is not there: transport error, NOT an *Error.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	gone := client.New(dead.URL)
+	if _, err := gone.Healthz(ctx); err == nil || errors.As(err, &apiErr) {
+		t.Fatalf("dead server: %v, want transport error", err)
+	}
+}

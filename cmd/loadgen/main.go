@@ -1,12 +1,18 @@
-// Command loadgen replays workload patterns against a running routed
-// daemon over HTTP, measuring sustained throughput and the latency
+// Command loadgen replays workload patterns against a serving tier
+// over HTTP, measuring sustained throughput and the latency
 // distribution — the denominator of the build-once/route-many trade,
 // observed from the client side.
 //
 //	routesim -n 2000 -k 4 -save net.crsc
 //	routed -scheme net.crsc -addr :8347 &
-//	loadgen -scheme net.crsc -url http://localhost:8347 \
+//	loadgen -scheme net.crsc -targets http://localhost:8347 \
 //	        -pattern uniform,zipf,gravity,local -queries 20000 -concurrency 32
+//
+// -targets accepts a comma-separated list of base URLs: one routed
+// daemon, several (requests round-robin across them), or a single
+// routefront front-door that partitions the name space over a shard
+// cluster. All traffic speaks the versioned /v1 API through the
+// client package, so the same invocation drives either tier.
 //
 // The scheme file gives loadgen the node names to query (the daemon
 // and the generator must be handed the same file); -graph accepts a
@@ -19,30 +25,31 @@
 //
 // # Churn
 //
-// Against a dynamic daemon (routed serving a registry kind), loadgen
-// interleaves topology churn with the replay: -mutations names a
-// trace file (cmd/graphgen -mutations), and one mutation is POSTed to
-// /mutate every -mutate-every completed queries, with a background
-// rebuild triggered via /rebuild every -rebuild-every mutations — the
-// client-side view of mutate → rebuild → hot swap under live traffic:
+// Against a dynamic daemon (routed serving a registry kind) or a
+// front-door, loadgen interleaves topology churn with the replay:
+// -mutations names a trace file (cmd/graphgen -mutations), and one
+// mutation is POSTed to /v1/mutate every -mutate-every completed
+// queries, with a rebuild triggered via /v1/rebuild every
+// -rebuild-every mutations — the client-side view of mutate → rebuild
+// → hot swap under live traffic:
 //
 //	graphgen -family gnp -n 500 -mutations 200 -mutout churn.mut > topo.txt
 //	routed -scheme tz -graph topo.txt &
 //	loadgen -graph topo.txt -mutations churn.mut -queries 20000
 //
-// The trace is consumed in order across patterns, and a final
-// synchronous rebuild flushes whatever is still pending; the churn
-// summary reports mutations applied, rebuilds triggered, and POST
-// failures (zero on a healthy daemon).
+// Churn requires a single target: mutations are stateful, and only a
+// front-door can fan them out consistently — point -targets at one
+// daemon or one routefront. The trace is consumed in order across
+// patterns, and a final synchronous rebuild flushes whatever is still
+// pending; the churn summary reports mutations applied, rebuilds
+// triggered, and POST failures (zero on a healthy daemon).
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -50,6 +57,7 @@ import (
 	"time"
 
 	"compactroute"
+	"compactroute/client"
 	"compactroute/internal/dynamic"
 	"compactroute/internal/gio"
 	"compactroute/internal/graph"
@@ -60,10 +68,11 @@ import (
 func main() {
 	schemeFile := flag.String("scheme", "", "scheme file written by compactroute.Save; source of the node names to query (this or -graph is required)")
 	graphFile := flag.String("graph", "", "topology file (gio text format) as the node-name source instead of -scheme")
-	mutationsFile := flag.String("mutations", "", "mutation trace file (cmd/graphgen -mutations): interleave topology churn with the replay")
+	mutationsFile := flag.String("mutations", "", "mutation trace file (cmd/graphgen -mutations): interleave topology churn with the replay (single target only)")
 	mutateEvery := flag.Int("mutate-every", 50, "completed queries between mutation POSTs (churn mode)")
-	rebuildEvery := flag.Int("rebuild-every", 25, "mutations between background rebuild triggers (churn mode; 0: final rebuild only)")
-	baseURL := flag.String("url", "http://localhost:8347", "base URL of the routed daemon")
+	rebuildEvery := flag.Int("rebuild-every", 25, "mutations between rebuild triggers (churn mode; 0: final rebuild only)")
+	targets := flag.String("targets", "", "comma-separated base URLs: routed daemons or one routefront front-door (overrides -url)")
+	baseURL := flag.String("url", "http://localhost:8347", "base URL of the routed daemon (deprecated: use -targets)")
 	patternList := flag.String("pattern", "uniform,zipf,gravity,local", "comma-separated workload patterns (add adversarial to hammer worst-stretch pairs; costs one local APSP)")
 	queries := flag.Int("queries", 10000, "requests per pattern")
 	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
@@ -88,6 +97,10 @@ func main() {
 	}
 	if *queries < 1 || *concurrency < 1 {
 		fail(fmt.Errorf("-queries and -concurrency must be ≥ 1"))
+	}
+	urls := splitTargets(*targets)
+	if len(urls) == 0 {
+		urls = []string{*baseURL}
 	}
 	var (
 		scheme *compactroute.Scheme // nil with -graph
@@ -127,12 +140,15 @@ func main() {
 		Candidates: *candidates,
 		Keep:       *keep,
 	}
-	client := newClient(*concurrency, *timeout)
+	clients := newClients(urls, *timeout)
 	fmt.Printf("loadgen: %s, %d nodes, %d queries/pattern, concurrency %d\n",
-		*baseURL, g.N(), *queries, *concurrency)
+		strings.Join(urls, ", "), g.N(), *queries, *concurrency)
 
 	var churner *churn
 	if *mutationsFile != "" {
+		if len(clients) > 1 {
+			fail(fmt.Errorf("churn needs a single target (one daemon or one front-door), got %d", len(clients)))
+		}
 		mf, err := os.Open(*mutationsFile)
 		if err != nil {
 			fail(err)
@@ -146,7 +162,7 @@ func main() {
 			fail(fmt.Errorf("-mutate-every must be ≥ 1"))
 		}
 		churner = &churn{
-			client: client, baseURL: *baseURL, muts: muts,
+			client: clients[0], muts: muts,
 			mutateEvery: *mutateEvery, rebuildEvery: *rebuildEvery,
 		}
 		churner.start()
@@ -166,7 +182,7 @@ func main() {
 		if churner != nil {
 			counter = &churner.counter
 		}
-		rep, err := replay(client, *baseURL, streams, *queries, *warmup, counter)
+		rep, err := replay(clients, streams, *queries, *warmup, counter)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", p, err))
 		}
@@ -193,12 +209,26 @@ func main() {
 	}
 }
 
-// newClient returns an HTTP client sized for the replay concurrency.
-func newClient(concurrency int, timeout time.Duration) *http.Client {
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = concurrency
-	tr.MaxIdleConnsPerHost = concurrency
-	return &http.Client{Transport: tr, Timeout: timeout}
+// splitTargets parses the -targets list, dropping empty entries.
+func splitTargets(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// newClients builds one API client per target, each with the replay's
+// per-request timeout.
+func newClients(urls []string, timeout time.Duration) []*client.Client {
+	clients := make([]*client.Client, len(urls))
+	for i, u := range urls {
+		clients[i] = client.New(u)
+		clients[i].HTTP.Timeout = timeout
+	}
+	return clients
 }
 
 // patternStreams builds one deterministic stream per worker: every
@@ -229,15 +259,15 @@ func patternStreams(p workload.Pattern, g *graph.Graph, s *compactroute.Scheme, 
 }
 
 // churn is the mutation side of a dynamic replay: a single goroutine
-// that walks the trace in order, POSTing one mutation to /mutate
+// that walks the trace in order, POSTing one mutation to /v1/mutate
 // every mutateEvery completed queries (paced by the counter the
-// replay workers increment) and scheduling a background rebuild via
-// /rebuild every rebuildEvery mutations. A POST failure stops the
-// churn — mutations are stateful, so replaying the rest of the trace
-// after a gap could only produce spurious 422s.
+// replay workers increment) and scheduling a rebuild every
+// rebuildEvery mutations. Against a front-door the rebuild is a
+// coordinated cluster cut-over. A POST failure stops the churn —
+// mutations are stateful, so replaying the rest of the trace after a
+// gap could only produce spurious 422s.
 type churn struct {
-	client       *http.Client
-	baseURL      string
+	client       *client.Client
 	muts         []dynamic.Mutation
 	mutateEvery  int
 	rebuildEvery int
@@ -258,6 +288,7 @@ func (c *churn) start() {
 
 func (c *churn) run() {
 	defer close(c.done)
+	ctx := context.Background()
 	for c.applied < len(c.muts) {
 		select {
 		case <-c.stop:
@@ -268,12 +299,12 @@ func (c *churn) run() {
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		if c.err = c.post("/mutate", c.muts[c.applied]); c.err != nil {
+		if _, c.err = c.client.Mutate(ctx, c.muts[c.applied]); c.err != nil {
 			return
 		}
 		c.applied++
 		if c.rebuildEvery > 0 && c.applied%c.rebuildEvery == 0 {
-			if c.err = c.post("/rebuild", nil); c.err != nil {
+			if _, c.err = c.client.Rebuild(ctx); c.err != nil {
 				return
 			}
 			c.rebuilds++
@@ -291,32 +322,10 @@ func (c *churn) finish() error {
 		return c.err
 	}
 	if c.applied > 0 {
-		if err := c.post("/rebuild?wait=1", nil); err != nil {
+		if _, err := c.client.RebuildWait(context.Background()); err != nil {
 			return err
 		}
 		c.rebuilds++
-	}
-	return nil
-}
-
-// post issues one churn POST, treating any non-2xx answer as an error.
-func (c *churn) post(path string, body any) error {
-	var rd io.Reader
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(b)
-	}
-	resp, err := c.client.Post(c.baseURL+path, "application/json", rd)
-	if err != nil {
-		return err
-	}
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 	return nil
 }
@@ -359,7 +368,7 @@ func memoRanker(s *compactroute.Scheme) func(u, v graph.NodeID) float64 {
 // report summarizes one pattern's replay.
 type report struct {
 	queries int // requests issued (excluding warmup)
-	failed  int // non-200 responses
+	failed  int // API-error responses (4xx/5xx)
 	elapsed time.Duration
 	latency *stats.Sample // seconds, successful requests only
 }
@@ -371,14 +380,15 @@ func (r report) qps() float64 {
 	return float64(r.queries) / r.elapsed.Seconds()
 }
 
-// replay drives one worker per stream against the daemon and merges
-// the per-worker latency samples. The warmup phase completes on every
+// replay drives one worker per stream against the targets — each
+// worker striding round-robin across the client list — and merges the
+// per-worker latency samples. The warmup phase completes on every
 // worker before the clock starts, so neither throughput nor latency
-// includes it. Transport-level errors abort the run; HTTP error
+// includes it. Transport-level errors abort the run; API error
 // statuses (a saturated daemon answering 503) are counted and the
 // replay continues. A non-nil counter receives one increment per
 // completed timed query — the churn pacing signal.
-func replay(client *http.Client, baseURL string, streams []*workload.Stream, queries, warmup int, counter *atomic.Uint64) (report, error) {
+func replay(clients []*client.Client, streams []*workload.Stream, queries, warmup int, counter *atomic.Uint64) (report, error) {
 	workers := len(streams)
 	if workers > queries {
 		workers = queries
@@ -390,6 +400,7 @@ func replay(client *http.Client, baseURL string, streams []*workload.Stream, que
 		err    error
 	}
 	results := make([]workerResult, workers)
+	ctx := context.Background()
 	// split spreads a request budget so the worker totals are exact.
 	split := func(total, w int) int {
 		per := total / workers
@@ -411,13 +422,15 @@ func replay(client *http.Client, baseURL string, streams []*workload.Stream, que
 				r := &results[w]
 				for i := 0; i < per && r.err == nil; i++ {
 					q := streams[w].Next()
+					cl := clients[(w*7+i)%len(clients)]
 					t0 := time.Now()
-					ok, err := get(client, baseURL, q)
+					_, err := cl.RouteByName(ctx, q.SrcName, q.DstName)
+					var apiErr *client.Error
 					switch {
-					case err != nil:
-						r.err = err
+					case err != nil && !errors.As(err, &apiErr):
+						r.err = err // transport failure: abort
 					case warm: // untimed, uncounted
-					case !ok:
+					case err != nil:
 						r.failed++
 					default:
 						r.lat.Add(time.Since(t0).Seconds())
@@ -444,18 +457,6 @@ func replay(client *http.Client, baseURL string, streams []*workload.Stream, que
 		rep.latency.Merge(&results[w].lat)
 	}
 	return rep, nil
-}
-
-// get issues one routing query, reporting whether it was answered 200.
-func get(client *http.Client, baseURL string, q workload.Query) (bool, error) {
-	resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", baseURL, q.SrcName, q.DstName))
-	if err != nil {
-		return false, err
-	}
-	// Drain so the connection is reusable.
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK, nil
 }
 
 // fmtLatency renders a latency in seconds as a duration.

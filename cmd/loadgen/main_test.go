@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 
 // testDaemon builds a small scheme, round-trips it through Save/Load
 // (the file the generator and daemon would share), and serves it the
-// way cmd/routed does: a serve.Pool behind a /route handler.
+// way cmd/routed does: a serve.Pool behind a /v1/route handler.
 func testDaemon(t *testing.T) (*compactroute.Scheme, *httptest.Server) {
 	t.Helper()
 	net := compactroute.RandomNetwork(5, 80, 0.08, compactroute.UniformWeights(1, 5))
@@ -42,24 +43,29 @@ func testDaemon(t *testing.T) (*compactroute.Scheme, *httptest.Server) {
 		}
 		return serve.Result{Delivered: res.Delivered, Cost: res.Cost, Hops: res.Hops}, nil
 	}), serve.Options{Workers: 4, CacheSize: 1 << 10})
+	ts := httptest.NewServer(routeMux(pool))
+	t.Cleanup(ts.Close)
+	return loaded, ts
+}
+
+// routeMux is the minimal /v1/route surface the client package needs.
+func routeMux(pool *serve.Pool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/route", func(w http.ResponseWriter, r *http.Request) {
 		src, err1 := strconv.ParseUint(r.URL.Query().Get("src"), 10, 64)
 		dst, err2 := strconv.ParseUint(r.URL.Query().Get("dst"), 10, 64)
 		if err1 != nil || err2 != nil {
-			http.Error(w, "bad name", http.StatusBadRequest)
+			http.Error(w, `{"error":"bad name"}`, http.StatusBadRequest)
 			return
 		}
 		res, err := pool.Route(context.Background(), src, dst)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			http.Error(w, `{"error":"unknown"}`, http.StatusUnprocessableEntity)
 			return
 		}
 		json.NewEncoder(w).Encode(res)
 	})
-	ts := httptest.NewServer(mux)
-	t.Cleanup(ts.Close)
-	return loaded, ts
+	return mux
 }
 
 // TestReplayPatterns drives the full client path for several workload
@@ -67,7 +73,7 @@ func testDaemon(t *testing.T) (*compactroute.Scheme, *httptest.Server) {
 // for ≥ 3 patterns).
 func TestReplayPatterns(t *testing.T) {
 	scheme, ts := testDaemon(t)
-	client := newClient(4, 5*time.Second)
+	clients := newClients([]string{ts.URL}, 5*time.Second)
 	base := workload.Options{Seed: 1, Candidates: 64, Keep: 8}
 	for _, p := range []workload.Pattern{workload.Uniform, workload.Zipf, workload.Gravity, workload.Local, workload.Adversarial} {
 		streams, err := patternStreams(p, scheme.Network().Graph(), scheme, 4, base)
@@ -75,7 +81,7 @@ func TestReplayPatterns(t *testing.T) {
 			t.Fatalf("%s: %v", p, err)
 		}
 		const queries = 120
-		rep, err := replay(client, ts.URL, streams, queries, 8, nil)
+		rep, err := replay(clients, streams, queries, 8, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -97,11 +103,63 @@ func TestReplayPatterns(t *testing.T) {
 	}
 }
 
-// TestReplayCountsHTTPFailures: HTTP error statuses are counted, not
+// TestReplaySpreadsAcrossTargets: with several -targets, every target
+// sees a share of the traffic.
+func TestReplaySpreadsAcrossTargets(t *testing.T) {
+	scheme, _ := testDaemon(t)
+	var hits [3]atomic.Uint64
+	urls := make([]string, len(hits))
+	for i := range hits {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Write([]byte(`{"delivered":true}`))
+		}))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	streams, err := patternStreams(workload.Uniform, scheme.Network().Graph(), scheme, 4, workload.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replay(newClients(urls, time.Second), streams, 90, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.failed != 0 {
+		t.Fatalf("%d failures across fake targets", rep.failed)
+	}
+	var total uint64
+	counts := make([]uint64, len(hits))
+	for i := range hits {
+		counts[i] = hits[i].Load()
+		total += counts[i]
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("target %d got no traffic: %v", i, counts)
+		}
+	}
+	if total != 90 {
+		t.Fatalf("targets saw %d requests, want 90", total)
+	}
+}
+
+func TestSplitTargets(t *testing.T) {
+	got := splitTargets(" http://a:1, ,http://b:2,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitTargets = %v", got)
+	}
+	if got := splitTargets(""); len(got) != 0 {
+		t.Fatalf("splitTargets(\"\") = %v", got)
+	}
+}
+
+// TestReplayCountsHTTPFailures: API error statuses are counted, not
 // fatal, and contribute no latency samples.
 func TestReplayCountsHTTPFailures(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
 	}))
 	defer ts.Close()
 	scheme, _ := testDaemon(t)
@@ -109,7 +167,7 @@ func TestReplayCountsHTTPFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := replay(newClient(2, time.Second), ts.URL, streams, 20, 0, nil)
+	rep, err := replay(newClients([]string{ts.URL}, time.Second), streams, 20, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +186,7 @@ func TestReplayAbortsOnTransportError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := replay(newClient(2, time.Second), ts.URL, streams, 10, 0, nil); err == nil {
+	if _, err := replay(newClients([]string{ts.URL}, time.Second), streams, 10, 0, nil); err == nil {
 		t.Fatal("replay against a dead daemon did not error")
 	}
 }
@@ -152,13 +210,13 @@ func TestChurnPacesMutationsAndRebuilds(t *testing.T) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch r.URL.Path {
-		case "/mutate":
-			var m dynamic.Mutation
-			if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		case "/v1/mutate":
+			var ms []dynamic.Mutation
+			if err := json.NewDecoder(r.Body).Decode(&ms); err != nil {
 				t.Errorf("mutate body: %v", err)
 			}
-			gotMuts = append(gotMuts, m)
-		case "/rebuild":
+			gotMuts = append(gotMuts, ms...)
+		case "/v1/rebuild":
 			rebuilds++
 			if r.URL.Query().Get("wait") != "" {
 				waits++
@@ -177,7 +235,7 @@ func TestChurnPacesMutationsAndRebuilds(t *testing.T) {
 		{Op: dynamic.OpRemoveEdge, U: 1, V: 2},
 	}
 	c := &churn{
-		client: ts.Client(), baseURL: ts.URL, muts: muts,
+		client: newClients([]string{ts.URL}, time.Second)[0], muts: muts,
 		mutateEvery: 10, rebuildEvery: 2,
 	}
 	c.start()
@@ -229,7 +287,7 @@ func TestChurnStopsOnDaemonError(t *testing.T) {
 	}))
 	defer ts.Close()
 	c := &churn{
-		client: ts.Client(), baseURL: ts.URL,
+		client:      newClients([]string{ts.URL}, time.Second)[0],
 		muts:        []dynamic.Mutation{{Op: dynamic.OpSetWeight, U: 1, V: 2, W: 3}},
 		mutateEvery: 1,
 	}

@@ -1,8 +1,9 @@
 // Command routed is the route-serving daemon: build once, route many —
 // and, when serving a registry kind, mutate and rebuild without ever
-// dropping a query. It serves any scheme kind in the registry, either
-// loaded from a file persisted by compactroute.Save or built at
-// startup by kind name:
+// dropping a query. All the serving logic lives in internal/server;
+// this command is the flag surface plus a graceful listener. It serves
+// any scheme kind in the registry, either loaded from a file persisted
+// by compactroute.Save or built at startup by kind name:
 //
 //	routesim -n 2000 -k 4 -save net.crsc      # pay the build once
 //	routed -scheme net.crsc -addr :8347       # serve the file forever
@@ -15,54 +16,40 @@
 // paper, fulltable, apcover, landmark, tz) or a scheme file; kinds
 // win, so a file named like a kind needs a path separator ("./tz").
 //
-//	GET  /route?src=<name>&dst=<name>  route between external names
-//	GET  /healthz                      liveness + scheme identity + live version
-//	GET  /stats                        worker pool, cache, and swap counters
-//	POST /mutate                       append topology mutations (dynamic mode)
-//	POST /rebuild[?wait=1]             rebuild + hot-swap in the background
+// The HTTP surface is versioned under /v1 (the unversioned paths
+// remain as deprecated aliases):
 //
-// Kind-built schemes serve DYNAMICALLY (compactroute.Dynamic):
-// POST /mutate appends validated mutations to the append-only log
-// (body: one mutation object or an array, e.g.
-// {"op":"setweight","u":7,"v":12,"w":2.5}), and POST /rebuild replays
-// them onto a fresh version in a background goroutine and hot-swaps
-// it in — in-flight routes finish on the old version, the result
-// cache is purged inside the sub-millisecond swap, and /healthz +
-// /stats report the live version. -rebuild-after N triggers the
-// rebuild automatically once N mutations are pending; -snapdir
-// persists every version (graph + persistable schemes + lineage).
-// File-loaded schemes are static: the mutation endpoints answer 409.
+//	GET  /v1/route?src=<name>&dst=<name>  route between external names
+//	GET  /v1/resolve?src=&dst=            names + shortest distance
+//	GET  /v1/healthz                      liveness + scheme identity + live version
+//	GET  /v1/stats                        worker pool, cache, and swap counters
+//	POST /v1/mutate                       append topology mutations (dynamic mode)
+//	POST /v1/rebuild[?wait=1|?stage=1]    rebuild + hot-swap (stage: build only)
+//	POST /v1/swap                         commit a staged version by ID
 //
-// Names accept decimal or 0x-prefixed hex (and nothing else — no
-// octal). Queries run on a bounded worker pool with a sharded
-// single-flight LRU result cache (see internal/serve); -workers and
-// -cache size it. Error responses follow the typed taxonomy via
-// errors.Is: an unknown source name or invalid mutation is the
-// caller's fault (422); a query the daemon could not serve because it
-// is saturated or the caller gave up answers 503 with a Retry-After;
-// anything else is a scheme invariant violation (500). The listener
-// carries read/write/idle timeouts and drains gracefully on
-// SIGINT/SIGTERM.
+// Kind-built schemes serve DYNAMICALLY; file-loaded schemes are static
+// and answer 409 on the mutation paths. Names accept decimal or
+// 0x-prefixed hex. Error responses follow the typed taxonomy (see
+// internal/server): 422 caller's fault, 503 retryable back-pressure
+// with Retry-After, 409 static-scheme mutation or version skew, 500
+// invariant violation. The listener carries read/write/idle timeouts
+// and drains gracefully on SIGINT/SIGTERM.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"compactroute"
-	"compactroute/internal/serve"
+	"compactroute/internal/server"
 )
 
 func main() {
@@ -79,7 +66,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for generation and construction when building a kind")
 	sfactor := flag.Float64("sfactor", 0.25, "landmark S-set constant for kind paper")
 	graphFile := flag.String("graph", "", "build the kind over this topology file (gio text format) instead of generating one")
-	rebuildAfter := flag.Int("rebuild-after", 0, "trigger a background rebuild automatically once this many mutations are pending (0: POST /rebuild only)")
+	rebuildAfter := flag.Int("rebuild-after", 0, "trigger a background rebuild automatically once this many mutations are pending (0: POST /v1/rebuild only)")
 	snapdir := flag.String("snapdir", "", "persist every topology version to this directory (graph, persistable schemes with lineage, manifest); one directory records one run's chain — use a fresh one per daemon start")
 	flag.Parse()
 
@@ -88,43 +75,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	start := time.Now()
-	opts := serve.Options{Workers: *workers, CacheSize: *cacheSize, Shards: *shards}
-	var srv *server
-	if _, isKind := compactroute.LookupKind(*schemeArg); isKind {
-		net, err := buildNetwork(buildOpts{
-			k: *k, n: *n, p: *p, seed: *seed, sfactor: *sfactor, graphFile: *graphFile,
-		})
-		if err != nil {
-			log.Fatalf("routed: %v", err)
-		}
-		dyn, err := compactroute.NewDynamic(net, compactroute.DynamicOptions{
-			Configs:      []compactroute.Config{{Kind: *schemeArg, K: *k, Seed: *seed, SFactor: *sfactor}},
-			EnsureMetric: *metric,
-			SnapshotDir:  *snapdir,
-		})
-		if err != nil {
-			log.Fatalf("routed: %v", err)
-		}
-		srv = newDynamicServer(dyn, *schemeArg, opts, *rebuildAfter)
-		s := srv.currentScheme()
-		log.Printf("routed: built %s dynamically (%d nodes, %d edges, max table %s bits/node) in %v",
-			s.Name(), s.Network().N(), s.Network().Graph().M(),
-			strconv.FormatInt(s.MaxTableBits(), 10), time.Since(start))
-	} else {
-		scheme, err := loadSchemeFile(*schemeArg)
-		if err != nil {
-			log.Fatalf("routed: %v", err)
-		}
-		srv = buildDaemon(scheme, *metric, opts)
-		log.Printf("routed: loaded %s (%d nodes, %d edges, max table %s bits/node) in %v",
-			scheme.Name(), scheme.Network().N(), scheme.Network().Graph().M(),
-			strconv.FormatInt(scheme.MaxTableBits(), 10), time.Since(start))
+	srv, err := server.New(server.Config{
+		Scheme:       *schemeArg,
+		GraphFile:    *graphFile,
+		K:            *k,
+		N:            *n,
+		P:            *p,
+		Seed:         *seed,
+		SFactor:      *sfactor,
+		Metric:       *metric,
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		Shards:       *shards,
+		RebuildAfter: *rebuildAfter,
+		SnapshotDir:  *snapdir,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("routed: %v", err)
 	}
+	srv.Start()
 	defer srv.Close()
+
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv,
+		Handler: srv.Handler(),
 		// A routing answer is tiny and a query is one GET: anything
 		// slow is a stuck peer holding a connection, not real work.
 		ReadHeaderTimeout: 5 * time.Second,
@@ -133,7 +108,7 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("routed: serving on %s (workers=%d cache=%d metric=%v dynamic=%v)",
-		*addr, srv.pool.Stats().Workers, *cacheSize, srv.currentScheme().Network().HasMetric(), srv.dyn != nil)
+		*addr, srv.Stats().Workers, *cacheSize, srv.Scheme().Network().HasMetric(), srv.Dynamic())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -152,470 +127,4 @@ func main() {
 		}
 		log.Printf("routed: drained cleanly")
 	}
-}
-
-// buildOpts carries the construction knobs for kind-named schemes.
-type buildOpts struct {
-	k         int
-	n         int
-	p         float64
-	seed      uint64
-	sfactor   float64
-	graphFile string
-}
-
-// loadSchemeFile opens a persisted scheme file (the static flow).
-func loadSchemeFile(path string) (*compactroute.Scheme, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("%v (not a registered kind: %s)", err, strings.Join(compactroute.Kinds(), ", "))
-	}
-	defer f.Close()
-	s, err := compactroute.Load(f)
-	if err != nil {
-		return nil, fmt.Errorf("loading %s: %w", path, err)
-	}
-	return s, nil
-}
-
-// resolveScheme turns the -scheme argument into a STATIC scheme:
-// registered kinds are built (over -graph or a generated topology),
-// anything else is opened as a persisted scheme file. main serves
-// kinds dynamically instead; this path remains for tests and callers
-// that want the one-shot construction.
-func resolveScheme(arg string, o buildOpts) (*compactroute.Scheme, string, error) {
-	if _, isKind := compactroute.LookupKind(arg); isKind {
-		net, err := buildNetwork(o)
-		if err != nil {
-			return nil, "", err
-		}
-		s, err := compactroute.Build(net, compactroute.Config{
-			Kind: arg, K: o.k, Seed: o.seed, SFactor: o.sfactor,
-		})
-		if err != nil {
-			return nil, "", err
-		}
-		return s, "built", nil
-	}
-	s, err := loadSchemeFile(arg)
-	if err != nil {
-		return nil, "", err
-	}
-	return s, "loaded", nil
-}
-
-func buildNetwork(o buildOpts) (*compactroute.Network, error) {
-	if o.graphFile != "" {
-		f, err := os.Open(o.graphFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return compactroute.LoadNetwork(f)
-	}
-	p := o.p
-	if p <= 0 {
-		p = 8 / float64(o.n)
-	}
-	return compactroute.RandomNetwork(o.seed, o.n, p, compactroute.UniformWeights(1, 8)), nil
-}
-
-// buildDaemon assembles the HTTP surface, ensuring the metric (when
-// requested) strictly BEFORE the serving pool exists: the pool caches
-// ShortestCost at computation time and never refreshes it, so a
-// metric that appeared after the first query would leave stale
-// MetricKnown=false entries behind forever (the staleness invariant
-// documented in internal/serve). Constructing the pool last makes
-// that state unreachable.
-func buildDaemon(s *compactroute.Scheme, metric bool, o serve.Options) *server {
-	if metric {
-		s.Network().EnsureMetric()
-	}
-	return newServer(s, o)
-}
-
-// rebuildReply carries one rebuild outcome back to a waiting caller.
-type rebuildReply struct {
-	v   compactroute.VersionInfo
-	err error
-}
-
-// server is the HTTP surface over one scheme — static (a loaded
-// file) or dynamic (a kind served through compactroute.Dynamic).
-// Split from main so tests can drive it with httptest.
-type server struct {
-	scheme *compactroute.Scheme  // static mode only
-	dyn    *compactroute.Dynamic // dynamic mode only
-	kind   string                // served kind in dynamic mode
-	pool   *serve.Pool
-	mux    *http.ServeMux
-
-	rebuildReq   chan chan rebuildReply
-	rebuildAfter int // auto-rebuild threshold (0: manual only)
-	done         chan struct{}
-}
-
-// currentScheme resolves the scheme answering queries right now: the
-// serving version's in dynamic mode, the loaded one otherwise.
-func (s *server) currentScheme() *compactroute.Scheme {
-	if s.dyn != nil {
-		return s.dyn.Scheme(s.kind)
-	}
-	return s.scheme
-}
-
-// newServer serves one immutable scheme (the static flow).
-func newServer(s *compactroute.Scheme, o serve.Options) *server {
-	srv := &server{scheme: s}
-	srv.init(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
-		return toServeResult(s.RouteByNameCtx(ctx, src, dst))
-	}), o)
-	return srv
-}
-
-// newDynamicServer serves a live topology: the pool routes through
-// the dynamic handle (one atomic version resolution per request), the
-// swap hook purges the cache inside the pause, and a single
-// background goroutine runs rebuilds so /rebuild never blocks the
-// serving path.
-func newDynamicServer(dyn *compactroute.Dynamic, kind string, o serve.Options, rebuildAfter int) *server {
-	srv := &server{dyn: dyn, kind: kind, rebuildAfter: rebuildAfter}
-	srv.init(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
-		return toServeResult(dyn.RouteByNameCtx(ctx, kind, src, dst))
-	}), o)
-	dyn.OnSwap(func(compactroute.VersionInfo) { srv.pool.Purge() })
-	srv.rebuildReq = make(chan chan rebuildReply, 1)
-	srv.done = make(chan struct{})
-	go srv.rebuildLoop()
-	return srv
-}
-
-// init wires the pool and routes shared by both modes.
-func (s *server) init(r serve.Router, o serve.Options) {
-	s.pool = serve.NewPool(r, o)
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /route", s.handleRoute)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /mutate", s.handleMutate)
-	s.mux.HandleFunc("POST /rebuild", s.handleRebuild)
-}
-
-// Close stops the background rebuild worker (no-op in static mode).
-func (s *server) Close() {
-	if s.done != nil {
-		close(s.done)
-	}
-}
-
-// rebuildLoop is the background rebuild goroutine: triggers arrive
-// from POST /rebuild (with an optional reply channel for ?wait=1) and
-// from the -rebuild-after auto-trigger; rebuilds run one at a time
-// off the serving path.
-func (s *server) rebuildLoop() {
-	for {
-		select {
-		case <-s.done:
-			return
-		case reply := <-s.rebuildReq:
-			before := s.dyn.Version().ID
-			t0 := time.Now()
-			v, err := s.dyn.Rebuild(context.Background())
-			switch {
-			case err != nil:
-				log.Printf("routed: rebuild failed (old version keeps serving): %v", err)
-			case v.ID == before:
-				log.Printf("routed: rebuild no-op (version %d already current, nothing pending)", v.ID)
-			default:
-				_, pause, _ := s.dyn.SwapStats()
-				log.Printf("routed: swapped in version %d (mutations %d..%d, build %v, pause %v, total %v)",
-					v.ID, v.MutFrom, v.MutTo, v.BuildWall.Round(time.Microsecond),
-					pause, time.Since(t0).Round(time.Microsecond))
-			}
-			if reply != nil {
-				reply <- rebuildReply{v: v, err: err}
-			}
-			// Mutations can land mid-rebuild; honor the auto-trigger
-			// for whatever is still pending.
-			s.maybeAutoRebuild()
-		}
-	}
-}
-
-// triggerRebuild enqueues a rebuild, returning false when one is
-// already queued (the queued run will absorb this caller's mutations
-// too — the log is sealed at rebuild time, not trigger time).
-func (s *server) triggerRebuild(reply chan rebuildReply) bool {
-	select {
-	case s.rebuildReq <- reply:
-		return true
-	default:
-		return false
-	}
-}
-
-// maybeAutoRebuild enqueues a rebuild when the pending backlog crosses
-// the -rebuild-after threshold.
-func (s *server) maybeAutoRebuild() {
-	if s.rebuildAfter > 0 && s.dyn.Pending() >= uint64(s.rebuildAfter) {
-		s.triggerRebuild(nil)
-	}
-}
-
-// ServeHTTP dispatches to the daemon's handlers.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// toServeResult adapts a facade result to the pool's cached shape.
-func toServeResult(res compactroute.Result, err error) (serve.Result, error) {
-	if err != nil {
-		return serve.Result{}, err
-	}
-	return serve.Result{
-		Delivered:    res.Delivered,
-		Cost:         res.Cost,
-		Hops:         res.Hops,
-		HeaderBits:   res.HeaderBits,
-		ShortestCost: res.ShortestCost,
-		MetricKnown:  res.MetricKnown,
-	}, nil
-}
-
-// routeResponse is the JSON shape of a routing answer.
-type routeResponse struct {
-	Delivered    bool    `json:"delivered"`
-	Cost         float64 `json:"cost"`
-	Hops         int     `json:"hops"`
-	HeaderBits   int64   `json:"headerBits"`
-	ShortestCost float64 `json:"shortestCost,omitempty"`
-	Stretch      float64 `json:"stretch,omitempty"`
-}
-
-// statusFor maps a routing error onto an HTTP status through the
-// typed taxonomy — errors.Is on the sentinels, never error text:
-//
-//	422  the caller named a node that does not exist
-//	503  saturation or cancellation: retryable back-pressure
-//	500  anything else would be a scheme invariant violation
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, compactroute.ErrUnknownName),
-		errors.Is(err, compactroute.ErrUnknownLabel):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, compactroute.ErrSaturated),
-		errors.Is(err, context.Canceled),
-		errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	src, err := parseName(r.URL.Query().Get("src"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad src: %v", err)
-		return
-	}
-	dst, err := parseName(r.URL.Query().Get("dst"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad dst: %v", err)
-		return
-	}
-	res, err := s.pool.Route(r.Context(), src, dst)
-	if err != nil {
-		code := statusFor(err)
-		if code == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
-		}
-		httpError(w, code, "%v", err)
-		return
-	}
-	resp := routeResponse{
-		Delivered:  res.Delivered,
-		Cost:       res.Cost,
-		Hops:       res.Hops,
-		HeaderBits: res.HeaderBits,
-	}
-	if res.MetricKnown {
-		resp.ShortestCost = res.ShortestCost
-		if res.ShortestCost > 0 {
-			resp.Stretch = res.Cost / res.ShortestCost
-		}
-	}
-	writeJSON(w, resp)
-}
-
-// handleMutate appends topology mutations (dynamic mode only). The
-// body is one mutation object or a JSON array; the batch is atomic —
-// either every mutation is accepted or none is (422).
-func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
-	if s.dyn == nil {
-		httpError(w, http.StatusConflict, "scheme was loaded from a file and is static; serve a registry kind to mutate")
-		return
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	var muts []compactroute.Mutation
-	trimmed := strings.TrimSpace(string(body))
-	if strings.HasPrefix(trimmed, "[") {
-		err = json.Unmarshal(body, &muts)
-	} else {
-		var m compactroute.Mutation
-		if err = json.Unmarshal(body, &m); err == nil {
-			muts = []compactroute.Mutation{m}
-		}
-	}
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad mutation body: %v", err)
-		return
-	}
-	if len(muts) == 0 {
-		httpError(w, http.StatusBadRequest, "no mutations in body")
-		return
-	}
-	seq, err := s.dyn.Apply(muts...)
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	s.maybeAutoRebuild()
-	writeJSON(w, map[string]any{
-		"applied": len(muts),
-		"seq":     seq,
-		"pending": s.dyn.Pending(),
-	})
-}
-
-// handleRebuild triggers a background rebuild (202). With ?wait=1 it
-// blocks until the rebuild completes and reports the new version
-// (200), the rebuild error (500), or the caller's cancellation (503).
-func (s *server) handleRebuild(w http.ResponseWriter, r *http.Request) {
-	if s.dyn == nil {
-		httpError(w, http.StatusConflict, "scheme was loaded from a file and is static; serve a registry kind to rebuild")
-		return
-	}
-	// ?wait is a boolean: absent, "0", "false", or garbage all mean
-	// the async 202 flow; only an affirmative value blocks.
-	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); !wait {
-		status := "scheduled"
-		if !s.triggerRebuild(nil) {
-			status = "already scheduled"
-		}
-		writeJSONStatus(w, http.StatusAccepted, map[string]any{"status": status, "pending": s.dyn.Pending()})
-		return
-	}
-	reply := make(chan rebuildReply, 1)
-	select {
-	case s.rebuildReq <- reply:
-	case <-r.Context().Done():
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "canceled while waiting for the rebuild worker")
-		return
-	}
-	select {
-	case out := <-reply:
-		if out.err != nil {
-			httpError(w, http.StatusInternalServerError, "rebuild failed: %v", out.err)
-			return
-		}
-		writeJSON(w, out.v)
-	case <-r.Context().Done():
-		// The rebuild keeps running; the caller just stopped waiting.
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "canceled while rebuilding (rebuild continues)")
-	}
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	scheme := s.currentScheme()
-	resp := map[string]any{
-		"status": "ok",
-		"scheme": scheme.Name(),
-		"kind":   scheme.Kind(),
-		"nodes":  scheme.Network().N(),
-		"edges":  scheme.Network().Graph().M(),
-		"metric": scheme.Network().HasMetric(),
-	}
-	if s.dyn != nil {
-		v := s.dyn.Version()
-		swaps, _, _ := s.dyn.SwapStats()
-		resp["dynamic"] = true
-		resp["version"] = v.ID
-		resp["pending"] = s.dyn.Pending()
-		resp["swaps"] = swaps
-	}
-	writeJSON(w, resp)
-}
-
-// dynStatus is the dynamic-serving block of /stats.
-type dynStatus struct {
-	Version     uint64 `json:"version"`
-	Pending     uint64 `json:"pending"`
-	Swaps       uint64 `json:"swaps"`
-	LastPauseNs int64  `json:"lastPauseNs"`
-	MaxPauseNs  int64  `json:"maxPauseNs"`
-}
-
-// statsResponse embeds the pool counters (flattened, the pre-dynamic
-// shape) plus the optional dynamic block.
-type statsResponse struct {
-	serve.Stats
-	Dynamic *dynStatus `json:"dynamic,omitempty"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{Stats: s.pool.Stats()}
-	if s.dyn != nil {
-		v := s.dyn.Version()
-		swaps, last, max := s.dyn.SwapStats()
-		resp.Dynamic = &dynStatus{
-			Version:     v.ID,
-			Pending:     s.dyn.Pending(),
-			Swaps:       swaps,
-			LastPauseNs: int64(last),
-			MaxPauseNs:  int64(max),
-		}
-	}
-	writeJSON(w, resp)
-}
-
-// parseName parses a node name as decimal or 0x-prefixed hex — and
-// nothing else. ParseUint's base 0 would accept octal ("010" → 8)
-// and underscores, silently corrupting lookups of decimal names with
-// leading zeros.
-func parseName(s string) (uint64, error) {
-	if s == "" {
-		return 0, fmt.Errorf("missing")
-	}
-	if len(s) > 2 && (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) {
-		return strconv.ParseUint(s[2:], 16, 64)
-	}
-	return strconv.ParseUint(s, 10, 64)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("routed: writing response: %v", err)
-	}
-}
-
-// writeJSONStatus is writeJSON with a non-200 status: the header must
-// be set before WriteHeader commits the response, or the content type
-// would be sniffed as text/plain.
-func writeJSONStatus(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("routed: writing response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

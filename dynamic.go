@@ -242,6 +242,42 @@ func (d *Dynamic) Rebuild(ctx context.Context) (VersionInfo, error) {
 	return info(v), nil
 }
 
+// Stage runs the first half of a two-phase rebuild: replay, build,
+// metric, snapshot — everything expensive — without publishing the
+// result. The returned version waits for SwapTo; the old version keeps
+// serving. With nothing pending the serving version is returned, and
+// SwapTo of its ID is a no-op. Coordinated cluster cut-overs are built
+// on this split: every shard stages, the coordinator verifies the
+// staged IDs agree, then all shards SwapTo the same version.
+func (d *Dynamic) Stage(ctx context.Context) (VersionInfo, error) {
+	v, err := d.top.Stage(ctx)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	return info(v), nil
+}
+
+// SwapTo publishes the staged version named by id — the second half of
+// a two-phase rebuild. Naming the serving version is an idempotent
+// no-op; naming anything else wraps ErrVersionSkew and changes
+// nothing.
+func (d *Dynamic) SwapTo(id uint64) (VersionInfo, error) {
+	v, _, err := d.top.Commit(id)
+	if err != nil {
+		return VersionInfo{}, err
+	}
+	return info(v), nil
+}
+
+// Staged reports the staged-but-uncommitted version, if any.
+func (d *Dynamic) Staged() (VersionInfo, bool) {
+	v := d.top.Staged()
+	if v == nil {
+		return VersionInfo{}, false
+	}
+	return info(v), true
+}
+
 // OnSwap registers a hook run synchronously inside every swap, after
 // the new version is published — the place a serving layer purges its
 // result cache (serve.Pool.Purge). Hooks must be fast: they are part

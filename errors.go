@@ -41,4 +41,9 @@ var (
 	// ErrUnknownKind: Build named a scheme kind absent from the
 	// registry (see Kinds).
 	ErrUnknownKind = routeerr.ErrUnknownKind
+	// ErrVersionSkew: a coordinated swap step named a topology version
+	// that is neither staged nor serving (Dynamic.SwapTo), or a cluster
+	// answer straddled two shards serving different versions. Conflict
+	// semantics: HTTP layers answer 409.
+	ErrVersionSkew = routeerr.ErrVersionSkew
 )

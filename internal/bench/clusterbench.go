@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"compactroute"
+	"compactroute/client"
+	"compactroute/internal/cluster"
+	"compactroute/internal/server"
+	"compactroute/internal/stats"
+)
+
+// RunS1 measures the sharded serving tier (internal/cluster,
+// DESIGN.md §8) as a function of shard count: cluster throughput and
+// tail latency through the front-door under a uniform replay, then a
+// churn phase whose coordinated rebuilds report the cut-over pause —
+// the window during which the front-door holds routes while every
+// shard commits the same staged version. After the churn it verifies
+// the invariants the tier rests on: every shard serves the identical
+// final version, and no version skew was ever observed (a violation
+// fails the experiment, it is not a reported number).
+func RunS1(w io.Writer, cfg Config) error {
+	shardCounts := []int{1, 2, 4}
+	n, queries, workers := 256, 4000, 8
+	batches, batch := 6, 8
+	if cfg.Quick {
+		shardCounts = []int{1, 2}
+		n, queries, workers = 96, 800, 4
+		batches = 4
+	}
+	tb := stats.NewTable("S1: sharded serving tier — throughput, latency, cut-over pause vs shard count",
+		"shards", "n", "queries", "qps", "p50", "p99", "cutovers", "max cutover pause", "pause<1s", "skew")
+	for _, sc := range shardCounts {
+		if err := runS1One(tb, cfg, sc, n, queries, workers, batches, batch); err != nil {
+			return err
+		}
+	}
+	return cfg.emit(w, tb,
+		"expected: qps roughly flat in shard count at this scale (every shard holds the full scheme;",
+		"sharding buys mutation/rebuild isolation, not single-box query speedup), cut-over pause well",
+		"under a second (stage is off-path; the pause covers only the commit fan-out), zero skew")
+}
+
+// runS1One boots one cluster of sc shards and runs the replay and
+// churn phases against its front-door.
+func runS1One(tb *stats.Table, cfg Config, sc, n, queries, workers, batches, batch int) error {
+	var servers []*server.Server
+	var tss []*httptest.Server
+	defer func() {
+		for _, ts := range tss {
+			ts.Close()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	urls := make([]string, sc)
+	for i := range urls {
+		srv, err := server.New(server.Config{
+			Scheme: "fulltable", N: n, K: 3, Seed: cfg.Seed, SFactor: 0.25,
+			Workers: 4, Logf: func(string, ...any) {},
+		})
+		if err != nil {
+			return fmt.Errorf("S1: shard %d: %w", i, err)
+		}
+		srv.Start()
+		servers = append(servers, srv)
+		ts := httptest.NewServer(srv.Handler())
+		tss = append(tss, ts)
+		urls[i] = ts.URL
+	}
+	c, err := cluster.New(cluster.Options{
+		Shards: urls, HealthEvery: time.Hour, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		return fmt.Errorf("S1: %w", err)
+	}
+	c.Start()
+	defer c.Close()
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+
+	net := servers[0].Scheme().Network()
+	g := net.Graph()
+	ctx := context.Background()
+
+	// Phase 1: uniform replay through the front-door, one deterministic
+	// stream per worker.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lat     stats.Sample
+		rideErr error
+	)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			fc := client.New(front.URL)
+			var local stats.Sample
+			state := cfg.Seed + uint64(wk)*0x9e3779b97f4a7c15
+			next := func() uint64 { // splitmix64 stream per worker
+				state += 0x9e3779b97f4a7c15
+				z := state
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				return z ^ (z >> 31)
+			}
+			for q := 0; q < queries/workers; q++ {
+				src := g.Name(compactroute.NodeID(next() % uint64(g.N())))
+				dst := g.Name(compactroute.NodeID(next() % uint64(g.N())))
+				t0 := time.Now()
+				if _, err := fc.RouteByName(ctx, src, dst); err != nil {
+					mu.Lock()
+					if rideErr == nil {
+						rideErr = fmt.Errorf("S1: %d shards, worker %d: %w", len(urls), wk, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local.Add(time.Since(t0).Seconds())
+			}
+			mu.Lock()
+			lat.Merge(&local)
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if rideErr != nil {
+		return rideErr
+	}
+	qps := float64(lat.N()) / elapsed.Seconds()
+
+	// Phase 2: churn with coordinated cut-overs. Mutations fan out
+	// through the cluster (so every shard's log stays identical) and
+	// each batch ends in a two-phase stage + commit.
+	muts, err := compactroute.GenerateMutations(net, batches*batch, cfg.Seed+3)
+	if err != nil {
+		return fmt.Errorf("S1: %w", err)
+	}
+	var maxPause time.Duration
+	for b := 0; b < batches; b++ {
+		if _, err := c.Mutate(ctx, muts[b*batch:(b+1)*batch]...); err != nil {
+			return fmt.Errorf("S1: %d shards, mutate batch %d: %w", len(urls), b, err)
+		}
+		if _, pause, err := c.Rebuild(ctx); err != nil {
+			return fmt.Errorf("S1: %d shards, cut-over %d: %w", len(urls), b, err)
+		} else if pause > maxPause {
+			maxPause = pause
+		}
+	}
+
+	// Invariants: identical final versions everywhere, no skew.
+	want, _ := servers[0].Version()
+	for i, s := range servers {
+		if v, ok := s.Version(); !ok || v.ID != want.ID || v.MutTo != want.MutTo {
+			return fmt.Errorf("S1: %d shards: shard %d at version %d, shard 0 at %d", len(urls), i, v.ID, want.ID)
+		}
+	}
+	st := c.Stats()
+	if st.SkewObserved != 0 {
+		return fmt.Errorf("S1: %d shards: %d skew events during coordinated churn", len(urls), st.SkewObserved)
+	}
+	tb.AddRow(sc, n, lat.N(),
+		fmt.Sprintf("%.0f", qps),
+		fmtLat(lat.Percentile(50)), fmtLat(lat.Percentile(99)),
+		batches, maxPause.Round(time.Microsecond).String(),
+		maxPause < time.Second, st.SkewObserved)
+	return nil
+}
+
+// fmtLat renders a latency sample value (seconds) as a duration.
+func fmtLat(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,673 @@
+// Package cluster is the front-door serving tier over N routed
+// shards: one consistent-hash partition of the external name space,
+// one coordinated mutation log, and one two-phase cut-over that keeps
+// every shard answering from the same topology version.
+//
+// # Partition model
+//
+// Every shard holds the FULL scheme — shards started from the same
+// topology source and seed build byte-identical versions — so the
+// partition is of query ownership, not of graph state. Ownership is
+// rendezvous (highest-random-weight) hashing: shard(name) is the
+// shard maximizing mix(name XOR shardSeed), which moves only 1/N of
+// the names when a shard joins or leaves and needs no coordination.
+// A route whose source and destination hash to the same shard is
+// proxied straight through. A cross-shard route scatter-gathers: the
+// source-owning shard walks the route (GET /v1/route), the
+// destination-owning shard confirms the destination and the stretch
+// denominator on ITS serving version (GET /v1/resolve, O(1) against
+// the metric), and the front-door merges the two — so the stretch
+// accounting in every answer is confirmed by both owners. If the two
+// legs answer from different topology versions, the merge is refused
+// with version skew (409) rather than composing numbers from two
+// different graphs.
+//
+// # Coordinated cut-over
+//
+// Mutations fan out to every healthy shard under one lock, one batch
+// at a time, so the shards' mutation logs stay identical. A cluster
+// rebuild is two-phase: every shard stages the next version (the
+// expensive build, off the serving path), the coordinator verifies
+// the staged versions agree (same ID, same sealed log position), and
+// only then commits them all while holding the route gate — in-flight
+// routes finish first, new routes wait out the commit fan-out (the
+// measured cut-over pause), and no route ever observes two versions.
+// A shard that fails its commit is ejected before it can answer from
+// the wrong topology.
+//
+// # Failure handling
+//
+// A transport failure ejects the shard and the route retries on
+// another healthy shard (safe: every shard owns the full scheme). A
+// background health loop probes ejected shards with exponential
+// backoff and re-admits one only when its version ID and log length
+// match a currently-healthy reference shard — a shard that missed
+// mutations while it was out stays out.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compactroute"
+	"compactroute/client"
+)
+
+// ErrNoHealthyShard reports a cluster call with every shard ejected.
+// Retryable (503) — the health loop may re-admit shards.
+var ErrNoHealthyShard = errors.New("cluster: no healthy shard")
+
+// Options configures New.
+type Options struct {
+	// Shards are the routed base URLs (http://host:port), one per
+	// shard. At least one is required. All shards must serve the same
+	// scheme built from the same topology source and seed.
+	Shards []string
+	// HealthEvery is the health-probe interval (0: 1s). Ejected
+	// shards are probed with exponential backoff on top of this.
+	HealthEvery time.Duration
+	// Logf receives operational log lines (nil: log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// shard is one routed backend: a client, a health bit, and the
+// rendezvous seed its ownership scores mix with.
+type shard struct {
+	url  string
+	c    *client.Client
+	seed uint64
+
+	healthy   atomic.Bool
+	fails     atomic.Uint32 // consecutive failed probes (backoff exponent)
+	nextProbe atomic.Int64  // unix nanos before which no re-admission probe runs
+}
+
+// Cluster is the front-door: construct with New, arm the health loop
+// with Start, serve Handler. All methods are safe for concurrent use.
+type Cluster struct {
+	opts   Options
+	logf   func(string, ...any)
+	shards []*shard
+
+	// gate is the two-phase cut-over gate: routes hold it for read,
+	// the commit fan-out holds it for write. The write hold time IS
+	// the cluster's cut-over pause.
+	gate sync.RWMutex
+	// muteMu serializes mutate fan-outs, coordinated rebuilds, and
+	// re-admission checks: one log-changing operation at a time keeps
+	// every shard's mutation log identical.
+	muteMu sync.Mutex
+
+	started sync.Once
+	closed  sync.Once
+	done    chan struct{}
+	loop    chan struct{}
+
+	// counters (see Stats)
+	routes, proxied, scattered    atomic.Uint64
+	failovers, ejections, readmit atomic.Uint64
+	skews, swaps                  atomic.Uint64
+	lastCutoverNs, maxCutoverNs   atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the front-door counters.
+type Stats struct {
+	Shards        int    `json:"shards"`
+	Healthy       int    `json:"healthy"`
+	Routes        uint64 `json:"routes"`
+	Proxied       uint64 `json:"proxied"`   // single-shard routes
+	Scattered     uint64 `json:"scattered"` // cross-shard scatter-gathers
+	Failovers     uint64 `json:"failovers"`
+	Ejections     uint64 `json:"ejections"`
+	Readmissions  uint64 `json:"readmissions"`
+	SkewObserved  uint64 `json:"skewObserved"`
+	Swaps         uint64 `json:"swaps"` // coordinated cut-overs completed
+	LastCutoverNs int64  `json:"lastCutoverNs"`
+	MaxCutoverNs  int64  `json:"maxCutoverNs"`
+}
+
+// New wires a front-door over the shard URLs. Shards start healthy;
+// the first failed call or probe ejects. Call Start to arm the health
+// loop and Close when done.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: Options.Shards is required")
+	}
+	c := &Cluster{
+		opts: opts,
+		logf: opts.Logf,
+		done: make(chan struct{}),
+		loop: make(chan struct{}),
+	}
+	if c.logf == nil {
+		c.logf = log.Printf
+	}
+	seen := make(map[string]bool, len(opts.Shards))
+	for _, url := range opts.Shards {
+		if seen[url] {
+			return nil, fmt.Errorf("cluster: duplicate shard %s", url)
+		}
+		seen[url] = true
+		s := &shard{url: url, c: client.New(url), seed: urlSeed(url)}
+		s.healthy.Store(true)
+		c.shards = append(c.shards, s)
+	}
+	return c, nil
+}
+
+// urlSeed derives a shard's stable rendezvous seed from its URL, so
+// ownership does not depend on the order shards were listed in.
+func urlSeed(url string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return mix(h.Sum64())
+}
+
+// mix is the splitmix64 finalizer: cheap, full-avalanche, and enough
+// to turn (name XOR seed) into an unbiased rendezvous score.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner returns the index of the healthy shard owning name, or -1
+// with every shard ejected. Rendezvous hashing: the healthy shard
+// with the highest mixed score wins, so ejecting a shard reassigns
+// only that shard's names.
+func (c *Cluster) Owner(name uint64) int {
+	best, bestScore := -1, uint64(0)
+	for i, s := range c.shards {
+		if !s.healthy.Load() {
+			continue
+		}
+		if score := mix(name ^ s.seed); best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// ShardURLs returns the configured shard base URLs in order.
+func (c *Cluster) ShardURLs() []string {
+	out := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.url
+	}
+	return out
+}
+
+// Start arms the background health loop (idempotent).
+func (c *Cluster) Start() {
+	c.started.Do(func() { go c.healthLoop() })
+}
+
+// Close stops the health loop. Safe to call more than once, with or
+// without Start.
+func (c *Cluster) Close() {
+	c.closed.Do(func() { close(c.done) })
+	c.started.Do(func() { close(c.loop) }) // never started: nothing to wait for
+	<-c.loop
+}
+
+// eject marks a shard unhealthy after a transport failure.
+func (c *Cluster) eject(s *shard, why error) {
+	if s.healthy.CompareAndSwap(true, false) {
+		c.ejections.Add(1)
+		s.fails.Store(1)
+		s.nextProbe.Store(time.Now().Add(c.healthEvery()).UnixNano())
+		c.logf("cluster: ejected %s: %v", s.url, why)
+	}
+}
+
+func (c *Cluster) healthEvery() time.Duration {
+	if c.opts.HealthEvery > 0 {
+		return c.opts.HealthEvery
+	}
+	return time.Second
+}
+
+// healthLoop probes shards: healthy ones for liveness every tick,
+// ejected ones for re-admission with exponential backoff.
+func (c *Cluster) healthLoop() {
+	defer close(c.loop)
+	tick := time.NewTicker(c.healthEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll runs one health pass over every shard.
+func (c *Cluster) probeAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), c.healthEvery())
+	defer cancel()
+	for _, s := range c.shards {
+		if s.healthy.Load() {
+			// Only transport-level failures eject; an API error means
+			// the shard is up and talking.
+			if _, err := s.c.Healthz(ctx); isTransport(err) {
+				c.eject(s, err)
+			}
+			continue
+		}
+		if time.Now().UnixNano() < s.nextProbe.Load() {
+			continue
+		}
+		c.tryReadmit(ctx, s)
+	}
+}
+
+// tryReadmit probes an ejected shard and re-admits it only when its
+// topology lineage matches a healthy reference shard: same version
+// ID, same mutation-log length. The check runs under muteMu so no
+// mutate fan-out or rebuild is mid-flight while the two shards are
+// compared. A shard that missed log entries while it was out can
+// never pass — there is no re-sync path, so it stays ejected (by
+// design: admitting it would silently fork the cluster's topology).
+func (c *Cluster) tryReadmit(ctx context.Context, s *shard) {
+	backoff := func() {
+		n := s.fails.Add(1)
+		if n > 6 {
+			n = 6 // cap: probe at least every 64 intervals
+		}
+		d := c.healthEvery() * time.Duration(uint64(1)<<n)
+		s.nextProbe.Store(time.Now().Add(d).UnixNano())
+	}
+	c.muteMu.Lock()
+	defer c.muteMu.Unlock()
+	h, err := s.c.Healthz(ctx)
+	if err != nil {
+		backoff()
+		return
+	}
+	for _, ref := range c.shards {
+		if ref == s || !ref.healthy.Load() {
+			continue
+		}
+		rh, err := ref.c.Healthz(ctx)
+		if err != nil {
+			continue
+		}
+		if h.Version != rh.Version || h.Mutations != rh.Mutations {
+			c.logf("cluster: %s answered but diverged (version %d log %d, reference %s version %d log %d); keeping it out",
+				s.url, h.Version, h.Mutations, ref.url, rh.Version, rh.Mutations)
+			backoff()
+			return
+		}
+		break // matches a healthy reference
+	}
+	// Matches the reference (or there is none: a fully-down cluster
+	// re-admits whoever answers first).
+	s.fails.Store(0)
+	s.healthy.Store(true)
+	c.readmit.Add(1)
+	c.logf("cluster: re-admitted %s (version %d, log %d)", s.url, h.Version, h.Mutations)
+}
+
+// healthyCount returns how many shards are serving.
+func (c *Cluster) healthyCount() int {
+	n := 0
+	for _, s := range c.shards {
+		if s.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// RouteByName answers one routing query: proxied when one shard owns
+// both names, scatter-gathered across the two owners otherwise. The
+// route gate is held for read, so answers never straddle a
+// coordinated cut-over. Transport failures eject the shard and the
+// query retries on the survivors.
+func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Route, error) {
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	c.routes.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= len(c.shards); attempt++ {
+		if attempt > 0 {
+			c.failovers.Add(1)
+		}
+		si, di := c.Owner(src), c.Owner(dst)
+		if si < 0 || di < 0 {
+			return client.Route{}, fmt.Errorf("%w (last transport error: %v)", ErrNoHealthyShard, lastErr)
+		}
+		if si == di {
+			res, err := c.shards[si].c.RouteByName(ctx, src, dst)
+			if err != nil {
+				if isTransport(err) {
+					c.eject(c.shards[si], err)
+					lastErr = err
+					continue
+				}
+				return client.Route{}, err
+			}
+			c.proxied.Add(1)
+			return res, nil
+		}
+		res, err := c.scatter(ctx, c.shards[si], c.shards[di], src, dst)
+		if err != nil {
+			// Version skew is a coordination fault, not a shard fault:
+			// retrying against the same skewed pair cannot help, and the
+			// caller needs the 409.
+			if isTransport(err) && !errors.Is(err, compactroute.ErrVersionSkew) {
+				lastErr = err
+				continue // scatter already ejected the failed leg
+			}
+			return client.Route{}, err
+		}
+		c.scattered.Add(1)
+		return res, nil
+	}
+	return client.Route{}, fmt.Errorf("%w (all retries failed: %v)", ErrNoHealthyShard, lastErr)
+}
+
+// isTransport reports whether err is a transport-level failure (no
+// HTTP answer) as opposed to an API error the shard chose to send.
+func isTransport(err error) bool {
+	var apiErr *client.Error
+	return err != nil && !errors.As(err, &apiErr)
+}
+
+// scatter runs the cross-shard form: the source owner walks the full
+// route while the destination owner confirms the destination name and
+// the stretch denominator, concurrently. The two legs must answer
+// from the same topology version — anything else is version skew.
+func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, dst uint64) (client.Route, error) {
+	type routeLeg struct {
+		res client.Route
+		err error
+	}
+	type resolveLeg struct {
+		res client.Resolve
+		err error
+	}
+	rc := make(chan routeLeg, 1)
+	vc := make(chan resolveLeg, 1)
+	go func() {
+		res, err := srcShard.c.RouteByName(ctx, src, dst)
+		rc <- routeLeg{res, err}
+	}()
+	go func() {
+		res, err := dstShard.c.Resolve(ctx, src, dst)
+		vc <- resolveLeg{res, err}
+	}()
+	walk, confirm := <-rc, <-vc
+	if walk.err != nil {
+		if isTransport(walk.err) {
+			c.eject(srcShard, walk.err)
+		}
+		return client.Route{}, walk.err
+	}
+	if confirm.err != nil {
+		if isTransport(confirm.err) {
+			c.eject(dstShard, confirm.err)
+		}
+		return client.Route{}, confirm.err
+	}
+	res, rv := walk.res, confirm.res
+	if res.Version != nil && rv.Version != nil && *res.Version != *rv.Version {
+		c.skews.Add(1)
+		return client.Route{}, fmt.Errorf(
+			"cluster: route legs answered from versions %d (%s) and %d (%s): %w",
+			*res.Version, srcShard.url, *rv.Version, dstShard.url, compactroute.ErrVersionSkew)
+	}
+	// Destination-side completion: the walk carries the path, the
+	// destination owner supplies (or confirms) the stretch
+	// denominator from its own table.
+	if rv.MetricKnown && rv.SrcKnown && rv.DstKnown {
+		if res.ShortestCost != 0 && res.ShortestCost != rv.ShortestCost {
+			return client.Route{}, fmt.Errorf(
+				"cluster: shards disagree on shortest %d→%d at version %v: %v (%s) vs %v (%s)",
+				src, dst, res.Version, res.ShortestCost, srcShard.url, rv.ShortestCost, dstShard.url)
+		}
+		res.ShortestCost = rv.ShortestCost
+		if res.ShortestCost > 0 {
+			res.Stretch = res.Cost / res.ShortestCost
+		}
+	}
+	return res, nil
+}
+
+// Resolve proxies a name-resolution query to the owner of src.
+func (c *Cluster) Resolve(ctx context.Context, src, dst uint64) (client.Resolve, error) {
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	for attempt := 0; attempt <= len(c.shards); attempt++ {
+		i := c.Owner(src)
+		if i < 0 {
+			return client.Resolve{}, ErrNoHealthyShard
+		}
+		res, err := c.shards[i].c.Resolve(ctx, src, dst)
+		if err != nil && isTransport(err) {
+			c.eject(c.shards[i], err)
+			continue
+		}
+		return res, err
+	}
+	return client.Resolve{}, ErrNoHealthyShard
+}
+
+// Mutate fans a mutation batch out to every healthy shard, one batch
+// at a time cluster-wide, keeping the shards' logs identical. The
+// first shard validates for the cluster (the logs being identical,
+// its verdict is every shard's verdict): a validation error aborts
+// the fan-out with nothing applied anywhere. A shard that fails
+// transport mid-fan-out is ejected — its log is now short, and the
+// re-admission check will hold it out until an operator restarts it
+// from the shared topology source.
+func (c *Cluster) Mutate(ctx context.Context, muts ...compactroute.Mutation) (client.MutateReply, error) {
+	c.muteMu.Lock()
+	defer c.muteMu.Unlock()
+	var first *client.MutateReply
+	for _, s := range c.shards {
+		if !s.healthy.Load() {
+			continue
+		}
+		reply, err := s.c.Mutate(ctx, muts...)
+		if err != nil {
+			if isTransport(err) {
+				c.eject(s, err)
+				continue
+			}
+			if first == nil {
+				return client.MutateReply{}, err // validation failed; nothing applied anywhere
+			}
+			// Later shards must agree with the first — logs are
+			// identical. Disagreement means the shard forked; eject.
+			c.eject(s, fmt.Errorf("mutation accepted by peers but rejected here: %w", err))
+			continue
+		}
+		if first == nil {
+			first = &reply
+		}
+	}
+	if first == nil {
+		return client.MutateReply{}, ErrNoHealthyShard
+	}
+	return *first, nil
+}
+
+// Rebuild drives a coordinated two-phase cut-over:
+//
+//  1. STAGE — every healthy shard builds the next version off its
+//     serving path (POST /v1/rebuild?stage=1), concurrently. The
+//     fan-out runs under muteMu, so every shard seals its log at the
+//     same position.
+//  2. VERIFY — the staged versions must agree: same ID, same sealed
+//     log position. Anything else is version skew; nothing commits.
+//  3. COMMIT — with the route gate held for write (in-flight routes
+//     have finished, new routes wait), every shard swaps to the
+//     agreed ID. The gate hold time is the returned cut-over pause.
+//
+// With nothing pending the shards stage their serving version and the
+// commit is an idempotent no-op — the call is always safe. A shard
+// that fails its commit is ejected before the gate reopens, so every
+// shard still routing answers from the same version.
+func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.Duration, error) {
+	c.muteMu.Lock()
+	defer c.muteMu.Unlock()
+
+	var healthy []*shard
+	for _, s := range c.shards {
+		if s.healthy.Load() {
+			healthy = append(healthy, s)
+		}
+	}
+	if len(healthy) == 0 {
+		return compactroute.VersionInfo{}, 0, ErrNoHealthyShard
+	}
+
+	// Phase 1: stage everywhere, concurrently (builds dominate).
+	infos := make([]compactroute.VersionInfo, len(healthy))
+	errs := make([]error, len(healthy))
+	var wg sync.WaitGroup
+	for i, s := range healthy {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			infos[i], errs[i] = s.c.Stage(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	staged := make([]*shard, 0, len(healthy))
+	stagedInfos := make([]compactroute.VersionInfo, 0, len(healthy))
+	for i, err := range errs {
+		if err != nil {
+			if isTransport(err) {
+				c.eject(healthy[i], err)
+				continue
+			}
+			return compactroute.VersionInfo{}, 0, fmt.Errorf("cluster: stage on %s: %w", healthy[i].url, err)
+		}
+		staged = append(staged, healthy[i])
+		stagedInfos = append(stagedInfos, infos[i])
+	}
+	if len(staged) == 0 {
+		return compactroute.VersionInfo{}, 0, ErrNoHealthyShard
+	}
+
+	// Phase 2: verify agreement before anything irreversible.
+	want := stagedInfos[0]
+	for i, info := range stagedInfos {
+		if info.ID != want.ID || info.MutTo != want.MutTo {
+			c.skews.Add(1)
+			return compactroute.VersionInfo{}, 0, fmt.Errorf(
+				"cluster: staged versions disagree: %s at %d (log %d), %s at %d (log %d): %w",
+				staged[0].url, want.ID, want.MutTo, staged[i].url, info.ID, info.MutTo,
+				compactroute.ErrVersionSkew)
+		}
+	}
+
+	// Phase 3: commit under the gate. The pause is what routes see.
+	t0 := time.Now()
+	c.gate.Lock()
+	var commitWG sync.WaitGroup
+	commitErrs := make([]error, len(staged))
+	for i, s := range staged {
+		commitWG.Add(1)
+		go func(i int, s *shard) {
+			defer commitWG.Done()
+			_, commitErrs[i] = s.c.SwapTo(ctx, want.ID)
+		}(i, s)
+	}
+	commitWG.Wait()
+	for i, err := range commitErrs {
+		if err != nil {
+			// Transport loss or a 409 alike: the shard may be serving
+			// the old version — it cannot stay in rotation.
+			c.eject(staged[i], fmt.Errorf("commit of version %d failed: %w", want.ID, err))
+			if client.IsStatus(err, 409) {
+				c.skews.Add(1)
+			}
+		}
+	}
+	c.gate.Unlock()
+	pause := time.Since(t0)
+
+	c.swaps.Add(1)
+	c.lastCutoverNs.Store(int64(pause))
+	for {
+		old := c.maxCutoverNs.Load()
+		if int64(pause) <= old || c.maxCutoverNs.CompareAndSwap(old, int64(pause)) {
+			break
+		}
+	}
+	c.logf("cluster: cut over %d shards to version %d (log %d..%d, pause %v)",
+		len(staged), want.ID, want.MutFrom, want.MutTo, pause.Round(time.Microsecond))
+	return want, pause, nil
+}
+
+// Stats returns a point-in-time snapshot of the front-door counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Shards:        len(c.shards),
+		Healthy:       c.healthyCount(),
+		Routes:        c.routes.Load(),
+		Proxied:       c.proxied.Load(),
+		Scattered:     c.scattered.Load(),
+		Failovers:     c.failovers.Load(),
+		Ejections:     c.ejections.Load(),
+		Readmissions:  c.readmit.Load(),
+		SkewObserved:  c.skews.Load(),
+		Swaps:         c.swaps.Load(),
+		LastCutoverNs: c.lastCutoverNs.Load(),
+		MaxCutoverNs:  c.maxCutoverNs.Load(),
+	}
+}
+
+// ShardHealth is one shard's row in the cluster health report.
+type ShardHealth struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Version   uint64 `json:"version"`
+	Pending   uint64 `json:"pending"`
+	Mutations uint64 `json:"mutations"`
+	Error     string `json:"error,omitempty"`
+}
+
+// Health probes every shard and reports the cluster view. Status is
+// "ok" with every shard healthy, "degraded" with at least one out,
+// and "down" with none serving.
+func (c *Cluster) Health(ctx context.Context) (string, []ShardHealth) {
+	rows := make([]ShardHealth, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			rows[i] = ShardHealth{URL: s.url, Healthy: s.healthy.Load()}
+			h, err := s.c.Healthz(ctx)
+			if err != nil {
+				rows[i].Error = err.Error()
+				return
+			}
+			rows[i].Version, rows[i].Pending, rows[i].Mutations = h.Version, h.Pending, h.Mutations
+		}(i, s)
+	}
+	wg.Wait()
+	switch h := c.healthyCount(); {
+	case h == 0:
+		return "down", rows
+	case h < len(c.shards):
+		return "degraded", rows
+	default:
+		return "ok", rows
+	}
+}

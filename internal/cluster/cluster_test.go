@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactroute"
+	"compactroute/client"
+	"compactroute/internal/graph"
+	"compactroute/internal/server"
+)
+
+func discardLogf(string, ...any) {}
+
+// shardConfig is the one config every test shard shares — identical
+// topology source and seed, so shards build byte-identical versions.
+func shardConfig(n int) server.Config {
+	return server.Config{
+		Scheme: "fulltable", N: n, K: 2, Seed: 11, SFactor: 0.5,
+		Metric: true, Workers: 4, CacheSize: 256, Logf: discardLogf,
+	}
+}
+
+// flaky wraps a shard handler with a kill switch: while down, every
+// connection is hijacked and closed mid-request, which the client
+// sees as a transport failure (not an API error).
+type flaky struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// bootCluster starts nShards identical shards (each behind a flaky
+// wrapper) and a front-door over them.
+func bootCluster(t *testing.T, nShards, n int, healthEvery time.Duration) (*Cluster, []*server.Server, []*flaky) {
+	t.Helper()
+	urls := make([]string, nShards)
+	servers := make([]*server.Server, nShards)
+	wraps := make([]*flaky, nShards)
+	for i := range urls {
+		srv, err := server.New(shardConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Close)
+		wraps[i] = &flaky{h: srv.Handler()}
+		ts := httptest.NewServer(wraps[i])
+		t.Cleanup(ts.Close)
+		urls[i], servers[i] = ts.URL, srv
+	}
+	c, err := New(Options{Shards: urls, HealthEvery: healthEvery, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Close)
+	return c, servers, wraps
+}
+
+// TestOwnerRendezvousProperties: ownership is deterministic, roughly
+// balanced, and ejecting a shard moves ONLY that shard's names.
+func TestOwnerRendezvousProperties(t *testing.T) {
+	c, err := New(Options{
+		Shards: []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"},
+		Logf:   discardLogf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const names = 20000
+	counts := make([]int, 4)
+	owners := make([]int, names)
+	for name := uint64(0); name < names; name++ {
+		o := c.Owner(name * 2654435761)
+		if o2 := c.Owner(name * 2654435761); o2 != o {
+			t.Fatalf("Owner not deterministic: %d then %d", o, o2)
+		}
+		owners[name] = o
+		counts[o]++
+	}
+	for i, n := range counts {
+		if n < names/4/2 || n > names/4*2 {
+			t.Fatalf("shard %d owns %d of %d names — rendezvous badly unbalanced: %v", i, n, names, counts)
+		}
+	}
+
+	// Eject shard 2: its names redistribute, everyone else's stay put.
+	c.shards[2].healthy.Store(false)
+	moved := 0
+	for name := uint64(0); name < names; name++ {
+		o := c.Owner(name * 2654435761)
+		if owners[name] == 2 {
+			if o == 2 {
+				t.Fatalf("name %d still owned by ejected shard", name)
+			}
+			moved++
+			continue
+		}
+		if o != owners[name] {
+			t.Fatalf("name %d moved from healthy shard %d to %d on unrelated ejection", name, owners[name], o)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("ejection moved no names")
+	}
+}
+
+// TestProxyAndScatterMatchSingleProcess: every front-door answer —
+// proxied or scatter-gathered — is byte-equal to the single-process
+// answer, stretch included.
+func TestProxyAndScatterMatchSingleProcess(t *testing.T) {
+	c, servers, _ := bootCluster(t, 2, 90, time.Hour)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+
+	solo := servers[0] // shards are identical; shard 0 IS the single-process answer
+	g := solo.Scheme().Network().Graph()
+	ctx := context.Background()
+	for u := 0; u < g.N(); u += 7 {
+		for v := 1; v < g.N(); v += 11 {
+			src, dst := g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID(v))
+			got, err := fc.RouteByName(ctx, src, dst)
+			if err != nil {
+				t.Fatalf("front route %d→%d: %v", src, dst, err)
+			}
+			want, err := solo.Scheme().RouteByName(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Delivered != want.Delivered || got.Cost != want.Cost ||
+				got.Hops != want.Hops || got.HeaderBits != want.HeaderBits ||
+				got.ShortestCost != want.ShortestCost {
+				t.Fatalf("route %d→%d diverged: front %+v solo %+v", src, dst, got, want)
+			}
+			// The wire carries stretch 0 for the degenerate self-route
+			// (no shortest cost to divide by); Result.Stretch() says 1.
+			if want.ShortestCost > 0 && got.Stretch != want.Stretch() {
+				t.Fatalf("route %d→%d stretch %v, solo %v", src, dst, got.Stretch, want.Stretch())
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Proxied == 0 || st.Scattered == 0 {
+		t.Fatalf("expected both proxied and scattered routes, got %+v", st)
+	}
+	if st.Routes != st.Proxied+st.Scattered {
+		t.Fatalf("route accounting off: %+v", st)
+	}
+
+	// 422 passes through the front-door untouched.
+	if _, err := fc.RouteByName(ctx, 0xFFFFFFFF, g.Name(0)); !client.IsStatus(err, 422) {
+		t.Fatalf("unknown src through front-door: %v, want 422", err)
+	}
+}
+
+// TestClusterSkewDetectionAndConvergence: a shard rebuilt out-of-band
+// (behind the front-door's back) makes cross-shard merges refuse with
+// 409 — and one coordinated rebuild converges the cluster again.
+func TestClusterSkewDetectionAndConvergence(t *testing.T) {
+	c, servers, _ := bootCluster(t, 2, 60, time.Hour)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+	ctx := context.Background()
+	g := servers[0].Scheme().Network().Graph()
+
+	// One mutation through the front-door: both logs get it.
+	mut := compactroute.MutSetWeight(g.Name(0), firstNeighborName(servers[0]), 2)
+	if _, err := fc.Mutate(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 rebuilds OUT-OF-BAND: the cluster now straddles
+	// versions 1 and 0.
+	if _, err := servers[0].Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a cross-shard pair and route it: version skew, 409.
+	var sawSkew bool
+	for u := 0; u < g.N() && !sawSkew; u++ {
+		for v := 0; v < g.N(); v++ {
+			src, dst := g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID(v))
+			if c.Owner(src) == c.Owner(dst) {
+				continue
+			}
+			_, err := fc.RouteByName(ctx, src, dst)
+			if !client.IsStatus(err, http.StatusConflict) {
+				t.Fatalf("cross-shard route across skewed versions: %v, want 409", err)
+			}
+			sawSkew = true
+			break
+		}
+	}
+	if !sawSkew {
+		t.Fatal("no cross-shard pair found")
+	}
+	if c.Stats().SkewObserved == 0 {
+		t.Fatal("skew not counted")
+	}
+
+	// One coordinated rebuild converges: shard 0 stages its serving
+	// version (nothing pending), shard 1 stages the same ID from its
+	// log, and both commit.
+	v, _, err := c.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("converging rebuild: %v", err)
+	}
+	if v.ID != 1 {
+		t.Fatalf("converged at version %d, want 1", v.ID)
+	}
+	for i, s := range servers {
+		if sv, _ := s.Version(); sv.ID != 1 {
+			t.Fatalf("shard %d at version %d after convergence", i, sv.ID)
+		}
+	}
+	// Cross-shard routes flow again.
+	if _, err := fc.RouteByName(ctx, g.Name(0), g.Name(1)); err != nil {
+		t.Fatalf("route after convergence: %v", err)
+	}
+}
+
+// TestEjectionFailoverAndReadmission: a shard dying mid-traffic is
+// ejected and its queries fail over; it is re-admitted once it both
+// answers again and matches a healthy peer's log — and held out
+// forever when it missed mutations.
+func TestEjectionFailoverAndReadmission(t *testing.T) {
+	const healthEvery = 20 * time.Millisecond
+	c, servers, wraps := bootCluster(t, 2, 60, healthEvery)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+	ctx := context.Background()
+	g := servers[0].Scheme().Network().Graph()
+
+	// Kill shard 1 and push enough routes that some hash to it: every
+	// one must still succeed (failover), and the shard must end up
+	// ejected.
+	wraps[1].down.Store(true)
+	for u := 0; u < 40; u++ {
+		src, dst := g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID((u+7)%g.N()))
+		if _, err := fc.RouteByName(ctx, src, dst); err != nil {
+			t.Fatalf("route %d→%d during shard death: %v", src, dst, err)
+		}
+	}
+	st := c.Stats()
+	if st.Healthy != 1 || st.Ejections == 0 || st.Failovers == 0 {
+		t.Fatalf("after shard death: %+v", st)
+	}
+
+	// Revive it unchanged: the health loop re-admits (logs match).
+	wraps[1].down.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for c.healthyCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("revived shard never re-admitted: %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Stats().Readmissions == 0 {
+		t.Fatal("readmission not counted")
+	}
+
+	// Kill it again, mutate through the front-door (only shard 0 logs
+	// it), revive: the divergent shard must STAY out.
+	wraps[1].down.Store(true)
+	if _, err := fc.RouteByName(ctx, g.Name(1), g.Name(2)); err != nil {
+		t.Fatalf("route during second death: %v", err)
+	}
+	// Drive routes until the ejection lands (the first may have hit
+	// only shard 0's names).
+	deadline = time.Now().Add(10 * time.Second)
+	for c.healthyCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second ejection never happened: %+v", c.Stats())
+		}
+		if _, err := fc.RouteByName(ctx, g.Name(1), g.Name(2)); err != nil {
+			t.Fatalf("route during second death: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mut := compactroute.MutSetWeight(g.Name(0), firstNeighborName(servers[0]), 3)
+	if _, err := fc.Mutate(ctx, mut); err != nil {
+		t.Fatal(err)
+	}
+	wraps[1].down.Store(false)
+	// Give the health loop several probe windows: the shard answers,
+	// but its log is short, so it must not come back.
+	time.Sleep(12 * healthEvery)
+	if got := c.healthyCount(); got != 1 {
+		t.Fatalf("divergent shard re-admitted (healthy=%d)", got)
+	}
+}
+
+// firstNeighborName returns the name of some neighbor of node 0, so
+// tests can issue a valid setweight mutation.
+func firstNeighborName(s *server.Server) uint64 {
+	g := s.Scheme().Network().Graph()
+	var name uint64
+	g.Neighbors(0, func(e graph.Edge) bool {
+		name = g.Name(e.To)
+		return false
+	})
+	return name
+}

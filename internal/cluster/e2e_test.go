@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compactroute"
+	"compactroute/client"
+)
+
+// TestEndToEndClusterChurn is the acceptance run for the serving
+// tier: two shards behind a front-door, a concurrent route replay
+// that tolerates ZERO failures, 120 mutations fanned out in batches,
+// a coordinated hot-swap every three batches. Afterwards both shards
+// serve the same version, no skew was ever observed, and a strided
+// sample of front-door answers — stretch included — is bit-identical
+// to a cold single-process build of the final topology.
+func TestEndToEndClusterChurn(t *testing.T) {
+	const nodes = 110
+	c, servers, _ := bootCluster(t, 2, nodes, time.Hour)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+	ctx := context.Background()
+
+	net := servers[0].Scheme().Network()
+	g := net.Graph()
+	muts, err := compactroute.GenerateMutations(net, 120, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent replay over base names (present in every version),
+	// entirely through the front-door: every answer must arrive and be
+	// delivered, across mutation fan-outs, ejectionless health checks,
+	// and four cut-overs.
+	stop := make(chan struct{})
+	var queries, failures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := client.New(front.URL)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := g.Name(compactroute.NodeID((w*13 + i) % nodes))
+				dst := g.Name(compactroute.NodeID((w*29 + i*7 + 1) % nodes))
+				res, err := wc.RouteByName(ctx, src, dst)
+				if err != nil || !res.Delivered {
+					t.Logf("query %d→%d: %+v, %v", src, dst, res, err)
+					failures.Add(1)
+					return
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+
+	// Churn: 120 mutations in batches of 10 through the front-door, a
+	// coordinated rebuild every 3 batches (4 cut-overs total).
+	applied := uint64(0)
+	for b := 0; b < 12; b++ {
+		mr, err := fc.Mutate(ctx, muts[b*10:(b+1)*10]...)
+		if err != nil {
+			t.Fatalf("mutate batch %d: %v", b, err)
+		}
+		applied += 10
+		if mr.Seq != applied {
+			t.Fatalf("mutate batch %d sealed at seq %d, want %d", b, mr.Seq, applied)
+		}
+		if (b+1)%3 == 0 {
+			v, err := fc.RebuildWait(ctx) // front-door always coordinates
+			if err != nil {
+				t.Fatalf("coordinated rebuild after batch %d: %v", b, err)
+			}
+			if v.MutTo != applied {
+				t.Fatalf("cut-over sealed at mutation %d, want %d", v.MutTo, applied)
+			}
+		}
+	}
+	// Let the replay observe the final version, then stop it.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d churn-time queries failed", failures.Load(), queries.Load()+failures.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during churn")
+	}
+
+	// Both shards landed on the same version, through four coordinated
+	// swaps, with no skew ever surfacing.
+	for i, s := range servers {
+		v, ok := s.Version()
+		if !ok {
+			t.Fatalf("shard %d not dynamic", i)
+		}
+		if v.ID != 4 || v.MutTo != 120 {
+			t.Fatalf("shard %d at version %d (mutTo %d), want 4 (120)", i, v.ID, v.MutTo)
+		}
+	}
+	st := c.Stats()
+	if st.Swaps != 4 || st.SkewObserved != 0 {
+		t.Fatalf("cluster stats after churn: %+v", st)
+	}
+	if st.LastCutoverNs <= 0 || st.MaxCutoverNs >= int64(time.Second) {
+		t.Fatalf("cut-over pause out of range: last %v max %v",
+			time.Duration(st.LastCutoverNs), time.Duration(st.MaxCutoverNs))
+	}
+
+	// Front-door answers match a cold single-process build of the
+	// final topology — delivery, cost, hops, header bits, shortest
+	// cost, and stretch — and carry the final version.
+	finalNet, err := compactroute.ReplayNetwork(net, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalNet.EnsureMetric()
+	cold, err := compactroute.Build(finalNet, compactroute.Config{Kind: "fulltable", K: 2, Seed: 11, SFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := finalNet.Graph()
+	checked, scattered := 0, 0
+	for s := 0; s < fg.N(); s += 5 {
+		for d := 1; d < fg.N(); d += 7 {
+			src, dst := fg.Name(compactroute.NodeID(s)), fg.Name(compactroute.NodeID(d))
+			want, err := cold.RouteByName(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fc.RouteByName(ctx, src, dst)
+			if err != nil {
+				t.Fatalf("route %d→%d: %v", src, dst, err)
+			}
+			if got.Delivered != want.Delivered || got.Cost != want.Cost ||
+				got.Hops != want.Hops || got.HeaderBits != want.HeaderBits ||
+				got.ShortestCost != want.ShortestCost {
+				t.Fatalf("route %d→%d diverged from cold build: cluster %+v cold %+v", src, dst, got, want)
+			}
+			// Stretch 0 on the wire for the degenerate self-route.
+			if want.ShortestCost > 0 && got.Stretch != want.Stretch() {
+				t.Fatalf("route %d→%d stretch %v, cold %v", src, dst, got.Stretch, want.Stretch())
+			}
+			if got.Version == nil || *got.Version != 4 {
+				t.Fatalf("route %d→%d version %v, want 4", src, dst, got.Version)
+			}
+			if c.Owner(src) != c.Owner(dst) {
+				scattered++
+			}
+			checked++
+		}
+	}
+	if checked == 0 || scattered == 0 {
+		t.Fatalf("cold-build sample too thin: %d checked, %d cross-shard", checked, scattered)
+	}
+}

@@ -106,7 +106,8 @@ type Topology struct {
 	log     *Log
 	swapper *Swapper
 
-	rebuildMu sync.Mutex // one rebuild at a time
+	rebuildMu sync.Mutex // one rebuild/stage/commit at a time
+	staged    *Version   // built but not yet committed (guarded by rebuildMu)
 }
 
 // NewTopology seals g as version 0, builds its schemes synchronously,
@@ -200,24 +201,96 @@ func (t *Topology) Pending() uint64 {
 func (t *Topology) Rebuild(ctx context.Context) (v *Version, pause time.Duration, err error) {
 	t.rebuildMu.Lock()
 	defer t.rebuildMu.Unlock()
+	next, err := t.stageLocked(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if next == t.Current() {
+		return next, 0, nil
+	}
+	t.staged = nil
+	return next, t.swapper.Swap(next), nil
+}
+
+// Stage is the first half of a two-phase rebuild: it seals the log,
+// replays the pending range, builds every configured kind, and runs
+// PreSwap — all the expensive work — but does NOT publish the result.
+// The staged version waits for Commit; until then the old version
+// keeps serving. With nothing pending the serving version is returned
+// (and committing its ID is a no-op). Calling Stage again re-stages
+// against whatever is pending by then — a previously staged version at
+// the same log position is reused, a stale one is discarded and
+// rebuilt. A plain Rebuild also discards any staged version.
+//
+// The split exists for coordinated cluster cut-overs (internal/
+// cluster): every shard stages, the coordinator checks the staged
+// versions agree, and only then do all shards Commit — so the cluster
+// never serves two topologies longer than the commit fan-out takes.
+func (t *Topology) Stage(ctx context.Context) (*Version, error) {
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
+	return t.stageLocked(ctx)
+}
+
+// stageLocked builds (or reuses) the staged version under rebuildMu.
+func (t *Topology) stageLocked(ctx context.Context) (*Version, error) {
 	cur := t.Current()
 	to := t.log.Len()
 	if to == cur.MutTo {
-		return cur, 0, nil
+		t.staged = nil // nothing pending: any staged version is obsolete
+		return cur, nil
+	}
+	if s := t.staged; s != nil && s.Parent == cur.ID && s.MutTo == to {
+		return s, nil // already staged at exactly this log position
 	}
 	muts := t.log.Slice(cur.MutTo, to)
 	g, err := Replay(cur.graph, muts)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	next, err := t.build(ctx, g, cur.ID+1, cur.ID, cur.MutTo, to)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if t.opts.PreSwap != nil {
 		if err := t.opts.PreSwap(next); err != nil {
-			return nil, 0, fmt.Errorf("dynamic: version %d pre-swap: %w", next.ID, err)
+			return nil, fmt.Errorf("dynamic: version %d pre-swap: %w", next.ID, err)
 		}
 	}
-	return next, t.swapper.Swap(next), nil
+	t.staged = next
+	return next, nil
+}
+
+// Commit is the second half of a two-phase rebuild: it publishes the
+// staged version — if and only if its ID is the one the caller names.
+// Committing the ID of the version already serving is an idempotent
+// no-op (zero pause), so a coordinator may safely retry. Anything else
+// wraps routeerr.ErrVersionSkew and leaves serving untouched:
+// committing blind would put this node on a topology its peers never
+// agreed on.
+func (t *Topology) Commit(id uint64) (*Version, time.Duration, error) {
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
+	cur := t.Current()
+	if cur.ID == id {
+		return cur, 0, nil
+	}
+	if t.staged == nil {
+		return nil, 0, fmt.Errorf("dynamic: commit version %d: nothing staged (serving %d): %w",
+			id, cur.ID, routeerr.ErrVersionSkew)
+	}
+	if t.staged.ID != id {
+		return nil, 0, fmt.Errorf("dynamic: commit version %d: staged version is %d: %w",
+			id, t.staged.ID, routeerr.ErrVersionSkew)
+	}
+	v := t.staged
+	t.staged = nil
+	return v, t.swapper.Swap(v), nil
+}
+
+// Staged returns the staged-but-uncommitted version, or nil.
+func (t *Topology) Staged() *Version {
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
+	return t.staged
 }

@@ -50,4 +50,11 @@ var (
 	// ErrUnknownKind reports a Build (or Load) naming a scheme kind
 	// absent from the registry.
 	ErrUnknownKind = errors.New("unknown scheme kind")
+
+	// ErrVersionSkew reports a coordinated-swap step whose topology
+	// version disagrees with the serving or staged version — a commit
+	// for a version that is not staged, or a cluster answer assembled
+	// from shards serving different versions. Conflict semantics: the
+	// HTTP layers map it to 409.
+	ErrVersionSkew = errors.New("topology version skew")
 )

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"compactroute"
+)
+
+// TestVersionedAndLegacyPathsAgree is the compatibility pin for the
+// /v1 surface: every legacy unversioned path must answer exactly like
+// its /v1 successor — same status, same body — while carrying the
+// Deprecation marker, and the error-code mapping (422/503/500/409)
+// must hold on both forms.
+func TestVersionedAndLegacyPathsAgree(t *testing.T) {
+	static, _ := buildStatic(t, Config{})
+	tsStatic := httptest.NewServer(static.Handler())
+	defer tsStatic.Close()
+	dyn, net := buildDynamic(t, "fulltable", 60, 0)
+	tsDyn := httptest.NewServer(dyn.Handler())
+	defer tsDyn.Close()
+	g := net.Graph()
+
+	do := func(ts *httptest.Server, method, path, body string) (*http.Response, string) {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(out)
+	}
+
+	goodRoute := fmt.Sprintf("/route?src=%d&dst=%d", g.Name(0), g.Name(1))
+	mut := `{"op":"setweight","u":` + fmt.Sprint(g.Name(0)) + `,"v":` + fmt.Sprint(firstNeighbor(net)) + `,"w":2}`
+	for _, tc := range []struct {
+		name     string
+		ts       *httptest.Server
+		method   string
+		path     string // unversioned form; /v1 + path is the successor
+		body     string
+		want     int
+		skipBody bool // response carries moving counters (seq, pending, stats)
+	}{
+		{"route ok", tsDyn, "GET", goodRoute, "", http.StatusOK, false},
+		{"route unknown name 422", tsDyn, "GET", "/route?src=1&dst=2", "", http.StatusUnprocessableEntity, false},
+		{"route bad name 400", tsDyn, "GET", "/route?src=zz&dst=1", "", http.StatusBadRequest, false},
+		{"healthz ok", tsDyn, "GET", "/healthz", "", http.StatusOK, false},
+		{"stats ok", tsDyn, "GET", "/stats", "", http.StatusOK, true},
+		{"mutate ok", tsDyn, "POST", "/mutate", mut, http.StatusOK, true},
+		{"mutate invalid 422", tsDyn, "POST", "/mutate", `{"op":"setweight","u":3405691582,"v":1,"w":2}`, http.StatusUnprocessableEntity, false},
+		{"mutate static 409", tsStatic, "POST", "/mutate", mut, http.StatusConflict, false},
+		{"rebuild static 409", tsStatic, "POST", "/rebuild", "", http.StatusConflict, false},
+		{"rebuild async 202", tsDyn, "POST", "/rebuild?wait=0", "", http.StatusAccepted, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			vResp, vBody := do(tc.ts, tc.method, "/v1"+tc.path, tc.body)
+			if vResp.StatusCode != tc.want {
+				t.Fatalf("/v1%s: %d %s, want %d", tc.path, vResp.StatusCode, vBody, tc.want)
+			}
+			if vResp.Header.Get("Deprecation") != "" {
+				t.Fatalf("/v1%s marked deprecated", tc.path)
+			}
+			lResp, lBody := do(tc.ts, tc.method, tc.path, tc.body)
+			if lResp.StatusCode != tc.want {
+				t.Fatalf("%s: %d %s, want %d", tc.path, lResp.StatusCode, lBody, tc.want)
+			}
+			if lResp.Header.Get("Deprecation") != "true" {
+				t.Fatalf("%s: legacy path without Deprecation header", tc.path)
+			}
+			if link := lResp.Header.Get("Link"); !strings.Contains(link, "/v1"+strings.SplitN(tc.path, "?", 2)[0]) {
+				t.Fatalf("%s: Link header %q does not name the /v1 successor", tc.path, link)
+			}
+			// Bodies with moving counters are exempt; everything
+			// else must be byte-identical across the two forms.
+			if !tc.skipBody && vBody != lBody {
+				t.Fatalf("%s: body diverged between forms:\n/v1: %s\nlegacy: %s", tc.path, vBody, lBody)
+			}
+		})
+	}
+
+	// /v1-only endpoints must NOT exist unversioned: the pre-v1
+	// surface is frozen.
+	for _, tc := range []struct{ method, path string }{
+		{"GET", "/resolve?src=1&dst=2"},
+		{"POST", "/swap"},
+	} {
+		resp, _ := do(tsDyn, tc.method, tc.path, `{"version":0}`)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s: %d, want 404 (v1-only endpoint leaked unversioned)", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatusForMapping: every typed error maps to its pinned status
+// code via errors.Is — 422 for names the caller invented, 503 for
+// saturation/cancellation, 409 for static-scheme mutation and
+// coordinated-swap version skew, 500 for anything that would be a
+// scheme invariant violation.
+func TestStatusForMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("route: %w", compactroute.ErrUnknownName), http.StatusUnprocessableEntity},
+		{fmt.Errorf("route: %w", compactroute.ErrUnknownLabel), http.StatusUnprocessableEntity},
+		{fmt.Errorf("serve: %w: %w", compactroute.ErrSaturated, context.Canceled), http.StatusServiceUnavailable},
+		{fmt.Errorf("serve: %w", context.Canceled), http.StatusServiceUnavailable},
+		{fmt.Errorf("serve: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},
+		{fmt.Errorf("server: mutate: %w", ErrStatic), http.StatusConflict},
+		{fmt.Errorf("dynamic: commit version 7: %w", compactroute.ErrVersionSkew), http.StatusConflict},
+		{fmt.Errorf("sim: invariant violated"), http.StatusInternalServerError},
+	} {
+		if got := StatusFor(tc.err); got != tc.want {
+			t.Errorf("StatusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -15,23 +15,25 @@ import (
 
 	"compactroute"
 	"compactroute/internal/graph"
-	"compactroute/internal/serve"
 )
 
-// buildDynamicServer boots the dynamic serving surface over a fresh
-// topology, exactly as `routed -scheme <kind>` does.
-func buildDynamicServer(t *testing.T, kind string, n int, rebuildAfter int) (*server, *compactroute.Network) {
+// buildDynamic boots the dynamic serving surface over a fresh
+// generated topology, exactly as `routed -scheme <kind>` does, with
+// the background rebuild worker armed.
+func buildDynamic(t *testing.T, kind string, n int, rebuildAfter int) (*Server, *compactroute.Network) {
 	t.Helper()
-	net := compactroute.RandomNetwork(7, n, 8/float64(n), compactroute.UniformWeights(1, 6))
-	dyn, err := compactroute.NewDynamic(net, compactroute.DynamicOptions{
-		Configs: []compactroute.Config{{Kind: kind, K: 2, Seed: 11, SFactor: 0.5}},
+	srv, err := New(Config{
+		Scheme: kind, N: n, K: 2, Seed: 11, SFactor: 0.5,
+		Workers: 4, CacheSize: 1 << 10, RebuildAfter: rebuildAfter,
+		Logf: discardLogf,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newDynamicServer(dyn, kind, serve.Options{Workers: 4, CacheSize: 1 << 10}, rebuildAfter)
+	srv.Start()
 	t.Cleanup(srv.Close)
-	return srv, net
+	// The base version's network — the starting point for replays.
+	return srv, srv.Scheme().Network()
 }
 
 func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
@@ -57,12 +59,12 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.R
 }
 
 // TestStaticServerRejectsMutations: file-loaded schemes answer 409 on
-// the dynamic endpoints.
+// every dynamic endpoint.
 func TestStaticServerRejectsMutations(t *testing.T) {
-	srv, _ := buildServer(t)
-	ts := httptest.NewServer(srv)
+	srv, _ := buildStatic(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	for _, path := range []string{"/mutate", "/rebuild"} {
+	for _, path := range []string{"/v1/mutate", "/v1/rebuild", "/v1/swap", "/mutate", "/rebuild"} {
 		resp, body := postJSON(t, ts, path, compactroute.MutSetWeight(1, 2, 3))
 		if resp.StatusCode != http.StatusConflict {
 			t.Fatalf("%s on static scheme: %d %s", path, resp.StatusCode, body)
@@ -73,10 +75,10 @@ func TestStaticServerRejectsMutations(t *testing.T) {
 // TestMutateValidation: bad JSON is 400, a semantically invalid
 // mutation is 422 and atomically rejected.
 func TestMutateValidation(t *testing.T) {
-	srv, net := buildDynamicServer(t, "fulltable", 60, 0)
-	ts := httptest.NewServer(srv)
+	srv, net := buildDynamic(t, "fulltable", 60, 0)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp, err := http.Post(ts.URL+"/mutate", "application/json", strings.NewReader("{nope"))
+	resp, err := http.Post(ts.URL+"/v1/mutate", "application/json", strings.NewReader("{nope"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestMutateValidation(t *testing.T) {
 	}
 	g := net.Graph()
 	// Batch with one invalid member: nothing applies.
-	resp, body := postJSON(t, ts, "/mutate", []compactroute.Mutation{
+	resp, body := postJSON(t, ts, "/v1/mutate", []compactroute.Mutation{
 		compactroute.MutAddEdge(g.Name(0), g.Name(1), 2),
 		compactroute.MutAddEdge(0xdeaddead, g.Name(1), 2), // unknown node
 	})
@@ -98,7 +100,7 @@ func TestMutateValidation(t *testing.T) {
 		t.Fatalf("invalid batch applied %d mutations", got)
 	}
 	// A valid single mutation (bare object, not array) applies.
-	resp, body = postJSON(t, ts, "/mutate", compactroute.MutSetWeight(g.Name(0), firstNeighbor(net), 3))
+	resp, body = postJSON(t, ts, "/v1/mutate", compactroute.MutSetWeight(g.Name(0), firstNeighbor(net), 3))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("valid mutate: %d %s", resp.StatusCode, body)
 	}
@@ -126,15 +128,15 @@ func firstNeighbor(net *compactroute.Network) uint64 {
 }
 
 // TestEndToEndChurn is the acceptance scenario: ≥100 mutations arrive
-// over POST /mutate while concurrent clients replay queries and
+// over POST /v1/mutate while concurrent clients replay queries and
 // rebuilds are triggered over HTTP. Zero requests may fail, the swap
 // pause must stay under a millisecond, and after the final swap the
 // served routes must be bit-identical to a cold build of the final
 // graph.
 func TestEndToEndChurn(t *testing.T) {
 	const nodes = 110
-	srv, net := buildDynamicServer(t, "fulltable", nodes, 0)
-	ts := httptest.NewServer(srv)
+	srv, net := buildDynamic(t, "fulltable", nodes, 0)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	g := net.Graph()
 	muts, err := compactroute.GenerateMutations(net, 120, 21)
@@ -160,7 +162,7 @@ func TestEndToEndChurn(t *testing.T) {
 				}
 				src := g.Name(compactroute.NodeID((w*13 + i) % nodes))
 				dst := g.Name(compactroute.NodeID((w*29 + i*7 + 1) % nodes))
-				resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, src, dst))
+				resp, err := client.Get(fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, src, dst))
 				if err != nil {
 					failures.Add(1)
 					return
@@ -181,13 +183,13 @@ func TestEndToEndChurn(t *testing.T) {
 	// every 3 batches (4 rebuilds total).
 	applied := 0
 	for b := 0; b < 12; b++ {
-		resp, body := postJSON(t, ts, "/mutate", muts[b*10:(b+1)*10])
+		resp, body := postJSON(t, ts, "/v1/mutate", muts[b*10:(b+1)*10])
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("mutate batch %d: %d %s", b, resp.StatusCode, body)
 		}
 		applied += 10
 		if (b+1)%3 == 0 {
-			resp, body := postJSON(t, ts, "/rebuild?wait=1", nil)
+			resp, body := postJSON(t, ts, "/v1/rebuild?wait=1", nil)
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("rebuild after batch %d: %d %s", b, resp.StatusCode, body)
 			}
@@ -212,29 +214,16 @@ func TestEndToEndChurn(t *testing.T) {
 	}
 
 	// The daemon reports the final version and a sub-millisecond pause.
-	resp, body := postJSON(t, ts, "/rebuild?wait=1", nil) // no-op: nothing pending
+	resp, body := postJSON(t, ts, "/v1/rebuild?wait=1", nil) // no-op: nothing pending
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("final rebuild: %d %s", resp.StatusCode, body)
 	}
-	sresp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	sbody, _ := io.ReadAll(sresp.Body)
-	sresp.Body.Close()
-	var st struct {
-		Dynamic struct {
-			Version    uint64 `json:"version"`
-			Pending    uint64 `json:"pending"`
-			Swaps      uint64 `json:"swaps"`
-			MaxPauseNs int64  `json:"maxPauseNs"`
-		} `json:"dynamic"`
-	}
-	if err := json.Unmarshal(sbody, &st); err != nil {
-		t.Fatal(err)
-	}
-	if st.Dynamic.Version != 4 || st.Dynamic.Pending != 0 || st.Dynamic.Swaps != 4 {
+	st := srv.Stats()
+	if st.Dynamic == nil || st.Dynamic.Version != 4 || st.Dynamic.Pending != 0 || st.Dynamic.Swaps != 4 {
 		t.Fatalf("dynamic stats: %+v", st.Dynamic)
+	}
+	if st.Dynamic.Mutations != 120 {
+		t.Fatalf("dynamic stats log length %d, want 120", st.Dynamic.Mutations)
 	}
 	if st.Dynamic.MaxPauseNs <= 0 || st.Dynamic.MaxPauseNs >= int64(time.Millisecond) {
 		t.Fatalf("max swap pause %v, want (0, 1ms)", time.Duration(st.Dynamic.MaxPauseNs))
@@ -261,11 +250,11 @@ func TestEndToEndChurn(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resp, err := client.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, src, dst))
+			resp, err := client.Get(fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, src, dst))
 			if err != nil {
 				t.Fatal(err)
 			}
-			var got routeResponse
+			var got RouteResponse
 			err = json.NewDecoder(resp.Body).Decode(&got)
 			resp.Body.Close()
 			if err != nil {
@@ -274,6 +263,9 @@ func TestEndToEndChurn(t *testing.T) {
 			if got.Delivered != want.Delivered || got.Cost != want.Cost ||
 				got.Hops != want.Hops || got.HeaderBits != want.HeaderBits {
 				t.Fatalf("route %d→%d diverged from cold build: live %+v cold %+v", src, dst, got, want)
+			}
+			if got.Version == nil || *got.Version != 4 {
+				t.Fatalf("route %d→%d version %v, want 4", src, dst, got.Version)
 			}
 			checked++
 		}
@@ -287,11 +279,11 @@ func TestEndToEndChurn(t *testing.T) {
 // async 202 branch with an application/json body; only an affirmative
 // value blocks for the outcome.
 func TestRebuildWaitParamIsBoolean(t *testing.T) {
-	srv, _ := buildDynamicServer(t, "fulltable", 50, 0)
-	ts := httptest.NewServer(srv)
+	srv, _ := buildDynamic(t, "fulltable", 50, 0)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	for _, q := range []string{"", "?wait=0", "?wait=false", "?wait=nope"} {
-		resp, _ := postJSON(t, ts, "/rebuild"+q, nil)
+	for _, q := range []string{"", "?wait=0", "?wait=false", "?wait=nope", "?stage=0"} {
+		resp, _ := postJSON(t, ts, "/v1/rebuild"+q, nil)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("rebuild%s: %d, want 202", q, resp.StatusCode)
 		}
@@ -299,23 +291,23 @@ func TestRebuildWaitParamIsBoolean(t *testing.T) {
 			t.Fatalf("rebuild%s content type %q", q, ct)
 		}
 	}
-	resp, body := postJSON(t, ts, "/rebuild?wait=1", nil)
+	resp, body := postJSON(t, ts, "/v1/rebuild?wait=1", nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("rebuild?wait=1: %d %s", resp.StatusCode, body)
 	}
 }
 
-// TestAutoRebuild: -rebuild-after triggers the background rebuild
-// once the pending backlog crosses the threshold.
+// TestAutoRebuild: RebuildAfter triggers the background rebuild once
+// the pending backlog crosses the threshold.
 func TestAutoRebuild(t *testing.T) {
-	srv, net := buildDynamicServer(t, "fulltable", 60, 8)
-	ts := httptest.NewServer(srv)
+	srv, net := buildDynamic(t, "fulltable", 60, 8)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	muts, err := compactroute.GenerateMutations(net, 10, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp, body := postJSON(t, ts, "/mutate", muts); resp.StatusCode != http.StatusOK {
+	if resp, body := postJSON(t, ts, "/v1/mutate", muts); resp.StatusCode != http.StatusOK {
 		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -331,12 +323,16 @@ func TestAutoRebuild(t *testing.T) {
 	}
 }
 
-// TestDynamicHealthz: the health endpoint reports the live version.
+// TestDynamicHealthz: the health endpoint reports the live version and
+// the log length the cluster's re-admission check compares.
 func TestDynamicHealthz(t *testing.T) {
-	srv, _ := buildDynamicServer(t, "tz", 50, 0)
-	ts := httptest.NewServer(srv)
+	srv, net := buildDynamic(t, "tz", 50, 0)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
+	if resp, body := postJSON(t, ts, "/v1/mutate", compactroute.MutSetWeight(net.Graph().Name(0), firstNeighbor(net), 2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,5 +344,75 @@ func TestDynamicHealthz(t *testing.T) {
 	}
 	if h["dynamic"] != true || h["version"] != float64(0) || h["kind"] != "tz" {
 		t.Fatalf("healthz: %+v", h)
+	}
+	if h["pending"] != float64(1) || h["mutations"] != float64(1) {
+		t.Fatalf("healthz log fields: %+v", h)
+	}
+}
+
+// TestStageAndSwap drives the two-phase cut-over over HTTP: stage
+// builds without publishing, a wrong commit is a 409, the right commit
+// publishes, and committing the serving ID again is idempotent.
+func TestStageAndSwap(t *testing.T) {
+	srv, net := buildDynamic(t, "fulltable", 60, 0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	g := net.Graph()
+
+	if resp, body := postJSON(t, ts, "/v1/mutate", compactroute.MutSetWeight(g.Name(0), firstNeighbor(net), 4)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate: %d %s", resp.StatusCode, body)
+	}
+
+	// Stage: the expensive half runs, nothing publishes.
+	resp, body := postJSON(t, ts, "/v1/rebuild?stage=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage: %d %s", resp.StatusCode, body)
+	}
+	var staged compactroute.VersionInfo
+	if err := json.Unmarshal(body, &staged); err != nil {
+		t.Fatal(err)
+	}
+	if staged.ID != 1 {
+		t.Fatalf("staged version %d, want 1", staged.ID)
+	}
+	if v, _ := srv.Version(); v.ID != 0 {
+		t.Fatalf("stage published: serving %d", v.ID)
+	}
+	st := srv.Stats()
+	if st.Dynamic.Staged == nil || *st.Dynamic.Staged != 1 {
+		t.Fatalf("stats staged = %v, want 1", st.Dynamic.Staged)
+	}
+
+	// Committing the wrong ID is version skew: 409, serving untouched.
+	resp, body = postJSON(t, ts, "/v1/swap", map[string]uint64{"version": 7})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("swap wrong id: %d %s", resp.StatusCode, body)
+	}
+	if v, _ := srv.Version(); v.ID != 0 {
+		t.Fatalf("failed swap published: serving %d", v.ID)
+	}
+
+	// Committing the staged ID publishes it.
+	resp, body = postJSON(t, ts, "/v1/swap", map[string]uint64{"version": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap: %d %s", resp.StatusCode, body)
+	}
+	if v, _ := srv.Version(); v.ID != 1 {
+		t.Fatalf("serving %d after swap, want 1", v.ID)
+	}
+	// Idempotent retry of the serving ID.
+	resp, body = postJSON(t, ts, "/v1/swap", map[string]uint64{"version": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("idempotent swap: %d %s", resp.StatusCode, body)
+	}
+	// A commit with nothing staged and a foreign ID stays 409.
+	resp, body = postJSON(t, ts, "/v1/swap", map[string]uint64{"version": 9})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("swap foreign id: %d %s", resp.StatusCode, body)
+	}
+	// Missing version field: caller error.
+	resp, body = postJSON(t, ts, "/v1/swap", map[string]string{"nope": "x"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("swap without version: %d %s", resp.StatusCode, body)
 	}
 }

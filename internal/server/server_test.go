@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -16,10 +17,13 @@ import (
 	"compactroute/internal/serve"
 )
 
-// buildServer builds a small scheme, round-trips it through the codec
+// discardLogf keeps test output quiet.
+func discardLogf(string, ...any) {}
+
+// buildStatic builds a small scheme, round-trips it through the codec
 // (the exact path the daemon takes at startup), and wraps it in the
-// HTTP surface.
-func buildServer(t *testing.T) (*server, *compactroute.Network) {
+// serving tier.
+func buildStatic(t *testing.T, cfg Config) (*Server, *compactroute.Network) {
 	t.Helper()
 	net := compactroute.RandomNetwork(7, 90, 0.07, compactroute.UniformWeights(1, 6))
 	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 11, SFactor: 0.5})
@@ -34,23 +38,32 @@ func buildServer(t *testing.T) (*server, *compactroute.Network) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(loaded, serve.Options{Workers: 4, CacheSize: 1 << 10}), net
+	cfg.Logf = discardLogf
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1 << 10
+	}
+	srv := newStatic(loaded, cfg)
+	t.Cleanup(srv.Close)
+	return srv, net
 }
 
 func TestServerRoutesLoadedScheme(t *testing.T) {
-	srv, net := buildServer(t)
-	ts := httptest.NewServer(srv)
+	srv, net := buildStatic(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	g := net.Graph()
 	for u := 0; u < net.N(); u += 13 {
 		for v := 0; v < net.N(); v += 17 {
-			url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID(v)))
+			url := fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID(v)))
 			resp, err := http.Get(url)
 			if err != nil {
 				t.Fatal(err)
 			}
-			var rr routeResponse
+			var rr RouteResponse
 			if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
 				t.Fatal(err)
 			}
@@ -61,13 +74,16 @@ func TestServerRoutesLoadedScheme(t *testing.T) {
 			if !rr.Delivered {
 				t.Fatalf("route %d→%d not delivered", u, v)
 			}
+			if rr.Version != nil {
+				t.Fatalf("static route %d→%d carries a version: %+v", u, v, rr)
+			}
 		}
 	}
 }
 
 func TestServerConcurrentLoad(t *testing.T) {
-	srv, net := buildServer(t)
-	ts := httptest.NewServer(srv)
+	srv, net := buildStatic(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	g := net.Graph()
@@ -80,12 +96,12 @@ func TestServerConcurrentLoad(t *testing.T) {
 			for i := 0; i < 60; i++ {
 				u := compactroute.NodeID((w*31 + i) % net.N())
 				v := compactroute.NodeID((w*17 + i*13) % net.N())
-				resp, err := http.Get(fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(u), g.Name(v)))
+				resp, err := http.Get(fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, g.Name(u), g.Name(v)))
 				if err != nil {
 					errs <- err
 					return
 				}
-				var rr routeResponse
+				var rr RouteResponse
 				err = json.NewDecoder(resp.Body).Decode(&rr)
 				resp.Body.Close()
 				if err != nil {
@@ -105,7 +121,7 @@ func TestServerConcurrentLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Get(ts.URL + "/stats")
+	resp, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,19 +139,20 @@ func TestServerConcurrentLoad(t *testing.T) {
 }
 
 func TestServerRejectsBadInput(t *testing.T) {
-	srv, _ := buildServer(t)
-	ts := httptest.NewServer(srv)
+	srv, _ := buildStatic(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	for _, tc := range []struct {
 		q    string
 		want int
 	}{
-		{"/route", http.StatusBadRequest},                               // missing both
-		{"/route?src=1", http.StatusBadRequest},                         // missing dst
-		{"/route?src=zzz&dst=1", http.StatusBadRequest},                 // unparsable
-		{"/route?src=0o17&dst=1", http.StatusBadRequest},                // no octal
-		{"/route?src=1&dst=0xFFFFFFFF", http.StatusUnprocessableEntity}, // unknown name
+		{"/v1/route", http.StatusBadRequest},                               // missing both
+		{"/v1/route?src=1", http.StatusBadRequest},                         // missing dst
+		{"/v1/route?src=zzz&dst=1", http.StatusBadRequest},                 // unparsable
+		{"/v1/route?src=0o17&dst=1", http.StatusBadRequest},                // no octal
+		{"/v1/route?src=1&dst=0xFFFFFFFF", http.StatusUnprocessableEntity}, // unknown name
+		{"/v1/resolve?src=zzz&dst=1", http.StatusBadRequest},
 	} {
 		resp, err := http.Get(ts.URL + tc.q)
 		if err != nil {
@@ -174,12 +191,12 @@ func TestParseNameBases(t *testing.T) {
 		{"1_000", 0, false}, // no digit separators
 		{"-1", 0, false},
 	} {
-		got, err := parseName(tc.in)
+		got, err := ParseName(tc.in)
 		if tc.ok && (err != nil || got != tc.want) {
-			t.Errorf("parseName(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+			t.Errorf("ParseName(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
 		}
 		if !tc.ok && err == nil {
-			t.Errorf("parseName(%q) = %d, want error", tc.in, got)
+			t.Errorf("ParseName(%q) = %d, want error", tc.in, got)
 		}
 	}
 }
@@ -188,14 +205,15 @@ func TestParseNameBases(t *testing.T) {
 // dead is the daemon being saturated or the caller leaving — a
 // retryable 503 with Retry-After, never a 422.
 func TestServer503OnCanceledWait(t *testing.T) {
-	srv, net := buildServer(t)
+	srv, net := buildStatic(t, Config{})
 	g := net.Graph()
+	h := srv.Handler()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest("GET",
-		fmt.Sprintf("/route?src=%d&dst=%d", g.Name(0), g.Name(1)), nil).WithContext(ctx)
+		fmt.Sprintf("/v1/route?src=%d&dst=%d", g.Name(0), g.Name(1)), nil).WithContext(ctx)
 	rec := httptest.NewRecorder()
-	srv.ServeHTTP(rec, req)
+	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503; body %s", rec.Code, rec.Body)
 	}
@@ -203,51 +221,35 @@ func TestServer503OnCanceledWait(t *testing.T) {
 		t.Fatal("503 without Retry-After")
 	}
 	// An unknown name through the same path stays a 422.
-	req = httptest.NewRequest("GET", "/route?src=1&dst=2", nil)
+	req = httptest.NewRequest("GET", "/v1/route?src=1&dst=2", nil)
 	rec = httptest.NewRecorder()
-	srv.ServeHTTP(rec, req)
+	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("unknown name: status %d, want 422", rec.Code)
 	}
 }
 
-// TestMetricOrderingUnreachableStaleness: buildDaemon applies -metric
-// strictly before the pool exists, so a daemon started with -metric
-// can never cache a ShortestCost=0 result (the staleness invariant
+// TestMetricOrderingUnreachableStaleness: Config.Metric is applied
+// strictly before the pool exists, so a server started with Metric can
+// never cache a ShortestCost=0 result (the staleness invariant
 // documented in internal/serve).
 func TestMetricOrderingUnreachableStaleness(t *testing.T) {
-	net := compactroute.RandomNetwork(7, 90, 0.07, compactroute.UniformWeights(1, 6))
-	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 11, SFactor: 0.5})
-	if err != nil {
-		t.Fatal(err)
+	srv, net := buildStatic(t, Config{Metric: true, Workers: 2, CacheSize: 64})
+	if !srv.Scheme().Network().HasMetric() {
+		t.Fatal("newStatic(Metric) returned before the metric existed — stale cache entries are reachable")
 	}
-	var buf bytes.Buffer
-	if err := compactroute.Save(&buf, s); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := compactroute.Load(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if loaded.Network().HasMetric() {
-		t.Fatal("loaded scheme unexpectedly has a metric")
-	}
-	srv := buildDaemon(loaded, true, serve.Options{Workers: 2, CacheSize: 64})
-	if !loaded.Network().HasMetric() {
-		t.Fatal("buildDaemon(-metric) returned before the metric existed — stale cache entries are reachable")
-	}
-	ts := httptest.NewServer(srv)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	g := net.Graph()
 	// Route the same cross-node pair twice: the second answer is the
 	// cached entry, and it must carry the metric too.
-	url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(1))
+	url := fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(1))
 	for i, want := range []string{"cold", "cached"} {
 		resp, err := http.Get(url)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var rr routeResponse
+		var rr RouteResponse
 		err = json.NewDecoder(resp.Body).Decode(&rr)
 		resp.Body.Close()
 		if err != nil {
@@ -257,75 +259,47 @@ func TestMetricOrderingUnreachableStaleness(t *testing.T) {
 			t.Fatalf("%s response %d has no stretch: %+v", want, i, rr)
 		}
 	}
-	var st serve.Stats
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
-	resp.Body.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := srv.Stats()
 	if st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("expected one cold miss and one cached hit, got %+v", st)
 	}
 }
 
-// TestStatusForMapping is the satellite regression test: every typed
-// error maps to its pinned status code via errors.Is — 422 for names
-// the caller invented, 503 for saturation/cancellation, 500 for
-// anything that would be a scheme invariant violation.
-func TestStatusForMapping(t *testing.T) {
-	for _, tc := range []struct {
-		err  error
-		want int
-	}{
-		{fmt.Errorf("route: %w", compactroute.ErrUnknownName), http.StatusUnprocessableEntity},
-		{fmt.Errorf("route: %w", compactroute.ErrUnknownLabel), http.StatusUnprocessableEntity},
-		{fmt.Errorf("serve: %w: %w", compactroute.ErrSaturated, context.Canceled), http.StatusServiceUnavailable},
-		{fmt.Errorf("serve: %w", context.Canceled), http.StatusServiceUnavailable},
-		{fmt.Errorf("serve: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},
-		{fmt.Errorf("sim: invariant violated"), http.StatusInternalServerError},
-	} {
-		if got := statusFor(tc.err); got != tc.want {
-			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
-		}
-	}
-}
-
-// TestServeEveryRegistryKind: `routed -scheme <kind>` must serve each
-// registry kind end-to-end — resolve, build, answer /route with a
-// delivered result, and identify the kind on /healthz.
+// TestServeEveryRegistryKind: server.New must serve each registry kind
+// end-to-end (dynamically, as routed does) — build, answer /v1/route
+// with a delivered result, and identify the kind on /v1/healthz.
 func TestServeEveryRegistryKind(t *testing.T) {
 	for _, kind := range compactroute.Kinds() {
-		kind := kind
 		t.Run(kind, func(t *testing.T) {
-			scheme, how, err := resolveScheme(kind, buildOpts{k: 2, n: 70, seed: 9, sfactor: 0.5})
+			srv, err := New(Config{Scheme: kind, N: 70, K: 2, Seed: 9, SFactor: 0.5,
+				Workers: 2, CacheSize: 64, Logf: discardLogf})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if how != "built" || scheme.Kind() != kind {
-				t.Fatalf("resolved %q as %s kind %q", kind, how, scheme.Kind())
+			t.Cleanup(srv.Close)
+			if !srv.Dynamic() {
+				t.Fatalf("kind %s did not serve dynamically", kind)
 			}
-			srv := newServer(scheme, serve.Options{Workers: 2, CacheSize: 64})
-			ts := httptest.NewServer(srv)
+			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
 
-			g := scheme.Network().Graph()
-			url := fmt.Sprintf("%s/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(compactroute.NodeID(g.N()-1)))
+			g := srv.Scheme().Network().Graph()
+			url := fmt.Sprintf("%s/v1/route?src=%d&dst=%d", ts.URL, g.Name(0), g.Name(compactroute.NodeID(g.N()-1)))
 			resp, err := http.Get(url)
 			if err != nil {
 				t.Fatal(err)
 			}
-			var rr routeResponse
+			var rr RouteResponse
 			err = json.NewDecoder(resp.Body).Decode(&rr)
 			resp.Body.Close()
 			if err != nil || resp.StatusCode != http.StatusOK || !rr.Delivered {
 				t.Fatalf("kind %s route: status %d, %+v, %v", kind, resp.StatusCode, rr, err)
 			}
+			if rr.Version == nil || *rr.Version != 0 {
+				t.Fatalf("kind %s route version = %v, want 0", kind, rr.Version)
+			}
 
-			hresp, err := http.Get(ts.URL + "/healthz")
+			hresp, err := http.Get(ts.URL + "/v1/healthz")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -341,9 +315,9 @@ func TestServeEveryRegistryKind(t *testing.T) {
 	}
 }
 
-// TestResolveSchemeFileFallback: a -scheme value that is not a kind
-// loads as a file; garbage errors mentioning the registry.
-func TestResolveSchemeFileFallback(t *testing.T) {
+// TestNewSchemeFileFallback: a Config.Scheme that is not a kind loads
+// as a file; garbage errors mentioning the registry.
+func TestNewSchemeFileFallback(t *testing.T) {
 	net := compactroute.RandomNetwork(3, 60, 0.1, compactroute.UniformWeights(1, 4))
 	s, err := compactroute.NewScheme(net, compactroute.Options{K: 2, Seed: 4, SFactor: 0.5})
 	if err != nil {
@@ -360,21 +334,33 @@ func TestResolveSchemeFileFallback(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	loaded, how, err := resolveScheme(path, buildOpts{})
-	if err != nil || how != "loaded" || loaded.Kind() != "paper" {
-		t.Fatalf("resolveScheme(file) = %q kind %q, %v", how, loaded.Kind(), err)
+	srv, err := New(Config{Scheme: path, Workers: 2, CacheSize: 64, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, _, err := resolveScheme(filepath.Join(t.TempDir(), "nope.crsc"), buildOpts{}); err == nil {
-		t.Fatal("nonexistent file resolved")
+	defer srv.Close()
+	if srv.Dynamic() || srv.Scheme().Kind() != "paper" {
+		t.Fatalf("New(file) dynamic=%v kind=%q", srv.Dynamic(), srv.Scheme().Kind())
+	}
+	if _, ok := srv.Version(); ok {
+		t.Fatal("static server reports a version")
+	}
+
+	_, err = New(Config{Scheme: filepath.Join(t.TempDir(), "nope.crsc"), Logf: discardLogf})
+	if err == nil || !strings.Contains(err.Error(), "paper") {
+		t.Fatalf("nonexistent file: err = %v, want registry kinds listed", err)
+	}
+	if _, err := New(Config{Logf: discardLogf}); err == nil {
+		t.Fatal("empty Config.Scheme accepted")
 	}
 }
 
 func TestServerHealthz(t *testing.T) {
-	srv, net := buildServer(t)
-	ts := httptest.NewServer(srv)
+	srv, net := buildStatic(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,5 +378,41 @@ func TestServerHealthz(t *testing.T) {
 	}
 	if h.Metric {
 		t.Fatal("loaded scheme should start without a metric")
+	}
+}
+
+// TestResolveEndpoint: /v1/resolve reports name existence and the
+// shortest distance without walking a route — unknown names are data,
+// not errors.
+func TestResolveEndpoint(t *testing.T) {
+	srv, net := buildStatic(t, Config{Metric: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	g := net.Graph()
+
+	get := func(src, dst string) ResolveResponse {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/v1/resolve?src=%s&dst=%s", ts.URL, src, dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("resolve %s→%s: status %d", src, dst, resp.StatusCode)
+		}
+		var rr ResolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	rr := get(fmt.Sprint(g.Name(0)), fmt.Sprint(g.Name(1)))
+	if !rr.SrcKnown || !rr.DstKnown || !rr.MetricKnown || rr.ShortestCost <= 0 {
+		t.Fatalf("resolve known pair: %+v", rr)
+	}
+	rr = get(fmt.Sprint(g.Name(0)), "0xFFFFFFFF")
+	if !rr.SrcKnown || rr.DstKnown || rr.ShortestCost != 0 {
+		t.Fatalf("resolve unknown dst: %+v", rr)
 	}
 }

@@ -1,5 +1,5 @@
 #!/bin/sh
-# End-to-end serving smoke, two passes:
+# End-to-end serving smoke, four passes:
 #
 #  1. The persisted-file flow: build a scheme with routesim -save,
 #     serve the file with routed, replay three workload patterns over
@@ -12,16 +12,25 @@
 #     mutation trace, routed serves the kind dynamically, and loadgen
 #     interleaves mutations and rebuilds with the replay; the daemon
 #     must end past version 0 with nothing pending and zero failures.
+#  4. The cluster flow: two routed shards behind a routefront
+#     front-door, the same churn replay pointed at the front-door;
+#     every mutation fans out and every rebuild is a coordinated
+#     cut-over, so both shards must end on the SAME non-zero version
+#     with nothing pending and the replay must report zero errors.
 #
 # Mirrors the CI "serving smoke" step; run locally with `make smoke`.
 set -eu
 
 tmp=$(mktemp -d)
 pid=""
+pid2=""
+pid3=""
 cleanup() {
 	# set -e is live inside traps: keep every command failure-proof so
 	# the rm always runs.
-	if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; fi
+	for p in "$pid" "$pid2" "$pid3"; do
+		if [ -n "$p" ]; then kill -9 "$p" 2>/dev/null || true; fi
+	done
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -31,6 +40,7 @@ go build -o "$tmp/routesim" ./cmd/routesim
 go build -o "$tmp/routed" ./cmd/routed
 go build -o "$tmp/loadgen" ./cmd/loadgen
 go build -o "$tmp/graphgen" ./cmd/graphgen
+go build -o "$tmp/routefront" ./cmd/routefront
 
 wait_healthy() {
 	ok=""
@@ -52,7 +62,7 @@ wait_healthy() {
 pid=$!
 wait_healthy
 
-"$tmp/loadgen" -scheme "$tmp/net.crsc" -url "http://$addr" \
+"$tmp/loadgen" -scheme "$tmp/net.crsc" -targets "http://$addr" \
 	-pattern uniform,zipf,local -queries 3000 -concurrency 8 -hist 6
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
@@ -103,7 +113,7 @@ done
 pid=$!
 wait_healthy
 
-"$tmp/loadgen" -graph "$tmp/topo2.txt" -url "http://$addr" -pattern uniform,zipf \
+"$tmp/loadgen" -graph "$tmp/topo2.txt" -targets "http://$addr" -pattern uniform,zipf \
 	-queries 2000 -concurrency 8 \
 	-mutations "$tmp/churn.mut" -mutate-every 40 -rebuild-every 20
 
@@ -126,4 +136,71 @@ wait "$pid" || { echo "smoke: routed (churn) exited non-zero on SIGTERM" >&2; ex
 pid=""
 echo "smoke: dynamic churn path OK (mutate -> rebuild -> hot swap under replay)"
 
-echo "smoke: serving path OK (file flow + all registry kinds + churn)"
+# --- pass 4: cluster flow (two shards + front-door, coordinated churn) ---
+
+"$tmp/graphgen" -family gnp -n 90 -p 0.09 -seed 7 \
+	-mutations 60 -mutout "$tmp/churn2.mut" >"$tmp/topo3.txt"
+
+shard_a=127.0.0.1:18351
+shard_b=127.0.0.1:18352
+front=127.0.0.1:18353
+
+# Both shards build from the same topology and seed, so they stage
+# identical versions during the coordinated cut-overs.
+"$tmp/routed" -scheme fulltable -graph "$tmp/topo3.txt" -addr "$shard_a" &
+pid=$!
+"$tmp/routed" -scheme fulltable -graph "$tmp/topo3.txt" -addr "$shard_b" &
+pid2=$!
+for s in "$shard_a" "$shard_b"; do
+	ok=""
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$s/v1/healthz" >/dev/null 2>&1; then ok=1; break; fi
+		sleep 0.1
+	done
+	[ -n "$ok" ] || { echo "smoke: shard $s never became healthy" >&2; exit 1; }
+done
+
+"$tmp/routefront" -shards "http://$shard_a,http://$shard_b" -addr "$front" &
+pid3=$!
+ok=""
+for _ in $(seq 1 100); do
+	if curl -sf "http://$front/v1/healthz" >/dev/null 2>&1; then ok=1; break; fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "smoke: routefront never became healthy" >&2; exit 1; }
+
+# Churn replay through the front-door: mutations fan out to both
+# shards, rebuilds are coordinated two-phase cut-overs, and the
+# replay's errors column must stay zero for every pattern.
+out=$("$tmp/loadgen" -graph "$tmp/topo3.txt" -targets "http://$front" -pattern uniform,zipf \
+	-queries 2000 -concurrency 8 \
+	-mutations "$tmp/churn2.mut" -mutate-every 40 -rebuild-every 20)
+echo "$out"
+echo "$out" | awk '$1 == "uniform" || $1 == "zipf" { if ($3 != 0) { bad = 1 } } END { exit bad }' \
+	|| { echo "smoke: cluster replay reported failed routes" >&2; exit 1; }
+
+# Both shards must serve the SAME non-zero version with no backlog.
+ver_a=$(curl -sf "http://$shard_a/v1/healthz" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')
+ver_b=$(curl -sf "http://$shard_b/v1/healthz" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')
+[ -n "$ver_a" ] && [ "$ver_a" = "$ver_b" ] || {
+	echo "smoke: cluster version skew after coordinated swaps: a=$ver_a b=$ver_b" >&2; exit 1; }
+[ "$ver_a" != "0" ] || { echo "smoke: cluster never swapped a version" >&2; exit 1; }
+for s in "$shard_a" "$shard_b"; do
+	health=$(curl -sf "http://$s/v1/healthz")
+	case "$health" in
+	*'"pending":0'*) ;;
+	*) echo "smoke: shard $s left mutations pending: $health" >&2; exit 1 ;;
+	esac
+done
+
+kill -TERM "$pid3"
+wait "$pid3" || { echo "smoke: routefront exited non-zero on SIGTERM" >&2; exit 1; }
+pid3=""
+kill -TERM "$pid" "$pid2"
+wait "$pid" || { echo "smoke: shard a exited non-zero on SIGTERM" >&2; exit 1; }
+wait "$pid2" || { echo "smoke: shard b exited non-zero on SIGTERM" >&2; exit 1; }
+pid=""
+pid2=""
+echo "smoke: cluster path OK (2 shards + front-door, coordinated cut-overs, zero failures)"
+
+echo "smoke: serving path OK (file flow + all registry kinds + churn + cluster)"
