@@ -38,7 +38,12 @@
 // # Failure handling
 //
 // A transport failure ejects the shard and the route retries on
-// another healthy shard (safe: every shard owns the full scheme). A
+// another healthy shard (safe: every shard owns the full scheme).
+// A caller abandoning its own request (disconnect, client-side
+// timeout) is NOT a shard fault: it ejects nothing, and the
+// log-changing fan-outs (Mutate, the Rebuild phases) run detached
+// from the caller's context so a disconnect can never strand them
+// half-applied across the shards. A
 // background health loop probes ejected shards with exponential
 // backoff and re-admits one only when its version ID and log length
 // match a currently-healthy reference shard — a shard that missed
@@ -62,6 +67,18 @@ import (
 // ErrNoHealthyShard reports a cluster call with every shard ejected.
 // Retryable (503) — the health loop may re-admit shards.
 var ErrNoHealthyShard = errors.New("cluster: no healthy shard")
+
+// ErrDivergence reports two shards contradicting each other on the
+// same topology version — a data fault, not a transport fault.
+// Retrying the same pair cannot help, so the front-door surfaces it
+// (500) instead of failing over.
+var ErrDivergence = errors.New("cluster: shards diverged")
+
+// Internal deadlines for the detached coordination fan-outs (see
+// Mutate and Rebuild): log appends and version swaps are cheap, so a
+// shard that cannot finish one inside this window is treated as down.
+// Staging is NOT bounded — builds legitimately take arbitrary time.
+const fanoutTimeout = 30 * time.Second
 
 // Options configures New.
 type Options struct {
@@ -351,7 +368,7 @@ func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Rout
 		if si == di {
 			res, err := c.shards[si].c.RouteByName(ctx, src, dst)
 			if err != nil {
-				if isTransport(err) {
+				if shardFault(ctx, err) {
 					c.eject(c.shards[si], err)
 					lastErr = err
 					continue
@@ -363,10 +380,13 @@ func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Rout
 		}
 		res, err := c.scatter(ctx, c.shards[si], c.shards[di], src, dst)
 		if err != nil {
-			// Version skew is a coordination fault, not a shard fault:
-			// retrying against the same skewed pair cannot help, and the
-			// caller needs the 409.
-			if isTransport(err) && !errors.Is(err, compactroute.ErrVersionSkew) {
+			// Version skew and data divergence are coordination faults,
+			// not shard faults: retrying against the same pair cannot
+			// help, and the caller needs the 409/500.
+			if errors.Is(err, compactroute.ErrVersionSkew) || errors.Is(err, ErrDivergence) {
+				return client.Route{}, err
+			}
+			if shardFault(ctx, err) {
 				lastErr = err
 				continue // scatter already ejected the failed leg
 			}
@@ -383,6 +403,26 @@ func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Rout
 func isTransport(err error) bool {
 	var apiErr *client.Error
 	return err != nil && !errors.As(err, &apiErr)
+}
+
+// shardFault reports whether err counts AGAINST the shard: a
+// transport failure that was not caused by the caller abandoning ctx.
+// A client disconnect or client-side timeout surfaces through the
+// HTTP client as context.Canceled/DeadlineExceeded with ctx.Err()
+// set — the shard is fine, the caller left — and must not eject
+// anything or trigger failover. Only for paths driven by the
+// CALLER's context; internal probe contexts (probeAll) time out
+// precisely when the shard is unresponsive and keep using
+// isTransport.
+func shardFault(ctx context.Context, err error) bool {
+	if !isTransport(err) {
+		return false
+	}
+	if ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return false
+	}
+	return true
 }
 
 // scatter runs the cross-shard form: the source owner walks the full
@@ -410,13 +450,13 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 	}()
 	walk, confirm := <-rc, <-vc
 	if walk.err != nil {
-		if isTransport(walk.err) {
+		if shardFault(ctx, walk.err) {
 			c.eject(srcShard, walk.err)
 		}
 		return client.Route{}, walk.err
 	}
 	if confirm.err != nil {
-		if isTransport(confirm.err) {
+		if shardFault(ctx, confirm.err) {
 			c.eject(dstShard, confirm.err)
 		}
 		return client.Route{}, confirm.err
@@ -434,8 +474,8 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 	if rv.MetricKnown && rv.SrcKnown && rv.DstKnown {
 		if res.ShortestCost != 0 && res.ShortestCost != rv.ShortestCost {
 			return client.Route{}, fmt.Errorf(
-				"cluster: shards disagree on shortest %d→%d at version %v: %v (%s) vs %v (%s)",
-				src, dst, res.Version, res.ShortestCost, srcShard.url, rv.ShortestCost, dstShard.url)
+				"%w on shortest %d→%d at version %v: %v (%s) vs %v (%s)",
+				ErrDivergence, src, dst, res.Version, res.ShortestCost, srcShard.url, rv.ShortestCost, dstShard.url)
 		}
 		res.ShortestCost = rv.ShortestCost
 		if res.ShortestCost > 0 {
@@ -455,7 +495,7 @@ func (c *Cluster) Resolve(ctx context.Context, src, dst uint64) (client.Resolve,
 			return client.Resolve{}, ErrNoHealthyShard
 		}
 		res, err := c.shards[i].c.Resolve(ctx, src, dst)
-		if err != nil && isTransport(err) {
+		if err != nil && shardFault(ctx, err) {
 			c.eject(c.shards[i], err)
 			continue
 		}
@@ -473,6 +513,12 @@ func (c *Cluster) Resolve(ctx context.Context, src, dst uint64) (client.Resolve,
 // re-admission check will hold it out until an operator restarts it
 // from the shared topology source.
 func (c *Cluster) Mutate(ctx context.Context, muts ...compactroute.Mutation) (client.MutateReply, error) {
+	// Detached from the caller: a client disconnect mid-fan-out must
+	// not abandon the batch half-applied (the shards' logs would fork)
+	// or eject shards that merely saw the cancellation. The internal
+	// deadline keeps a hung shard from stalling the mutation pipeline.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), fanoutTimeout)
+	defer cancel()
 	c.muteMu.Lock()
 	defer c.muteMu.Unlock()
 	var first *client.MutateReply
@@ -521,6 +567,13 @@ func (c *Cluster) Mutate(ctx context.Context, muts ...compactroute.Mutation) (cl
 // that fails its commit is ejected before the gate reopens, so every
 // shard still routing answers from the same version.
 func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.Duration, error) {
+	// Detached from the caller: once staging starts, a client
+	// disconnect must not cancel the cut-over halfway (some shards
+	// committed, some not, the rest ejected for seeing the
+	// cancellation). Staging is unbounded — builds take as long as
+	// they take — while the commit fan-out gets its own deadline below
+	// so a hung shard cannot pin the route gate.
+	ctx = context.WithoutCancel(ctx)
 	c.muteMu.Lock()
 	defer c.muteMu.Unlock()
 
@@ -578,16 +631,20 @@ func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.D
 	// Phase 3: commit under the gate. The pause is what routes see.
 	t0 := time.Now()
 	c.gate.Lock()
+	cctx, cancel := context.WithTimeout(ctx, fanoutTimeout)
 	var commitWG sync.WaitGroup
 	commitErrs := make([]error, len(staged))
 	for i, s := range staged {
 		commitWG.Add(1)
 		go func(i int, s *shard) {
 			defer commitWG.Done()
-			_, commitErrs[i] = s.c.SwapTo(ctx, want.ID)
+			_, commitErrs[i] = s.c.SwapTo(cctx, want.ID)
 		}(i, s)
 	}
 	commitWG.Wait()
+	cancel()
+	committed := 0
+	var lastCommitErr error
 	for i, err := range commitErrs {
 		if err != nil {
 			// Transport loss or a 409 alike: the shard may be serving
@@ -596,11 +653,22 @@ func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.D
 			if client.IsStatus(err, 409) {
 				c.skews.Add(1)
 			}
+			lastCommitErr = err
+			continue
 		}
+		committed++
 	}
 	c.gate.Unlock()
 	pause := time.Since(t0)
 
+	if committed == 0 {
+		// Every shard was ejected mid-commit: nothing is serving
+		// want.ID, so claiming success would hand the caller a version
+		// no route will ever answer from.
+		return compactroute.VersionInfo{}, 0, fmt.Errorf(
+			"%w (commit of version %d failed on all %d staged shards, last: %v)",
+			ErrNoHealthyShard, want.ID, len(staged), lastCommitErr)
+	}
 	c.swaps.Add(1)
 	c.lastCutoverNs.Store(int64(pause))
 	for {
@@ -609,8 +677,8 @@ func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.D
 			break
 		}
 	}
-	c.logf("cluster: cut over %d shards to version %d (log %d..%d, pause %v)",
-		len(staged), want.ID, want.MutFrom, want.MutTo, pause.Round(time.Microsecond))
+	c.logf("cluster: cut over %d/%d shards to version %d (log %d..%d, pause %v)",
+		committed, len(staged), want.ID, want.MutFrom, want.MutTo, pause.Round(time.Microsecond))
 	return want, pause, nil
 }
 

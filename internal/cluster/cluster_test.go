@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -307,6 +310,169 @@ func TestEjectionFailoverAndReadmission(t *testing.T) {
 	time.Sleep(12 * healthEvery)
 	if got := c.healthyCount(); got != 1 {
 		t.Fatalf("divergent shard re-admitted (healthy=%d)", got)
+	}
+}
+
+// TestCallerCancellationIsNotShardFault: a caller abandoning its own
+// request (disconnect, client-side timeout) must not eject shards,
+// and the log-changing fan-outs must run to completion anyway —
+// otherwise one disconnect mid /v1/route empties the cluster, and one
+// mid /v1/mutate forks the shards' logs.
+func TestCallerCancellationIsNotShardFault(t *testing.T) {
+	c, servers, _ := bootCluster(t, 2, 60, time.Hour)
+	g := servers[0].Scheme().Network().Graph()
+	gone, cancel := context.WithCancel(context.Background())
+	cancel() // the caller has already left
+
+	// Routes with the caller gone: error back, nothing ejected, no
+	// failover storm.
+	for u := 0; u < 10; u++ {
+		src, dst := g.Name(compactroute.NodeID(u)), g.Name(compactroute.NodeID((u+7)%g.N()))
+		if _, err := c.RouteByName(gone, src, dst); err == nil {
+			t.Fatalf("route %d→%d with canceled caller: no error", src, dst)
+		}
+	}
+	if st := c.Stats(); st.Healthy != 2 || st.Ejections != 0 || st.Failovers != 0 {
+		t.Fatalf("caller cancellation ejected shards: %+v", st)
+	}
+
+	// A mutate fan-out with the caller gone still applies everywhere:
+	// the fan-out is detached, so the logs cannot fork.
+	mut := compactroute.MutSetWeight(g.Name(0), firstNeighborName(servers[0]), 2)
+	if _, err := c.Mutate(gone, mut); err != nil {
+		t.Fatalf("detached mutate fan-out: %v", err)
+	}
+	ctx := context.Background()
+	for i, url := range c.ShardURLs() {
+		hz, err := client.New(url).Healthz(ctx)
+		if err != nil || hz.Mutations != 1 {
+			t.Fatalf("shard %d log after detached mutate: %d mutations, err %v", i, hz.Mutations, err)
+		}
+	}
+
+	// A coordinated rebuild with the caller gone still cuts over both
+	// shards to the same version.
+	v, _, err := c.Rebuild(gone)
+	if err != nil {
+		t.Fatalf("detached rebuild: %v", err)
+	}
+	for i, s := range servers {
+		if sv, _ := s.Version(); sv.ID != v.ID {
+			t.Fatalf("shard %d at version %d after detached rebuild, want %d", i, sv.ID, v.ID)
+		}
+	}
+	if st := c.Stats(); st.Healthy != 2 || st.Ejections != 0 {
+		t.Fatalf("detached coordination ejected shards: %+v", st)
+	}
+}
+
+// TestRebuildAllCommitsFailIsAnError: when every staged shard fails
+// its commit (all ejected), Rebuild must report failure — not count a
+// swap and hand back a version no shard is serving.
+func TestRebuildAllCommitsFailIsAnError(t *testing.T) {
+	urls := make([]string, 2)
+	servers := make([]*server.Server, 2)
+	for i := range urls {
+		srv, err := server.New(shardConfig(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(&swapKiller{h: srv.Handler()})
+		t.Cleanup(ts.Close)
+		urls[i], servers[i] = ts.URL, srv
+	}
+	c, err := New(Options{Shards: urls, HealthEvery: time.Hour, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	_, _, err = c.Rebuild(context.Background())
+	if !errors.Is(err, ErrNoHealthyShard) {
+		t.Fatalf("rebuild with every commit failing: %v, want ErrNoHealthyShard", err)
+	}
+	st := c.Stats()
+	if st.Swaps != 0 {
+		t.Fatalf("failed cut-over counted as a swap: %+v", st)
+	}
+	if st.Healthy != 0 {
+		t.Fatalf("shards that failed their commit still in rotation: %+v", st)
+	}
+}
+
+// swapKiller passes every request through except POST /v1/swap, whose
+// connection it kills mid-request: staging succeeds, committing fails.
+type swapKiller struct {
+	h http.Handler
+}
+
+func (k *swapKiller) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/swap") {
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return
+	}
+	k.h.ServeHTTP(w, r)
+}
+
+// TestScatterDivergenceSurfacesAs500: two shards contradicting each
+// other on the shortest cost at the SAME version is a data fault —
+// surfaced immediately as ErrDivergence (500 on the wire), with no
+// failover retries against the same pair and nothing ejected.
+func TestScatterDivergenceSurfacesAs500(t *testing.T) {
+	// Two fake shards that agree on the version but not the metric.
+	fake := func(shortest float64) http.Handler {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/route", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"delivered":true,"cost":10,"hops":3,"shortestCost":5,"version":1}`)
+		})
+		mux.HandleFunc("GET /v1/resolve", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, `{"srcKnown":true,"dstKnown":true,"metricKnown":true,"shortestCost":%v,"version":1}`, shortest)
+		})
+		return mux
+	}
+	a := httptest.NewServer(fake(5)) // agrees with the walk
+	defer a.Close()
+	b := httptest.NewServer(fake(7)) // contradicts it
+	defer b.Close()
+	c, err := New(Options{Shards: []string{a.URL, b.URL}, HealthEvery: time.Hour, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+
+	// Find a pair owned src→a, dst→b: the walk (from a) reports
+	// shortest 5, the confirm (from b) reports 7.
+	ctx := context.Background()
+	var src, dst uint64
+	found := false
+	for s := uint64(0); s < 64 && !found; s++ {
+		for d := uint64(0); d < 64; d++ {
+			if c.Owner(s) == 0 && c.Owner(d) == 1 {
+				src, dst, found = s, d, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no src→a dst→b pair in 64×64 names")
+	}
+	if _, err := c.RouteByName(ctx, src, dst); !errors.Is(err, ErrDivergence) {
+		t.Fatalf("diverged scatter: %v, want ErrDivergence", err)
+	}
+	if _, err := fc.RouteByName(ctx, src, dst); !client.IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("diverged scatter on the wire: %v, want 500", err)
+	}
+	if st := c.Stats(); st.Healthy != 2 || st.Failovers != 0 || st.Ejections != 0 {
+		t.Fatalf("divergence triggered failover/ejection: %+v", st)
 	}
 }
 

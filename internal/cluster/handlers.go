@@ -37,8 +37,9 @@ func (c *Cluster) Handler() http.Handler {
 // writeClusterError maps a cluster-path error onto HTTP: an API
 // *Error from a shard passes through verbatim (a 422 at the shard is
 // a 422 at the front-door), coordination failures are conflicts
-// (409), a cluster with no healthy shard is retryable (503), and a
-// transport failure the retries could not absorb is a bad gateway.
+// (409), shard data divergence is an internal error (500), a cluster
+// with no healthy shard is retryable (503), and a transport failure
+// the retries could not absorb is a bad gateway.
 func writeClusterError(w http.ResponseWriter, err error) {
 	var apiErr *client.Error
 	switch {
@@ -49,6 +50,10 @@ func writeClusterError(w http.ResponseWriter, err error) {
 		server.HTTPError(w, apiErr.Status, "%s", apiErr.Message)
 	case errors.Is(err, compactroute.ErrVersionSkew):
 		server.HTTPError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, ErrDivergence):
+		// Shards contradicting each other on one version is a data
+		// fault in the cluster, not a bad gateway or caller mistake.
+		server.HTTPError(w, http.StatusInternalServerError, "%v", err)
 	case errors.Is(err, ErrNoHealthyShard):
 		w.Header().Set("Retry-After", "1")
 		server.HTTPError(w, http.StatusServiceUnavailable, "%v", err)
