@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint docs vuln bench benchjson smoke ci
+.PHONY: build test race lint crlint staticcheck docs vuln bench benchjson fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,21 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/crlint ./...
+
+# The repository's own analyzer suite (internal/analysis, DESIGN.md
+# §9): determinism, context-flow, error-taxonomy, seeded-randomness,
+# and detached-context contracts. Suppressions live in
+# lint/crlint.suppress and must carry a reason.
+crlint:
+	$(GO) run ./cmd/crlint ./...
+
+# Staticcheck, pinned so every run means the same thing. Like vuln it
+# downloads the tool, so it is not in the local ci chain; the pipeline
+# runs it as its own step. Config in staticcheck.conf.
+STATICCHECK_VERSION ?= v0.6.1
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 # Docs gate: every package carries its doc comment, the README front
 # door exists and links the deep docs, and go vet is clean. The ci
@@ -59,14 +74,22 @@ benchjson:
 	@cat BENCH_S1.json
 	@test -s BENCH_S1.json || { echo "benchjson: empty BENCH_S1.json" >&2; exit 1; }
 
+# Fuzz smoke: each native fuzz target runs a short randomized burst
+# beyond its seed corpus. -fuzzminimizetime is capped because the
+# default (60s per interesting input) can eat the whole budget on a
+# single slow worker before any real exploration happens.
+fuzz:
+	$(GO) test -run FuzzDecodePayload -fuzz FuzzDecodePayload -fuzztime 10s -fuzzminimizetime 20x ./internal/codec
+	$(GO) test -run FuzzReadTrace -fuzz FuzzReadTrace -fuzztime 10s -fuzzminimizetime 20x ./internal/dynamic
+
 # End-to-end serving smoke: scheme build -> routed -> loadgen replay
 # of three workload patterns -> graceful SIGTERM drain.
 smoke:
 	sh scripts/smoke_serving.sh
 
-# vuln is not in the local ci chain: it downloads the vulnerability
-# database and the govulncheck tool, so it needs network access. The
-# pipeline runs it as its own step.
-ci: build lint test race bench benchjson smoke
+# vuln and staticcheck are not in the local ci chain: both download
+# their tool, so they need network access. The pipeline runs each as
+# its own step.
+ci: build lint test race bench benchjson fuzz smoke
 ci: export CHECK_DOCS_NO_VET = 1
 ci: docs

@@ -21,7 +21,7 @@ import (
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if err := bench.Experiments[id](io.Discard, bench.Config{Quick: true, Seed: 1}); err != nil {
+		if err := bench.Experiments[id](b.Context(), io.Discard, bench.Config{Quick: true, Seed: 1}); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}

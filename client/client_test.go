@@ -23,7 +23,7 @@ func bootShard(t *testing.T) (*client.Client, *server.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.Start()
+	srv.Start(t.Context())
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)

@@ -1,0 +1,77 @@
+// Command crlint is the repository's invariant linter: a multichecker
+// driving the internal/analysis suite over module packages. The suite
+// mechanically enforces conventions the system's guarantees rest on —
+// deterministic iteration in codec/replay paths (mapdeterminism),
+// ctx-first cancellation flow (ctxflow), errors.Is over the routeerr
+// taxonomy with a total HTTP status mapper (errtaxonomy), seeded
+// randomness in build/workload paths (rawrand), and deadline-bounded
+// detached fan-outs (detachedctx).
+//
+// Usage:
+//
+//	go run ./cmd/crlint [-suppress file] [packages...]
+//
+// Packages default to ./... . Diagnostics print as file:line:col:
+// message (analyzer) and any finding exits non-zero, so `make lint`
+// and CI fail on violations. The only escape hatch is the tracked
+// suppression file (default lint/crlint.suppress); entries must carry
+// a reason and stale entries fail the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compactroute/internal/analysis"
+	"compactroute/internal/analysis/ctxflow"
+	"compactroute/internal/analysis/detachedctx"
+	"compactroute/internal/analysis/errtaxonomy"
+	"compactroute/internal/analysis/mapdeterminism"
+	"compactroute/internal/analysis/rawrand"
+)
+
+func main() {
+	suppressPath := flag.String("suppress", "lint/crlint.suppress", "tracked suppression file (missing file = no suppressions)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detachedctx.Analyzer,
+		errtaxonomy.Analyzer,
+		mapdeterminism.Analyzer,
+		rawrand.Analyzer,
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+	sups, err := analysis.LoadSuppressions(*suppressPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+	kept, stale := analysis.ApplySuppressions(diags, sups)
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "crlint: %s:%d: stale suppression (%s %s): nothing matches it — delete it\n",
+			*suppressPath, s.Line, s.Analyzer, s.PathSuffix)
+	}
+	for _, d := range kept {
+		fmt.Println(d)
+	}
+	if len(kept) > 0 || len(stale) > 0 {
+		os.Exit(1)
+	}
+}

@@ -29,9 +29,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"compactroute"
@@ -64,6 +66,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "routebench:", err)
 		os.Exit(1)
 	}
+	// ^C stops the sweep between measurement units instead of letting a
+	// multi-minute experiment run to completion after the user gave up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cfg := bench.Config{Quick: *quick, Seed: *seed, JSON: *jsonOut}
 	switch {
 	case *benchName != "":
@@ -73,7 +79,7 @@ func main() {
 		}
 		// -n pins one size (the CI smoke uses 512); the canonical
 		// multi-size sweep runs via -exp B1.
-		if err := bench.RunB1Sizes(os.Stdout, cfg, []int{*n}); err != nil {
+		if err := bench.RunB1Sizes(ctx, os.Stdout, cfg, []int{*n}); err != nil {
 			fail(err)
 		}
 	case *saveFile != "":
@@ -85,7 +91,7 @@ func main() {
 			fail(err)
 		}
 	case *all:
-		if err := bench.RunAll(os.Stdout, cfg); err != nil {
+		if err := bench.RunAll(ctx, os.Stdout, cfg); err != nil {
 			fail(err)
 		}
 	case *exp != "":
@@ -95,7 +101,7 @@ func main() {
 				*exp, strings.Join(bench.IDs(), ", "))
 			os.Exit(2)
 		}
-		if err := r(os.Stdout, cfg); err != nil {
+		if err := r(ctx, os.Stdout, cfg); err != nil {
 			fail(err)
 		}
 	default:

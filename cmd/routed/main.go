@@ -94,7 +94,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("routed: %v", err)
 	}
-	srv.Start()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Start(ctx)
 	defer srv.Close()
 
 	hs := &http.Server{
@@ -110,8 +112,6 @@ func main() {
 	log.Printf("routed: serving on %s (workers=%d cache=%d metric=%v dynamic=%v)",
 		*addr, srv.Stats().Workers, *cacheSize, srv.Scheme().Network().HasMetric(), srv.Dynamic())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	select {

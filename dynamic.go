@@ -145,6 +145,13 @@ type dynVersion struct {
 // if it has one — serves version 0's stretch reporting; later
 // versions follow DynamicOptions.EnsureMetric.
 func NewDynamic(net *Network, o DynamicOptions) (*Dynamic, error) {
+	return NewDynamicCtx(context.Background(), net, o)
+}
+
+// NewDynamicCtx is NewDynamic honoring cancellation: the synchronous
+// version-0 build aborts when ctx does, returning the wrapped context
+// error instead of a handle.
+func NewDynamicCtx(ctx context.Context, net *Network, o DynamicOptions) (*Dynamic, error) {
 	d := &Dynamic{opts: o, baseNet: net, watchers: make(map[int]chan VersionInfo)}
 	if o.SnapshotDir != "" {
 		st, err := dynamic.NewStore(o.SnapshotDir)
@@ -153,7 +160,7 @@ func NewDynamic(net *Network, o DynamicOptions) (*Dynamic, error) {
 		}
 		d.store = st
 	}
-	top, err := dynamic.NewTopology(net.g, dynamic.TopologyOptions{
+	top, err := dynamic.NewTopology(ctx, net.g, dynamic.TopologyOptions{
 		Configs: o.Configs,
 		Workers: o.Workers,
 		PreSwap: d.preSwap,

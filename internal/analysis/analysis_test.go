@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"compactroute/internal/codec", "internal/codec", true},
+		{"internal/codec", "internal/codec", true},
+		{"compactroute/internal/mycodec", "internal/codec", false}, // must be segment-aligned
+		{"internal/codec/sub", "internal/codec", false},
+		{"a/b/c.go", "b/c.go", true},
+		{"c.go", "b/c.go", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func writeSuppressFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "crlint.suppress")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSuppressionsMissingFile(t *testing.T) {
+	sups, err := LoadSuppressions(filepath.Join(t.TempDir(), "absent"))
+	if err != nil || sups != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", sups, err)
+	}
+}
+
+func TestLoadSuppressionsRequiresReason(t *testing.T) {
+	if _, err := LoadSuppressions(writeSuppressFile(t, "ctxflow internal/cluster/cluster.go\n")); err == nil {
+		t.Fatal("entry without '# reason' should fail to parse")
+	}
+}
+
+func TestApplySuppressions(t *testing.T) {
+	path := writeSuppressFile(t, `
+# comment lines and blanks are ignored
+ctxflow internal/cluster/cluster.go Background  # prober owns its lifecycle
+rawrand internal/gen/gen.go  # never matches anything
+`)
+	sups, err := LoadSuppressions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(sups))
+	}
+	diags := []Diagnostic{
+		{Analyzer: "ctxflow", Pos: token.Position{Filename: "/repo/internal/cluster/cluster.go", Line: 4}, Message: "context.Background() in library code"},
+		{Analyzer: "ctxflow", Pos: token.Position{Filename: "/repo/internal/dynamic/topology.go", Line: 9}, Message: "context.Background() in library code"},
+	}
+	kept, stale := ApplySuppressions(diags, sups)
+	if len(kept) != 1 || kept[0].Pos.Filename != "/repo/internal/dynamic/topology.go" {
+		t.Errorf("kept = %v, want only the topology.go diagnostic", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "rawrand" {
+		t.Errorf("stale = %v, want only the rawrand entry", stale)
+	}
+}

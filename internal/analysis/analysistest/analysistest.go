@@ -1,0 +1,172 @@
+// Package analysistest runs one analyzer against source fixtures and
+// checks its diagnostics against `// want "regexp"` annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest but
+// implemented on the repository's own stdlib-only framework.
+//
+// Fixtures live under the analyzer package's testdata/src/<pkg>/
+// directories. They are real, compiling Go packages — `go list`
+// ignores testdata in wildcard walks, so `go build ./...` never sees
+// them, but the loader addresses each directory explicitly and gets
+// full type information. A fixture line that should trigger a
+// diagnostic carries a trailing comment:
+//
+//	for k := range m { // want `range over map`
+//
+// Every want must be matched by a diagnostic on its line and every
+// diagnostic must be matched by a want, so fixtures pin both the
+// positives and the accepted (clean) patterns.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"compactroute/internal/analysis"
+)
+
+// Run loads each fixture package directory (relative to the calling
+// test's working directory, e.g. "testdata/src/flagged") as one
+// program, applies a, and compares diagnostics with the fixtures'
+// want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtureDirs))
+	for i, dir := range fixtureDirs {
+		patterns[i] = "./" + filepath.ToSlash(dir)
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					res, err := parseWant(c.Text)
+					if err != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					if len(res) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], res...)
+				}
+			}
+		}
+	}
+
+	unmatched := map[key][]string{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // each want matches one diagnostic
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unmatched[k] = append(unmatched[k], d.Message)
+		}
+	}
+	for k, msgs := range unmatched {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: want %q: no diagnostic matched", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "re" `+"`re`"+` …`
+// comment, or nil when the comment carries no want clause.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil // /* */ comments carry no wants
+	}
+	rest, ok := cutWord(strings.TrimSpace(body), "want")
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("want clause: expected quoted regexp at %q", rest)
+		}
+		lit, remainder, err := cutString(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want clause: %v", err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want clause: bad regexp %q: %v", lit, err)
+		}
+		res = append(res, re)
+		rest = remainder
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want clause with no regexps")
+	}
+	return res, nil
+}
+
+func cutWord(s, word string) (rest string, ok bool) {
+	if !strings.HasPrefix(s, word) {
+		return "", false
+	}
+	rest = s[len(word):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// cutString unquotes the leading Go string literal of s and returns
+// its value plus the remainder.
+func cutString(s string) (value, rest string, err error) {
+	if s[0] == '`' {
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/lib")
+}

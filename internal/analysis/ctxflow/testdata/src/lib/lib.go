@@ -1,0 +1,62 @@
+// Package lib is a ctxflow fixture: a library package, so contexts
+// must flow in from callers rather than being minted or stored.
+package lib
+
+import "context"
+
+// mint is flagged: library code must not create its own root context.
+func mint() context.Context {
+	return context.Background() // want `context\.Background\(\) in library code`
+}
+
+// todo is flagged the same way: TODO is still a minted root.
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+// Route is clean: the convenience-wrapper idiom — a context-less
+// function forwarding straight into its context-taking variant.
+func Route(x int) int {
+	return RouteCtx(context.Background(), x)
+}
+
+// RouteCtx is the context-taking variant Route forwards to.
+func RouteCtx(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// Relay is flagged even though RelayCtx extends its name: Relay has a
+// context of its own it should have forwarded.
+func Relay(ctx context.Context, x int) int {
+	return RelayCtx(context.Background(), x) // want `context\.Background\(\) in library code`
+}
+
+// RelayCtx is Relay's context-taking variant.
+func RelayCtx(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// Lookup is flagged: resolve does not extend the name Lookup, so this
+// is not a wrapper forwarding to its own variant.
+func Lookup(x int) int {
+	return resolve(context.Background(), x) // want `context\.Background\(\) in library code`
+}
+
+func resolve(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// late is flagged: the context parameter must come first.
+func late(x int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = x
+	_ = ctx
+}
+
+// holder is flagged: a stored context outlives its cancellation scope.
+type holder struct {
+	ctx context.Context // want `context\.Context stored in a struct field`
+	n   int
+}

@@ -1,0 +1,104 @@
+// Package detachedctx guards the detached-work pattern the PR 6
+// review established: when a fan-out must survive its caller's
+// disconnect (a half-applied mutation batch would fork shard logs),
+// the code detaches with context.WithoutCancel — but detaching
+// without a deadline produces work nothing can ever stop, which was
+// the exact shape of the PR 6 fan-out bug.
+//
+// The analyzer flags every context.WithoutCancel call unless the
+// detached context visibly acquires a deadline:
+//
+//   - inline: context.WithTimeout(context.WithoutCancel(ctx), d),
+//   - or via assignment: ctx = context.WithoutCancel(ctx) followed,
+//     later in the same function, by context.WithTimeout(ctx, d) /
+//     WithDeadline deriving from that variable (the shape cluster
+//     Rebuild uses: unbounded staging, bounded commit).
+//
+// A detachment that is deliberately unbounded needs an entry in the
+// tracked suppression file explaining why nothing bounds it.
+package detachedctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"compactroute/internal/analysis"
+)
+
+// Analyzer is the detachedctx checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "detachedctx",
+	Doc:  "context.WithoutCancel must come with a deadline (WithTimeout/WithDeadline) bounding the detached work",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !analysis.IsPkgCall(pass.TypesInfo, call, "context", "WithoutCancel") {
+				return
+			}
+			if deadlineInline(pass, call, stack) || deadlineLater(pass, call, stack) {
+				return
+			}
+			pass.Reportf(call.Pos(), "context.WithoutCancel without an accompanying deadline: bound the detached work with context.WithTimeout/WithDeadline")
+		})
+	}
+	return nil
+}
+
+func isDeadlineCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsPkgCall(pass.TypesInfo, call, "context", "WithTimeout") ||
+		analysis.IsPkgCall(pass.TypesInfo, call, "context", "WithDeadline")
+}
+
+// deadlineInline accepts context.WithTimeout(context.WithoutCancel(ctx), d).
+func deadlineInline(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	parent, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || !isDeadlineCall(pass, parent) {
+		return false
+	}
+	return len(parent.Args) > 0 && parent.Args[0] == ast.Expr(call)
+}
+
+// deadlineLater accepts `dctx := context.WithoutCancel(ctx)` when the
+// same function later derives a deadline from dctx. "Later" is
+// positional: the deadline call must come after the detachment.
+func deadlineLater(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != ast.Expr(call) || len(assign.Lhs) != 1 {
+		return false
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	fn, _ := analysis.EnclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		later, ok := n.(*ast.CallExpr)
+		if !ok || later.Pos() < assign.End() || !isDeadlineCall(pass, later) || len(later.Args) == 0 {
+			return !found
+		}
+		if arg, ok := later.Args[0].(*ast.Ident); ok && usesObject(pass.TypesInfo, arg, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func usesObject(info *types.Info, id *ast.Ident, obj types.Object) bool {
+	return info.Uses[id] == obj || info.Defs[id] == obj
+}

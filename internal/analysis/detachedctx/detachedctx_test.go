@@ -1,0 +1,11 @@
+package detachedctx
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestDetachedCtx(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/detach")
+}

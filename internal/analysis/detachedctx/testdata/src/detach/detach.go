@@ -1,0 +1,32 @@
+// Package detach is a detachedctx fixture. Leak reproduces the PR 6
+// fan-out bug shape: work detached from its caller with nothing left
+// that can ever stop it.
+package detach
+
+import (
+	"context"
+	"time"
+)
+
+// Leak is flagged: the detached context never acquires a deadline, so
+// the goroutine it feeds is unstoppable.
+func Leak(ctx context.Context, work func(context.Context)) {
+	dctx := context.WithoutCancel(ctx) // want `context\.WithoutCancel without an accompanying deadline`
+	go work(dctx)
+}
+
+// Inline is clean: the deadline wraps the detachment directly.
+func Inline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+}
+
+// Later is clean: unbounded staging, bounded commit — the shape the
+// cluster rebuild path uses. The deadline derives from the detached
+// variable later in the same function.
+func Later(ctx context.Context, work func(context.Context)) {
+	dctx := context.WithoutCancel(ctx)
+	work(dctx)
+	cctx, cancel := context.WithTimeout(dctx, time.Second)
+	defer cancel()
+	work(cctx)
+}

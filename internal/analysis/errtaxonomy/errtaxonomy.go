@@ -1,0 +1,169 @@
+// Package errtaxonomy enforces the typed error taxonomy from PR 3:
+// every layer wraps the routeerr sentinels, so consumers must
+// classify with errors.Is — identity comparison breaks the moment an
+// error is wrapped, and text matching breaks the moment a message is
+// reworded.
+//
+// The analyzer flags, in non-test code:
+//
+//   - `==` / `!=` between two error values (nil comparisons stay
+//     legal), including `switch err { case ErrX: }` tags,
+//   - error-text matching: strings.Contains / HasPrefix / HasSuffix
+//     over err.Error(), and comparing err.Error() against a string,
+//   - in internal/server, a routeerr sentinel with no errors.Is case
+//     in the StatusFor HTTP status mapper: the taxonomy is only a
+//     taxonomy if the serving tier stays total over it, so adding a
+//     sentinel without deciding its status code is a lint failure.
+//
+// Matching sentinels by name (not object identity) is deliberate: the
+// facade re-exports each sentinel (compactroute.ErrUnknownName aliases
+// routeerr.ErrUnknownName), and both spellings must count as a case.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"compactroute/internal/analysis"
+)
+
+// Analyzer is the errtaxonomy checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "require errors.Is over ==/err.Error() matching; keep the StatusFor mapper total over routeerr sentinels",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkTextMatch(pass, n)
+			}
+			return true
+		})
+	}
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/server") {
+		checkMapperTotal(pass)
+	}
+	return nil
+}
+
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && !tv.IsNil() && analysis.IsErrorType(tv.Type)
+}
+
+// isErrorCall reports whether e is a call of the Error() string
+// method on an error value.
+func isErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorExpr(pass, sel.X)
+}
+
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isErrorExpr(pass, b.X) && isErrorExpr(pass, b.Y) {
+		pass.Reportf(b.OpPos, "error compared with %s: wrapped sentinels need errors.Is", b.Op)
+		return
+	}
+	if isErrorCall(pass, b.X) || isErrorCall(pass, b.Y) {
+		pass.Reportf(b.OpPos, "error classified by its text: compare with errors.Is against a sentinel, not err.Error()")
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isErrorExpr(pass, s.Tag) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		for _, e := range clause.List {
+			if isErrorExpr(pass, e) {
+				pass.Reportf(e.Pos(), "error compared with == (switch case): wrapped sentinels need errors.Is")
+			}
+		}
+	}
+}
+
+func checkTextMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, name := range []string{"Contains", "HasPrefix", "HasSuffix"} {
+		if !analysis.IsPkgCall(pass.TypesInfo, call, "strings", name) {
+			continue
+		}
+		for _, arg := range call.Args {
+			if isErrorCall(pass, arg) {
+				pass.Reportf(call.Pos(), "error classified by its text: use errors.Is against a sentinel, not strings.%s(err.Error(), …)", name)
+			}
+		}
+	}
+}
+
+// checkMapperTotal verifies every exported routeerr sentinel appears
+// in internal/server's StatusFor, so each sentinel has a deliberate
+// HTTP status. The sentinel package comes from the loaded program,
+// not the import graph: routeerr's exported surface is plain error
+// vars, so export data never references it and an import-graph walk
+// cannot see it. A run that does not include internal/routeerr
+// (narrow package patterns) checks nothing here.
+func checkMapperTotal(pass *analysis.Pass) {
+	var routeerr *types.Package
+	for _, p := range pass.Program {
+		if analysis.PathHasSuffix(p.ImportPath, "internal/routeerr") {
+			routeerr = p.Types
+		}
+	}
+	if routeerr == nil {
+		return // fixture or narrow run without the taxonomy: nothing to check
+	}
+	var sentinels []string
+	for _, name := range routeerr.Scope().Names() {
+		obj := routeerr.Scope().Lookup(name)
+		if v, ok := obj.(*types.Var); ok && v.Exported() &&
+			strings.HasPrefix(name, "Err") && analysis.IsErrorType(v.Type()) {
+			sentinels = append(sentinels, name)
+		}
+	}
+	var mapper *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "StatusFor" && fd.Recv == nil {
+				mapper = fd
+			}
+		}
+	}
+	if mapper == nil {
+		pass.Reportf(pass.Files[0].Name.Pos(), "internal/server defines no StatusFor mapper: the routeerr taxonomy has no HTTP story")
+		return
+	}
+	mentioned := map[string]bool{}
+	ast.Inspect(mapper.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && analysis.IsErrorType(v.Type()) {
+				mentioned[id.Name] = true
+			}
+		}
+		return true
+	})
+	for _, name := range sentinels {
+		if !mentioned[name] {
+			pass.Reportf(mapper.Name.Pos(), "routeerr sentinel %s has no case in StatusFor: decide its HTTP status explicitly", name)
+		}
+	}
+}

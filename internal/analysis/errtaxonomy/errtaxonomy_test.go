@@ -1,0 +1,23 @@
+package errtaxonomy
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestComparisons(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/cmp")
+}
+
+func TestMapperMissingSentinel(t *testing.T) {
+	analysistest.Run(t, Analyzer,
+		"testdata/src/internal/routeerr",
+		"testdata/src/flagged/internal/server")
+}
+
+func TestMapperTotal(t *testing.T) {
+	analysistest.Run(t, Analyzer,
+		"testdata/src/internal/routeerr",
+		"testdata/src/clean/internal/server")
+}

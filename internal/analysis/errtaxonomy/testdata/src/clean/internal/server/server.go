@@ -1,0 +1,20 @@
+// Package server is the clean half of the mapper-totality fixture:
+// every sentinel has a deliberate status.
+package server
+
+import (
+	"errors"
+
+	"compactroute/internal/analysis/errtaxonomy/testdata/src/internal/routeerr"
+)
+
+// StatusFor is total over the fixture taxonomy.
+func StatusFor(err error) int {
+	switch {
+	case errors.Is(err, routeerr.ErrLost):
+		return 500
+	case errors.Is(err, routeerr.ErrSaturated):
+		return 503
+	}
+	return 200
+}

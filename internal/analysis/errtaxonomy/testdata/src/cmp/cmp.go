@@ -1,0 +1,35 @@
+// Package cmp is an errtaxonomy fixture for the comparison checks:
+// identity comparison and text matching break under wrapping, so
+// classification must go through errors.Is.
+package cmp
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrGone is a sentinel callers receive wrapped.
+var ErrGone = errors.New("gone")
+
+// Classify is flagged four ways.
+func Classify(err error) int {
+	if err == ErrGone { // want `error compared with ==: wrapped sentinels need errors\.Is`
+		return 1
+	}
+	if err != nil && strings.Contains(err.Error(), "gone") { // want `error classified by its text: use errors\.Is against a sentinel, not strings\.Contains`
+		return 2
+	}
+	switch err {
+	case ErrGone: // want `error compared with == \(switch case\): wrapped sentinels need errors\.Is`
+		return 3
+	}
+	if err.Error() == "gone" { // want `error classified by its text: compare with errors\.Is against a sentinel, not err\.Error\(\)`
+		return 4
+	}
+	return 0
+}
+
+// Good is clean: nil checks stay legal, errors.Is classifies.
+func Good(err error) bool {
+	return err != nil && errors.Is(err, ErrGone)
+}

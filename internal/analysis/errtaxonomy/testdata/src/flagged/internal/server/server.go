@@ -1,0 +1,18 @@
+// Package server is the flagged half of the mapper-totality fixture:
+// StatusFor decided ErrLost but forgot ErrSaturated, which is exactly
+// the hole the analyzer exists to catch.
+package server
+
+import (
+	"errors"
+
+	"compactroute/internal/analysis/errtaxonomy/testdata/src/internal/routeerr"
+)
+
+// StatusFor maps taxonomy errors to HTTP statuses — incompletely.
+func StatusFor(err error) int { // want `routeerr sentinel ErrSaturated has no case in StatusFor`
+	if errors.Is(err, routeerr.ErrLost) {
+		return 500
+	}
+	return 200
+}

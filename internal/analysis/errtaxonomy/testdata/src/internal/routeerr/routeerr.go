@@ -1,0 +1,12 @@
+// Package routeerr is the taxonomy half of the mapper-totality
+// fixture: the sibling server fixtures must keep StatusFor total over
+// these sentinels.
+package routeerr
+
+import "errors"
+
+// The fixture taxonomy.
+var (
+	ErrLost      = errors.New("lost")
+	ErrSaturated = errors.New("saturated")
+)

@@ -1,0 +1,15 @@
+package mapdeterminism
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestScopedPackage(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/internal/codec")
+}
+
+func TestSnapshotHook(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/scheme")
+}

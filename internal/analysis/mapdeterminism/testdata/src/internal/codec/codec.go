@@ -1,0 +1,60 @@
+// Package codec is a mapdeterminism fixture: its import path ends in
+// internal/codec, so every file is on the byte-identical-output
+// contract and map iteration order must not be observable.
+package codec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Emit is flagged: iteration order reaches the output directly.
+func Emit(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map in a deterministic-output path`
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// Count is clean: a bare range cannot leak order.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Keys is clean: the canonical collect-then-sort idiom.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Positive is clean: the filtered variant — the guard may consult the
+// value, the body still only collects keys into a sorted set.
+func Positive(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Unsorted is flagged: the keys are collected but never sorted, so
+// the slice still carries iteration order.
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in a deterministic-output path`
+		keys = append(keys, k)
+	}
+	return keys
+}

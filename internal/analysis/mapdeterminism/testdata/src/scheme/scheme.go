@@ -1,0 +1,13 @@
+// Package scheme is a mapdeterminism fixture for the snapshot.go
+// hook rule: only the codec-export file is on the contract here.
+package scheme
+
+// Tally is clean: outside the scoped packages, files other than
+// snapshot.go may iterate maps freely.
+func Tally(m map[uint64]uint32) uint32 {
+	var sum uint32
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

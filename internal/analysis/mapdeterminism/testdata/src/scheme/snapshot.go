@@ -1,0 +1,11 @@
+package scheme
+
+// Export is flagged: snapshot.go files are codec-export hooks, on the
+// contract in every package regardless of import path.
+func Export(m map[uint64]uint32) []uint64 {
+	var out []uint64
+	for k := range m { // want `range over map in a deterministic-output path`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package rawrand
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestBuildPath(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/build")
+}
+
+func TestServingTierExempt(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src/internal/serve")
+}

@@ -1,0 +1,23 @@
+// Package build is a rawrand fixture: a construction path, so every
+// draw must come from an explicit seeded generator.
+package build
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Jitter is flagged for both APIs: the global source makes runs
+// unrepeatable.
+func Jitter() int {
+	a := rand.Intn(10)   // want `global math/rand\.Intn in a reproducibility path`
+	b := randv2.IntN(10) // want `global math/rand/v2\.IntN in a reproducibility path`
+	return a + b
+}
+
+// Seeded is clean: an explicitly seeded generator is exactly what
+// determinism wants.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}

@@ -1,0 +1,9 @@
+// Package serve is a rawrand fixture: its import path ends in
+// internal/serve, a serving-tier package where nondeterministic
+// jitter for backoff and probing is legitimate.
+package serve
+
+import "math/rand"
+
+// Backoff is clean here: the serving tier is out of scope.
+func Backoff() int { return rand.Intn(10) }

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// A Suppression silences diagnostics from one analyzer in one file.
+// It is the suite's only escape hatch, and it is deliberately noisy:
+// every entry lives in a tracked file, must carry a reason, and an
+// entry that stops matching anything fails the run so dead
+// suppressions cannot accumulate.
+type Suppression struct {
+	Analyzer   string
+	PathSuffix string         // slash-separated file path suffix, segment-aligned
+	Message    *regexp.Regexp // optional: only diagnostics matching this
+	Reason     string
+	Line       int // line in the suppression file, for error reporting
+	used       bool
+}
+
+// LoadSuppressions parses a suppression file. A missing file is an
+// empty suppression set, not an error. Each non-blank, non-comment
+// line reads:
+//
+//	<analyzer> <file-path-suffix> [message-regexp]  # reason
+//
+// The trailing "# reason" is mandatory: an unexplained suppression is
+// indistinguishable from a silenced bug.
+func LoadSuppressions(path string) ([]*Suppression, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var sups []*Suppression
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		rule, reason, ok := strings.Cut(trimmed, "#")
+		if !ok || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("%s:%d: suppression needs a '# reason' explaining it", path, i+1)
+		}
+		fields := strings.Fields(rule)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: want '<analyzer> <path-suffix> [message-regexp] # reason', got %q", path, i+1, trimmed)
+		}
+		s := &Suppression{
+			Analyzer:   fields[0],
+			PathSuffix: fields[1],
+			Reason:     strings.TrimSpace(reason),
+			Line:       i + 1,
+		}
+		if len(fields) == 3 {
+			re, err := regexp.Compile(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad message regexp: %v", path, i+1, err)
+			}
+			s.Message = re
+		}
+		sups = append(sups, s)
+	}
+	return sups, nil
+}
+
+func (s *Suppression) matches(d Diagnostic) bool {
+	if d.Analyzer != s.Analyzer {
+		return false
+	}
+	file := strings.ReplaceAll(d.Pos.Filename, string(os.PathSeparator), "/")
+	if !PathHasSuffix(file, s.PathSuffix) {
+		return false
+	}
+	return s.Message == nil || s.Message.MatchString(d.Message)
+}
+
+// ApplySuppressions filters diags through the suppression set,
+// returning the surviving diagnostics and any entries that matched
+// nothing (stale entries the caller should fail on).
+func ApplySuppressions(diags []Diagnostic, sups []*Suppression) (kept []Diagnostic, stale []*Suppression) {
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.matches(d) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			stale = append(stale, s)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "go/ast"
+
+// WithStack walks every node of f in depth-first order, calling fn
+// with the node and its ancestor chain (stack[0] is the file,
+// stack[len-1] is the node's parent). Analyzers use the stack to
+// answer structural questions plain ast.Inspect cannot — "is this
+// call an argument of that call", "which function encloses this
+// expression" — without maintaining their own bookkeeping.
+func WithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack, along with the declaration's name ("" for literals).
+func EnclosingFunc(stack []ast.Node) (node ast.Node, name string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn, ""
+		case *ast.FuncDecl:
+			return fn, fn.Name.Name
+		}
+	}
+	return nil, ""
+}

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,8 +54,11 @@ func (cfg Config) emit(w io.Writer, tb *stats.Table, notes ...string) error {
 	return nil
 }
 
-// Runner is one experiment.
-type Runner func(w io.Writer, cfg Config) error
+// Runner is one experiment. The context is honored between (and,
+// where the underlying paths support it, inside) measurement units,
+// so an interrupted benchmark run stops instead of finishing the
+// sweep: cmd/routebench hands every runner its signal context.
+type Runner func(ctx context.Context, w io.Writer, cfg Config) error
 
 // Experiments maps experiment ids to runners.
 var Experiments = map[string]Runner{
@@ -108,12 +112,15 @@ func IDs() []string {
 // RunAll executes every experiment in order. In JSON mode the stream
 // is pure JSON Lines (tables identify themselves by title); in text
 // mode each experiment gets a banner.
-func RunAll(w io.Writer, cfg Config) error {
+func RunAll(ctx context.Context, w io.Writer, cfg Config) error {
 	for _, id := range IDs() {
 		if !cfg.JSON {
 			fmt.Fprintf(w, "\n### experiment %s ###\n", id)
 		}
-		if err := Experiments[id](w, cfg); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("bench: %s: %w", id, err)
+		}
+		if err := Experiments[id](ctx, w, cfg); err != nil {
 			return fmt.Errorf("bench: %s: %w", id, err)
 		}
 	}

@@ -15,7 +15,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := Experiments[id](&buf, Config{Quick: true, Seed: 1}); err != nil {
+			if err := Experiments[id](t.Context(), &buf, Config{Quick: true, Seed: 1}); err != nil {
 				t.Fatalf("%s: %v", id, err)
 			}
 			out := buf.String()
@@ -35,7 +35,7 @@ func TestJSONOutput(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := Experiments[id](&buf, Config{Quick: true, Seed: 1, JSON: true}); err != nil {
+			if err := Experiments[id](t.Context(), &buf, Config{Quick: true, Seed: 1, JSON: true}); err != nil {
 				t.Fatalf("%s: %v", id, err)
 			}
 			dec := json.NewDecoder(&buf)

@@ -117,17 +117,17 @@ var b1Modes = []b1Mode{
 // streaming path is reported per size; the streamed schemes are
 // property-tested elsewhere to be identical to the materialized ones,
 // so B1 is purely a cost measurement.
-func RunB1(w io.Writer, cfg Config) error {
+func RunB1(ctx context.Context, w io.Writer, cfg Config) error {
 	sizes := []int{512, 1024, 2048}
 	if cfg.Quick {
 		sizes = []int{256}
 	}
-	return RunB1Sizes(w, cfg, sizes)
+	return RunB1Sizes(ctx, w, cfg, sizes)
 }
 
 // RunB1Sizes is RunB1 over explicit graph sizes (cmd/routebench
 // -bench b1 -n).
-func RunB1Sizes(w io.Writer, cfg Config, sizes []int) error {
+func RunB1Sizes(ctx context.Context, w io.Writer, cfg Config, sizes []int) error {
 	kinds := []string{schemes.KindLandmarkChain, schemes.KindFullTable}
 	workers := runtime.GOMAXPROCS(0)
 	tb := stats.NewTable("B1: build pipeline cost (streaming vs materialized APSP)",
@@ -145,7 +145,7 @@ func RunB1Sizes(w io.Writer, cfg Config, sizes []int) error {
 				bcfg := schemes.Config{Kind: kind, K: 3, Seed: cfg.Seed}
 				tracker := startPeakTracker(2 * time.Millisecond)
 				t0 := time.Now()
-				s, err := mode.build(context.Background(), g, bcfg, mode.workers)
+				s, err := mode.build(ctx, g, bcfg, mode.workers)
 				wall := time.Since(t0)
 				peak, known := tracker.Stop()
 				if err != nil {

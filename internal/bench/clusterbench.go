@@ -24,7 +24,7 @@ import (
 // the invariants the tier rests on: every shard serves the identical
 // final version, and no version skew was ever observed (a violation
 // fails the experiment, it is not a reported number).
-func RunS1(w io.Writer, cfg Config) error {
+func RunS1(ctx context.Context, w io.Writer, cfg Config) error {
 	shardCounts := []int{1, 2, 4}
 	n, queries, workers := 256, 4000, 8
 	batches, batch := 6, 8
@@ -36,7 +36,7 @@ func RunS1(w io.Writer, cfg Config) error {
 	tb := stats.NewTable("S1: sharded serving tier — throughput, latency, cut-over pause vs shard count",
 		"shards", "n", "queries", "qps", "p50", "p99", "cutovers", "max cutover pause", "pause<1s", "skew")
 	for _, sc := range shardCounts {
-		if err := runS1One(tb, cfg, sc, n, queries, workers, batches, batch); err != nil {
+		if err := runS1One(ctx, tb, cfg, sc, n, queries, workers, batches, batch); err != nil {
 			return err
 		}
 	}
@@ -48,7 +48,7 @@ func RunS1(w io.Writer, cfg Config) error {
 
 // runS1One boots one cluster of sc shards and runs the replay and
 // churn phases against its front-door.
-func runS1One(tb *stats.Table, cfg Config, sc, n, queries, workers, batches, batch int) error {
+func runS1One(ctx context.Context, tb *stats.Table, cfg Config, sc, n, queries, workers, batches, batch int) error {
 	var servers []*server.Server
 	var tss []*httptest.Server
 	defer func() {
@@ -68,7 +68,7 @@ func runS1One(tb *stats.Table, cfg Config, sc, n, queries, workers, batches, bat
 		if err != nil {
 			return fmt.Errorf("S1: shard %d: %w", i, err)
 		}
-		srv.Start()
+		srv.Start(ctx)
 		servers = append(servers, srv)
 		ts := httptest.NewServer(srv.Handler())
 		tss = append(tss, ts)
@@ -87,7 +87,6 @@ func runS1One(tb *stats.Table, cfg Config, sc, n, queries, workers, batches, bat
 
 	net := servers[0].Scheme().Network()
 	g := net.Graph()
-	ctx := context.Background()
 
 	// Phase 1: uniform replay through the front-door, one deterministic
 	// stream per worker.

@@ -28,7 +28,7 @@ import (
 // route bit-identically to a cold build of the final graph, the
 // correctness contract the whole subsystem rests on (an error here
 // fails the experiment, it is not a reported number).
-func RunD1(w io.Writer, cfg Config) error {
+func RunD1(ctx context.Context, w io.Writer, cfg Config) error {
 	n, rebuilds := 384, 3
 	kinds := []string{
 		schemes.KindPaper, schemes.KindFullTable, schemes.KindAPCover,
@@ -47,7 +47,7 @@ func RunD1(w io.Writer, cfg Config) error {
 		for _, churn := range churns {
 			g := gen.Gnp(cfg.Seed, n, 8/float64(n), gen.Uniform(1, 8))
 			scfg := schemes.Config{Kind: kind, K: 3, Seed: cfg.Seed, SFactor: 0.25}
-			top, err := dynamic.NewTopology(g, dynamic.TopologyOptions{Configs: []schemes.Config{scfg}})
+			top, err := dynamic.NewTopology(ctx, g, dynamic.TopologyOptions{Configs: []schemes.Config{scfg}})
 			if err != nil {
 				return fmt.Errorf("D1: %s: %w", kind, err)
 			}
@@ -82,10 +82,10 @@ func RunD1(w io.Writer, cfg Config) error {
 				// Staleness window: the topology has moved, the serving
 				// version has not. Sample stale answers against the true
 				// distances of the mutated graph.
-				if err := sampleStaleness(top, kind, batch, &stale); err != nil {
+				if err := sampleStaleness(ctx, top, kind, batch, &stale); err != nil {
 					return fmt.Errorf("D1: %s churn %d: %w", kind, churn, err)
 				}
-				v, _, err := top.Rebuild(context.Background())
+				v, _, err := top.Rebuild(ctx)
 				if err != nil {
 					return fmt.Errorf("D1: %s churn %d rebuild %d: %w", kind, churn, r, err)
 				}
@@ -96,12 +96,12 @@ func RunD1(w io.Writer, cfg Config) error {
 				for q := 0; q < 8; q++ {
 					src := gNow.Name(graph.NodeID(q % gNow.N()))
 					dst := gNow.Name(graph.NodeID((q*13 + 1) % gNow.N()))
-					if _, err := pool.Route(context.Background(), src, dst); err != nil {
+					if _, err := pool.Route(ctx, src, dst); err != nil {
 						return fmt.Errorf("D1: %s post-swap query: %w", kind, err)
 					}
 				}
 			}
-			identical, err := coldIdentical(top, kind, scfg)
+			identical, err := coldIdentical(ctx, top, kind, scfg)
 			if err != nil {
 				return fmt.Errorf("D1: %s churn %d: %w", kind, churn, err)
 			}
@@ -125,7 +125,7 @@ func RunD1(w io.Writer, cfg Config) error {
 // version and accumulates cost/d_new over the mutated graph's true
 // distances — the stretch clients experience between a topology change
 // and the swap that absorbs it.
-func sampleStaleness(top *dynamic.Topology, kind string, pending []dynamic.Mutation, acc *stats.Sample) error {
+func sampleStaleness(ctx context.Context, top *dynamic.Topology, kind string, pending []dynamic.Mutation, acc *stats.Sample) error {
 	cur := top.Current()
 	gOld := cur.Graph()
 	gNew, err := dynamic.Replay(gOld, pending)
@@ -148,7 +148,7 @@ func sampleStaleness(top *dynamic.Topology, kind string, pending []dynamic.Mutat
 			if !ok {
 				continue
 			}
-			res, err := cur.Route(context.Background(), kind, gOld.Name(srcOld), gOld.Name(dstOld))
+			res, err := cur.Route(ctx, kind, gOld.Name(srcOld), gOld.Name(dstOld))
 			if err != nil {
 				return err
 			}
@@ -165,7 +165,7 @@ func sampleStaleness(top *dynamic.Topology, kind string, pending []dynamic.Mutat
 // coldIdentical verifies the serving version routes bit-identically
 // (delivery, cost, hops, header bits) to a scheme built cold over the
 // final graph with the same config.
-func coldIdentical(top *dynamic.Topology, kind string, scfg schemes.Config) (bool, error) {
+func coldIdentical(ctx context.Context, top *dynamic.Topology, kind string, scfg schemes.Config) (bool, error) {
 	v := top.Current()
 	g := v.Graph()
 	cold, err := schemes.Build(g, sssp.AllPairsParallel(g, 0), scfg)
@@ -177,11 +177,11 @@ func coldIdentical(top *dynamic.Topology, kind string, scfg schemes.Config) (boo
 		for d := 0; d < g.N(); d += 13 {
 			src := graph.NodeID(s)
 			dstName := g.Name(graph.NodeID(d))
-			hot, err := v.Route(context.Background(), kind, g.Name(src), dstName)
+			hot, err := v.Route(ctx, kind, g.Name(src), dstName)
 			if err != nil {
 				return false, err
 			}
-			want, err := eng.RouteCtx(context.Background(), cold, src, dstName)
+			want, err := eng.RouteCtx(ctx, cold, src, dstName)
 			if err != nil {
 				return false, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -22,7 +23,7 @@ import (
 
 // RunT1 reproduces the Theorem 1 trade-off: per-node table bits fall
 // like Õ(n^{1/k}) while stretch grows linearly in k.
-func RunT1(w io.Writer, cfg Config) error {
+func RunT1(ctx context.Context, w io.Writer, cfg Config) error {
 	n, stride := 512, 8
 	ks := []int{2, 3, 4, 5}
 	if cfg.Quick {
@@ -61,7 +62,7 @@ func RunT1(w io.Writer, cfg Config) error {
 // RunT2 reproduces the scale-free headline: the scheme's tables stay
 // flat as the aspect ratio explodes, while the Awerbuch–Peleg-style
 // hierarchy grows with log Δ.
-func RunT2(w io.Writer, cfg Config) error {
+func RunT2(ctx context.Context, w io.Writer, cfg Config) error {
 	depth, k := 5, 2
 	exps := []int{8, 16, 24, 32, 40}
 	if cfg.Quick {
@@ -99,7 +100,7 @@ func RunT2(w io.Writer, cfg Config) error {
 // RunT3 reproduces the §1 comparison: linear stretch at Õ(n^{1/k})
 // space vs the scale-free landmark-chain family (unbounded stretch)
 // and the labeled TZ scheme.
-func RunT3(w io.Writer, cfg Config) error {
+func RunT3(ctx context.Context, w io.Writer, cfg Config) error {
 	n, stride := 256, 4
 	ks := []int{2, 3, 4}
 	if cfg.Quick {
@@ -185,7 +186,7 @@ func isqrt(n int) int { return int(math.Sqrt(float64(n))) }
 
 // RunF1 reproduces Figure 1 / Lemma 2: the dense-neighborhood
 // property holds on every (u, dense i, v ∈ F(u,i)) triple.
-func RunF1(w io.Writer, cfg Config) error {
+func RunF1(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 256, 3
 	if cfg.Quick {
 		n = 96
@@ -216,7 +217,7 @@ func RunF1(w io.Writer, cfg Config) error {
 
 // RunF2 reproduces Figure 2 / Lemma 3: the sparse-neighborhood
 // property, measured with the paper's constants.
-func RunF2(w io.Writer, cfg Config) error {
+func RunF2(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 256, 3
 	if cfg.Quick {
 		n = 96
@@ -245,7 +246,7 @@ func RunF2(w io.Writer, cfg Config) error {
 
 // RunT4 reproduces Lemma 4: j-bounded search stretch ≤ 2j−1, negative
 // cost within bound, storage Õ(k·n^{1/k}).
-func RunT4(w io.Writer, cfg Config) error {
+func RunT4(ctx context.Context, w io.Writer, cfg Config) error {
 	n := 400
 	if cfg.Quick {
 		n = 120
@@ -317,7 +318,7 @@ func pathCost(g *graph.Graph, path []graph.NodeID) float64 {
 
 // RunT5 reproduces Lemma 6: the four cover properties across families
 // and radii.
-func RunT5(w io.Writer, cfg Config) error {
+func RunT5(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 256, 3
 	if cfg.Quick {
 		n = 96
@@ -345,7 +346,7 @@ func RunT5(w io.Writer, cfg Config) error {
 
 // RunT6 reproduces Lemma 7: lookups on cover trees stay within
 // 4·rad(T) + 2k·maxE(T), including misses.
-func RunT6(w io.Writer, cfg Config) error {
+func RunT6(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 200, 2
 	if cfg.Quick {
 		n = 80
@@ -400,7 +401,7 @@ func RunT6(w io.Writer, cfg Config) error {
 }
 
 // RunT7 reproduces Claims 1 and 2: landmark hitting and congestion.
-func RunT7(w io.Writer, cfg Config) error {
+func RunT7(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 256, 3
 	if cfg.Quick {
 		n = 96
@@ -448,7 +449,7 @@ var t8Ks = map[string][]int{
 // space and stretch for every scheme kind in the registry — the table
 // enumerates schemes.Kinds() rather than a hard-coded constructor
 // list, so a newly registered kind shows up without touching T8.
-func RunT8(w io.Writer, cfg Config) error {
+func RunT8(ctx context.Context, w io.Writer, cfg Config) error {
 	n, stride := 256, 2
 	if cfg.Quick {
 		n, stride = 96, 2
@@ -485,7 +486,7 @@ func RunT8(w io.Writer, cfg Config) error {
 
 // RunT9 reproduces the §1.2 ablation: why the decomposition needs both
 // the dense and the sparse strategy.
-func RunT9(w io.Writer, cfg Config) error {
+func RunT9(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k, stride := 200, 3, 2
 	if cfg.Quick {
 		n = 80
@@ -524,7 +525,7 @@ func RunT9(w io.Writer, cfg Config) error {
 // RunT10 reproduces Lemmas 9/11: per-phase search costs stay within
 // O(k·2^{a(u,i)}) for failures and O(k·(d(u,v)+2^{a(u,i)})) for the
 // finding phase.
-func RunT10(w io.Writer, cfg Config) error {
+func RunT10(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k := 256, 3
 	if cfg.Quick {
 		n = 96

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -18,7 +19,7 @@ import (
 // harness's own hot path. The runner also re-verifies the contract
 // that makes the fan-out safe to rely on everywhere: both sweeps must
 // produce the identical distribution.
-func RunP1(w io.Writer, cfg Config) error {
+func RunP1(ctx context.Context, w io.Writer, cfg Config) error {
 	n, k, stride := 2000, 4, 4
 	if cfg.Quick {
 		n, k, stride = 256, 3, 2

@@ -60,7 +60,7 @@ func bootCluster(t *testing.T, nShards, n int, healthEvery time.Duration) (*Clus
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv.Start()
+		srv.Start(t.Context())
 		t.Cleanup(srv.Close)
 		wraps[i] = &flaky{h: srv.Handler()}
 		ts := httptest.NewServer(wraps[i])
@@ -377,7 +377,7 @@ func TestRebuildAllCommitsFailIsAnError(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv.Start()
+		srv.Start(t.Context())
 		t.Cleanup(srv.Close)
 		ts := httptest.NewServer(&swapKiller{h: srv.Handler()})
 		t.Cleanup(ts.Close)

@@ -604,6 +604,11 @@ func (d *dec) count() (int, error) {
 	if v > maxCount {
 		return 0, fmt.Errorf("count %d exceeds limit", v)
 	}
+	// Every counted element costs at least one byte, so a count beyond
+	// the remaining input is corrupt: reject it before allocating.
+	if int64(v) > int64(len(d.r)) {
+		return 0, io.ErrUnexpectedEOF
+	}
 	return int(v), nil
 }
 

@@ -1,0 +1,46 @@
+package codec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodePayload feeds arbitrary bytes to the stream decoder,
+// seeded with both golden format versions. Inputs the decoder rejects
+// only need to fail cleanly (no panic, no runaway allocation — that is
+// what maxCount and the section framing are for); inputs it accepts
+// must round-trip canonically: re-encoding the decoded payload and
+// decoding that must reproduce the exact same bytes, the
+// byte-identical-output contract the persistence layer rests on.
+func FuzzDecodePayload(f *testing.F) {
+	for _, name := range []string{"golden_v1.crsc", "golden_v2.crsc"} {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := EncodePayload(&enc1, p); err != nil {
+			t.Fatalf("decoded payload failed to re-encode: %v", err)
+		}
+		p2, err := DecodePayload(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := EncodePayload(&enc2, p2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("encode∘decode is not a fixed point: the codec is not canonical")
+		}
+	})
+}

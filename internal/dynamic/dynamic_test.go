@@ -279,7 +279,7 @@ func testTopology(t *testing.T, g *graph.Graph, kinds ...string) *Topology {
 	for i, k := range kinds {
 		cfgs[i] = schemes.Config{Kind: k, K: 2, Seed: 1}
 	}
-	tp, err := NewTopology(g, TopologyOptions{Configs: cfgs})
+	tp, err := NewTopology(context.Background(), g, TopologyOptions{Configs: cfgs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestTopologyPreSwapFailureKeepsServing(t *testing.T) {
 	fail := false
 	cfgs := []schemes.Config{{Kind: schemes.KindFullTable, K: 2, Seed: 1}}
 	boom := errors.New("boom")
-	tp, err := NewTopology(g, TopologyOptions{Configs: cfgs, PreSwap: func(v *Version) error {
+	tp, err := NewTopology(context.Background(), g, TopologyOptions{Configs: cfgs, PreSwap: func(v *Version) error {
 		if fail {
 			return boom
 		}

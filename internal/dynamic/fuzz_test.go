@@ -1,0 +1,49 @@
+package dynamic
+
+import (
+	"bytes"
+	"testing"
+
+	"compactroute/internal/gen"
+)
+
+// FuzzReadTrace feeds arbitrary text to the mutation-trace parser,
+// seeded with a generated trace and a tiny handwritten one. Rejected
+// inputs only need to fail cleanly; accepted inputs must round-trip
+// canonically — re-emitting the parsed mutations and parsing that must
+// reproduce the same bytes, so a trace replays identically no matter
+// how many write/read cycles it has been through.
+func FuzzReadTrace(f *testing.F) {
+	g := gen.Gnp(1, 32, 0.2, gen.Uniform(1, 8))
+	muts, err := GenerateTrace(g, 24, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := WriteTrace(&seed, muts); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("# comment\nmut 1\naddedge 1 2 3.5\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		muts, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := WriteTrace(&w1, muts); err != nil {
+			t.Fatalf("parsed trace failed to re-emit: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-emitted trace failed to parse: %v", err)
+		}
+		var w2 bytes.Buffer
+		if err := WriteTrace(&w2, again); err != nil {
+			t.Fatalf("second re-emit failed: %v", err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatal("write∘read is not a fixed point: the trace format is not canonical")
+		}
+	})
+}

@@ -110,9 +110,11 @@ type Topology struct {
 	staged    *Version   // built but not yet committed (guarded by rebuildMu)
 }
 
-// NewTopology seals g as version 0, builds its schemes synchronously,
-// and starts the mutation log.
-func NewTopology(g *graph.Graph, opts TopologyOptions) (*Topology, error) {
+// NewTopology seals g as version 0, builds its schemes synchronously
+// in the calling goroutine, and starts the mutation log. The context
+// cancels the version-0 build (builds at scale take seconds to
+// minutes; construction should not outlive its caller).
+func NewTopology(ctx context.Context, g *graph.Graph, opts TopologyOptions) (*Topology, error) {
 	if len(opts.Configs) == 0 {
 		return nil, fmt.Errorf("dynamic: NewTopology needs at least one scheme config")
 	}
@@ -124,7 +126,7 @@ func NewTopology(g *graph.Graph, opts TopologyOptions) (*Topology, error) {
 		seen[cfg.Kind] = true
 	}
 	t := &Topology{opts: opts, log: NewLog(g)}
-	v0, err := t.build(context.Background(), g, 0, 0, 0, 0)
+	v0, err := t.build(ctx, g, 0, 0, 0, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func buildDynamic(t *testing.T, kind string, n int, rebuildAfter int) (*Server, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.Start()
+	srv.Start(t.Context())
 	t.Cleanup(srv.Close)
 	// The base version's network — the starting point for replays.
 	return srv, srv.Scheme().Network()

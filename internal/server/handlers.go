@@ -95,25 +95,41 @@ type ResolveResponse struct {
 }
 
 // StatusFor maps an error onto an HTTP status through the typed
-// taxonomy — errors.Is on the sentinels, never error text:
+// taxonomy — errors.Is on the sentinels, never error text. The crlint
+// errtaxonomy analyzer keeps this mapper total over the routeerr
+// sentinels: adding a sentinel without deciding its status here fails
+// the lint.
 //
-//	422  the caller named a node that does not exist
+//	422  the caller named a thing that does not exist: a node, a
+//	     label, or a scheme kind (ErrUnknownName, ErrUnknownLabel,
+//	     ErrUnknownKind)
 //	503  saturation or cancellation: retryable back-pressure
-//	409  mutating a static scheme, or a coordinated-swap version
-//	     mismatch (ErrStatic, compactroute.ErrVersionSkew)
-//	500  anything else would be a scheme invariant violation
+//	409  the serving state cannot do this: mutating a static scheme,
+//	     a coordinated-swap version mismatch, saving a kind with no
+//	     persistent form, an operation needing an absent metric
+//	     (ErrStatic, compactroute.ErrVersionSkew, ErrNotPersistable,
+//	     ErrNoMetric)
+//	500  a scheme invariant violation: a mandatory-delivery route
+//	     that did not deliver (ErrNotDelivered), or anything unmapped
 func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, compactroute.ErrUnknownName),
-		errors.Is(err, compactroute.ErrUnknownLabel):
+		errors.Is(err, compactroute.ErrUnknownLabel),
+		errors.Is(err, compactroute.ErrUnknownKind):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, compactroute.ErrSaturated),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrStatic),
-		errors.Is(err, compactroute.ErrVersionSkew):
+		errors.Is(err, compactroute.ErrVersionSkew),
+		errors.Is(err, compactroute.ErrNotPersistable),
+		errors.Is(err, compactroute.ErrNoMetric):
 		return http.StatusConflict
+	case errors.Is(err, compactroute.ErrNotDelivered):
+		// Explicitly 500: delivery was mandatory and the scheme failed
+		// its own guarantee. Listed so the mapper stays total.
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}

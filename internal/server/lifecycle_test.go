@@ -105,7 +105,7 @@ func TestCloseLeaksNoGoroutines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv.Start()
+		srv.Start(t.Context())
 		// Exercise the loop once so the test covers a worker that has
 		// actually run, not only an idle one.
 		g := srv.Scheme().Network().Graph()

@@ -128,6 +128,7 @@ type Server struct {
 	closed     sync.Once
 	done       chan struct{}
 	loopDone   chan struct{}
+	loopCancel context.CancelFunc // set by Start, called by Close
 
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -298,22 +299,36 @@ func (s *Server) Scheme() *compactroute.Scheme { return s.currentScheme() }
 // no-op otherwise, and idempotent). The async POST /v1/rebuild flow
 // and the RebuildAfter auto-trigger are queued onto this worker, so a
 // dynamic Server that skips Start answers 202 without ever rebuilding.
-func (s *Server) Start() {
+//
+// The worker lives until ctx is canceled or Close is called,
+// whichever comes first — the owner's lifecycle context (routed hands
+// in its signal context) is what lets shutdown abort an in-flight
+// rebuild instead of waiting out a long build.
+func (s *Server) Start(ctx context.Context) {
 	s.started.Do(func() {
 		if s.dyn == nil {
 			close(s.loopDone)
 			return
 		}
-		go s.rebuildLoop()
+		ctx, cancel := context.WithCancel(ctx)
+		s.loopCancel = cancel
+		go s.rebuildLoop(ctx)
 	})
 }
 
-// Close stops the background rebuild worker and waits for it to exit.
-// It does not wait for in-flight HTTP requests (Drain does) and is
-// safe to call more than once, with or without Start.
+// Close stops the background rebuild worker — canceling a rebuild in
+// flight — and waits for it to exit. It does not wait for in-flight
+// HTTP requests (Drain does) and is safe to call more than once, with
+// or without Start.
 func (s *Server) Close() {
 	s.closed.Do(func() { close(s.done) })
-	s.Start() // ensure loopDone has an owner even when Start was never called
+	// Ensure loopDone has an owner even when Start was never called;
+	// when it was, this Do is a no-op and loopCancel is visible (the
+	// Once is the memory barrier).
+	s.started.Do(func() { close(s.loopDone) })
+	if s.loopCancel != nil {
+		s.loopCancel()
+	}
 	<-s.loopDone
 }
 
@@ -443,17 +458,21 @@ func (s *Server) Stats() Stats {
 // rebuildLoop is the background rebuild goroutine: triggers arrive
 // from POST /v1/rebuild (with an optional reply channel for ?wait=1)
 // and from the RebuildAfter auto-trigger; rebuilds run one at a time
-// off the serving path.
-func (s *Server) rebuildLoop() {
+// off the serving path. ctx is the worker's lifecycle (canceled by
+// Close or the owner's context): it aborts an in-flight rebuild so
+// shutdown never waits out a long build.
+func (s *Server) rebuildLoop(ctx context.Context) {
 	defer close(s.loopDone)
 	for {
 		select {
 		case <-s.done:
 			return
+		case <-ctx.Done():
+			return
 		case reply := <-s.rebuildReq:
 			before := s.dyn.Version().ID
 			t0 := time.Now()
-			v, err := s.dyn.Rebuild(context.Background())
+			v, err := s.dyn.Rebuild(ctx)
 			switch {
 			case err != nil:
 				s.logf("server: rebuild failed (old version keeps serving): %v", err)
