@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint crlint staticcheck docs vuln bench benchjson fuzz smoke ci
+.PHONY: build test race lint fmtcheck vet crlint lint-api lint-budget staticcheck docs vuln bench benchjson fuzz smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,20 +19,36 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-lint:
+# lint is the umbrella; each sub-check is its own target so nothing
+# runs twice when both `make lint` and a single check are invoked.
+lint: fmtcheck vet crlint
+
+fmtcheck:
 	@fmt_out=$$(gofmt -l . examples cmd internal); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
+
+vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/crlint ./...
 
 # The repository's own analyzer suite (internal/analysis, DESIGN.md
-# §9): determinism, context-flow, error-taxonomy, seeded-randomness,
-# and detached-context contracts. Suppressions live in
-# lint/crlint.suppress and must carry a reason.
+# §9), nine analyzers: map-order determinism, ctx-first flow, error
+# taxonomy, seeded randomness, detached-context deadlines, lock
+# discipline, goroutine lifecycles, hot-path escape budgets, and the
+# locked public API surface. Escape hatches are lint/crlint.suppress
+# and inline //crlint:ignore directives; both need a reason and go
+# stale loudly.
 crlint:
 	$(GO) run ./cmd/crlint ./...
+
+# Regenerate the tracked lint sidecars after an *intentional* change
+# to a hot path's allocations or to the public API surface.
+lint-budget:
+	$(GO) run ./cmd/crlint -write-budget ./...
+
+lint-api:
+	$(GO) run ./cmd/crlint -write-api ./...
 
 # Staticcheck, pinned so every run means the same thing. Like vuln it
 # downloads the tool, so it is not in the local ci chain; the pipeline

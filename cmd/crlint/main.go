@@ -4,74 +4,187 @@
 // deterministic iteration in codec/replay paths (mapdeterminism),
 // ctx-first cancellation flow (ctxflow), errors.Is over the routeerr
 // taxonomy with a total HTTP status mapper (errtaxonomy), seeded
-// randomness in build/workload paths (rawrand), and deadline-bounded
-// detached fan-outs (detachedctx).
+// randomness in build/workload paths (rawrand), deadline-bounded
+// detached fan-outs (detachedctx), lock discipline in the serving
+// tier (locksafe), lifecycle-tied goroutines (goroleak), tracked
+// heap-escape budgets on hot paths (hotalloc), and a locked public
+// API surface (apilock).
 //
 // Usage:
 //
-//	go run ./cmd/crlint [-suppress file] [packages...]
+//	go run ./cmd/crlint [flags] [packages...]
 //
 // Packages default to ./... . Diagnostics print as file:line:col:
-// message (analyzer) and any finding exits non-zero, so `make lint`
-// and CI fail on violations. The only escape hatch is the tracked
-// suppression file (default lint/crlint.suppress); entries must carry
-// a reason and stale entries fail the run.
+// message (analyzer) — or as GitHub workflow annotations with
+// -format=github — and any finding exits 1, so `make lint` and CI
+// fail on violations. Load or configuration problems (bad patterns,
+// malformed suppression file or directive) exit 2; a clean run exits
+// 0. That contract is pinned by TestExitContract.
+//
+// Two escape hatches exist, both tracked and both reason-bearing: the
+// suppression file (default lint/crlint.suppress) and inline
+// //crlint:ignore directives. Entries of either kind that match
+// nothing fail the run as stale.
+//
+// The tracked sidecar files of hotalloc and apilock regenerate only
+// through explicit flags:
+//
+//	go run ./cmd/crlint -write-budget ./...   # lint/hotpath.budget
+//	go run ./cmd/crlint -write-api ./...      # lint/api.txt
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"compactroute/internal/analysis"
+	"compactroute/internal/analysis/apilock"
 	"compactroute/internal/analysis/ctxflow"
 	"compactroute/internal/analysis/detachedctx"
 	"compactroute/internal/analysis/errtaxonomy"
+	"compactroute/internal/analysis/goroleak"
+	"compactroute/internal/analysis/hotalloc"
+	"compactroute/internal/analysis/locksafe"
 	"compactroute/internal/analysis/mapdeterminism"
 	"compactroute/internal/analysis/rawrand"
 )
 
-func main() {
-	suppressPath := flag.String("suppress", "lint/crlint.suppress", "tracked suppression file (missing file = no suppressions)")
-	flag.Parse()
+// analyzers is the full suite, in registration order (output order is
+// positional regardless).
+var analyzers = []*analysis.Analyzer{
+	apilock.Analyzer,
+	ctxflow.Analyzer,
+	detachedctx.Analyzer,
+	errtaxonomy.Analyzer,
+	goroleak.Analyzer,
+	hotalloc.Analyzer,
+	locksafe.Analyzer,
+	mapdeterminism.Analyzer,
+	rawrand.Analyzer,
+}
 
-	patterns := flag.Args()
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command: exit 0 clean, 1 diagnostics or stale
+// suppressions, 2 load/config errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	suppressPath := fs.String("suppress", "lint/crlint.suppress", "tracked suppression file (missing file = no suppressions)")
+	format := fs.String("format", "text", "diagnostic format: text, or github for workflow annotations")
+	writeBudget := fs.Bool("write-budget", false, "regenerate the hotpath escape budget and exit")
+	writeAPI := fs.Bool("write-api", false, "regenerate the locked API surface file and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(stderr, "crlint: unknown -format %q (want text or github)\n", *format)
+		return 2
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-
-	analyzers := []*analysis.Analyzer{
-		ctxflow.Analyzer,
-		detachedctx.Analyzer,
-		errtaxonomy.Analyzer,
-		mapdeterminism.Analyzer,
-		rawrand.Analyzer,
-	}
-
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
 	}
+
+	if *writeBudget || *writeAPI {
+		if *writeBudget {
+			entries, err := hotalloc.Measure(pkgs)
+			if err != nil {
+				fmt.Fprintf(stderr, "crlint: %v\n", err)
+				return 2
+			}
+			if err := hotalloc.WriteBudget(hotalloc.BudgetPath, entries); err != nil {
+				fmt.Fprintf(stderr, "crlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "crlint: wrote %s (%d hotpath functions)\n", hotalloc.BudgetPath, len(entries))
+		}
+		if *writeAPI {
+			if err := apilock.WriteAPI(apilock.APIPath, pkgs); err != nil {
+				fmt.Fprintf(stderr, "crlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "crlint: wrote %s\n", apilock.APIPath)
+		}
+		return 0
+	}
+
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
+	}
+	igns, err := analysis.ParseIgnores(pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
 	}
 	sups, err := analysis.LoadSuppressions(*suppressPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "crlint: %v\n", err)
+		return 2
 	}
-	kept, stale := analysis.ApplySuppressions(diags, sups)
-	for _, s := range stale {
-		fmt.Fprintf(os.Stderr, "crlint: %s:%d: stale suppression (%s %s): nothing matches it — delete it\n",
-			*suppressPath, s.Line, s.Analyzer, s.PathSuffix)
+	// Inline directives apply first (they sit next to the code), the
+	// tracked file second; a diagnostic both cover counts only for the
+	// directive, and the file entry goes stale.
+	kept, staleIgn := analysis.ApplyIgnores(diags, igns)
+	kept, staleSup := analysis.ApplySuppressions(kept, sups)
+
+	emit := func(file string, line, col int, msg string) {
+		if *format == "github" {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s\n", relPath(file), line, col, githubEscape(msg))
+		} else {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s\n", file, line, col, msg)
+		}
 	}
 	for _, d := range kept {
-		fmt.Println(d)
+		emit(d.Pos.Filename, d.Pos.Line, d.Pos.Column, fmt.Sprintf("%s (%s)", d.Message, d.Analyzer))
 	}
-	if len(kept) > 0 || len(stale) > 0 {
-		os.Exit(1)
+	for _, ig := range staleIgn {
+		emit(ig.Pos.Filename, ig.Pos.Line, 1,
+			fmt.Sprintf("stale //crlint:ignore %s: nothing matches it — delete it (crlint)", ig.Analyzer))
 	}
+	for _, s := range staleSup {
+		emit(*suppressPath, s.Line, 1,
+			fmt.Sprintf("stale suppression (%s %s): nothing matches it — delete it (crlint)", s.Analyzer, s.PathSuffix))
+	}
+	if len(kept) > 0 || len(staleIgn) > 0 || len(staleSup) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath makes file repo-relative for GitHub annotations, which
+// resolve paths against the workspace root.
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// githubEscape encodes the characters the workflow-command parser
+// reserves.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

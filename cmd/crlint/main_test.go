@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitContract pins the command's exit codes — 0 clean, 1
+// diagnostics or stale suppressions, 2 load/config errors — and the
+// two output formats, via fixtures under testdata/.
+func TestExitContract(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		out  string // required substring of stdout, "" = none
+	}{
+		{"clean", []string{"./testdata/src/clean"}, 0, ""},
+		{"flagged", []string{"./testdata/src/flagged"}, 1, "(ctxflow)"},
+		{"inline ignore", []string{"./testdata/src/ignored"}, 0, ""},
+		{"suppressed", []string{"-suppress", "testdata/covering.suppress", "./testdata/src/flagged"}, 0, ""},
+		{"stale suppression", []string{"-suppress", "testdata/stale.suppress", "./testdata/src/clean"}, 1, "stale suppression"},
+		{"github format", []string{"-format", "github", "./testdata/src/flagged"}, 1, "::error file=testdata/src/flagged/flagged.go,line="},
+		{"bad package pattern", []string{"./testdata/src/nonexistent"}, 2, ""},
+		{"malformed suppress file", []string{"-suppress", "testdata/bad.suppress", "./testdata/src/clean"}, 2, ""},
+		{"unknown format", []string{"-format", "yaml", "./testdata/src/clean"}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.exit, stdout.String(), stderr.String())
+			}
+			if tc.out != "" && !strings.Contains(stdout.String(), tc.out) {
+				t.Errorf("stdout missing %q:\n%s", tc.out, stdout.String())
+			}
+			if tc.exit == 0 && stdout.Len() > 0 {
+				t.Errorf("clean run should print nothing, got:\n%s", stdout.String())
+			}
+			if tc.exit == 2 && stderr.Len() == 0 {
+				t.Errorf("config error should explain itself on stderr")
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+// Package clean is the exit-contract fixture that trips none of the
+// nine analyzers: no contexts, no locks, no goroutines, no maps, no
+// randomness, no exported surface anyone locked.
+package clean
+
+// Add is deliberately boring.
+func Add(a, b int) int { return a + b }

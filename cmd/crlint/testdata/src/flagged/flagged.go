@@ -1,0 +1,10 @@
+// Package flagged is the exit-contract fixture with exactly one
+// violation: minting context.Background in library code (ctxflow).
+package flagged
+
+import "context"
+
+// Mint mints a root context, which library code must not do.
+func Mint() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,13 @@
+// Package ignored pins the inline-directive wiring through the
+// command: the same violation as the flagged fixture, acknowledged in
+// place, lints clean.
+package ignored
+
+import "context"
+
+// Mint would flag, but the directive on the line above the call
+// covers it.
+func Mint() context.Context {
+	//crlint:ignore ctxflow exit-contract fixture for the inline-ignore path
+	return context.Background()
+}

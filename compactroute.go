@@ -350,6 +350,8 @@ func (s *Scheme) Route(src, dst NodeID) (Result, error) {
 // RouteCtx is Route honoring cancellation: the context threads into
 // the hop loop, so canceling it aborts a long route promptly with a
 // wrapped context.Canceled (or DeadlineExceeded).
+//
+//crlint:hotpath
 func (s *Scheme) RouteCtx(ctx context.Context, src, dst NodeID) (Result, error) {
 	if int(src) >= s.net.N() || int(dst) >= s.net.N() || src < 0 || dst < 0 {
 		return Result{}, fmt.Errorf("compactroute: invalid endpoint %d→%d", src, dst)
@@ -378,6 +380,8 @@ func (s *Scheme) RouteByName(srcName, dstName uint64) (Result, error) {
 // source name errors with a wrapped ErrUnknownName; an unknown
 // destination is searched for and reported as Delivered == false
 // (that asymmetry is the name-independent model).
+//
+//crlint:hotpath
 func (s *Scheme) RouteByNameCtx(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	src, ok := s.net.g.Lookup(srcName)
 	if !ok {

@@ -70,6 +70,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAt records a diagnostic at an already-resolved position — for
+// findings anchored in tracked sidecar files (an escape budget, an
+// API lock file) rather than in Go source.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // A Diagnostic is one reported violation, addressed by resolved file
 // position so output ordering and suppression matching are stable
 // across runs.

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -71,5 +73,95 @@ rawrand internal/gen/gen.go  # never matches anything
 	}
 	if len(stale) != 1 || stale[0].Analyzer != "rawrand" {
 		t.Errorf("stale = %v, want only the rawrand entry", stale)
+	}
+}
+
+func TestApplySuppressionsDirectoryEntry(t *testing.T) {
+	path := writeSuppressFile(t, `
+locksafe internal/cluster/ held  # coordination locks are held across shard RPCs by design
+locksafe internal/dynamic/  # never matches: stale detection stays exact per entry
+`)
+	sups, err := LoadSuppressions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/internal/cluster/cluster.go", Line: 4}, Message: "lock c.muteMu held across RPC call"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/internal/cluster/handlers.go", Line: 9}, Message: "lock c.gate held across user callback"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/internal/cluster/cluster.go", Line: 12}, Message: "lock c.gate not released on all paths"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/internal/clusterx/x.go", Line: 2}, Message: "lock m held across RPC call"},
+	}
+	kept, stale := ApplySuppressions(diags, sups)
+	if len(kept) != 2 {
+		t.Fatalf("kept = %v, want the not-released and clusterx diagnostics to survive", kept)
+	}
+	if kept[0].Message != "lock c.gate not released on all paths" || kept[1].Pos.Filename != "/repo/internal/clusterx/x.go" {
+		t.Errorf("kept = %v: directory entries must stay segment-aligned and honor the message regexp", kept)
+	}
+	if len(stale) != 1 || stale[0].PathSuffix != "internal/dynamic/" {
+		t.Errorf("stale = %v, want exactly the unused internal/dynamic/ entry", stale)
+	}
+}
+
+func TestApplyIgnores(t *testing.T) {
+	igns := []*Ignore{
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/a.go", Line: 10}, Reason: "own-line form covers the next line"},
+		{Analyzer: "goroleak", Pos: token.Position{Filename: "/repo/a.go", Line: 20}, Reason: "never matches"},
+	}
+	diags := []Diagnostic{
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/a.go", Line: 10}, Message: "same line"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/a.go", Line: 11}, Message: "next line"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/a.go", Line: 12}, Message: "too far"},
+		{Analyzer: "rawrand", Pos: token.Position{Filename: "/repo/a.go", Line: 10}, Message: "wrong analyzer"},
+		{Analyzer: "locksafe", Pos: token.Position{Filename: "/repo/b.go", Line: 10}, Message: "wrong file"},
+	}
+	kept, stale := ApplyIgnores(diags, igns)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %v, want the too-far, wrong-analyzer, and wrong-file diagnostics", kept)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "goroleak" {
+		t.Errorf("stale = %v, want exactly the unused goroleak directive", stale)
+	}
+}
+
+// parseIgnoreFixture wraps one source file as a loaded Package so
+// ParseIgnores can run without go list.
+func parseIgnoreFixture(t *testing.T, src string) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Package{{ImportPath: "fix", Fset: fset, Files: []*ast.File{f}}}
+}
+
+func TestParseIgnores(t *testing.T) {
+	igns, err := ParseIgnores(parseIgnoreFixture(t, `package p
+
+//crlint:ignore locksafe the gate hold time IS the measured pause
+func f() {}
+
+// A plain comment, and an unrelated directive:
+//crlint:hotpath
+func g() {}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(igns) != 1 || igns[0].Analyzer != "locksafe" || igns[0].Pos.Line != 3 {
+		t.Fatalf("igns = %v, want one locksafe directive at line 3", igns)
+	}
+	if igns[0].Reason != "the gate hold time IS the measured pause" {
+		t.Errorf("reason = %q", igns[0].Reason)
+	}
+}
+
+func TestParseIgnoresRequiresReason(t *testing.T) {
+	if _, err := ParseIgnores(parseIgnoreFixture(t, "package p\n\n//crlint:ignore locksafe\nfunc f() {}\n")); err == nil {
+		t.Fatal("directive without a reason should fail the run")
+	}
+	if _, err := ParseIgnores(parseIgnoreFixture(t, "package p\n\n//crlint:ignore\nfunc f() {}\n")); err == nil {
+		t.Fatal("directive without an analyzer should fail the run")
 	}
 }

@@ -1,0 +1,245 @@
+// Package apilock locks the exported surface of the repository's
+// public packages (compactroute and client) into a tracked file,
+// lint/api.txt. Every exported constant, variable, function, type,
+// method, and struct field is rendered to one canonical line; any
+// difference between the recorded lines and the compiled surface
+// fails the run — an addition because it must be consciously locked
+// in, a removal or signature change because it breaks consumers.
+// After an intentional change, regenerate with:
+//
+//	go run ./cmd/crlint -write-api ./...
+//
+// and review the api.txt diff like any other contract change. A
+// package is locked when it appears in LockedPkgs or is already keyed
+// in the file, so fixture packages can lock themselves and a future
+// public package is one list entry away.
+package apilock
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"compactroute/internal/analysis"
+)
+
+// APIPath is the tracked surface file, relative to the linter's
+// working directory. Tests point it at fixtures.
+var APIPath = "lint/api.txt"
+
+// LockedPkgs are the import paths whose surface is always locked.
+var LockedPkgs = []string{"compactroute", "compactroute/client"}
+
+// RegenCmd is the copy-pasteable command diagnostics tell the user to
+// run after an intentional surface change.
+const RegenCmd = "go run ./cmd/crlint -write-api ./..."
+
+// Analyzer is the apilock checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "apilock",
+	Doc:  "exported surface of the public packages matches the locked lint/api.txt",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	recorded, err := ParseAPI(APIPath)
+	if err != nil {
+		return err
+	}
+	path := pass.Pkg.Path()
+	sec, keyed := recorded[path]
+	if !keyed && !inLockedList(path) {
+		return nil
+	}
+	cur := surface(pass.Pkg)
+	curSet := make(map[string]token.Pos, len(cur))
+	for _, l := range cur {
+		curSet[l.text] = l.pos
+	}
+	recSet := make(map[string]int, len(sec))
+	for _, r := range sec {
+		recSet[r.Text] = r.Line
+	}
+	for _, l := range cur {
+		if _, ok := recSet[l.text]; !ok {
+			pass.Reportf(l.pos, "exported surface of %s changed: %q is not locked in %s — additions and signature changes must be recorded: regen with `%s`", path, l.text, APIPath, RegenCmd)
+		}
+	}
+	for _, r := range sec {
+		if _, ok := curSet[r.Text]; !ok {
+			pass.ReportAt(token.Position{Filename: APIPath, Line: r.Line, Column: 1},
+				"locked surface of %s gone: %q no longer exists — removing or changing exported API breaks consumers; restore it or regen with `%s`", path, r.Text, RegenCmd)
+		}
+	}
+	return nil
+}
+
+func inLockedList(path string) bool {
+	for _, p := range LockedPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// A surfLine is one canonical surface line plus where its declaration
+// lives, for reporting additions at the source.
+type surfLine struct {
+	text string
+	pos  token.Pos
+}
+
+// surface renders pkg's exported surface, one sorted line per
+// declaration. Types contribute a kind line plus their exported
+// fields (structs) or full method set (interfaces); named types also
+// contribute their exported declared methods with receiver form, so a
+// value-to-pointer receiver change is a surface change.
+func surface(pkg *types.Package) []surfLine {
+	qual := types.RelativeTo(pkg)
+	var out []surfLine
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Const:
+			out = append(out, surfLine{fmt.Sprintf("const %s %s", name, types.TypeString(o.Type(), qual)), o.Pos()})
+		case *types.Var:
+			out = append(out, surfLine{fmt.Sprintf("var %s %s", name, types.TypeString(o.Type(), qual)), o.Pos()})
+		case *types.Func:
+			out = append(out, surfLine{fmt.Sprintf("func %s%s", name, sigString(o.Type(), qual)), o.Pos()})
+		case *types.TypeName:
+			out = append(out, typeSurface(o, qual)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].text < out[j].text })
+	return out
+}
+
+func typeSurface(o *types.TypeName, qual types.Qualifier) []surfLine {
+	name := o.Name()
+	if o.IsAlias() {
+		// Unalias, or TypeString prints the alias's own name and the
+		// line degenerates to "type T = T".
+		return []surfLine{{fmt.Sprintf("type %s = %s", name, types.TypeString(types.Unalias(o.Type()), qual)), o.Pos()}}
+	}
+	named, ok := o.Type().(*types.Named)
+	if !ok {
+		return []surfLine{{fmt.Sprintf("type %s %s", name, types.TypeString(o.Type().Underlying(), qual)), o.Pos()}}
+	}
+	var out []surfLine
+	switch u := named.Underlying().(type) {
+	case *types.Struct:
+		out = append(out, surfLine{fmt.Sprintf("type %s struct", name), o.Pos()})
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			out = append(out, surfLine{fmt.Sprintf("field %s.%s %s", name, f.Name(), types.TypeString(f.Type(), qual)), f.Pos()})
+		}
+	case *types.Interface:
+		out = append(out, surfLine{fmt.Sprintf("type %s interface", name), o.Pos()})
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			out = append(out, surfLine{fmt.Sprintf("method %s.%s%s", name, m.Name(), sigString(m.Type(), qual)), m.Pos()})
+		}
+	default:
+		out = append(out, surfLine{fmt.Sprintf("type %s %s", name, types.TypeString(u, qual)), o.Pos()})
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if !m.Exported() {
+			continue
+		}
+		recv := types.TypeString(m.Type().(*types.Signature).Recv().Type(), qual)
+		out = append(out, surfLine{fmt.Sprintf("method (%s) %s%s", recv, m.Name(), sigString(m.Type(), qual)), m.Pos()})
+	}
+	return out
+}
+
+// sigString renders a signature without the leading "func" keyword
+// (and go/types never prints the receiver into it).
+func sigString(t types.Type, qual types.Qualifier) string {
+	return strings.TrimPrefix(types.TypeString(t, qual), "func")
+}
+
+// A Rec is one recorded line of the API file.
+type Rec struct {
+	Text string
+	Line int
+}
+
+// ParseAPI reads the locked-surface file into per-package sections. A
+// missing file is an empty lock: only LockedPkgs are then checked,
+// and every exported line reports as unrecorded — the bootstrap path.
+func ParseAPI(path string) (map[string][]Rec, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string][]Rec{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	sections := make(map[string][]Rec)
+	current := ""
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, "package "); ok {
+			current = strings.TrimSpace(rest)
+			if _, dup := sections[current]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate section for package %s", path, i+1, current)
+			}
+			sections[current] = []Rec{}
+			continue
+		}
+		if current == "" {
+			return nil, fmt.Errorf("%s:%d: surface line before any 'package' header", path, i+1)
+		}
+		sections[current] = append(sections[current], Rec{Text: trimmed, Line: i + 1})
+	}
+	return sections, nil
+}
+
+// WriteAPI renders the locked surface of every locked package in pkgs
+// (the always-locked list plus any already keyed in the existing
+// file) and writes it to path.
+func WriteAPI(path string, pkgs []*analysis.Package) error {
+	existing, err := ParseAPI(path)
+	if err != nil {
+		return err
+	}
+	var locked []*analysis.Package
+	for _, pkg := range pkgs {
+		_, keyed := existing[pkg.ImportPath]
+		if keyed || inLockedList(pkg.ImportPath) {
+			locked = append(locked, pkg)
+		}
+	}
+	sort.Slice(locked, func(i, j int) bool { return locked[i].ImportPath < locked[j].ImportPath })
+
+	var b strings.Builder
+	b.WriteString("# Locked exported surface of the public packages.\n")
+	b.WriteString("# One canonical line per declaration; any drift fails the apilock\n")
+	b.WriteString("# analyzer. Regenerate after an intentional API change:\n")
+	b.WriteString("#   " + RegenCmd + "\n")
+	for _, pkg := range locked {
+		fmt.Fprintf(&b, "\npackage %s\n", pkg.ImportPath)
+		for _, l := range surface(pkg.Types) {
+			b.WriteString(l.text + "\n")
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

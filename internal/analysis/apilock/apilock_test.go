@@ -1,0 +1,115 @@
+package apilock
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactroute/internal/analysis"
+	"compactroute/internal/analysis/analysistest"
+)
+
+func withAPI(t *testing.T, path string) {
+	t.Helper()
+	old := APIPath
+	APIPath = path
+	t.Cleanup(func() { APIPath = old })
+}
+
+func TestAPILockClean(t *testing.T) {
+	withAPI(t, "testdata/api.txt")
+	analysistest.Run(t, Analyzer, "testdata/src/apipkg")
+}
+
+func TestAPILockAdditions(t *testing.T) {
+	withAPI(t, "testdata/api_drift.txt")
+	analysistest.Run(t, Analyzer, "testdata/src/apidrift")
+}
+
+func TestAPILockRemoval(t *testing.T) {
+	// A lock file recording a declaration the package no longer has:
+	// the removal reports at the lock file's own line.
+	lock := filepath.Join(t.TempDir(), "api.txt")
+	content := `package compactroute/internal/analysis/apilock/testdata/src/apipkg
+const MaxHops untyped int
+field Route.Cost float64
+field Route.Dst Hop
+field Route.Src Hop
+func Gone(x int) int
+func New(src Hop, dst Hop) *Route
+method (*Route) Extend(h Hop)
+method (Route) Len() int
+method Router.Route(src Hop, dst Hop) (Route, error)
+type Hop int
+type Route struct
+type Router interface
+var ErrSaturated error
+`
+	if err := os.WriteFile(lock, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withAPI(t, lock)
+	pkgs, err := analysis.Load(".", "./testdata/src/apipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"func Gone(x int) int" no longer exists`) {
+		t.Fatalf("diags = %v, want exactly one removal diagnostic for Gone", diags)
+	}
+	if diags[0].Pos.Filename != lock || diags[0].Pos.Line != 6 {
+		t.Errorf("removal diagnostic at %s:%d, want %s:6", diags[0].Pos.Filename, diags[0].Pos.Line, lock)
+	}
+}
+
+func TestWriteAPIRoundTrip(t *testing.T) {
+	lock := filepath.Join(t.TempDir(), "api.txt")
+	// Key the fixture package so WriteAPI treats it as locked.
+	seed := "package compactroute/internal/analysis/apilock/testdata/src/apipkg\n"
+	if err := os.WriteFile(lock, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(".", "./testdata/src/apipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAPI(lock, pkgs); err != nil {
+		t.Fatal(err)
+	}
+	withAPI(t, lock)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("freshly regenerated lock still flags: %v", diags)
+	}
+	data, err := os.ReadFile(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), RegenCmd) {
+		t.Errorf("regenerated file should carry its own regen command header:\n%s", data)
+	}
+}
+
+func TestUnlockedPackageIgnored(t *testing.T) {
+	// Without a section and without an entry in LockedPkgs, a package
+	// has no locked surface — no diagnostics, even with drift.
+	withAPI(t, "testdata/api.txt")
+	pkgs, err := analysis.Load(".", "./testdata/src/apidrift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unlocked package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,17 @@
+// Package apidrift is the flagged apilock fixture: the lock file
+// predates Grow and Shrink, so both report as unrecorded additions.
+package apidrift
+
+// Counter is recorded.
+type Counter struct {
+	N int
+}
+
+// Add is recorded.
+func (c *Counter) Add(d int) { c.N += d }
+
+// Grow is NOT recorded.
+func (c *Counter) Grow() { c.N *= 2 } // want `"method \(\*Counter\) Grow\(\)" is not locked`
+
+// Shrink is NOT recorded either.
+func Shrink(c *Counter) { c.N /= 2 } // want `"func Shrink\(c \*Counter\)" is not locked`

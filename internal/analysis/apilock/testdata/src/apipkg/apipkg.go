@@ -1,0 +1,42 @@
+// Package apipkg is the clean apilock fixture: one of everything the
+// renderer covers, matching testdata/api.txt exactly.
+package apipkg
+
+import "errors"
+
+// MaxHops bounds a walk.
+const MaxHops = 64
+
+// ErrSaturated is a sentinel.
+var ErrSaturated = errors.New("saturated")
+
+// Hop is a basic named type.
+type Hop int
+
+// Route is a struct with a mix of field visibilities.
+type Route struct {
+	Src, Dst Hop
+	Cost     float64
+	internal int
+}
+
+// Len counts hops (value receiver).
+func (r Route) Len() int { return int(r.Dst - r.Src) }
+
+// Extend mutates (pointer receiver).
+func (r *Route) Extend(h Hop) { r.Dst = h }
+
+// reset is unexported and invisible to the lock.
+func (r *Route) reset() { r.internal = 0 }
+
+// Router is an interface surface.
+type Router interface {
+	Route(src, dst Hop) (Route, error)
+	apply(o int)
+}
+
+// New builds a Route.
+func New(src, dst Hop) *Route { return &Route{Src: src, Dst: dst} }
+
+// helper stays invisible.
+func helper() {}

@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the suite's shared per-function control-flow layer: a
+// block graph over one function body plus the path queries analyzers
+// phrase their invariants in ("is the unlock on every path from the
+// lock to a return", "does anything block between acquisition and
+// release"). It deliberately stays AST-shaped — blocks hold the
+// statements and control expressions the source spells, in execution
+// order — because the analyzers report at those positions.
+//
+// Composite statements never appear in a block themselves; only their
+// control expressions do (an if's condition, a range's operand, a
+// select case's communication). Scanning a block node's subtree
+// therefore never accidentally descends into a nested body: the body's
+// statements live in their own blocks, reached through Succs edges.
+//
+// The builder is exact for the structured control flow this repository
+// uses (if/for/range/switch/type-switch/select, break/continue with
+// and without labels, fallthrough, return, panic). A goto — which the
+// tree has none of, enforced by taste rather than tooling — is treated
+// conservatively as a jump to Exit.
+
+// A Block is one straight-line run of nodes: statements and control
+// expressions that execute consecutively, followed by a transfer to
+// one of Succs. A block with no successors that is not the Exit block
+// ends a path that never returns (a select with no cases, an infinite
+// loop with no break).
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Exit is
+// virtual: every return statement, panic, and fall-off-the-end edge
+// lands there, so "reaches Exit" is exactly "the function returns to
+// its caller or unwinds".
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of body (a *ast.FuncDecl.Body
+// or *ast.FuncLit.Body).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{Exit: &Block{}}
+	b := &cfgBuilder{cfg: c}
+	c.Entry = b.newBlock()
+	b.cur = c.Entry
+	b.stmts(body.List)
+	b.linkTo(c.Exit) // implicit return at the end of the body
+	c.Blocks = append(c.Blocks, c.Exit)
+	return c
+}
+
+// NodeBlock returns the block holding n (by node identity) and n's
+// index within it, or (nil, -1) when n is not a block node — e.g. a
+// node nested inside a statement rather than a statement itself.
+func (c *CFG) NodeBlock(n ast.Node) (*Block, int) {
+	for _, blk := range c.Blocks {
+		for i, bn := range blk.Nodes {
+			if bn == n {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// AllPathsHit reports whether every control-flow path from the block
+// node `from` (exclusive) to Exit passes through a node satisfying hit
+// first — the "released on all paths to return" dominance query. A
+// path that never reaches Exit (an infinite loop, a caseless select)
+// vacuously satisfies the query: it does not return while the
+// condition is unmet. When from is not a block node the query is
+// answered conservatively as false.
+func (c *CFG) AllPathsHit(from ast.Node, hit func(ast.Node) bool) bool {
+	blk, idx := c.NodeBlock(from)
+	if blk == nil {
+		return false
+	}
+	visited := make(map[*Block]bool)
+	var walk func(b *Block, start int) bool
+	walk = func(b *Block, start int) bool {
+		for _, n := range b.Nodes[start:] {
+			if hit(n) {
+				return true
+			}
+		}
+		if b == c.Exit {
+			return false
+		}
+		for _, s := range b.Succs {
+			if s == c.Exit {
+				return false
+			}
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if !walk(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(blk, idx+1)
+}
+
+// labelTarget records where a labeled break and continue jump to.
+type labelTarget struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	breaks    []*Block // innermost-last break targets
+	continues []*Block // innermost-last continue targets
+	labels    map[string]*labelTarget
+	pendLabel string // label naming the next loop/switch/select
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// startBlock opens a fresh block reached from cur.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	b.cur.Succs = append(b.cur.Succs, blk)
+	return blk
+}
+
+// linkTo adds an edge cur -> to.
+func (b *cfgBuilder) linkTo(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// jump ends the current path at target and continues building in an
+// unreachable block, so statements after a return/break/continue exist
+// in the graph without being on any path.
+func (b *cfgBuilder) jump(target *Block) {
+	b.linkTo(target)
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall recognizes a call to the builtin panic by name — the CFG
+// is built before (and independent of) type checking, and nothing in
+// this repository shadows the builtin.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		if b.labels == nil {
+			b.labels = make(map[string]*labelTarget)
+		}
+		b.pendLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		delete(b.labels, s.Label.Name)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.jump(b.branchTarget(s, true))
+		case token.CONTINUE:
+			b.jump(b.branchTarget(s, false))
+		case token.GOTO:
+			// Conservative: a goto leaves the structured flow; treat it
+			// as an exit so no invariant is vacuously "proven" past it.
+			b.add(s)
+			b.jump(b.cfg.Exit)
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch construction; as a block
+			// node it would double-count, so it contributes nothing.
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Simple statements: assignments, declarations, expression
+		// statements, sends, defers, go statements, inc/dec, empty.
+		if isPanicCall(s) {
+			b.add(s)
+			b.jump(b.cfg.Exit)
+			return
+		}
+		b.add(s)
+	}
+}
+
+// branchTarget resolves break/continue, labeled or not. An unmatched
+// label (malformed source) conservatively targets Exit.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isBreak bool) *Block {
+	if s.Label != nil {
+		if t, ok := b.labels[s.Label.Name]; ok {
+			if isBreak {
+				return t.brk
+			}
+			if t.cont != nil {
+				return t.cont
+			}
+		}
+		return b.cfg.Exit
+	}
+	if isBreak {
+		if len(b.breaks) > 0 {
+			return b.breaks[len(b.breaks)-1]
+		}
+	} else if len(b.continues) > 0 {
+		return b.continues[len(b.continues)-1]
+	}
+	return b.cfg.Exit
+}
+
+// pushLoop registers break/continue targets (and the pending label, if
+// the loop was labeled); cont may be nil for switch/select, which only
+// break.
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	if cont != nil {
+		b.continues = append(b.continues, cont)
+	}
+	if b.pendLabel != "" {
+		b.labels[b.pendLabel] = &labelTarget{brk: brk, cont: cont}
+		b.pendLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop(hadCont bool) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if hadCont {
+		b.continues = b.continues[:len(b.continues)-1]
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+
+	join := b.newBlock()
+	b.cur = b.newBlock()
+	head.Succs = append(head.Succs, b.cur)
+	b.stmts(s.Body.List)
+	b.linkTo(join)
+
+	if s.Else != nil {
+		b.cur = b.newBlock()
+		head.Succs = append(head.Succs, b.cur)
+		b.stmt(s.Else)
+		b.linkTo(join)
+	} else {
+		head.Succs = append(head.Succs, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	exit := b.newBlock()
+
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		post.Succs = append(post.Succs, head)
+	}
+	b.pushLoop(exit, post)
+
+	body := b.newBlock()
+	head.Succs = append(head.Succs, body)
+	if s.Cond != nil {
+		head.Succs = append(head.Succs, exit)
+	}
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.linkTo(post)
+
+	b.popLoop(true)
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	b.add(s.X) // the ranged operand is evaluated once, before the loop
+	head := b.startBlock()
+	exit := b.newBlock()
+	head.Succs = append(head.Succs, exit) // zero iterations
+
+	b.pushLoop(exit, head)
+	body := b.newBlock()
+	head.Succs = append(head.Succs, body)
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.linkTo(head)
+	b.popLoop(true)
+	b.cur = exit
+}
+
+// switchBody builds the case clauses of a switch or type switch. Every
+// clause branches from the head (the block current when called); a
+// missing default adds a direct head->exit edge.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt) {
+	head := b.cur
+	exit := b.newBlock()
+	b.pushLoop(exit, nil)
+
+	// Case bodies are pre-created so fallthrough can edge to the next
+	// clause's block.
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		head.Succs = append(head.Succs, caseBlocks[i])
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(caseBlocks) {
+				// The path continues in the next clause's block; cur
+				// becomes unreachable, and its exit edge below is inert.
+				b.jump(caseBlocks[i+1])
+				continue
+			}
+			b.stmt(cs)
+		}
+		b.linkTo(exit)
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, exit)
+	}
+	b.popLoop(false)
+	b.cur = exit
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	head := b.cur
+	exit := b.newBlock()
+	b.pushLoop(exit, nil)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			// The communication itself (a send or receive) executes on
+			// this path; it is a real block node so locksafe sees a
+			// select-send as a send.
+			b.add(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.linkTo(exit)
+	}
+	b.popLoop(false)
+	b.cur = exit
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses one function body and returns its CFG plus the
+// parsed file for node lookup.
+func buildTestCFG(t *testing.T, body string) (*CFG, *ast.File) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", body, err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fn.Body), f
+}
+
+// callStmt finds the statement that is a bare call to name.
+func callStmt(t *testing.T, f *ast.File, name string) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = es
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no call to %s", name)
+	}
+	return found
+}
+
+// hitsCall matches block nodes that are bare calls to name.
+func hitsCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestAllPathsHit(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want bool
+	}{
+		{"straight line", `lock(); unlock()`, true},
+		{"early return releases first", `lock()
+if cond() { unlock(); return }
+unlock()`, true},
+		{"early return misses release", `lock()
+if cond() { return }
+unlock()`, false},
+		{"both branches release", `lock()
+if cond() { unlock() } else { unlock() }`, true},
+		{"else misses release", `lock()
+if cond() { unlock() } else { work() }`, false},
+		{"release after join", `lock()
+if cond() { work() } else { work() }
+unlock()`, true},
+		{"zero-iteration loop skips release", `lock()
+for i := 0; i < 3; i++ { unlock(); return }`, false},
+		{"release after loop", `lock()
+for i := 0; i < 3; i++ { work() }
+unlock()`, true},
+		{"break skips release", `lock()
+for {
+	if cond() { break }
+	work()
+}
+unlock()`, true},
+		{"infinite loop never returns", `lock()
+for { work() }`, true},
+		{"range loop release after", `lock()
+for range xs { work() }
+unlock()`, true},
+		{"switch all cases release", `lock()
+switch x() {
+case 1:
+	unlock()
+case 2:
+	unlock()
+default:
+	unlock()
+}`, true},
+		{"switch missing default misses release", `lock()
+switch x() {
+case 1:
+	unlock()
+case 2:
+	unlock()
+}`, false},
+		{"switch fallthrough reaches release", `lock()
+switch x() {
+case 1:
+	fallthrough
+default:
+	unlock()
+}`, true},
+		{"select all cases release", `lock()
+select {
+case <-a:
+	unlock()
+case <-b:
+	unlock()
+}`, true},
+		{"select one case misses release", `lock()
+select {
+case <-a:
+	unlock()
+case <-b:
+	work()
+}`, false},
+		{"panic escapes without release", `lock()
+if cond() { panic("x") }
+unlock()`, false},
+		{"labeled break skips inner release", `lock()
+outer:
+for {
+	for {
+		if cond() { break outer }
+		unlock()
+		return
+	}
+}
+unlock()`, true},
+		{"goto is conservative", `lock()
+if cond() { goto out }
+unlock()
+out:
+work()`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, f := buildTestCFG(t, tc.body)
+			got := cfg.AllPathsHit(callStmt(t, f, "lock"), hitsCall("unlock"))
+			if got != tc.want {
+				t.Errorf("AllPathsHit = %v, want %v\nbody:\n%s", got, tc.want, tc.body)
+			}
+		})
+	}
+}
+
+// TestCFGNoNestedBodies pins the flat-block contract: a composite
+// statement's body statements live in their own blocks, and only
+// control expressions of composites appear as block nodes — so a
+// subtree scan of one block node can never wander into a nested body.
+func TestCFGNoNestedBodies(t *testing.T) {
+	cfg, _ := buildTestCFG(t, `work()
+if cond() {
+	lock()
+}
+for i := 0; i < 3; i++ {
+	unlock()
+}`)
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+				t.Errorf("composite statement %T appears as a block node", n)
+			}
+		}
+	}
+}
+
+// TestCFGNodeBlock pins that every executable simple statement is
+// findable, and nodes nested in expressions are not block nodes.
+func TestCFGNodeBlock(t *testing.T) {
+	cfg, f := buildTestCFG(t, `lock()
+unlock()`)
+	blk, idx := cfg.NodeBlock(callStmt(t, f, "lock"))
+	if blk == nil || idx != 0 {
+		t.Fatalf("lock() not found at block start: %v %d", blk, idx)
+	}
+	if blk2, idx2 := cfg.NodeBlock(callStmt(t, f, "unlock")); blk2 != blk || idx2 != 1 {
+		t.Fatalf("unlock() not in same block after lock(): %v %d", blk2, idx2)
+	}
+	if blk, _ := cfg.NodeBlock(&ast.Ident{Name: "nope"}); blk != nil {
+		t.Fatalf("foreign node resolved to a block")
+	}
+}
+
+// TestCFGUnreachableAfterReturn pins that statements after a return are
+// present but on no path.
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	cfg, f := buildTestCFG(t, `lock()
+return
+unlock()`)
+	if cfg.AllPathsHit(callStmt(t, f, "lock"), hitsCall("unlock")) {
+		t.Fatalf("release after return should not count")
+	}
+	if blk, _ := cfg.NodeBlock(callStmt(t, f, "unlock")); blk == nil {
+		t.Fatalf("unreachable statement should still be a block node")
+	}
+}

@@ -1,0 +1,245 @@
+// Package goroleak requires every goroutine a library package spawns
+// to have a visible lifecycle — some shape in the source that bounds
+// when it stops. A goroutine with none outlives its work: it pins its
+// closure, its channels, and (in the serving tier) a whole Scheme
+// snapshot for the life of the process.
+//
+// Four shapes are accepted:
+//
+//   - WaitGroup: the spawned body calls a sync.WaitGroup's Done, so
+//     some Wait observes its exit.
+//   - Context: the spawned body receives from a ctx.Done() channel,
+//     so caller cancellation stops it.
+//   - Close/Drain: the spawned body receives from a channel-typed
+//     struct field — the owner's Close (or drain) path releases it.
+//   - Bounded: a loop-free function literal whose sends all go to
+//     buffered channels made in the spawning function; it runs a
+//     finite piece of work and exits on its own.
+//
+// The spawned body is the go statement's function literal or, for
+// `go x.loop(ctx)`, the same-package declaration it resolves to. A
+// spawn whose body the analyzer cannot see (another package's
+// function, a func-typed value) is flagged too: a library goroutine's
+// lifecycle must be auditable where it is launched. Package main is
+// exempt — a process's own goroutines die with it.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compactroute/internal/analysis"
+)
+
+// Analyzer is the goroleak checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every library goroutine is tied to a lifecycle: WaitGroup, ctx.Done, a Close/Drain channel, or bounded work",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	decls := declBodies(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpawns(pass, decls, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpawns(pass, decls, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declBodies indexes this package's function declarations by object,
+// so `go x.loop(ctx)` can be followed to loop's body.
+func declBodies(pass *analysis.Pass) map[types.Object]*ast.BlockStmt {
+	decls := make(map[types.Object]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// checkSpawns inspects one function body's own go statements. Nested
+// function literals are skipped here; the outer walk visits each as a
+// function of its own, so every go statement is judged exactly once,
+// in its innermost enclosing function.
+func checkSpawns(pass *analysis.Pass, decls map[types.Object]*ast.BlockStmt, curBody *ast.BlockStmt) {
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			checkSpawn(pass, decls, curBody, n)
+			// The spawned literal (if any) is visited by the outer
+			// walk; its arguments cannot contain go statements.
+			return false
+		}
+		return true
+	}
+	for _, s := range curBody.List {
+		ast.Inspect(s, inspect)
+	}
+}
+
+func checkSpawn(pass *analysis.Pass, decls map[types.Object]*ast.BlockStmt, curBody *ast.BlockStmt, g *ast.GoStmt) {
+	var spawned *ast.BlockStmt
+	var isLit bool
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		spawned, isLit = fun.Body, true
+	case *ast.Ident:
+		spawned = decls[pass.TypesInfo.ObjectOf(fun)]
+	case *ast.SelectorExpr:
+		spawned = decls[pass.TypesInfo.ObjectOf(fun.Sel)]
+	}
+	if spawned == nil {
+		pass.Reportf(g.Pos(), "goroutine's lifecycle is not visible from its go statement: spawn a literal or a same-package function tied to ctx.Done(), a WaitGroup, or a Close channel")
+		return
+	}
+	if hasWaitGroupDone(pass.TypesInfo, spawned) ||
+		hasCtxDoneReceive(pass.TypesInfo, spawned) ||
+		hasFieldChanReceive(pass.TypesInfo, spawned) ||
+		(isLit && isBoundedWork(pass.TypesInfo, curBody, spawned)) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine is not tied to a lifecycle: select on ctx.Done(), count it in a WaitGroup, receive from a Close/Drain channel, or keep it loop-free with buffered result sends")
+}
+
+// hasWaitGroupDone reports a call to sync.WaitGroup.Done anywhere in
+// the spawned body.
+func hasWaitGroupDone(info *types.Info, body *ast.BlockStmt) bool {
+	return hasMethodCall(info, body, "sync", "Done")
+}
+
+// hasCtxDoneReceive reports a ctx.Done() call in the spawned body; in
+// well-formed code it only ever appears under a receive or select.
+func hasCtxDoneReceive(info *types.Info, body *ast.BlockStmt) bool {
+	return hasMethodCall(info, body, "context", "Done")
+}
+
+func hasMethodCall(info *types.Info, body *ast.BlockStmt, pkgPath, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return !found
+		}
+		if fn, ok := info.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasFieldChanReceive reports a receive from a channel-typed struct
+// field (<-c.done and friends): the owner's Close or Drain path.
+func hasFieldChanReceive(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return !found
+		}
+		sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if v, ok := info.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+			if _, isChan := v.Type().Underlying().(*types.Chan); isChan {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBoundedWork accepts a loop-free literal whose sends all go to
+// buffered channels made in the spawning function: the goroutine does
+// one finite piece of work, its result send cannot block forever, and
+// it exits. One unbuffered or foreign-channel send voids the shape.
+func isBoundedWork(info *types.Info, curBody, spawned *ast.BlockStmt) bool {
+	ok := true
+	ast.Inspect(spawned, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			ok = false
+		case *ast.SendStmt:
+			id, isIdent := ast.Unparen(n.Chan).(*ast.Ident)
+			if !isIdent || !bufferedLocalChan(info, curBody, info.ObjectOf(id)) {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// bufferedLocalChan reports whether obj is assigned a buffered
+// make(chan …, n) in the spawning function's body.
+func bufferedLocalChan(info *types.Info, curBody *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(curBody, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if ok && info.ObjectOf(id) == obj && i < len(n.Rhs) && isBufferedMake(n.Rhs[i]) {
+					found = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if info.Defs[name] == obj && i < len(n.Values) && isBufferedMake(n.Values[i]) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBufferedMake(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+		return false
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+		return false
+	}
+	return true
+}

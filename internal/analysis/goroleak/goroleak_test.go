@@ -1,0 +1,14 @@
+package goroleak
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, Analyzer,
+		"testdata/src/leaky",
+		"testdata/src/tied",
+		"testdata/src/mainpkg")
+}

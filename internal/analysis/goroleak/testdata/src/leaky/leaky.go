@@ -1,0 +1,58 @@
+// Package leaky is the flagged goroleak fixture: spawns with no
+// visible lifecycle, one per failure shape.
+package leaky
+
+import "fmt"
+
+// Worker carries no lifecycle plumbing at all.
+type Worker struct {
+	n int
+}
+
+// Forever spawns an infinite loop nothing can stop.
+func Forever(w *Worker) {
+	go func() { // want `goroutine is not tied to a lifecycle`
+		for {
+			w.n++
+		}
+	}()
+}
+
+// UnbufferedSend blocks forever once the receiver loses interest.
+func UnbufferedSend() chan int {
+	ch := make(chan int)
+	go func() { // want `goroutine is not tied to a lifecycle`
+		ch <- 42
+	}()
+	return ch
+}
+
+// LoopedSend is bounded per send but loops without a stop signal, so
+// the buffered channel does not save it.
+func LoopedSend() chan int {
+	ch := make(chan int, 8)
+	go func() { // want `goroutine is not tied to a lifecycle`
+		for i := 0; ; i++ {
+			ch <- i
+		}
+	}()
+	return ch
+}
+
+// spin loops forever; spawning it by name is still a leak.
+func (w *Worker) spin() {
+	for {
+		w.n++
+	}
+}
+
+// NamedSpin resolves the callee and finds no lifecycle in it.
+func NamedSpin(w *Worker) {
+	go w.spin() // want `goroutine is not tied to a lifecycle`
+}
+
+// Invisible spawns another package's function: the lifecycle cannot
+// be audited where it launches.
+func Invisible() {
+	go fmt.Println("fire and forget") // want `lifecycle is not visible`
+}

@@ -1,0 +1,11 @@
+// Package main is exempt: a process's goroutines die with it, so the
+// leak below must produce no diagnostics.
+package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+	select {}
+}

@@ -1,0 +1,80 @@
+// Package tied is the clean goroleak fixture: one function per
+// accepted lifecycle shape.
+package tied
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump carries the Close/Drain plumbing.
+type Pump struct {
+	stop chan struct{}
+	n    int
+}
+
+// Fanout counts every spawn in a WaitGroup.
+func Fanout(xs []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += x
+		}(x)
+	}
+	wg.Wait()
+	return total
+}
+
+// Watch stops when the caller's context does.
+func Watch(ctx context.Context, p *Pump) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				p.n++
+			}
+		}
+	}()
+}
+
+// loop drains until Close; spawning it by name is accepted because
+// the resolved body receives from the stop field.
+func (p *Pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+			p.n++
+		}
+	}
+}
+
+// Start spawns the named drain loop.
+func (p *Pump) Start() {
+	go p.loop()
+}
+
+// Results does one bounded piece of work per spawn: loop-free bodies,
+// buffered result channel made here.
+func Results(xs []int) []int {
+	ch := make(chan int, len(xs))
+	for _, x := range xs {
+		go func(x int) {
+			ch <- x * x
+		}(x)
+	}
+	out := make([]int, 0, len(xs))
+	for range xs {
+		out = append(out, <-ch)
+	}
+	return out
+}

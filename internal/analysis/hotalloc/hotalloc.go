@@ -1,0 +1,304 @@
+// Package hotalloc holds the serving tier's hot paths to a tracked
+// heap-allocation budget. A function annotated
+//
+//	//crlint:hotpath
+//
+// is measured with the compiler's own escape analysis (`go build
+// -gcflags=-m`, replayed from the build cache, so a warm run costs
+// milliseconds) and compared against lint/hotpath.budget. Any drift —
+// a new escape sneaking into the route path OR an optimization making
+// the recorded number stale — fails the run, so the budget ratchets
+// both ways and the file's history is the allocation history of every
+// hot path. Regenerate after an intentional change with:
+//
+//	go run ./cmd/crlint -write-budget ./...
+//
+// The measured unit is the number of `escapes to heap` / `moved to
+// heap` sites the compiler reports inside the function's body — a
+// per-site count, not bytes, because sites are what code review can
+// act on. Budget entries for functions that are no longer annotated
+// (within the packages being linted) are stale and fail the run like
+// stale suppressions do.
+package hotalloc
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"compactroute/internal/analysis"
+)
+
+// BudgetPath is the tracked budget file, relative to the linter's
+// working directory. Tests point it at fixtures.
+var BudgetPath = "lint/hotpath.budget"
+
+// RegenCmd is the copy-pasteable command diagnostics tell the user to
+// run after an intentional allocation change.
+const RegenCmd = "go run ./cmd/crlint -write-budget ./..."
+
+// Analyzer is the hotalloc checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//crlint:hotpath functions stay on their tracked heap-escape budget (lint/hotpath.budget)",
+	Run:  run,
+}
+
+const hotpathDirective = "//crlint:hotpath"
+
+// An Entry is one budget line: a fully qualified function and its
+// allowed number of escape sites.
+type Entry struct {
+	Key   string // e.g. compactroute/internal/serve.(*Pool).Route
+	Count int
+	Line  int // line in the budget file (0 for computed entries)
+}
+
+func run(pass *analysis.Pass) error {
+	hot := annotated(pass.Fset, pass.Files)
+	first := len(pass.Program) > 0 && pass.Program[0].Types == pass.Pkg
+	if len(hot) == 0 && !first {
+		return nil
+	}
+
+	entries, err := ParseBudget(BudgetPath)
+	if err != nil {
+		return err
+	}
+	budget := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		budget[e.Key] = e
+	}
+
+	if len(hot) > 0 {
+		dir := pkgDir(pass)
+		counts, err := measure(dir, pass.Fset, hot)
+		if err != nil {
+			return err
+		}
+		for i, fd := range hot {
+			key := FuncKey(pass.Pkg.Path(), fd)
+			got := counts[i]
+			e, ok := budget[key]
+			switch {
+			case !ok:
+				pass.Reportf(fd.Pos(), "hotpath function %s (%d heap-escape sites) has no entry in %s: regen with `%s`", key, got, BudgetPath, RegenCmd)
+			case got > e.Count:
+				pass.Reportf(fd.Pos(), "hotpath function %s exceeds its escape budget: %d sites, budgeted %d — trim the allocations, or regen with `%s` if the cost is accepted", key, got, e.Count, RegenCmd)
+			case got < e.Count:
+				pass.Reportf(fd.Pos(), "hotpath function %s beats its escape budget: %d sites, budgeted %d — ratchet it down with `%s`", key, got, e.Count, RegenCmd)
+			}
+		}
+	}
+
+	// Stale entries are checked once per run, against every package in
+	// it: an entry for a package outside this run is left alone, so a
+	// partial run checks less instead of failing.
+	if first {
+		known := make(map[string]bool)
+		inRun := make(map[string]bool)
+		for _, pkg := range pass.Program {
+			inRun[pkg.ImportPath] = true
+			for _, fd := range annotated(pkg.Fset, pkg.Files) {
+				known[FuncKey(pkg.ImportPath, fd)] = true
+			}
+		}
+		for _, e := range entries {
+			if known[e.Key] {
+				continue
+			}
+			if pkg, _ := splitKey(e.Key); inRun[pkg] {
+				pass.ReportAt(token.Position{Filename: BudgetPath, Line: e.Line, Column: 1},
+					"stale budget entry %s: no such //crlint:hotpath function — delete it or regen with `%s`", e.Key, RegenCmd)
+			}
+		}
+	}
+	return nil
+}
+
+// annotated returns the package's //crlint:hotpath functions in
+// source order.
+func annotated(fset *token.FileSet, files []*ast.File) []*ast.FuncDecl {
+	var hot []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if c.Text == hotpathDirective {
+					hot = append(hot, fd)
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		return fset.Position(hot[i].Pos()).Offset < fset.Position(hot[j].Pos()).Offset
+	})
+	return hot
+}
+
+// FuncKey renders the budget key of a declaration: the package path
+// plus Func or (*Recv).Method, matching what humans grep for.
+func FuncKey(pkgPath string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		recv := types.ExprString(fd.Recv.List[0].Type)
+		if strings.HasPrefix(recv, "*") {
+			name = "(" + recv + ")." + name
+		} else {
+			name = recv + "." + name
+		}
+	}
+	return pkgPath + "." + name
+}
+
+// splitKey separates a budget key into package path and function
+// name. The function part never contains a slash, so the last slash
+// segment's first dot is the boundary.
+func splitKey(key string) (pkgPath, fn string) {
+	slash := strings.LastIndex(key, "/")
+	dot := strings.Index(key[slash+1:], ".")
+	if dot < 0 {
+		return key, ""
+	}
+	return key[:slash+1+dot], key[slash+1+dot+1:]
+}
+
+func pkgDir(pass *analysis.Pass) string {
+	for _, pkg := range pass.Program {
+		if pkg.Types == pass.Pkg {
+			return pkg.Dir
+		}
+	}
+	// Unreachable for loader-built passes; fall back to the first
+	// file's directory.
+	return filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+}
+
+// measure compiles the package with escape-analysis diagnostics and
+// counts the sites inside each annotated function. The build replays
+// from the build cache when nothing changed, so the steady-state cost
+// is parsing cached output, not compiling.
+func measure(dir string, fset *token.FileSet, hot []*ast.FuncDecl) ([]int, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("hotalloc: go build -gcflags=-m in %s: %v\n%s", dir, err, out.String())
+	}
+
+	type span struct {
+		base     string
+		from, to int
+	}
+	spans := make([]span, len(hot))
+	for i, fd := range hot {
+		pos, end := fset.Position(fd.Pos()), fset.Position(fd.End())
+		spans[i] = span{filepath.Base(pos.Filename), pos.Line, end.Line}
+	}
+
+	counts := make([]int, len(hot))
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// ./serve.go:123:7: p escapes to heap
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		base := filepath.Base(parts[0])
+		for i, s := range spans {
+			if base == s.base && ln >= s.from && ln <= s.to {
+				counts[i]++
+			}
+		}
+	}
+	return counts, sc.Err()
+}
+
+// Measure computes the current budget entries for every annotated
+// function in pkgs, sorted by key — the content `-write-budget`
+// persists.
+func Measure(pkgs []*analysis.Package) ([]Entry, error) {
+	var entries []Entry
+	for _, pkg := range pkgs {
+		hot := annotated(pkg.Fset, pkg.Files)
+		if len(hot) == 0 {
+			continue
+		}
+		counts, err := measure(pkg.Dir, pkg.Fset, hot)
+		if err != nil {
+			return nil, err
+		}
+		for i, fd := range hot {
+			entries = append(entries, Entry{Key: FuncKey(pkg.ImportPath, fd), Count: counts[i]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, nil
+}
+
+// ParseBudget reads a budget file. A missing file is an empty budget:
+// the analyzer then demands entries for whatever is annotated, which
+// is the bootstrapping path.
+func ParseBudget(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want '<package>.<func> <count>', got %q", path, i+1, trimmed)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad escape count %q", path, i+1, fields[1])
+		}
+		entries = append(entries, Entry{Key: fields[0], Count: n, Line: i + 1})
+	}
+	return entries, nil
+}
+
+// WriteBudget renders entries to path in the tracked format.
+func WriteBudget(path string, entries []Entry) error {
+	var b strings.Builder
+	b.WriteString("# Heap-escape budget for //crlint:hotpath functions.\n")
+	b.WriteString("# One line per function: <package>.<func> <escape sites>.\n")
+	b.WriteString("# Checked exactly by the hotalloc analyzer; any drift fails lint.\n")
+	b.WriteString("# Regenerate after an intentional change:\n")
+	b.WriteString("#   " + RegenCmd + "\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%s %d\n", e.Key, e.Count)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,95 @@
+package hotalloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactroute/internal/analysis"
+	"compactroute/internal/analysis/analysistest"
+)
+
+func withBudget(t *testing.T, path string) {
+	t.Helper()
+	old := BudgetPath
+	BudgetPath = path
+	t.Cleanup(func() { BudgetPath = old })
+}
+
+func TestHotAllocClean(t *testing.T) {
+	withBudget(t, "testdata/hotpath.budget")
+	analysistest.Run(t, Analyzer, "testdata/src/hot")
+}
+
+func TestHotAllocDrift(t *testing.T) {
+	withBudget(t, "testdata/hotpath_drift.budget")
+	analysistest.Run(t, Analyzer, "testdata/src/drift")
+}
+
+func TestHotAllocStaleEntry(t *testing.T) {
+	budget := filepath.Join(t.TempDir(), "hotpath.budget")
+	content := `compactroute/internal/analysis/hotalloc/testdata/src/hot.Boxed 1
+compactroute/internal/analysis/hotalloc/testdata/src/hot.Sum 0
+compactroute/internal/analysis/hotalloc/testdata/src/hot.Gone 2
+compactroute/internal/analysis/elsewhere.NotInThisRun 7
+`
+	if err := os.WriteFile(budget, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withBudget(t, budget)
+	pkgs, err := analysis.Load(".", "./testdata/src/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale budget entry") ||
+		!strings.Contains(diags[0].Message, "Gone") {
+		t.Fatalf("diags = %v, want exactly one stale-entry diagnostic for Gone\n(the elsewhere entry is outside the run and must be left alone)", diags)
+	}
+	if diags[0].Pos.Filename != budget || diags[0].Pos.Line != 3 {
+		t.Errorf("stale diagnostic at %s:%d, want %s:3", diags[0].Pos.Filename, diags[0].Pos.Line, budget)
+	}
+}
+
+func TestMeasureWriteRoundTrip(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./testdata/src/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Measure(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v, want Boxed and Sum", entries)
+	}
+	path := filepath.Join(t.TempDir(), "hotpath.budget")
+	if err := WriteBudget(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip lost entries: %v vs %v", back, entries)
+	}
+	for i := range back {
+		if back[i].Key != entries[i].Key || back[i].Count != entries[i].Count {
+			t.Errorf("entry %d: %+v != %+v", i, back[i], entries[i])
+		}
+	}
+	// A budget just written must lint clean.
+	withBudget(t, path)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("freshly regenerated budget still flags: %v", diags)
+	}
+}

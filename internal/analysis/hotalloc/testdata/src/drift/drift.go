@@ -1,0 +1,28 @@
+// Package drift is the flagged hotalloc fixture: every annotated
+// function disagrees with testdata/hotpath_drift.budget in one of the
+// three drift directions.
+package drift
+
+type point struct{ x, y int }
+
+// Exceeds allocates one site against a budget of zero.
+//
+//crlint:hotpath
+func Exceeds(x, y int) *point { // want `exceeds its escape budget: 1 sites, budgeted 0`
+	return &point{x, y}
+}
+
+// Beats was "optimized" below its recorded budget of three: the
+// ratchet direction.
+//
+//crlint:hotpath
+func Beats(a, b int) int { // want `beats its escape budget: 0 sites, budgeted 3`
+	return a + b
+}
+
+// Missing is annotated but has no budget entry at all.
+//
+//crlint:hotpath
+func Missing(a int) int { // want `has no entry in`
+	return a * a
+}

@@ -1,0 +1,31 @@
+// Package hot is the clean hotalloc fixture: every annotated
+// function's measured escape count matches testdata/hotpath.budget.
+package hot
+
+// point is small enough to stay on the stack unless returned by
+// pointer.
+type point struct{ x, y int }
+
+// Sum is allocation-free.
+//
+//crlint:hotpath
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Boxed deliberately escapes one composite literal; the budget
+// records the accepted cost.
+//
+//crlint:hotpath
+func Boxed(x, y int) *point {
+	return &point{x, y}
+}
+
+// Unannotated escapes freely and is nobody's business.
+func Unannotated() *point {
+	return &point{3, 4}
+}

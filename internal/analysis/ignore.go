@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// An Ignore is one inline suppression directive:
+//
+//	//crlint:ignore <analyzer> <reason…>
+//
+// It silences diagnostics from that one analyzer on the directive's
+// own line (trailing-comment form) or the line immediately below
+// (own-line form). It complements the tracked suppression file with
+// the same two rules: the reason is mandatory — an unexplained
+// silencing is indistinguishable from a silenced bug — and a directive
+// that matches nothing fails the run as stale, so dead ignores cannot
+// accumulate. Use the directive for one-line exceptions the code
+// itself should explain; use lint/crlint.suppress for package-wide or
+// message-scoped policy.
+type Ignore struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position // the directive's resolved position
+	used     bool
+}
+
+const ignorePrefix = "//crlint:ignore"
+
+// ParseIgnores collects every //crlint:ignore directive in the loaded
+// packages. A malformed directive — missing analyzer or missing
+// reason — is an error, not a silent no-op: a directive that silently
+// did nothing would be worse than none.
+func ParseIgnores(pkgs []*Package) ([]*Ignore, error) {
+	var igns []*Ignore
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // e.g. //crlint:ignorethis — not the directive
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						return nil, fmt.Errorf("%s:%d: crlint:ignore needs '<analyzer> <reason>'", pos.Filename, pos.Line)
+					}
+					if len(fields) < 2 {
+						return nil, fmt.Errorf("%s:%d: crlint:ignore %s needs a reason explaining it", pos.Filename, pos.Line, fields[0])
+					}
+					igns = append(igns, &Ignore{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Pos:      pos,
+					})
+				}
+			}
+		}
+	}
+	return igns, nil
+}
+
+func (ig *Ignore) matches(d Diagnostic) bool {
+	return d.Analyzer == ig.Analyzer &&
+		d.Pos.Filename == ig.Pos.Filename &&
+		(d.Pos.Line == ig.Pos.Line || d.Pos.Line == ig.Pos.Line+1)
+}
+
+// ApplyIgnores filters diags through the inline directives, returning
+// the surviving diagnostics and any directives that matched nothing
+// (stale — the caller should fail on them exactly like stale
+// suppression-file entries).
+func ApplyIgnores(diags []Diagnostic, igns []*Ignore) (kept []Diagnostic, stale []*Ignore) {
+	for _, d := range diags {
+		ignored := false
+		for _, ig := range igns {
+			if ig.matches(d) {
+				ig.used = true
+				ignored = true
+			}
+		}
+		if !ignored {
+			kept = append(kept, d)
+		}
+	}
+	for _, ig := range igns {
+		if !ig.used {
+			stale = append(stale, ig)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,306 @@
+// Package locksafe enforces the serving tier's lock discipline, the
+// two rules every mutex in the request path lives by:
+//
+//  1. A lock acquired in a function is released on every path out of
+//     it — a defer right after acquiring, or an explicit Unlock that
+//     dominates every return. The check is path-sensitive on the
+//     shared CFG layer: an early return that skips the Unlock is a
+//     leaked lock even when the fall-through path is correct.
+//  2. An exclusive Lock is not held across an operation that can
+//     block or re-enter: a channel send, a net/http call, a client
+//     RPC, or a call through a func-typed value (a user callback the
+//     library cannot vouch for). RLock is exempt — holding the read
+//     gate across a proxied RPC is the serving tier's documented
+//     design, and readers cannot deadlock writers that use defer.
+//
+// The analyzer scopes itself to the packages where lock misuse turns
+// into request stalls (internal/serve, internal/cluster,
+// internal/dynamic, internal/server). Deliberate violations —
+// cluster's coordination locks are held across shard RPCs precisely
+// so membership changes serialize — go through the tracked
+// suppression file with a reason, not past the analyzer.
+//
+// Function literals are analyzed as their own functions: a lock taken
+// inside a goroutine body is that body's to release, and a lock held
+// by the spawning function is not attributed to statements that run
+// on another goroutine's schedule.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"compactroute/internal/analysis"
+)
+
+// Scope lists the package-path suffixes the analyzer applies to.
+var Scope = []string{
+	"internal/serve",
+	"internal/cluster",
+	"internal/dynamic",
+	"internal/server",
+}
+
+// Analyzer is the locksafe checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "locks released on all paths; no exclusive lock held across sends, RPCs, or user callbacks",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, s := range Scope {
+		if analysis.PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// A lockCall is one acquisition site: a statement-level call to a
+// sync package Lock or RLock method. The lock's identity is the
+// source spelling of the receiver expression — c.mu and c.mu match,
+// c.mu and d.mu do not — which is exact for the field-and-local locks
+// this repository uses.
+type lockCall struct {
+	stmt  ast.Node // the *ast.ExprStmt block node
+	recv  string
+	rlock bool
+}
+
+func (lc *lockCall) unlockName() string {
+	if lc.rlock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func checkBody(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	params := paramObjects(pass.TypesInfo, ftype)
+	cfg := analysis.NewCFG(body)
+	var acqs []*lockCall
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if lc := asLockCall(pass.TypesInfo, n); lc != nil {
+				acqs = append(acqs, lc)
+			}
+		}
+	}
+	for _, lc := range acqs {
+		released := cfg.AllPathsHit(lc.stmt, func(n ast.Node) bool {
+			return releases(pass.TypesInfo, n, lc, true)
+		})
+		if !released {
+			pass.Reportf(lc.stmt.Pos(),
+				"lock %s not released on all paths: defer %s.%s() after acquiring, or release before every return",
+				lc.recv, lc.recv, lc.unlockName())
+		}
+		if !lc.rlock {
+			reportHeldAcross(pass, cfg, lc, params)
+		}
+	}
+}
+
+// asLockCall recognizes a statement that acquires a sync lock.
+func asLockCall(info *types.Info, n ast.Node) *lockCall {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") || !isSyncMethod(info, sel) {
+		return nil
+	}
+	return &lockCall{stmt: es, recv: types.ExprString(sel.X), rlock: sel.Sel.Name == "RLock"}
+}
+
+// releases reports whether block node n releases lc: a direct
+// matching Unlock statement, or (when allowDefer) a deferred one —
+// a defer on the path guarantees release at every exit beyond it,
+// but does not end the held region for the held-across check.
+func releases(info *types.Info, n ast.Node, lc *lockCall, allowDefer bool) bool {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		call, _ = n.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		if !allowDefer {
+			return false
+		}
+		call = n.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != lc.unlockName() || !isSyncMethod(info, sel) {
+		return false
+	}
+	return types.ExprString(sel.X) == lc.recv
+}
+
+func isSyncMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// reportHeldAcross walks forward from the acquisition, stopping each
+// path at the matching explicit Unlock, and flags blocking operations
+// inside the held region. With a deferred release the region runs to
+// every exit — which is the point: defer is the right shape only when
+// nothing in the critical section blocks.
+// paramObjects collects the objects bound by a function's parameters:
+// the func-typed values among them are caller-supplied callbacks,
+// unlike the function's own local closures.
+func paramObjects(info *types.Info, ftype *ast.FuncType) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	return params
+}
+
+func reportHeldAcross(pass *analysis.Pass, cfg *analysis.CFG, lc *lockCall, params map[types.Object]bool) {
+	blk, idx := cfg.NodeBlock(lc.stmt)
+	if blk == nil {
+		return
+	}
+	reported := make(map[token.Pos]bool)
+	visited := make(map[*analysis.Block]bool)
+	var walk func(b *analysis.Block, start int)
+	walk = func(b *analysis.Block, start int) {
+		for _, n := range b.Nodes[start:] {
+			if releases(pass.TypesInfo, n, lc, false) {
+				return
+			}
+			reportBlocking(pass, n, lc, params, reported)
+		}
+		for _, s := range b.Succs {
+			if !visited[s] {
+				visited[s] = true
+				walk(s, 0)
+			}
+		}
+	}
+	walk(blk, idx+1)
+}
+
+// reportBlocking scans one block node's subtree for operations that
+// can block or re-enter while lc is held. Function literals are not
+// descended — their bodies run on their own schedule and are checked
+// as functions of their own. Defers are not descended either: they
+// run at exit, where the ordering against a deferred release is the
+// runtime's, not this statement's.
+func reportBlocking(pass *analysis.Pass, n ast.Node, lc *lockCall, params map[types.Object]bool, reported map[token.Pos]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			report(pass, sub.Arrow, lc, "a channel send", reported)
+		case *ast.CallExpr:
+			if what := blockingCall(pass.TypesInfo, sub, params); what != "" {
+				report(pass, sub.Pos(), lc, what, reported)
+			}
+		}
+		return true
+	})
+}
+
+func report(pass *analysis.Pass, pos token.Pos, lc *lockCall, what string, reported map[token.Pos]bool) {
+	if reported[pos] {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos, "lock %s held across %s: release it first, or move the blocking work out of the critical section", lc.recv, what)
+}
+
+// blockingCall classifies a call that can block or re-enter under a
+// held lock: net/http traffic, a client RPC (a method on the client
+// package's types), or a dynamic call through a func-typed value the
+// library cannot vouch for — a parameter, a stored field, or an
+// indexed hook. A bare identifier that is not a parameter is the
+// function's own local closure (an in-function helper like a
+// validation or formatting closure), which is not a callback; static
+// calls to ordinary functions are likewise not flagged — the analyzer
+// checks their bodies when they, too, are in scope.
+func blockingCall(info *types.Info, call *ast.CallExpr, params map[types.Object]bool) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.ObjectOf(fun).(type) {
+		case *types.Func:
+			return pkgBlocking(obj)
+		case *types.Var:
+			if params[obj] {
+				return "a user callback"
+			}
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.ObjectOf(fun.Sel).(type) {
+		case *types.Func:
+			return pkgBlocking(obj)
+		case *types.Var:
+			return "a user callback"
+		}
+	default:
+		// An indexed or computed callee (c.hooks[i](…)). A type
+		// conversion never lands here with a signature type.
+		if tv, ok := info.Types[call.Fun]; ok && !tv.IsType() && tv.Type != nil {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return "a user callback"
+			}
+		}
+	}
+	return ""
+}
+
+func pkgBlocking(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case pkg.Path() == "net/http":
+		return "a net/http call"
+	case analysis.PathHasSuffix(pkg.Path(), "client") && sig != nil && sig.Recv() != nil:
+		return "a client RPC"
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+package locksafe
+
+import (
+	"testing"
+
+	"compactroute/internal/analysis/analysistest"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, Analyzer,
+		"testdata/src/internal/serve",
+		"testdata/src/internal/dynamic",
+		"testdata/src/client",
+		"testdata/src/outside")
+}

@@ -1,0 +1,13 @@
+// Package client is a stand-in for the repository's RPC client: a
+// method on its types counts as a blocking RPC under a held lock.
+package client
+
+// Client fakes the shard RPC client.
+type Client struct{}
+
+// Healthz fakes a round trip.
+func (c *Client) Healthz() error { return nil }
+
+// IsStatus is a pure helper — package-level, no receiver — and must
+// NOT count as an RPC.
+func IsStatus(err error, code int) bool { return err != nil && code != 0 }

@@ -1,0 +1,32 @@
+// Package dynamic is the clean locksafe fixture: the repository's
+// accepted snapshot-then-notify idiom, where hooks are copied under
+// the lock and run only after release.
+package dynamic
+
+import "sync"
+
+// Swapper mirrors the serving tier's hot-swap coordinator.
+type Swapper struct {
+	mu    sync.Mutex
+	gen   int
+	hooks []func(int)
+}
+
+// Swap snapshots the hooks under the lock and runs them outside it.
+func (s *Swapper) Swap() {
+	s.mu.Lock()
+	s.gen++
+	gen := s.gen
+	hooks := append([]func(int){}, s.hooks...)
+	s.mu.Unlock()
+	for _, h := range hooks {
+		h(gen)
+	}
+}
+
+// OnSwap registers a hook; the critical section only mutates state.
+func (s *Swapper) OnSwap(h func(int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, h)
+}

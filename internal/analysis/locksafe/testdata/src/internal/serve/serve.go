@@ -1,0 +1,159 @@
+// Package serve is the flagged locksafe fixture: each function below
+// is one shape of the two rules — release on all paths, and nothing
+// blocking under an exclusive lock — plus the accepted shapes that
+// must stay clean.
+package serve
+
+import (
+	"net/http"
+	"sync"
+
+	"compactroute/internal/analysis/locksafe/testdata/src/client"
+)
+
+// Pool carries one of every lock-adjacent field the analyzer cares
+// about: a mutex, a read-write gate, an RPC client, and callbacks.
+type Pool struct {
+	mu      sync.Mutex
+	gate    sync.RWMutex
+	n       int
+	key     string
+	url     string
+	err     error
+	c       *client.Client
+	onEvict func(string)
+	hooks   []func(int)
+}
+
+// Leak takes the lock and loses it on the early return.
+func Leak(p *Pool) {
+	p.mu.Lock() // want `lock p\.mu not released on all paths`
+	if p.n == 0 {
+		return
+	}
+	p.mu.Unlock()
+}
+
+// ReadLeak leaks the read side the same way.
+func ReadLeak(p *Pool) int {
+	p.gate.RLock() // want `lock p\.gate not released on all paths`
+	return p.n
+}
+
+// Deferred is the canonical clean shape.
+func Deferred(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n++
+}
+
+// Branches releases explicitly on every path: clean.
+func Branches(p *Pool) {
+	p.mu.Lock()
+	if p.n > 0 {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+}
+
+// SendUnderLock blocks on a channel while holding the lock.
+func SendUnderLock(p *Pool, ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch <- p.n // want `lock p\.mu held across a channel send`
+}
+
+// SendAfter hands off outside the critical section: clean.
+func SendAfter(p *Pool, ch chan int) {
+	p.mu.Lock()
+	n := p.n
+	p.mu.Unlock()
+	ch <- n
+}
+
+// FetchUnderLock does network I/O under the lock.
+func FetchUnderLock(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	http.Get(p.url) // want `lock p\.mu held across a net/http call`
+}
+
+// ProbeUnderLock makes an RPC under the lock. The package-level
+// client.IsStatus helper is pure and must not count as one.
+func ProbeUnderLock(p *Pool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if client.IsStatus(p.err, 503) {
+		return p.err
+	}
+	return p.c.Healthz() // want `lock p\.mu held across a client RPC`
+}
+
+// ReadProbe holds the read gate across the same RPC: the documented
+// proxy design, exempt from the held-across rule.
+func ReadProbe(p *Pool) error {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	return p.c.Healthz()
+}
+
+// EvictUnderLock re-enters user code through a func-typed field.
+func EvictUnderLock(p *Pool, k string) {
+	p.mu.Lock()
+	p.onEvict(k) // want `lock p\.mu held across a user callback`
+	p.mu.Unlock()
+}
+
+// EachUnderLock re-enters user code through a func-typed parameter.
+func EachUnderLock(p *Pool, fn func(int)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fn(p.n) // want `lock p\.mu held across a user callback`
+}
+
+// FireUnderLock re-enters user code through an indexed hook.
+func FireUnderLock(p *Pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hooks[0](p.n) // want `lock p\.mu held across a user callback`
+}
+
+// Helpers calls a local closure under the lock: the function's own
+// code, not a user callback — clean.
+func Helpers(p *Pool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bump := func(d int) { p.n += d }
+	bump(2)
+	return p.n
+}
+
+// EvictOutside snapshots under the lock and calls back after: clean.
+func EvictOutside(p *Pool, fn func(string)) {
+	p.mu.Lock()
+	k := p.key
+	p.mu.Unlock()
+	fn(k)
+}
+
+// Spawn locks inside the goroutine body, which is analyzed as its own
+// function: clean.
+func Spawn(p *Pool) {
+	go func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.n++
+	}()
+}
+
+// SpawnLeak leaks inside the goroutine body.
+func SpawnLeak(p *Pool) {
+	go func() {
+		p.mu.Lock() // want `lock p\.mu not released on all paths`
+		if p.n > 0 {
+			return
+		}
+		p.mu.Unlock()
+	}()
+}

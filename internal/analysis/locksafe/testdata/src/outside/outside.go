@@ -1,0 +1,12 @@
+// Package outside sits outside the analyzer's scope: the blatant
+// leak below must produce no diagnostics, pinning the package filter.
+package outside
+
+import "sync"
+
+var mu sync.Mutex
+
+// Leak would be flagged in a scoped package.
+func Leak() {
+	mu.Lock()
+}

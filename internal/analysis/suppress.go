@@ -7,14 +7,17 @@ import (
 	"strings"
 )
 
-// A Suppression silences diagnostics from one analyzer in one file.
-// It is the suite's only escape hatch, and it is deliberately noisy:
-// every entry lives in a tracked file, must carry a reason, and an
-// entry that stops matching anything fails the run so dead
-// suppressions cannot accumulate.
+// A Suppression silences diagnostics from one analyzer in one file —
+// or, when PathSuffix ends in "/", in every file under that directory
+// (a package-wide entry, e.g. "locksafe internal/cluster/"). Together
+// with the inline //crlint:ignore directive it is the suite's only
+// escape hatch, and it is deliberately noisy: every entry lives in a
+// tracked file, must carry a reason, and an entry that stops matching
+// anything fails the run so dead suppressions cannot accumulate —
+// stale detection stays exact per entry, directory entries included.
 type Suppression struct {
 	Analyzer   string
-	PathSuffix string         // slash-separated file path suffix, segment-aligned
+	PathSuffix string         // slash-separated path suffix, segment-aligned; trailing "/" = directory
 	Message    *regexp.Regexp // optional: only diagnostics matching this
 	Reason     string
 	Line       int // line in the suppression file, for error reporting
@@ -25,9 +28,11 @@ type Suppression struct {
 // empty suppression set, not an error. Each non-blank, non-comment
 // line reads:
 //
-//	<analyzer> <file-path-suffix> [message-regexp]  # reason
+//	<analyzer> <path-suffix> [message-regexp]  # reason
 //
-// The trailing "# reason" is mandatory: an unexplained suppression is
+// where <path-suffix> names one file ("internal/serve/serve.go") or,
+// with a trailing slash, a whole directory ("internal/cluster/"). The
+// trailing "# reason" is mandatory: an unexplained suppression is
 // indistinguishable from a silenced bug.
 func LoadSuppressions(path string) ([]*Suppression, error) {
 	data, err := os.ReadFile(path)
@@ -74,7 +79,13 @@ func (s *Suppression) matches(d Diagnostic) bool {
 		return false
 	}
 	file := strings.ReplaceAll(d.Pos.Filename, string(os.PathSeparator), "/")
-	if !PathHasSuffix(file, s.PathSuffix) {
+	if dir, ok := strings.CutSuffix(s.PathSuffix, "/"); ok {
+		// Directory entry: matches any file under the directory,
+		// segment-aligned on both sides.
+		if !strings.Contains("/"+file+"/", "/"+dir+"/") {
+			return false
+		}
+	} else if !PathHasSuffix(file, s.PathSuffix) {
 		return false
 	}
 	return s.Message == nil || s.Message.MatchString(d.Message)

@@ -352,6 +352,8 @@ func (c *Cluster) healthyCount() int {
 // route gate is held for read, so answers never straddle a
 // coordinated cut-over. Transport failures eject the shard and the
 // query retries on the survivors.
+//
+//crlint:hotpath
 func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Route, error) {
 	c.gate.RLock()
 	defer c.gate.RUnlock()

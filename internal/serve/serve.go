@@ -183,6 +183,8 @@ func NewPool(r Router, o Options) *Pool {
 // misses coalesce: one caller leads the computation, the rest wait for
 // its result. It blocks while all workers are busy; cancel ctx to give
 // up waiting.
+//
+//crlint:hotpath
 func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	p.requests.Add(1)
 	if err := ctx.Err(); err != nil {
@@ -268,6 +270,8 @@ func (p *Pool) Purge() {
 
 // compute takes a worker slot and walks the route, maintaining the
 // per-request counters.
+//
+//crlint:hotpath
 func (p *Pool) compute(ctx context.Context, srcName, dstName uint64) (Result, error) {
 	select {
 	case p.slots <- struct{}{}:
