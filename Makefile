@@ -86,6 +86,9 @@ benchjson:
 	$(GO) run ./cmd/routebench -exp D1 -quick -json > BENCH_D1.json
 	@cat BENCH_D1.json
 	@test -s BENCH_D1.json || { echo "benchjson: empty BENCH_D1.json" >&2; exit 1; }
+	$(GO) run ./cmd/routebench -exp D2 -quick -json > BENCH_D2.json
+	@cat BENCH_D2.json
+	@test -s BENCH_D2.json || { echo "benchjson: empty BENCH_D2.json" >&2; exit 1; }
 	$(GO) run ./cmd/routebench -exp S1 -quick -json > BENCH_S1.json
 	@cat BENCH_S1.json
 	@test -s BENCH_S1.json || { echo "benchjson: empty BENCH_S1.json" >&2; exit 1; }

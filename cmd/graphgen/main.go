@@ -15,6 +15,12 @@
 //	graphgen -family gnp -n 500 -seed 3 -mutations 200 -mutout churn.mut > topo.txt
 //	routed -scheme tz -graph topo.txt &
 //	loadgen -graph topo.txt -mutations churn.mut ...
+//
+// -failures switches the trace to the mixed churn+failure profile:
+// transient link/node loss and recovery events (failedge, failnode,
+// recoveredge, recovernode) interleaved with the topology churn, the
+// up-subgraph kept connected throughout, with a recovery tail appended
+// so the trace replays to quiescence (every failed element recovered).
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	mutations := flag.Int("mutations", 0, "also emit a deterministic mutation trace of this many topology changes (requires -mutout)")
 	mutout := flag.String("mutout", "", "file the mutation trace is written to (the graph itself goes to stdout)")
+	failures := flag.Bool("failures", false, "mix transient link/node failure and recovery events into the trace (ends with a recovery tail: the trace replays to quiescence)")
 	flag.Parse()
 
 	w := gen.Uniform(*wlo, *whi)
@@ -87,7 +94,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "graphgen: -mutations needs -mutout (the graph occupies stdout)")
 			os.Exit(2)
 		}
-		muts, err := dynamic.GenerateTrace(g, *mutations, *seed)
+		var muts []dynamic.Mutation
+		var err error
+		if *failures {
+			var fs *dynamic.FaultSet
+			muts, fs, err = dynamic.GenerateFaultTrace(g, *mutations, *seed, dynamic.DefaultTraceProfile())
+			if err == nil {
+				muts = append(muts, fs.RecoveryMutations()...)
+			}
+		} else {
+			muts, err = dynamic.GenerateTrace(g, *mutations, *seed)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "graphgen:", err)
 			os.Exit(1)

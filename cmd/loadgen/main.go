@@ -171,7 +171,7 @@ func main() {
 	}
 
 	table := stats.NewTable("latency by workload pattern",
-		"pattern", "queries", "errors", "qps", "p50", "p95", "p99", "max")
+		"pattern", "queries", "errors", "unreach", "qps", "p50", "p95", "p99", "max")
 	var histograms []string
 	for _, p := range patterns {
 		streams, err := patternStreams(p, g, scheme, *concurrency, base)
@@ -186,7 +186,7 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", p, err))
 		}
-		table.AddRow(string(p), rep.queries, rep.failed,
+		table.AddRow(string(p), rep.queries, rep.failed, rep.unreachable,
 			fmt.Sprintf("%.0f", rep.qps()),
 			fmtLatency(rep.latency.Percentile(50)),
 			fmtLatency(rep.latency.Percentile(95)),
@@ -367,10 +367,11 @@ func memoRanker(s *compactroute.Scheme) func(u, v graph.NodeID) float64 {
 
 // report summarizes one pattern's replay.
 type report struct {
-	queries int // requests issued (excluding warmup)
-	failed  int // API-error responses (4xx/5xx)
-	elapsed time.Duration
-	latency *stats.Sample // seconds, successful requests only
+	queries     int // requests issued (excluding warmup)
+	failed      int // API-error responses (4xx/5xx other than 502)
+	unreachable int // 502s: the shard's fault overlay blocked the query
+	elapsed     time.Duration
+	latency     *stats.Sample // seconds, successful requests only
 }
 
 func (r report) qps() float64 {
@@ -395,9 +396,10 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 		streams = streams[:workers]
 	}
 	type workerResult struct {
-		lat    stats.Sample
-		failed int
-		err    error
+		lat         stats.Sample
+		failed      int
+		unreachable int
+		err         error
 	}
 	results := make([]workerResult, workers)
 	ctx := context.Background()
@@ -431,7 +433,14 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 						r.err = err // transport failure: abort
 					case warm: // untimed, uncounted
 					case err != nil:
-						r.failed++
+						// 502 is not the daemon misbehaving — a transient
+						// fault blocked the query. Tallied apart so a
+						// resilience run reads delivery loss directly.
+						if client.IsStatus(err, 502) {
+							r.unreachable++
+						} else {
+							r.failed++
+						}
 					default:
 						r.lat.Add(time.Since(t0).Seconds())
 						if counter != nil {
@@ -454,6 +463,7 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 			return report{}, results[w].err
 		}
 		rep.failed += results[w].failed
+		rep.unreachable += results[w].unreachable
 		rep.latency.Merge(&results[w].lat)
 	}
 	return rep, nil

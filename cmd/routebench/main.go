@@ -2,9 +2,10 @@
 // (T1–T10, F1–F2; see DESIGN.md §2 and EXPERIMENTS.md) and the
 // harness's own performance experiments — P1 (parallel query sweep),
 // B1 (streaming build cost), D1 (dynamic-topology churn: rebuild
-// latency, swap pause, staleness), S1 (sharded serving tier: cluster
-// throughput, tail latency, coordinated cut-over pause vs shard
-// count) — and measures the
+// latency, swap pause, staleness), D2 (failure resilience: delivery
+// and stretch under transient link/node loss, raw vs best-of-both and
+// flap damping), S1 (sharded serving tier: cluster throughput, tail
+// latency, coordinated cut-over pause vs shard count) — and measures the
 // build-once/route-many split the persistence layer enables. -json
 // switches every experiment table to machine-readable JSON Lines (one
 // object per table), the format the BENCH_*.json perf trajectory

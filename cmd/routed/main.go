@@ -67,6 +67,9 @@ func main() {
 	sfactor := flag.Float64("sfactor", 0.25, "landmark S-set constant for kind paper")
 	graphFile := flag.String("graph", "", "build the kind over this topology file (gio text format) instead of generating one")
 	rebuildAfter := flag.Int("rebuild-after", 0, "trigger a background rebuild automatically once this many mutations are pending (0: POST /v1/rebuild only)")
+	bestOfBoth := flag.Bool("bestofboth", false, "route src→dst and dst→src concurrently and serve the cheaper usable direction (dynamic mode; mitigates transient link/node failures)")
+	dampPenalty := flag.Float64("damp-penalty", 0, "flap damping: starting cost penalty per recently failed element on a path, decaying with -damp-halflife (dynamic mode; 0: off)")
+	dampHalfLife := flag.Duration("damp-halflife", 30*time.Second, "flap-damping decay half-life")
 	snapdir := flag.String("snapdir", "", "persist every topology version to this directory (graph, persistable schemes with lineage, manifest); one directory records one run's chain — use a fresh one per daemon start")
 	flag.Parse()
 
@@ -88,6 +91,9 @@ func main() {
 		CacheSize:    *cacheSize,
 		Shards:       *shards,
 		RebuildAfter: *rebuildAfter,
+		BestOfBoth:   *bestOfBoth,
+		DampPenalty:  *dampPenalty,
+		DampHalfLife: *dampHalfLife,
 		SnapshotDir:  *snapdir,
 		Logf:         log.Printf,
 	})

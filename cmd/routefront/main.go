@@ -42,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8300", "listen address")
 	shards := flag.String("shards", "", "comma-separated routed base URLs, e.g. http://localhost:8347,http://localhost:8348 (required)")
 	healthEvery := flag.Duration("health-every", time.Second, "health-probe interval (ejected shards back off exponentially on top)")
+	bestOfBoth := flag.Bool("bestofboth", false, "add a reverse dst→src walk to every cross-shard scatter and serve the cheaper delivered direction")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c, err := cluster.New(cluster.Options{Shards: urls, HealthEvery: *healthEvery, Logf: log.Printf})
+	c, err := cluster.New(cluster.Options{Shards: urls, HealthEvery: *healthEvery, BestOfBoth: *bestOfBoth, Logf: log.Printf})
 	if err != nil {
 		log.Fatalf("routefront: %v", err)
 	}

@@ -403,6 +403,40 @@ func (s *Scheme) RouteByNameCtx(ctx context.Context, srcName, dstName uint64) (R
 	return out, nil
 }
 
+// RoutePathByNameCtx is RouteByNameCtx with the traversed path
+// returned as external names, source first (one entry for a
+// self-route; a failed search ends wherever the scheme gave up). It
+// runs on a tracing engine — one allocation per hop more than the
+// untraced route — and exists for layers that must inspect the walk:
+// the serving tier's fault repair (serve.Repairer) holds each path
+// against its down-link overlay.
+func (s *Scheme) RoutePathByNameCtx(ctx context.Context, srcName, dstName uint64) (Result, []uint64, error) {
+	src, ok := s.net.g.Lookup(srcName)
+	if !ok {
+		return Result{}, nil, fmt.Errorf("compactroute: source name %#x: %w", srcName, ErrUnknownName)
+	}
+	eng := sim.NewEngine(s.net.g)
+	eng.Trace = true
+	res, err := eng.RouteCtx(ctx, s.router, src, dstName)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	out := Result{
+		Delivered:  res.Delivered,
+		Cost:       res.Cost,
+		Hops:       res.Hops,
+		HeaderBits: int64(res.MaxHeaderBits),
+	}
+	if dst, ok := s.net.g.Lookup(dstName); ok {
+		out.ShortestCost, out.MetricKnown = s.net.shortest(src, dst)
+	}
+	path := make([]uint64, len(res.Path))
+	for i, id := range res.Path {
+		path[i] = s.net.g.Name(id)
+	}
+	return out, path, nil
+}
+
 // AddLabeled registers a node by an arbitrary string label (hashed to
 // its 64-bit routing name per §2.1's long-label generalization). Use
 // on a builder before BuildNetwork.

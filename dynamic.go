@@ -20,12 +20,19 @@ type Mutation = dynamic.Mutation
 // MutationOp enumerates the mutation operations.
 type MutationOp = dynamic.Op
 
-// The mutation operations, re-exported from internal/dynamic.
+// The mutation operations, re-exported from internal/dynamic. The
+// OpFail*/OpRecover* events are transient: they mark elements down or
+// up in the fault overlay the serving tier routes around, and never
+// change the permanent topology a rebuild seals (DESIGN.md §10).
 const (
-	OpAddNode    = dynamic.OpAddNode
-	OpAddEdge    = dynamic.OpAddEdge
-	OpRemoveEdge = dynamic.OpRemoveEdge
-	OpSetWeight  = dynamic.OpSetWeight
+	OpAddNode     = dynamic.OpAddNode
+	OpAddEdge     = dynamic.OpAddEdge
+	OpRemoveEdge  = dynamic.OpRemoveEdge
+	OpSetWeight   = dynamic.OpSetWeight
+	OpFailEdge    = dynamic.OpFailEdge
+	OpRecoverEdge = dynamic.OpRecoverEdge
+	OpFailNode    = dynamic.OpFailNode
+	OpRecoverNode = dynamic.OpRecoverNode
 )
 
 // MutAddNode returns an anchored add-node mutation: name joins the
@@ -52,12 +59,59 @@ func MutSetWeight(u, v uint64, w float64) Mutation {
 	return Mutation{Op: OpSetWeight, U: u, V: v, W: w}
 }
 
+// MutFailEdge returns a transient link-failure event: every edge of
+// the pair is down until a MutRecoverEdge (or a permanent removal).
+func MutFailEdge(u, v uint64) Mutation {
+	return Mutation{Op: OpFailEdge, U: u, V: v}
+}
+
+// MutRecoverEdge returns the recovery event for a failed pair.
+func MutRecoverEdge(u, v uint64) Mutation {
+	return Mutation{Op: OpRecoverEdge, U: u, V: v}
+}
+
+// MutFailNode returns a transient node-failure event: the node and
+// every edge at it are down until a MutRecoverNode.
+func MutFailNode(name uint64) Mutation {
+	return Mutation{Op: OpFailNode, Name: name}
+}
+
+// MutRecoverNode returns the recovery event for a failed node.
+func MutRecoverNode(name uint64) Mutation {
+	return Mutation{Op: OpRecoverNode, Name: name}
+}
+
 // GenerateMutations produces a deterministic, seedable churn trace of
 // k mutations valid against the network's graph: every mutation
 // replays and no removal ever disconnects the topology (see
 // cmd/graphgen -mutations).
 func GenerateMutations(net *Network, k int, seed uint64) ([]Mutation, error) {
 	return dynamic.GenerateTrace(net.g, k, seed)
+}
+
+// FaultProfile weighs the op mix of GenerateFaultMutations: the four
+// permanent churn ops plus transient FailEdge/FailNode events and a
+// Recover weight that brings a random outstanding fault back up.
+// Weights are relative; zero disables an op.
+type FaultProfile = dynamic.TraceProfile
+
+// DefaultFaultProfile mirrors GenerateMutations' churn mix with ~30%
+// transient failure/recovery events layered in.
+func DefaultFaultProfile() FaultProfile { return dynamic.DefaultTraceProfile() }
+
+// GenerateFaultMutations produces a deterministic, seedable trace of k
+// mutations mixing permanent churn with transient failure/recovery
+// events (cmd/graphgen -failures). Safety contract: every mutation
+// replays, and the live subgraph — up nodes over up edges — stays
+// connected after every event. The second result quiesces the tail:
+// appending it recovers every outstanding fault, returning the overlay
+// to the state a cold build of the final topology assumes.
+func GenerateFaultMutations(net *Network, k int, seed uint64, p FaultProfile) (trace, recovery []Mutation, err error) {
+	muts, fs, err := dynamic.GenerateFaultTrace(net.g, k, seed, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return muts, fs.RecoveryMutations(), nil
 }
 
 // WriteMutations emits a mutation trace in the text format
@@ -357,4 +411,17 @@ func (d *Dynamic) RouteByNameCtx(ctx context.Context, kind string, srcName, dstN
 		return Result{}, fmt.Errorf("compactroute: dynamic version %d: %w %q", v.ID, routeerr.ErrUnknownKind, kind)
 	}
 	return s.RouteByNameCtx(ctx, srcName, dstName)
+}
+
+// RoutePathByNameCtx is RouteByNameCtx with the traversed path
+// returned as external names (Scheme.RoutePathByNameCtx on the
+// serving version) — the shape serve.Repairer wraps to hold each walk
+// against the transient fault overlay.
+func (d *Dynamic) RoutePathByNameCtx(ctx context.Context, kind string, srcName, dstName uint64) (Result, []uint64, error) {
+	v, ds := d.current()
+	s, ok := ds.schemes[kind]
+	if !ok {
+		return Result{}, nil, fmt.Errorf("compactroute: dynamic version %d: %w %q", v.ID, routeerr.ErrUnknownKind, kind)
+	}
+	return s.RoutePathByNameCtx(ctx, srcName, dstName)
 }

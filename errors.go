@@ -46,4 +46,11 @@ var (
 	// answer straddled two shards serving different versions. Conflict
 	// semantics: HTTP layers answer 409.
 	ErrVersionSkew = routeerr.ErrVersionSkew
+	// ErrUnreachable: the transient fault overlay blocks every
+	// candidate path for the query (failed links or nodes injected by
+	// the failure events; see GenerateFaultMutations). Distinct from
+	// ErrNotDelivered (scheme failure on healthy topology) and
+	// retryable once the outage recovers or the next rebuild absorbs
+	// the loss. Bad-gateway semantics: HTTP layers answer 502.
+	ErrUnreachable = routeerr.ErrUnreachable
 )

@@ -39,6 +39,17 @@ func LoopedSend() chan int {
 	return ch
 }
 
+// ReverseLegUnbuffered races a reverse walk but forgets the buffer:
+// the moment the caller keeps only the forward answer and skips the
+// receive, the leg blocks on its send forever.
+func ReverseLegUnbuffered(route func(int) int, q int) int {
+	bc := make(chan int)
+	go func() { // want `goroutine is not tied to a lifecycle`
+		bc <- route(-q)
+	}()
+	return route(q)
+}
+
 // spin loops forever; spawning it by name is still a leak.
 func (w *Worker) spin() {
 	for {

@@ -63,6 +63,17 @@ func (p *Pump) Start() {
 	go p.loop()
 }
 
+// ReverseLeg mirrors the best-of-both fan-out: one bounded spawn per
+// query walking the opposite direction, its result through a buffered
+// channel made here — the receive may be abandoned (forward answer
+// wins, caller gone) without stranding the sender.
+func ReverseLeg(route func(int) int, q int) (int, int) {
+	bc := make(chan int, 1)
+	go func() { bc <- route(-q) }()
+	fwd := route(q)
+	return fwd, <-bc
+}
+
 // Results does one bounded piece of work per spawn: loop-free bodies,
 // buffered result channel made here.
 func Results(xs []int) []int {

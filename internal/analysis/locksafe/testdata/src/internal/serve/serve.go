@@ -157,3 +157,30 @@ func SpawnLeak(p *Pool) {
 		p.mu.Unlock()
 	}()
 }
+
+// Repairer mirrors the serving tier's flap-damping table: an injected
+// clock callback plus the decay map it stamps under an exclusive
+// lock.
+type Repairer struct {
+	mu   sync.Mutex
+	now  func() int64
+	damp map[uint64]int64
+}
+
+// StampUnderLock reads the injected clock while holding the table
+// exclusively — re-entering user code (a test's fake clock, say) with
+// the damping table locked.
+func StampUnderLock(r *Repairer, k uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.damp[k] = r.now() // want `lock r\.mu held across a user callback`
+}
+
+// StampBefore is the damping table's accepted shape: read the clock
+// first, then take the lock only for the map write.
+func StampBefore(r *Repairer, k uint64) {
+	t := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.damp[k] = t
+}

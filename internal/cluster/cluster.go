@@ -89,6 +89,16 @@ type Options struct {
 	// HealthEvery is the health-probe interval (0: 1s). Ejected
 	// shards are probed with exponential backoff on top of this.
 	HealthEvery time.Duration
+	// BestOfBoth adds a reverse walk to every cross-shard scatter: the
+	// destination owner routes dst→src concurrently with the source
+	// owner's forward walk, and the cheaper delivered direction is
+	// served (edges are undirected, so either walk answers the pair).
+	// The reverse leg is advisory — it can rescue a query the forward
+	// overlay blocks, but never introduces a new failure mode: an
+	// errored, undelivered, or version-skewed reverse leg is simply
+	// discarded. Single-shard routes are untouched (the shard applies
+	// its own best-of-both if routed was started with it).
+	BestOfBoth bool
 	// Logf receives operational log lines (nil: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -128,6 +138,7 @@ type Cluster struct {
 
 	// counters (see Stats)
 	routes, proxied, scattered    atomic.Uint64
+	reversed                      atomic.Uint64
 	failovers, ejections, readmit atomic.Uint64
 	skews, swaps                  atomic.Uint64
 	lastCutoverNs, maxCutoverNs   atomic.Int64
@@ -140,6 +151,7 @@ type Stats struct {
 	Routes        uint64 `json:"routes"`
 	Proxied       uint64 `json:"proxied"`   // single-shard routes
 	Scattered     uint64 `json:"scattered"` // cross-shard scatter-gathers
+	Reversed      uint64 `json:"reversed"`  // scatters served by the reverse walk (BestOfBoth)
 	Failovers     uint64 `json:"failovers"`
 	Ejections     uint64 `json:"ejections"`
 	Readmissions  uint64 `json:"readmissions"`
@@ -431,6 +443,9 @@ func shardFault(ctx context.Context, err error) bool {
 // route while the destination owner confirms the destination name and
 // the stretch denominator, concurrently. The two legs must answer
 // from the same topology version — anything else is version skew.
+// Under Options.BestOfBoth a third leg walks dst→src on the
+// destination owner; the cheaper delivered direction is served (ties
+// and errors keep the forward walk — see Options).
 func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, dst uint64) (client.Route, error) {
 	type routeLeg struct {
 		res client.Route
@@ -450,7 +465,47 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 		res, err := dstShard.c.Resolve(ctx, src, dst)
 		vc <- resolveLeg{res, err}
 	}()
+	var bc chan routeLeg
+	if c.opts.BestOfBoth {
+		bc = make(chan routeLeg, 1)
+		go func() {
+			res, err := dstShard.c.RouteByName(ctx, dst, src)
+			bc <- routeLeg{res, err}
+		}()
+	}
 	walk, confirm := <-rc, <-vc
+	if bc != nil {
+		// Fold the reverse walk in. It is strictly advisory: only a
+		// delivered reverse answer on a version agreeing with the
+		// forward walk can replace it, and only by being cheaper — or by
+		// succeeding where the forward direction failed as an API
+		// outcome (its fault overlay blocking the only path is exactly
+		// the case the reverse direction exists to dodge). Transport
+		// faults on the reverse leg are left for the resolve leg's
+		// handling below: both run on dstShard, so a dead shard fails
+		// the confirm leg and drives the normal eject-and-retry path.
+		back := <-bc
+		if back.err == nil && back.res.Delivered {
+			// An adopted reverse answer defers its stretch denominator
+			// to the confirm leg: its own ShortestCost was summed
+			// dst→src and can differ from the destination owner's
+			// src→dst sum in the last ulp — a float artifact, not the
+			// data fault the divergence check below exists to catch.
+			back.res.ShortestCost, back.res.Stretch = 0, 0
+			switch {
+			case walk.err != nil && !shardFault(ctx, walk.err):
+				c.reversed.Add(1)
+				walk = routeLeg{res: back.res}
+			case walk.err == nil:
+				if walk.res.Version != nil && back.res.Version != nil && *walk.res.Version != *back.res.Version {
+					c.skews.Add(1) // advisory leg: discard, don't refuse
+				} else if !walk.res.Delivered || back.res.Cost < walk.res.Cost {
+					c.reversed.Add(1)
+					walk = back
+				}
+			}
+		}
+	}
 	if walk.err != nil {
 		if shardFault(ctx, walk.err) {
 			c.eject(srcShard, walk.err)
@@ -475,9 +530,13 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 	// denominator from its own table.
 	if rv.MetricKnown && rv.SrcKnown && rv.DstKnown {
 		if res.ShortestCost != 0 && res.ShortestCost != rv.ShortestCost {
+			ver := "?"
+			if res.Version != nil {
+				ver = fmt.Sprintf("%d", *res.Version)
+			}
 			return client.Route{}, fmt.Errorf(
-				"%w on shortest %d→%d at version %v: %v (%s) vs %v (%s)",
-				ErrDivergence, src, dst, res.Version, res.ShortestCost, srcShard.url, rv.ShortestCost, dstShard.url)
+				"%w on shortest %d→%d at version %s: %v (%s) vs %v (%s)",
+				ErrDivergence, src, dst, ver, res.ShortestCost, srcShard.url, rv.ShortestCost, dstShard.url)
 		}
 		res.ShortestCost = rv.ShortestCost
 		if res.ShortestCost > 0 {
@@ -692,6 +751,7 @@ func (c *Cluster) Stats() Stats {
 		Routes:        c.routes.Load(),
 		Proxied:       c.proxied.Load(),
 		Scattered:     c.scattered.Load(),
+		Reversed:      c.reversed.Load(),
 		Failovers:     c.failovers.Load(),
 		Ejections:     c.ejections.Load(),
 		Readmissions:  c.readmit.Load(),

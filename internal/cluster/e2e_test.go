@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	"compactroute"
 	"compactroute/client"
+	"compactroute/internal/server"
 )
 
 // TestEndToEndClusterChurn is the acceptance run for the serving
@@ -163,5 +165,232 @@ func TestEndToEndClusterChurn(t *testing.T) {
 	}
 	if checked == 0 || scattered == 0 {
 		t.Fatalf("cold-build sample too thin: %d checked, %d cross-shard", checked, scattered)
+	}
+}
+
+// TestShardKillDuringFaultChurn is the resilience acceptance run: a
+// three-shard cluster (front-door with the best-of-both reverse leg
+// on) replays queries while a failure trace churns through the mutate
+// fan-out, and one shard is killed mid-churn. Survivors must keep
+// serving every query — delivered, or refused with the fault
+// overlay's pinned 502, never anything else. The dead shard, revived
+// with a short log, must stay ejected until it matches a healthy
+// peer's version AND log position; caught up out-of-band, it must
+// come back.
+func TestShardKillDuringFaultChurn(t *testing.T) {
+	const nodes = 90
+	// Roomy interval: probeAll budgets ONE interval of context across
+	// every shard's health check, and a tight budget under -race load
+	// ejects healthy-but-slow shards. Ejection in this test rides the
+	// mutate fan-out (immediate), not the probe, so the interval only
+	// paces re-admission — and the white-box probe nudges below keep
+	// that prompt.
+	const healthEvery = 200 * time.Millisecond
+	// Manual boot (not bootCluster): this front-door runs BestOfBoth,
+	// so the advisory reverse leg is exercised under a live fault
+	// overlay too.
+	urls := make([]string, 3)
+	servers := make([]*server.Server, 3)
+	wraps := make([]*flaky, 3)
+	for i := range urls {
+		srv, err := server.New(shardConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start(t.Context())
+		t.Cleanup(srv.Close)
+		wraps[i] = &flaky{h: srv.Handler()}
+		ts := httptest.NewServer(wraps[i])
+		t.Cleanup(ts.Close)
+		urls[i], servers[i] = ts.URL, srv
+	}
+	c, err := New(Options{Shards: urls, HealthEvery: healthEvery, BestOfBoth: true, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Close)
+	front := httptest.NewServer(c.Handler())
+	defer front.Close()
+	fc := client.New(front.URL)
+	ctx := context.Background()
+
+	net := servers[0].Scheme().Network()
+	g := net.Graph()
+	// Fail-only profile: the graph never changes, so every base name
+	// resolves in every version and the replay needs no coordination
+	// with the churn.
+	trace, recovery, err := compactroute.GenerateFaultMutations(net, 40, 9,
+		compactroute.FaultProfile{FailEdge: 3, FailNode: 1, Recover: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent replay: every front-door answer is either delivered
+	// or the overlay's honest 502 refusal. Transport errors, 409s, or
+	// anything else is a serving-tier failure and fails the test.
+	stop := make(chan struct{})
+	var delivered, refused, failures atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := client.New(front.URL)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := g.Name(compactroute.NodeID((w*13 + i) % nodes))
+				dst := g.Name(compactroute.NodeID((w*29 + i*7 + 1) % nodes))
+				res, err := wc.RouteByName(ctx, src, dst)
+				switch {
+				case err == nil && res.Delivered:
+					delivered.Add(1)
+				case client.IsStatus(err, http.StatusBadGateway):
+					refused.Add(1)
+				default:
+					t.Logf("query %d→%d: %+v, %v", src, dst, res, err)
+					failures.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Phase 1: half the failure trace through the fan-out, one
+	// coordinated cut-over, all three shards up.
+	half := len(trace) / 2
+	applied := uint64(0)
+	for b := 0; b < half; b += 5 {
+		if _, err := fc.Mutate(ctx, trace[b:min(b+5, half)]...); err != nil {
+			t.Fatalf("phase-1 mutate at %d: %v", b, err)
+		}
+	}
+	applied += uint64(half)
+	if v, err := fc.RebuildWait(ctx); err != nil || v.MutTo != applied {
+		t.Fatalf("phase-1 cut-over: %+v, %v (want mutTo %d)", v, err, applied)
+	}
+
+	// Kill shard 2 mid-churn. The rest of the trace keeps flowing: the
+	// first fan-out that hits the corpse ejects it and continues on
+	// the survivors.
+	wraps[2].down.Store(true)
+	for b := half; b < len(trace); b += 5 {
+		if _, err := fc.Mutate(ctx, trace[b:min(b+5, len(trace))]...); err != nil {
+			t.Fatalf("mutate with a dead shard at %d: %v", b, err)
+		}
+	}
+	applied = uint64(len(trace))
+	deadline := time.Now().Add(10 * time.Second)
+	for c.shards[2].healthy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead shard never ejected: %+v", c.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Quiesce the overlay on the survivors and cut over again.
+	if len(recovery) > 0 {
+		if _, err := fc.Mutate(ctx, recovery...); err != nil {
+			t.Fatalf("recovery tail: %v", err)
+		}
+		applied += uint64(len(recovery))
+	}
+	if v, err := fc.RebuildWait(ctx); err != nil || v.MutTo != applied {
+		t.Fatalf("post-recovery cut-over: %+v, %v (want mutTo %d)", v, err, applied)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d survivor-era queries failed (%d delivered, %d refused)",
+			failures.Load(), delivered.Load(), refused.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("no queries delivered during the kill-churn")
+	}
+	if st := c.Stats(); st.Ejections == 0 {
+		t.Fatalf("cluster stats after kill: %+v", st)
+	}
+
+	// Deterministic overlay refusal through the cluster: fail a node,
+	// the front-door answers 502 for routes to it, recovery restores
+	// delivery. (Replayed onto the dead shard later so logs line up.)
+	downName := g.Name(compactroute.NodeID(nodes / 2))
+	extra := []compactroute.Mutation{
+		compactroute.MutFailNode(downName),
+		compactroute.MutRecoverNode(downName),
+	}
+	if _, err := fc.Mutate(ctx, extra[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.RouteByName(ctx, g.Name(0), downName); !client.IsStatus(err, http.StatusBadGateway) {
+		t.Fatalf("route to a down node through the front-door: %v, want 502", err)
+	}
+	if _, err := fc.Mutate(ctx, extra[1]); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := fc.RouteByName(ctx, g.Name(0), downName); err != nil || !res.Delivered {
+		t.Fatalf("route after recovery: %+v, %v", res, err)
+	}
+	applied += uint64(len(extra))
+
+	// Revive the corpse with its short log: it answers health probes
+	// but missed mutations and a cut-over, so re-admission must refuse
+	// (version and log-position both disagree). White-box nudge: clear
+	// the probe backoff the outage accumulated so the health loop
+	// compares promptly instead of sleeping out a capped window.
+	wraps[2].down.Store(false)
+	c.shards[2].fails.Store(0)
+	c.shards[2].nextProbe.Store(0)
+	time.Sleep(6 * healthEvery)
+	if c.shards[2].healthy.Load() {
+		t.Fatalf("divergent shard re-admitted: %+v", c.Stats())
+	}
+
+	// Catch it up out-of-band — the same mutations its peers logged,
+	// one rebuild to the same version ID — and the health loop must
+	// take it back.
+	missed := append(append([]compactroute.Mutation{}, trace[half:]...), recovery...)
+	if _, err := servers[2].Mutate(missed...); err != nil {
+		t.Fatalf("out-of-band catch-up: %v", err)
+	}
+	if _, err := servers[2].Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := servers[2].Mutate(extra...); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := servers[2].Version(); v.ID != 2 {
+		t.Fatalf("caught-up shard at version %d, want 2", v.ID)
+	}
+	c.shards[2].fails.Store(0)
+	c.shards[2].nextProbe.Store(0)
+	deadline = time.Now().Add(15 * time.Second)
+	for !c.shards[2].healthy.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("caught-up shard never re-admitted: %+v", c.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Stats().Readmissions == 0 {
+		t.Fatal("readmission not counted")
+	}
+
+	// Full strength again: every shard fault-free at the same version,
+	// and a cross-shard route flows through the re-admitted world.
+	for i, s := range servers {
+		v, _ := s.Version()
+		if v.ID != 2 || v.MutTo != uint64(len(trace)+len(recovery)) {
+			t.Fatalf("shard %d at version %d (mutTo %d) after re-admission", i, v.ID, v.MutTo)
+		}
+		if f := s.Stats().Faults; f == nil || f.DownNodes != 0 || f.DownEdges != 0 {
+			t.Fatalf("shard %d fault view not empty: %+v", i, f)
+		}
+	}
+	if res, err := fc.RouteByName(ctx, g.Name(1), g.Name(2)); err != nil || !res.Delivered {
+		t.Fatalf("route after full recovery: %+v, %v", res, err)
 	}
 }

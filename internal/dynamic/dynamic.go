@@ -52,7 +52,35 @@ const (
 	OpRemoveEdge
 	// OpSetWeight sets the weight of every edge between the pair.
 	OpSetWeight
+
+	// The transient failure events. They model unplanned loss — a link
+	// or node that is down, not gone: the permanent topology (what
+	// Replay builds, what a rebuild seals) is unchanged, and a FaultSet
+	// projected over the same mutation stream carries the down/up view
+	// the serving path routes around (serve.Repairer, DESIGN.md §10).
+	// Keeping failures out of the replayed graph is what preserves the
+	// PR 5 composition contract: a trace replayed to quiescence yields
+	// a graph byte-identical to a cold build of the final topology.
+
+	// OpFailEdge marks every edge of the endpoint pair down.
+	OpFailEdge
+	// OpRecoverEdge brings a failed endpoint pair back up.
+	OpRecoverEdge
+	// OpFailNode marks a node (and so every edge at it) down.
+	OpFailNode
+	// OpRecoverNode brings a failed node back up.
+	OpRecoverNode
 )
+
+// Transient reports whether the op is a failure/recovery event — a
+// change to the fault overlay, not to the permanent topology.
+func (o Op) Transient() bool {
+	switch o {
+	case OpFailEdge, OpRecoverEdge, OpFailNode, OpRecoverNode:
+		return true
+	}
+	return false
+}
 
 // String returns the trace spelling of the op.
 func (o Op) String() string {
@@ -65,6 +93,14 @@ func (o Op) String() string {
 		return "removeedge"
 	case OpSetWeight:
 		return "setweight"
+	case OpFailEdge:
+		return "failedge"
+	case OpRecoverEdge:
+		return "recoveredge"
+	case OpFailNode:
+		return "failnode"
+	case OpRecoverNode:
+		return "recovernode"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -81,6 +117,14 @@ func ParseOp(s string) (Op, error) {
 		return OpRemoveEdge, nil
 	case "setweight":
 		return OpSetWeight, nil
+	case "failedge":
+		return OpFailEdge, nil
+	case "recoveredge":
+		return OpRecoverEdge, nil
+	case "failnode":
+		return OpFailNode, nil
+	case "recovernode":
+		return OpRecoverNode, nil
 	default:
 		return 0, fmt.Errorf("dynamic: unknown op %q", s)
 	}
@@ -126,6 +170,10 @@ func (m Mutation) String() string {
 		return fmt.Sprintf("removeedge %d %d", m.U, m.V)
 	case OpSetWeight:
 		return fmt.Sprintf("setweight %d %d %g", m.U, m.V, m.W)
+	case OpFailEdge, OpRecoverEdge:
+		return fmt.Sprintf("%s %d %d", m.Op, m.U, m.V)
+	case OpFailNode, OpRecoverNode:
+		return fmt.Sprintf("%s %d", m.Op, m.Name)
 	default:
 		return m.Op.String()
 	}
@@ -144,20 +192,31 @@ func pairKey(u, v uint64) [2]uint64 {
 // every accepted mutation), so a mutation that survives Append can
 // never fail to replay: AddNode requires a fresh name, edge ops
 // require live endpoints, AddEdge a positive finite weight, and
-// RemoveEdge/SetWeight an existing edge. Sequence numbers are 1-based;
-// 0 is "the base graph, nothing applied".
+// RemoveEdge/SetWeight an existing edge. The transient failure events
+// are validated against a parallel fault shadow — FailEdge needs a
+// present, up pair; RecoverEdge a down pair; FailNode/RecoverNode an
+// existing up/down node — so fail/recover sequencing survives Append
+// exactly once per element. Sequence numbers are 1-based; 0 is "the
+// base graph, nothing applied".
 type Log struct {
 	mu    sync.RWMutex
 	muts  []Mutation
 	nodes map[uint64]bool   // live node names at the tip
 	edges map[[2]uint64]int // unordered pair -> parallel edge count
+	// The fault shadow at the tip: transient events change only these,
+	// never nodes/edges (removing a pair clears its down flag — the
+	// element is gone, not down).
+	downNodes map[uint64]bool
+	downEdges map[[2]uint64]bool
 }
 
 // NewLog returns a log whose sequence 0 state is the base graph.
 func NewLog(base *graph.Graph) *Log {
 	l := &Log{
-		nodes: make(map[uint64]bool, base.N()),
-		edges: make(map[[2]uint64]int, base.M()),
+		nodes:     make(map[uint64]bool, base.N()),
+		edges:     make(map[[2]uint64]int, base.M()),
+		downNodes: make(map[uint64]bool),
+		downEdges: make(map[[2]uint64]bool),
 	}
 	for u := graph.NodeID(0); int(u) < base.N(); u++ {
 		l.nodes[base.Name(u)] = true
@@ -181,6 +240,8 @@ func (l *Log) Append(ms ...Mutation) (last uint64, err error) {
 	// whole batch passes.
 	ovNodes := make(map[uint64]bool)
 	ovEdges := make(map[[2]uint64]int)
+	ovDownNodes := make(map[uint64]bool)
+	ovDownEdges := make(map[[2]uint64]bool)
 	node := func(name uint64) bool {
 		if v, ok := ovNodes[name]; ok {
 			return v
@@ -192,6 +253,18 @@ func (l *Log) Append(ms ...Mutation) (last uint64, err error) {
 			return v
 		}
 		return l.edges[k]
+	}
+	nodeDown := func(name uint64) bool {
+		if v, ok := ovDownNodes[name]; ok {
+			return v
+		}
+		return l.downNodes[name]
+	}
+	edgeDown := func(k [2]uint64) bool {
+		if v, ok := ovDownEdges[k]; ok {
+			return v
+		}
+		return l.downEdges[k]
 	}
 	for i, m := range ms {
 		fail := func(format string, args ...any) (uint64, error) {
@@ -238,7 +311,48 @@ func (l *Log) Append(ms ...Mutation) (last uint64, err error) {
 				}
 				if m.Op == OpRemoveEdge {
 					ovEdges[k] = 0
+					ovDownEdges[k] = false // the pair is gone, not down
 				}
+			}
+		case OpFailEdge, OpRecoverEdge:
+			if m.U == m.V {
+				return fail("%s: self-loop on %d", m.Op, m.U)
+			}
+			if !node(m.U) {
+				return fail("%s: unknown node %d", m.Op, m.U)
+			}
+			if !node(m.V) {
+				return fail("%s: unknown node %d", m.Op, m.V)
+			}
+			k := pairKey(m.U, m.V)
+			if edgeCount(k) == 0 {
+				return fail("%s: no edge between %d and %d", m.Op, m.U, m.V)
+			}
+			if m.Op == OpFailEdge {
+				if edgeDown(k) {
+					return fail("failedge: edge %d-%d already down", m.U, m.V)
+				}
+				ovDownEdges[k] = true
+			} else {
+				if !edgeDown(k) {
+					return fail("recoveredge: edge %d-%d is not down", m.U, m.V)
+				}
+				ovDownEdges[k] = false
+			}
+		case OpFailNode, OpRecoverNode:
+			if !node(m.Name) {
+				return fail("%s: unknown node %d", m.Op, m.Name)
+			}
+			if m.Op == OpFailNode {
+				if nodeDown(m.Name) {
+					return fail("failnode: node %d already down", m.Name)
+				}
+				ovDownNodes[m.Name] = true
+			} else {
+				if !nodeDown(m.Name) {
+					return fail("recovernode: node %d is not down", m.Name)
+				}
+				ovDownNodes[m.Name] = false
 			}
 		default:
 			return fail("invalid op %d", m.Op)
@@ -255,6 +369,15 @@ func (l *Log) Append(ms ...Mutation) (last uint64, err error) {
 			l.edges[pairKey(m.U, m.V)]++
 		case OpRemoveEdge:
 			delete(l.edges, pairKey(m.U, m.V))
+			delete(l.downEdges, pairKey(m.U, m.V))
+		case OpFailEdge:
+			l.downEdges[pairKey(m.U, m.V)] = true
+		case OpRecoverEdge:
+			delete(l.downEdges, pairKey(m.U, m.V))
+		case OpFailNode:
+			l.downNodes[m.Name] = true
+		case OpRecoverNode:
+			delete(l.downNodes, m.Name)
 		}
 		l.muts = append(l.muts, m)
 	}
@@ -293,6 +416,16 @@ func (l *Log) Slice(from, to uint64) []Mutation {
 // incrementally rebuilt versions bit-identical to a cold build of the
 // final topology. Node ids are preserved: base nodes keep their ids,
 // added nodes take the next ids in mutation order. Labels survive.
+//
+// Transient failure events are validated for existence (the element
+// they name must be present at that point in the range) but change
+// nothing: a failure is a fault-overlay fact (FaultSet), not topology,
+// which is what keeps the composition contract intact across traces
+// containing failures. Replay deliberately does NOT check fail/recover
+// alternation — that is Append's job against the full log; a range
+// sliced mid-outage legitimately begins with a recover for an element
+// failed in an earlier range, and rejecting it would break the very
+// composition property above.
 //
 // Replay trusts its input the way the Log guarantees it: an invalid
 // mutation (unknown endpoint, duplicate name, absent edge) returns an
@@ -376,6 +509,22 @@ func Replay(base *graph.Graph, muts []Mutation) (*graph.Graph, error) {
 			}
 			if m.Op == OpRemoveEdge {
 				delete(byPair, k)
+			}
+		case OpFailEdge, OpRecoverEdge:
+			// Transient: validated, applied to nothing (see above).
+			k := pairKey(m.U, m.V)
+			live := 0
+			for _, ri := range byPair[k] {
+				if recs[ri].live {
+					live++
+				}
+			}
+			if live == 0 {
+				return nil, fmt.Errorf("dynamic: replay mutation %d: %s: no edge between %d and %d", i, m.Op, m.U, m.V)
+			}
+		case OpFailNode, OpRecoverNode:
+			if _, ok := id[m.Name]; !ok {
+				return nil, fmt.Errorf("dynamic: replay mutation %d: %s: unknown node %d", i, m.Op, m.Name)
 			}
 		default:
 			return nil, fmt.Errorf("dynamic: replay mutation %d: invalid op %d", i, m.Op)

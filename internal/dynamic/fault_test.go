@@ -1,0 +1,260 @@
+package dynamic
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"compactroute/internal/graph"
+	"compactroute/internal/schemes"
+	"compactroute/internal/sssp"
+)
+
+func TestFaultSetProjection(t *testing.T) {
+	g := testGraph(t, 32, 7)
+	u, v := g.Name(0), firstNeighborName(g, 0)
+	w := g.Name(5)
+	fs := NewFaultSet()
+	if !fs.Quiescent() {
+		t.Fatal("fresh set not quiescent")
+	}
+	fs.Observe(Mutation{Op: OpFailEdge, U: u, V: v})
+	if !fs.EdgeDown(u, v) || !fs.EdgeDown(v, u) {
+		t.Fatal("failed edge not down (both orientations)")
+	}
+	fs.Observe(Mutation{Op: OpFailNode, Name: w})
+	if !fs.NodeDown(w) {
+		t.Fatal("failed node not down")
+	}
+	// An edge is down when either endpoint is, without its own event.
+	if !fs.EdgeDown(w, u) {
+		t.Fatal("edge at a down endpoint not down")
+	}
+	if fs.Quiescent() {
+		t.Fatal("quiescent with two elements down")
+	}
+	// Permanent removal clears transient state: gone, not down.
+	fs.Observe(Mutation{Op: OpRemoveEdge, U: u, V: v})
+	if fs.EdgeDown(u, v) {
+		t.Fatal("removed edge still marked down")
+	}
+	// The recovery tail brings the set back to quiescence.
+	for _, m := range fs.RecoveryMutations() {
+		fs.Observe(m)
+	}
+	if !fs.Quiescent() {
+		t.Fatalf("not quiescent after recovery tail: down edges %v nodes %v", fs.DownEdges(), fs.DownNodes())
+	}
+}
+
+func TestLogValidatesFaultSequencing(t *testing.T) {
+	g := testGraph(t, 48, 9)
+	u, v := g.Name(0), firstNeighborName(g, 0)
+	w := g.Name(7)
+	l := NewLog(g)
+	bad := []struct {
+		name string
+		m    Mutation
+	}{
+		{"recover up edge", Mutation{Op: OpRecoverEdge, U: u, V: v}},
+		{"recover up node", Mutation{Op: OpRecoverNode, Name: w}},
+		{"fail missing edge", Mutation{Op: OpFailEdge, U: u, V: w}},
+		{"fail unknown node", Mutation{Op: OpFailNode, Name: 0xdead_beef}},
+		{"fail self loop", Mutation{Op: OpFailEdge, U: u, V: u}},
+	}
+	for _, c := range bad {
+		if _, err := l.Append(c.m); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := l.Append(Mutation{Op: OpFailEdge, U: u, V: v}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Mutation{Op: OpFailEdge, U: v, V: u}); err == nil {
+		t.Error("double fail accepted (orientation must not matter)")
+	}
+	// Removing a down edge is legal and clears the flag: recovering the
+	// now-gone pair must fail.
+	if _, err := l.Append(Mutation{Op: OpRemoveEdge, U: u, V: v}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Mutation{Op: OpRecoverEdge, U: u, V: v}); err == nil {
+		t.Error("recover of a removed edge accepted")
+	}
+	// Batch atomicity: a failing tail must roll back the whole batch,
+	// including its fault-shadow updates.
+	if _, err := l.Append(
+		Mutation{Op: OpFailNode, Name: w},
+		Mutation{Op: OpFailNode, Name: w},
+	); err == nil {
+		t.Fatal("double node fail in one batch accepted")
+	}
+	if _, err := l.Append(Mutation{Op: OpRecoverNode, Name: w}); err == nil {
+		t.Error("fault shadow leaked from a rejected batch")
+	}
+}
+
+func TestGenerateFaultTraceDeterministicAndSafe(t *testing.T) {
+	g := testGraph(t, 96, 11)
+	a, fsA, err := GenerateFaultTrace(g, 120, 5, DefaultTraceProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, fsB, err := GenerateFaultTrace(g, 120, 5, DefaultTraceProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if !reflect.DeepEqual(fsA.DownEdges(), fsB.DownEdges()) || !reflect.DeepEqual(fsA.DownNodes(), fsB.DownNodes()) {
+		t.Fatal("same seed produced different fault sets")
+	}
+	// Every prefix must keep the up-subgraph connected: a packet
+	// between any two up nodes always has a live path.
+	fs := NewFaultSet()
+	for i, m := range a {
+		fs.Observe(m)
+		gi, err := Replay(g, a[:i+1])
+		if err != nil {
+			t.Fatalf("mutation %d (%s): %v", i, m, err)
+		}
+		if !liveConnected(gi, fs) {
+			t.Fatalf("after mutation %d (%s): up-subgraph disconnected", i, m)
+		}
+	}
+	// The recovery tail closes every open outage.
+	for _, m := range fsA.RecoveryMutations() {
+		fs.Observe(m)
+	}
+	if !fs.Quiescent() {
+		t.Fatal("recovery tail did not reach quiescence")
+	}
+	// The trace must actually contain transient events (the profile
+	// asks for them); a trace of pure churn would vacuously pass.
+	transient := 0
+	for _, m := range a {
+		if m.Op.Transient() {
+			transient++
+		}
+	}
+	if transient == 0 {
+		t.Fatal("trace contains no failure/recovery events")
+	}
+}
+
+func TestFaultTraceTextAndJSONRoundTrip(t *testing.T) {
+	g := testGraph(t, 64, 13)
+	muts, fs, err := GenerateFaultTrace(g, 80, 7, DefaultTraceProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts = append(muts, fs.RecoveryMutations()...)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, muts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(muts, back) {
+		t.Fatal("text round-trip changed the trace")
+	}
+	blob, err := json.Marshal(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jback []Mutation
+	if err := json.Unmarshal(blob, &jback); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(muts, jback) {
+		t.Fatal("JSON round-trip changed the trace")
+	}
+}
+
+// TestFaultTraceQuiescenceColdIdentical is the PR's core property: a
+// failure+recovery trace replayed to quiescence — with rebuilds cut
+// mid-outage, so transient state spans version boundaries — leaves the
+// graph byte-identical to a one-shot replay, and every scheme kind
+// routing bit-identically to a cold build of the final topology, at
+// every worker count. Failures are views, not topology: once every
+// element recovers, nothing about the rebuilt world may remember them.
+func TestFaultTraceQuiescenceColdIdentical(t *testing.T) {
+	kinds := []string{
+		schemes.KindPaper, schemes.KindFullTable, schemes.KindAPCover,
+		schemes.KindLandmarkChain, schemes.KindTZ,
+	}
+	g := testGraph(t, 72, 29)
+	trace, fs, err := GenerateFaultTrace(g, 60, 5, DefaultTraceProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = append(trace, fs.RecoveryMutations()...)
+	final, err := Replay(g, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apsp := sssp.AllPairs(final)
+	cold := make(map[string]schemes.Scheme, len(kinds))
+	for _, kind := range kinds {
+		c, err := schemes.Build(final, apsp, schemes.Config{Kind: kind, K: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[kind] = c
+	}
+
+	for _, workers := range []int{1, 4} {
+		cfgs := make([]schemes.Config, len(kinds))
+		for i, k := range kinds {
+			cfgs[i] = schemes.Config{Kind: k, K: 2, Seed: 1}
+		}
+		tp, err := NewTopology(context.Background(), g, TopologyOptions{Configs: cfgs, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Three rebuilds at arbitrary cut points: outages opened in one
+		// range recover in a later one, so each Rebuild replays a
+		// window that is NOT internally balanced — the composition
+		// property Replay's existence-only validation exists for.
+		cuts := []int{len(trace) / 3, 2 * len(trace) / 3, len(trace)}
+		prev := 0
+		for _, cut := range cuts {
+			if _, err := tp.Apply(trace[prev:cut]...); err != nil {
+				t.Fatalf("workers=%d apply [%d:%d]: %v", workers, prev, cut, err)
+			}
+			if _, _, err := tp.Rebuild(context.Background()); err != nil {
+				t.Fatalf("workers=%d rebuild at %d: %v", workers, cut, err)
+			}
+			prev = cut
+		}
+		hot := tp.Current()
+		if graphFingerprint(final) != graphFingerprint(hot.Graph()) {
+			t.Fatalf("workers=%d: quiesced graph diverged from one-shot replay", workers)
+		}
+		for _, kind := range kinds {
+			for s := 0; s < final.N(); s += 7 {
+				for d := 0; d < final.N(); d += 5 {
+					srcName := final.Name(graph.NodeID(s))
+					dstName := final.Name(graph.NodeID(d))
+					want, err := hot.engine.RouteCtx(context.Background(), cold[kind], graph.NodeID(s), dstName)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := hot.Route(context.Background(), kind, srcName, dstName)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Delivered != want.Delivered || got.Cost != want.Cost ||
+						got.Hops != want.Hops || got.MaxHeaderBits != want.MaxHeaderBits {
+						t.Fatalf("workers=%d %s %d→%d: hot %+v cold %+v", workers, kind, s, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -8,11 +8,13 @@ import (
 )
 
 // FuzzReadTrace feeds arbitrary text to the mutation-trace parser,
-// seeded with a generated trace and a tiny handwritten one. Rejected
-// inputs only need to fail cleanly; accepted inputs must round-trip
-// canonically — re-emitting the parsed mutations and parsing that must
-// reproduce the same bytes, so a trace replays identically no matter
-// how many write/read cycles it has been through.
+// seeded with generated churn and failure traces plus handwritten
+// lines covering the full op grammar — transient fail/recover events
+// included — and malformed near-misses of each. Rejected inputs only
+// need to fail cleanly; accepted inputs must round-trip canonically —
+// re-emitting the parsed mutations and parsing that must reproduce
+// the same bytes, so a trace replays identically no matter how many
+// write/read cycles it has been through.
 func FuzzReadTrace(f *testing.F) {
 	g := gen.Gnp(1, 32, 0.2, gen.Uniform(1, 8))
 	muts, err := GenerateTrace(g, 24, 7)
@@ -24,7 +26,28 @@ func FuzzReadTrace(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
+	// A mixed churn+failure trace with its recovery tail: every op the
+	// format can express, as the writer actually emits it.
+	fmuts, fs, err := GenerateFaultTrace(g, 24, 9, DefaultTraceProfile())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var fseed bytes.Buffer
+	if err := WriteTrace(&fseed, append(fmuts, fs.RecoveryMutations()...)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fseed.Bytes())
 	f.Add([]byte("# comment\nmut 1\naddedge 1 2 3.5\n"))
+	// The transient-event grammar, handwritten: edge events take a
+	// pair, node events a single name.
+	f.Add([]byte("failedge 1 2\nrecoveredge 1 2\nfailnode 3\nrecovernode 3\n"))
+	// Malformed near-misses: arity errors, a weight where none
+	// belongs, a truncated op word. All must fail cleanly.
+	f.Add([]byte("failedge 1\n"))
+	f.Add([]byte("failedge 1 2 3.5\n"))
+	f.Add([]byte("failnode 1 2\n"))
+	f.Add([]byte("recovernode\n"))
+	f.Add([]byte("failedg 1 2\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		muts, err := ReadTrace(bytes.NewReader(data))
 		if err != nil {

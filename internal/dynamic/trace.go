@@ -22,8 +22,15 @@ import (
 //	addedge <u> <v> <weight>
 //	removeedge <u> <v>
 //	setweight <u> <v> <weight>
+//	failedge <u> <v>
+//	recoveredge <u> <v>
+//	failnode <name>
+//	recovernode <name>
 //
-// All node references are external names in decimal.
+// All node references are external names in decimal. The fail/recover
+// records are the transient failure events (OpFailEdge and friends):
+// part of the same ordered stream, replay-validated like every other
+// record, but affecting the fault overlay rather than the topology.
 
 // WriteTrace emits the mutations in the trace text format.
 func WriteTrace(w io.Writer, muts []Mutation) error {
@@ -105,15 +112,22 @@ func ReadTrace(r io.Reader) ([]Mutation, error) {
 					return nil, fail("anchored addnode needs a positive weight, got %q", args[2])
 				}
 			}
-		case OpRemoveEdge:
+		case OpRemoveEdge, OpFailEdge, OpRecoverEdge:
 			if len(args) != 2 {
-				return nil, fail("removeedge needs 2 arguments")
+				return nil, fail("%s needs 2 arguments", op)
 			}
 			if m.U, err = parseName(args[0]); err == nil {
 				m.V, err = parseName(args[1])
 			}
 			if err != nil {
 				return nil, fail("invalid endpoints %q", line)
+			}
+		case OpFailNode, OpRecoverNode:
+			if len(args) != 1 {
+				return nil, fail("%s needs 1 argument", op)
+			}
+			if m.Name, err = parseName(args[0]); err != nil {
+				return nil, fail("invalid name %q", args[0])
 			}
 		case OpAddEdge, OpSetWeight:
 			if len(args) != 3 {
@@ -164,10 +178,12 @@ func (m Mutation) MarshalJSON() ([]byte, error) {
 		if m.Anchored() {
 			j.V, j.W = &m.V, &m.W
 		}
-	case OpRemoveEdge:
+	case OpRemoveEdge, OpFailEdge, OpRecoverEdge:
 		j.U, j.V = &m.U, &m.V
 	case OpAddEdge, OpSetWeight:
 		j.U, j.V, j.W = &m.U, &m.V, &m.W
+	case OpFailNode, OpRecoverNode:
+		j.Name = &m.Name
 	default:
 		return nil, fmt.Errorf("dynamic: marshal: invalid op %d", m.Op)
 	}
@@ -210,7 +226,7 @@ func (m *Mutation) UnmarshalJSON(data []byte) error {
 			}
 			m.V, m.W = *j.V, *j.W
 		}
-	case OpRemoveEdge, OpAddEdge, OpSetWeight:
+	case OpRemoveEdge, OpAddEdge, OpSetWeight, OpFailEdge, OpRecoverEdge:
 		if err := need("u", j.U); err != nil {
 			return err
 		}
@@ -218,12 +234,17 @@ func (m *Mutation) UnmarshalJSON(data []byte) error {
 			return err
 		}
 		m.U, m.V = *j.U, *j.V
-		if op != OpRemoveEdge {
+		if op == OpAddEdge || op == OpSetWeight {
 			if j.W == nil {
 				return fmt.Errorf("dynamic: %s needs %q", op, "w")
 			}
 			m.W = *j.W
 		}
+	case OpFailNode, OpRecoverNode:
+		if err := need("name", j.Name); err != nil {
+			return err
+		}
+		m.Name = *j.Name
 	}
 	return nil
 }

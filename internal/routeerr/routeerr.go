@@ -57,4 +57,14 @@ var (
 	// from shards serving different versions. Conflict semantics: the
 	// HTTP layers map it to 409.
 	ErrVersionSkew = errors.New("topology version skew")
+
+	// ErrUnreachable reports a route blocked by the transient fault
+	// overlay: the scheme found a path (or the endpoint itself is
+	// failed), but every candidate crosses a down link or node
+	// (serve.Repairer, DESIGN.md §10). Distinct from ErrNotDelivered
+	// (the scheme failed on healthy topology) and from ErrSaturated
+	// (back-pressure): the route exists and will likely work once the
+	// outage recovers or the next rebuild lands — bad-gateway
+	// semantics, so the HTTP layers map it to 502.
+	ErrUnreachable = errors.New("route unreachable under current faults")
 )

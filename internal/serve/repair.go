@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"compactroute/internal/routeerr"
+)
+
+// ErrUnreachable wraps every route the fault overlay blocks: the
+// scheme produced a path, but a failed link or node sits on every
+// candidate (or an endpoint itself is down). See routeerr.
+var ErrUnreachable = routeerr.ErrUnreachable
+
+// RoutePathFunc is the traced counterpart of RouterFunc: it returns
+// the traversed path as external names (source first) alongside the
+// result, so the repair layer can hold the walk against the fault
+// overlay. The dynamic tier's Version.RoutePath has exactly this shape.
+type RoutePathFunc func(ctx context.Context, srcName, dstName uint64) (Result, []uint64, error)
+
+// RepairOptions configures a Repairer. The zero value is a pure
+// fault-view enforcer: no best-of-both, no damping, routes checked
+// against the overlay and blocked ones reported as ErrUnreachable.
+type RepairOptions struct {
+	// BestOfBoth routes src→dst and dst→src concurrently and serves
+	// the cheaper usable direction (the yggdrasil treesim mitigation:
+	// the two greedy walks see different parts of the graph, so one
+	// often dodges a fault the other walks into). Ties — and equal
+	// effective costs — go to the forward direction, which keeps the
+	// choice deterministic for a fixed fault view and damp table.
+	BestOfBoth bool
+	// DampPenalty is the starting cost penalty added per recently
+	// failed element on a path (flap damping: an element that just
+	// failed is distrusted for a while even after it recovers). The
+	// penalty decays exponentially with DampHalfLife; 0 disables
+	// damping.
+	DampPenalty float64
+	// DampHalfLife is the decay half-life; 0 means 30s.
+	DampHalfLife time.Duration
+	// Now is the clock, injectable so decay is testable; nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+// dampKey identifies a damped element: an unordered name pair for an
+// edge, or {name, name} for a node (self-pairs cannot collide with
+// edges — self-loops are rejected at every ingress).
+type dampKey [2]uint64
+
+// Repairer is the fault-aware routing layer: it implements Router, so
+// it slots directly under a Pool, and wraps a path-returning route
+// with (a) a transient fault view routes are held against, (b)
+// optional best-of-both-directions selection, and (c) an optional
+// flap-damping table that penalizes recently failed elements for a
+// decaying window. It is safe for concurrent use.
+//
+// The fault view is fed by the mutation path (internal/server fans
+// accepted failure events in); because faults change what a query
+// answers, the owner must Purge any result cache above this layer
+// whenever the view changes — a cached "delivered" from before a
+// failure is exactly the stale answer the repair layer exists to
+// prevent.
+type Repairer struct {
+	route RoutePathFunc
+	opts  RepairOptions
+
+	mu        sync.RWMutex
+	downNodes map[uint64]bool
+	downEdges map[[2]uint64]bool
+	damp      map[dampKey]time.Time // element -> last failure time
+}
+
+// NewRepairer wraps route with the repair layer.
+func NewRepairer(route RoutePathFunc, o RepairOptions) *Repairer {
+	if o.DampHalfLife <= 0 {
+		o.DampHalfLife = 30 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return &Repairer{
+		route:     route,
+		opts:      o,
+		downNodes: make(map[uint64]bool),
+		downEdges: make(map[[2]uint64]bool),
+		damp:      make(map[dampKey]time.Time),
+	}
+}
+
+func pairKey(u, v uint64) [2]uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]uint64{u, v}
+}
+
+// FailEdge marks the unordered pair down and stamps its damp entry.
+func (r *Repairer) FailEdge(u, v uint64) {
+	k := pairKey(u, v)
+	now := r.opts.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.downEdges[k] = true
+	r.stampLocked(dampKey(k), now)
+}
+
+// RecoverEdge brings the pair back up. Its damp entry survives —
+// distrusting a link that just flapped is the whole point of damping.
+func (r *Repairer) RecoverEdge(u, v uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.downEdges, pairKey(u, v))
+}
+
+// FailNode marks the node down and stamps its damp entry.
+func (r *Repairer) FailNode(name uint64) {
+	now := r.opts.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.downNodes[name] = true
+	r.stampLocked(dampKey{name, name}, now)
+}
+
+// RecoverNode brings the node back up (damp entry survives).
+func (r *Repairer) RecoverNode(name uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.downNodes, name)
+}
+
+// DropEdge clears the pair's fault state on permanent removal: the
+// element is gone, not down, and a later re-add starts life up (and
+// undamped — a fresh link is not the one that flapped). It reports
+// whether the pair was down, i.e. whether the removal changed what a
+// query would answer beyond the eventual rebuild.
+func (r *Repairer) DropEdge(u, v uint64) bool {
+	k := pairKey(u, v)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	wasDown := r.downEdges[k]
+	delete(r.downEdges, k)
+	delete(r.damp, dampKey(k))
+	return wasDown
+}
+
+// stampLocked records a failure instant and opportunistically sweeps
+// entries decayed past relevance (10 half-lives ≈ a 1/1024 penalty),
+// bounding the table by the recent-failure working set. Caller holds
+// r.mu exclusively; now is read outside the lock (the clock is a
+// func-typed option, and exclusive locks are not held across those).
+func (r *Repairer) stampLocked(k dampKey, now time.Time) {
+	horizon := now.Add(-10 * r.opts.DampHalfLife)
+	for old, t := range r.damp {
+		if t.Before(horizon) {
+			delete(r.damp, old)
+		}
+	}
+	r.damp[k] = now
+}
+
+// FaultStats is a point-in-time snapshot of the repair layer's state.
+type FaultStats struct {
+	DownNodes int `json:"down_nodes"`
+	DownEdges int `json:"down_edges"`
+	Damped    int `json:"damped"`
+}
+
+// Stats snapshots the fault view.
+func (r *Repairer) Stats() FaultStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return FaultStats{DownNodes: len(r.downNodes), DownEdges: len(r.downEdges), Damped: len(r.damp)}
+}
+
+// leg is one direction's outcome.
+type leg struct {
+	res  Result
+	path []uint64
+	err  error
+}
+
+// RouteByName implements Router. It routes forward (and, under
+// BestOfBoth, backward concurrently), evaluates each delivered path
+// against the fault view, and serves the usable direction with the
+// lowest effective cost (path cost + decayed damping penalties); ties
+// prefer forward. A query whose endpoints are down, or whose every
+// delivered path crosses a down element, wraps ErrUnreachable. A
+// query nothing delivered for on clear paths passes through unchanged
+// — an unknown destination is still the name-independent model's
+// honest non-delivery, not an outage.
+func (r *Repairer) RouteByName(ctx context.Context, srcName, dstName uint64) (Result, error) {
+	res, _, err := r.RoutePathByName(ctx, srcName, dstName)
+	return res, err
+}
+
+// RoutePathByName is RouteByName plus the served walk (external names,
+// source first) — nil when nothing was served. The path lets callers
+// (experiments, tests) see WHICH direction won and what it crossed.
+func (r *Repairer) RoutePathByName(ctx context.Context, srcName, dstName uint64) (Result, []uint64, error) {
+	var rev chan leg
+	if r.opts.BestOfBoth && srcName != dstName {
+		rev = make(chan leg, 1)
+		go func() {
+			res, path, err := r.route(ctx, dstName, srcName)
+			rev <- leg{res: res, path: path, err: err}
+		}()
+	}
+	fres, fpath, ferr := r.route(ctx, srcName, dstName)
+	fwd := leg{res: fres, path: fpath, err: ferr}
+	legs := []leg{fwd}
+	if rev != nil {
+		legs = append(legs, <-rev)
+	}
+	return r.choose(srcName, dstName, legs)
+}
+
+// choose evaluates the candidate legs under one read of the fault
+// view. legs[0] is the forward direction and wins ties.
+func (r *Repairer) choose(srcName, dstName uint64, legs []leg) (Result, []uint64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.downNodes[srcName] || r.downNodes[dstName] {
+		return Result{}, nil, fmt.Errorf("serve: %d→%d: endpoint down: %w", srcName, dstName, ErrUnreachable)
+	}
+	now := r.opts.Now()
+	best := -1
+	bestEff := math.Inf(1)
+	blocked := 0
+	for i, l := range legs {
+		if l.err != nil || !l.res.Delivered {
+			continue
+		}
+		if r.blockedLocked(l.path) {
+			blocked++
+			continue
+		}
+		if eff := l.res.Cost + r.penaltyLocked(l.path, now); eff < bestEff {
+			best, bestEff = i, eff
+		}
+	}
+	if best >= 0 {
+		return legs[best].res, legs[best].path, nil
+	}
+	if blocked > 0 {
+		return Result{}, nil, fmt.Errorf("serve: %d→%d: every delivered path crosses a down element: %w", srcName, dstName, ErrUnreachable)
+	}
+	// Nothing usable and nothing blocked: pass the forward outcome
+	// through — scheme-level non-delivery and routing errors keep
+	// their own taxonomy.
+	return legs[0].res, legs[0].path, legs[0].err
+}
+
+// blockedLocked reports whether any element of the path is down.
+// Caller holds r.mu (read).
+func (r *Repairer) blockedLocked(path []uint64) bool {
+	for i, n := range path {
+		if r.downNodes[n] {
+			return true
+		}
+		if i > 0 && r.downEdges[pairKey(path[i-1], n)] {
+			return true
+		}
+	}
+	return false
+}
+
+// penaltyLocked sums the decayed damping penalty over the path's
+// elements. Caller holds r.mu (read).
+func (r *Repairer) penaltyLocked(path []uint64, now time.Time) float64 {
+	if r.opts.DampPenalty <= 0 || len(r.damp) == 0 {
+		return 0
+	}
+	total := 0.0
+	add := func(k dampKey) {
+		t, ok := r.damp[k]
+		if !ok {
+			return
+		}
+		age := now.Sub(t)
+		if age < 0 {
+			age = 0
+		}
+		total += r.opts.DampPenalty * math.Exp2(-float64(age)/float64(r.opts.DampHalfLife))
+	}
+	for i, n := range path {
+		add(dampKey{n, n})
+		if i > 0 {
+			add(dampKey(pairKey(path[i-1], n)))
+		}
+	}
+	return total
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pathRouter is a fixed table of directional paths with unit-ish
+// costs: route(src,dst) returns the registered path or non-delivery.
+type pathRouter struct {
+	mu    sync.Mutex
+	calls map[[2]uint64]int
+	paths map[[2]uint64]struct {
+		path []uint64
+		cost float64
+	}
+}
+
+func newPathRouter() *pathRouter {
+	return &pathRouter{
+		calls: make(map[[2]uint64]int),
+		paths: make(map[[2]uint64]struct {
+			path []uint64
+			cost float64
+		}),
+	}
+}
+
+func (p *pathRouter) set(src, dst uint64, cost float64, path ...uint64) {
+	p.paths[[2]uint64{src, dst}] = struct {
+		path []uint64
+		cost float64
+	}{path, cost}
+}
+
+func (p *pathRouter) route(ctx context.Context, src, dst uint64) (Result, []uint64, error) {
+	p.mu.Lock()
+	p.calls[[2]uint64{src, dst}]++
+	p.mu.Unlock()
+	e, ok := p.paths[[2]uint64{src, dst}]
+	if !ok {
+		return Result{}, nil, nil // honest non-delivery
+	}
+	return Result{Delivered: true, Cost: e.cost, Hops: len(e.path) - 1}, e.path, nil
+}
+
+func (p *pathRouter) callCount(src, dst uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls[[2]uint64{src, dst}]
+}
+
+func TestRepairerPassThroughWhenClear(t *testing.T) {
+	pr := newPathRouter()
+	pr.set(1, 2, 5, 1, 3, 2)
+	r := NewRepairer(pr.route, RepairOptions{})
+	res, err := r.RouteByName(context.Background(), 1, 2)
+	if err != nil || !res.Delivered || res.Cost != 5 {
+		t.Fatalf("clear route: %+v, %v", res, err)
+	}
+	// No BestOfBoth: the reverse direction must never be walked.
+	if pr.callCount(2, 1) != 0 {
+		t.Fatal("reverse walked without BestOfBoth")
+	}
+	// Honest non-delivery passes through without error.
+	res, err = r.RouteByName(context.Background(), 1, 9)
+	if err != nil || res.Delivered {
+		t.Fatalf("unknown destination: %+v, %v", res, err)
+	}
+}
+
+func TestRepairerBlocksDownElements(t *testing.T) {
+	pr := newPathRouter()
+	pr.set(1, 2, 5, 1, 3, 2)
+	r := NewRepairer(pr.route, RepairOptions{})
+
+	r.FailEdge(3, 1) // orientation must not matter
+	if _, err := r.RouteByName(context.Background(), 1, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down edge on path: err = %v", err)
+	}
+	r.RecoverEdge(1, 3)
+	if _, err := r.RouteByName(context.Background(), 1, 2); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+
+	r.FailNode(3) // interior node down
+	if _, err := r.RouteByName(context.Background(), 1, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down interior node: err = %v", err)
+	}
+	r.RecoverNode(3)
+
+	r.FailNode(2) // endpoint down: unreachable without any walk
+	if _, err := r.RouteByName(context.Background(), 1, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down endpoint: err = %v", err)
+	}
+	r.RecoverNode(2)
+
+	// DropEdge clears fault state: a removed-then-readded link is up.
+	r.FailEdge(1, 3)
+	if !r.DropEdge(1, 3) {
+		t.Fatal("DropEdge of a down pair reported no change")
+	}
+	if r.DropEdge(1, 3) {
+		t.Fatal("DropEdge of an up pair reported a change")
+	}
+	if _, err := r.RouteByName(context.Background(), 1, 2); err != nil {
+		t.Fatalf("after drop: %v", err)
+	}
+}
+
+func TestRepairerBestOfBothServesCheaperClearDirection(t *testing.T) {
+	pr := newPathRouter()
+	pr.set(1, 2, 10, 1, 3, 2) // forward via 3
+	pr.set(2, 1, 7, 2, 4, 1)  // reverse via 4, cheaper
+	r := NewRepairer(pr.route, RepairOptions{BestOfBoth: true})
+
+	res, path, err := r.RoutePathByName(context.Background(), 1, 2)
+	if err != nil || res.Cost != 7 {
+		t.Fatalf("cheaper reverse not served: %+v, %v", res, err)
+	}
+	if len(path) != 3 || path[1] != 4 {
+		t.Fatalf("served path = %v, want the reverse walk via 4", path)
+	}
+
+	// Forward blocked, reverse clear: the reverse rescues the query.
+	r.FailNode(3)
+	if res, _, err = r.RoutePathByName(context.Background(), 1, 2); err != nil || res.Cost != 7 {
+		t.Fatalf("reverse rescue: %+v, %v", res, err)
+	}
+	// Both blocked: unreachable.
+	r.FailNode(4)
+	if _, err := r.RouteByName(context.Background(), 1, 2); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("both directions blocked: err = %v", err)
+	}
+	r.RecoverNode(3)
+	r.RecoverNode(4)
+
+	// Equal effective cost ties to forward (determinism).
+	pr2 := newPathRouter()
+	pr2.set(5, 6, 9, 5, 7, 6)
+	pr2.set(6, 5, 9, 6, 8, 5)
+	r2 := NewRepairer(pr2.route, RepairOptions{BestOfBoth: true})
+	for range 8 {
+		_, path, err := r2.RoutePathByName(context.Background(), 5, 6)
+		if err != nil || path[1] != 7 {
+			t.Fatalf("tie not broken toward forward: %v, %v", path, err)
+		}
+	}
+	// Self-routes never spawn a reverse walk.
+	if _, err := r2.RouteByName(context.Background(), 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if pr2.callCount(5, 5) != 1 {
+		t.Fatalf("self-route walked %d times", pr2.callCount(5, 5))
+	}
+}
+
+func TestRepairerFlapDampingDecays(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	clock := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+	advance := func(d time.Duration) { clockMu.Lock(); now = now.Add(d); clockMu.Unlock() }
+
+	pr := newPathRouter()
+	pr.set(1, 2, 10, 1, 3, 2) // forward, cheaper
+	pr.set(2, 1, 12, 2, 4, 1) // reverse, dearer but never flapped
+	r := NewRepairer(pr.route, RepairOptions{
+		BestOfBoth:   true,
+		DampPenalty:  8,
+		DampHalfLife: 10 * time.Second,
+		Now:          clock,
+	})
+
+	// Flap the forward link: fail + recover. It is up again — but
+	// damped, so the clean reverse direction wins (10+8 > 12).
+	r.FailEdge(1, 3)
+	r.RecoverEdge(1, 3)
+	if st := r.Stats(); st.DownEdges != 0 || st.Damped != 1 {
+		t.Fatalf("after flap: %+v", st)
+	}
+	res, err := r.RouteByName(context.Background(), 1, 2)
+	if err != nil || res.Cost != 12 {
+		t.Fatalf("damped element not avoided: %+v, %v", res, err)
+	}
+	// Three half-lives later the penalty has decayed to 1: 10+1 beats
+	// 12 and the forward direction is trusted again.
+	advance(30 * time.Second)
+	res, err = r.RouteByName(context.Background(), 1, 2)
+	if err != nil || res.Cost != 10 {
+		t.Fatalf("decayed penalty still steering: %+v, %v", res, err)
+	}
+	// Decayed entries are swept on the next stamp (10 half-lives).
+	advance(100 * 10 * time.Second)
+	r.FailNode(9)
+	if st := r.Stats(); st.Damped != 1 {
+		t.Fatalf("stale damp entries not swept: %+v", st)
+	}
+}
+
+func TestRepairerErrorPassThrough(t *testing.T) {
+	boom := errors.New("boom")
+	r := NewRepairer(func(ctx context.Context, src, dst uint64) (Result, []uint64, error) {
+		return Result{}, nil, fmt.Errorf("route %d→%d: %w", src, dst, boom)
+	}, RepairOptions{BestOfBoth: true})
+	if _, err := r.RouteByName(context.Background(), 1, 2); !errors.Is(err, boom) {
+		t.Fatalf("routing error rewritten: %v", err)
+	}
+}

@@ -110,7 +110,8 @@ func TestVersionedAndLegacyPathsAgree(t *testing.T) {
 }
 
 // TestStatusForMapping: every typed error maps to its pinned status
-// code via errors.Is — 422 for names the caller invented, 503 for
+// code via errors.Is — 422 for names the caller invented, 502 for
+// routes blocked by the transient fault overlay, 503 for
 // saturation/cancellation, 409 for static-scheme mutation and
 // coordinated-swap version skew, 500 for anything that would be a
 // scheme invariant violation.
@@ -121,6 +122,7 @@ func TestStatusForMapping(t *testing.T) {
 	}{
 		{fmt.Errorf("route: %w", compactroute.ErrUnknownName), http.StatusUnprocessableEntity},
 		{fmt.Errorf("route: %w", compactroute.ErrUnknownLabel), http.StatusUnprocessableEntity},
+		{fmt.Errorf("serve: route 1→2: %w", compactroute.ErrUnreachable), http.StatusBadGateway},
 		{fmt.Errorf("serve: %w: %w", compactroute.ErrSaturated, context.Canceled), http.StatusServiceUnavailable},
 		{fmt.Errorf("serve: %w", context.Canceled), http.StatusServiceUnavailable},
 		{fmt.Errorf("serve: %w", context.DeadlineExceeded), http.StatusServiceUnavailable},

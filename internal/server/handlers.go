@@ -109,6 +109,11 @@ type ResolveResponse struct {
 //	     persistent form, an operation needing an absent metric
 //	     (ErrStatic, compactroute.ErrVersionSkew, ErrNotPersistable,
 //	     ErrNoMetric)
+//	502  the transient fault overlay blocks the query: an endpoint is
+//	     down or every delivered path crosses a failed element
+//	     (ErrUnreachable). Bad gateway, not 500 — the scheme did its
+//	     job; the network under it is degraded, and the answer changes
+//	     once the outage recovers or a rebuild absorbs the loss
 //	500  a scheme invariant violation: a mandatory-delivery route
 //	     that did not deliver (ErrNotDelivered), or anything unmapped
 func StatusFor(err error) int {
@@ -117,6 +122,8 @@ func StatusFor(err error) int {
 		errors.Is(err, compactroute.ErrUnknownLabel),
 		errors.Is(err, compactroute.ErrUnknownKind):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, compactroute.ErrUnreachable):
+		return http.StatusBadGateway
 	case errors.Is(err, compactroute.ErrSaturated),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
@@ -285,7 +292,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		HTTPError(w, http.StatusBadRequest, "no mutations in body")
 		return
 	}
-	seq, err := s.dyn.Apply(muts...)
+	// Through Mutate, not dyn.Apply: accepted fault events must reach
+	// the repair layer (and purge the cache) before the 200 goes out.
+	seq, err := s.Mutate(muts...)
 	if err != nil {
 		HTTPError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -407,6 +416,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// letting an ejected shard serve again.
 		resp["mutations"] = v.MutTo + pending
 		resp["swaps"] = swaps
+		fs := s.repair.Stats()
+		resp["downNodes"] = fs.DownNodes
+		resp["downEdges"] = fs.DownEdges
+		resp["damped"] = fs.Damped
 	}
 	WriteJSON(w, resp)
 }

@@ -93,6 +93,17 @@ type Config struct {
 	// Shards is the cache shard count (0: 16).
 	Shards int
 
+	// BestOfBoth routes src→dst and dst→src concurrently and serves
+	// the cheaper usable direction — the yggdrasil treesim mitigation
+	// for transient loss (dynamic mode; see serve.RepairOptions).
+	BestOfBoth bool
+	// DampPenalty enables flap damping: the starting cost penalty per
+	// recently failed element on a path, decaying with DampHalfLife
+	// (dynamic mode; 0 disables).
+	DampPenalty float64
+	// DampHalfLife is the damping decay half-life (0: 30s).
+	DampHalfLife time.Duration
+
 	// RebuildAfter triggers a background rebuild automatically once
 	// this many mutations are pending (0: POST /v1/rebuild only).
 	// Needs Start.
@@ -120,8 +131,15 @@ type Server struct {
 	scheme *compactroute.Scheme  // static mode only
 	dyn    *compactroute.Dynamic // dynamic mode only
 	kind   string                // served kind in dynamic mode
+	repair *serve.Repairer       // fault-aware routing layer (dynamic mode only)
 	pool   *serve.Pool
 	mux    *http.ServeMux
+
+	// muteMu serializes Mutate's append + fault fan-in, so the repair
+	// layer's overlay always reflects the log's event order (two racing
+	// fail/recover batches for one element must not apply their
+	// overlay updates in the opposite order of their log positions).
+	muteMu sync.Mutex
 
 	rebuildReq chan chan rebuildReply
 	started    sync.Once
@@ -199,9 +217,23 @@ func (s *Server) initDynamic(cfg Config) error {
 	s.dyn = dyn
 	s.kind = cfg.Scheme
 	s.rebuildReq = make(chan chan rebuildReply, 1)
-	s.initRoutes(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
-		return toServeResult(dyn.RouteByNameCtx(ctx, s.kind, src, dst))
-	}))
+	// Dynamic routes go through the repair layer: every walk is held
+	// against the transient fault overlay (a dead link is dead the
+	// moment its failure event is accepted, not at the next rebuild),
+	// with best-of-both-directions and flap damping as configured.
+	s.repair = serve.NewRepairer(func(ctx context.Context, src, dst uint64) (serve.Result, []uint64, error) {
+		res, path, err := dyn.RoutePathByNameCtx(ctx, s.kind, src, dst)
+		if err != nil {
+			return serve.Result{}, nil, err
+		}
+		sres, _ := toServeResult(res, nil)
+		return sres, path, nil
+	}, serve.RepairOptions{
+		BestOfBoth:   cfg.BestOfBoth,
+		DampPenalty:  cfg.DampPenalty,
+		DampHalfLife: cfg.DampHalfLife,
+	})
+	s.initRoutes(s.repair)
 	// The swap hook purges the result cache inside the pause, so a
 	// post-swap request can never read a pre-swap route.
 	dyn.OnSwap(func(compactroute.VersionInfo) { s.pool.Purge() })
@@ -366,13 +398,54 @@ func (s *Server) Handler() http.Handler {
 }
 
 // Mutate validates and appends topology mutations atomically (all or
-// none), returning the sequence number of the last one. A static
-// server wraps ErrStatic.
+// none), returning the sequence number of the last one. Accepted
+// transient failure/recovery events are fanned into the repair layer
+// in the same critical section — and the result cache purged — so a
+// route admitted after Mutate returns can neither cross a link it
+// just learned is dead nor be served a cached answer that does. A
+// static server wraps ErrStatic.
 func (s *Server) Mutate(ms ...compactroute.Mutation) (uint64, error) {
 	if s.dyn == nil {
 		return 0, fmt.Errorf("server: mutate: %w", ErrStatic)
 	}
-	return s.dyn.Apply(ms...)
+	s.muteMu.Lock()
+	defer s.muteMu.Unlock()
+	seq, err := s.dyn.Apply(ms...)
+	if err != nil {
+		return seq, err
+	}
+	if s.observeFaults(ms) {
+		s.pool.Purge()
+	}
+	return seq, nil
+}
+
+// observeFaults projects an accepted batch's fault events into the
+// repair layer, reporting whether the overlay changed (cached results
+// are stale the moment it does). Caller holds muteMu.
+func (s *Server) observeFaults(ms []compactroute.Mutation) bool {
+	changed := false
+	for _, m := range ms {
+		switch m.Op {
+		case compactroute.OpFailEdge:
+			s.repair.FailEdge(m.U, m.V)
+			changed = true
+		case compactroute.OpRecoverEdge:
+			s.repair.RecoverEdge(m.U, m.V)
+			changed = true
+		case compactroute.OpFailNode:
+			s.repair.FailNode(m.Name)
+			changed = true
+		case compactroute.OpRecoverNode:
+			s.repair.RecoverNode(m.Name)
+			changed = true
+		case compactroute.OpRemoveEdge:
+			if s.repair.DropEdge(m.U, m.V) {
+				changed = true
+			}
+		}
+	}
+	return changed
 }
 
 // Rebuild synchronously replays the pending mutations, rebuilds every
@@ -429,7 +502,8 @@ type DynStats struct {
 // plus the optional dynamic block.
 type Stats struct {
 	serve.Stats
-	Dynamic *DynStats `json:"dynamic,omitempty"`
+	Dynamic *DynStats         `json:"dynamic,omitempty"`
+	Faults  *serve.FaultStats `json:"faults,omitempty"`
 }
 
 // Stats returns a point-in-time snapshot of the serving counters.
@@ -451,6 +525,8 @@ func (s *Server) Stats() Stats {
 			id := sv.ID
 			out.Dynamic.Staged = &id
 		}
+		fs := s.repair.Stats()
+		out.Faults = &fs
 	}
 	return out
 }
