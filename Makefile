@@ -33,10 +33,10 @@ vet:
 	$(GO) vet ./...
 
 # The repository's own analyzer suite (internal/analysis, DESIGN.md
-# §9), nine analyzers: map-order determinism, ctx-first flow, error
+# §9), ten analyzers: map-order determinism, ctx-first flow, error
 # taxonomy, seeded randomness, detached-context deadlines, lock
-# discipline, goroutine lifecycles, hot-path escape budgets, and the
-# locked public API surface. Escape hatches are lint/crlint.suppress
+# discipline, goroutine lifecycles, hot-path escape budgets, the
+# locked public API surface, and the locked metric-name set. Escape hatches are lint/crlint.suppress
 # and inline //crlint:ignore directives; both need a reason and go
 # stale loudly.
 crlint:
@@ -92,6 +92,9 @@ benchjson:
 	$(GO) run ./cmd/routebench -exp S1 -quick -json > BENCH_S1.json
 	@cat BENCH_S1.json
 	@test -s BENCH_S1.json || { echo "benchjson: empty BENCH_S1.json" >&2; exit 1; }
+	$(GO) run ./cmd/routebench -exp O1 -quick -json > BENCH_O1.json
+	@cat BENCH_O1.json
+	@test -s BENCH_O1.json || { echo "benchjson: empty BENCH_O1.json" >&2; exit 1; }
 
 # Fuzz smoke: each native fuzz target runs a short randomized burst
 # beyond its seed corpus. -fuzzminimizetime is capped because the

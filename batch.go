@@ -72,14 +72,29 @@ func (s *Scheme) RouteBatch(pairs []Pair, workers int) ([]Result, error) {
 	return results, nil
 }
 
+// serialRowThreshold is the source-row count below which MeasureStretch
+// runs the sweep serially: goroutine startup, work-stealing atomics, and
+// the per-row merge outweigh the fan-out on small sweeps (the P1
+// experiment measures 0.88× "speedup" at 128 rows on a single-core
+// runner), and the serial sweep produces the identical distribution.
+const serialRowThreshold = 256
+
 // MeasureStretch routes every ordered pair (or a strided sample when
 // sampleStride > 1) and returns the stretch distribution. It errors on
 // the first non-delivered pair. Rows are fanned across GOMAXPROCS
 // workers; each row accumulates into its own Stretch and the rows are
 // merged in order, so the distribution is identical — sample order
-// included — to a serial sweep.
+// included — to a serial sweep. Sweeps shorter than serialRowThreshold
+// rows run serially: at that size the fan-out costs more than it saves.
 func (s *Scheme) MeasureStretch(sampleStride int) (*Stretch, error) {
-	return s.measureStretch(sampleStride, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	if rows := (s.net.N() + sampleStride - 1) / sampleStride; rows < serialRowThreshold {
+		workers = 1
+	}
+	return s.measureStretch(sampleStride, workers)
 }
 
 func (s *Scheme) measureStretch(sampleStride, workers int) (*Stretch, error) {
@@ -97,6 +112,19 @@ func (s *Scheme) measureStretch(sampleStride, workers int) (*Stretch, error) {
 	}
 	if workers > len(rows) {
 		workers = len(rows)
+	}
+	if workers == 1 {
+		// One worker means no interleaving to coordinate: skip the
+		// goroutine machinery entirely and merge rows as they finish.
+		var st Stretch
+		for _, u := range rows {
+			row, err := s.measureRow(u)
+			if err != nil {
+				return nil, err
+			}
+			st.Merge(row)
+		}
+		return &st, nil
 	}
 	perRow := make([]*Stretch, len(rows))
 	var (

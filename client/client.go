@@ -23,10 +23,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
 	"compactroute"
+	"compactroute/internal/obs"
 )
 
 // Error is a non-2xx API answer: the HTTP status plus the server's
@@ -194,6 +196,15 @@ func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
 	return out, err
 }
 
+// Trace fetches one stored trace by request ID as raw JSON. A 404
+// (ring evicted it, or the request was never traced there) surfaces
+// as an *Error with Status 404.
+func (c *Client) Trace(ctx context.Context, id string) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/trace/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
 // do performs one JSON round-trip: 2xx decodes into out, anything
 // else becomes an *Error with the server's message.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -211,6 +222,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate an active trace so a front-door-sampled request is
+	// traced under the same ID on every shard it touches.
+	if tr := obs.FromContext(ctx); tr != nil {
+		req.Header.Set(obs.Header, tr.ID())
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

@@ -7,8 +7,9 @@
 // randomness in build/workload paths (rawrand), deadline-bounded
 // detached fan-outs (detachedctx), lock discipline in the serving
 // tier (locksafe), lifecycle-tied goroutines (goroleak), tracked
-// heap-escape budgets on hot paths (hotalloc), and a locked public
-// API surface (apilock).
+// heap-escape budgets on hot paths (hotalloc), a locked public API
+// surface (apilock), and a locked exported metric-name set
+// (metricnames).
 //
 // Usage:
 //
@@ -26,11 +27,12 @@
 // //crlint:ignore directives. Entries of either kind that match
 // nothing fail the run as stale.
 //
-// The tracked sidecar files of hotalloc and apilock regenerate only
-// through explicit flags:
+// The tracked sidecar files of hotalloc, apilock, and metricnames
+// regenerate only through explicit flags:
 //
 //	go run ./cmd/crlint -write-budget ./...   # lint/hotpath.budget
 //	go run ./cmd/crlint -write-api ./...      # lint/api.txt
+//	go run ./cmd/crlint -write-metrics ./...  # lint/metrics.txt
 package main
 
 import (
@@ -50,6 +52,7 @@ import (
 	"compactroute/internal/analysis/hotalloc"
 	"compactroute/internal/analysis/locksafe"
 	"compactroute/internal/analysis/mapdeterminism"
+	"compactroute/internal/analysis/metricnames"
 	"compactroute/internal/analysis/rawrand"
 )
 
@@ -64,6 +67,7 @@ var analyzers = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 	locksafe.Analyzer,
 	mapdeterminism.Analyzer,
+	metricnames.Analyzer,
 	rawrand.Analyzer,
 }
 
@@ -80,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "diagnostic format: text, or github for workflow annotations")
 	writeBudget := fs.Bool("write-budget", false, "regenerate the hotpath escape budget and exit")
 	writeAPI := fs.Bool("write-api", false, "regenerate the locked API surface file and exit")
+	writeMetrics := fs.Bool("write-metrics", false, "regenerate the locked metric-name registry and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *writeBudget || *writeAPI {
+	if *writeBudget || *writeAPI || *writeMetrics {
 		if *writeBudget {
 			entries, err := hotalloc.Measure(pkgs)
 			if err != nil {
@@ -117,6 +122,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			fmt.Fprintf(stdout, "crlint: wrote %s\n", apilock.APIPath)
+		}
+		if *writeMetrics {
+			if err := metricnames.WriteMetrics(metricnames.MetricsPath, pkgs); err != nil {
+				fmt.Fprintf(stderr, "crlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "crlint: wrote %s\n", metricnames.MetricsPath)
 		}
 		return 0
 	}

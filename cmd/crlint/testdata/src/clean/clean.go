@@ -1,6 +1,6 @@
 // Package clean is the exit-contract fixture that trips none of the
-// nine analyzers: no contexts, no locks, no goroutines, no maps, no
-// randomness, no exported surface anyone locked.
+// ten analyzers: no contexts, no locks, no goroutines, no maps, no
+// randomness, no metric names, no exported surface anyone locked.
 package clean
 
 // Add is deliberately boring.

@@ -170,8 +170,12 @@ func main() {
 			len(muts), *mutateEvery, *rebuildEvery)
 	}
 
+	// The status-class columns ride at the END of the row: downstream
+	// parsers (the smoke script's awk) address the early columns by
+	// position, so new columns must only ever append.
 	table := stats.NewTable("latency by workload pattern",
-		"pattern", "queries", "errors", "unreach", "qps", "p50", "p95", "p99", "max")
+		"pattern", "queries", "errors", "unreach", "qps", "p50", "p95", "p99", "max",
+		"p95-409", "p95-502", "p95-503")
 	var histograms []string
 	for _, p := range patterns {
 		streams, err := patternStreams(p, g, scheme, *concurrency, base)
@@ -191,7 +195,8 @@ func main() {
 			fmtLatency(rep.latency.Percentile(50)),
 			fmtLatency(rep.latency.Percentile(95)),
 			fmtLatency(rep.latency.Percentile(99)),
-			fmtLatency(rep.latency.Max()))
+			fmtLatency(rep.latency.Max()),
+			p95OrDash(rep.lat409), p95OrDash(rep.lat502), p95OrDash(rep.lat503))
 		if *hist > 0 {
 			histograms = append(histograms,
 				fmt.Sprintf("-- %s --\n%s", p, rep.latency.Histogram(*hist, fmtLatency)))
@@ -365,13 +370,20 @@ func memoRanker(s *compactroute.Scheme) func(u, v graph.NodeID) float64 {
 	}
 }
 
-// report summarizes one pattern's replay.
+// report summarizes one pattern's replay. Error responses carry their
+// own latency samples per status class — a 503 answered in 100µs
+// (back-pressure shedding fast) and a 503 answered at the timeout
+// (a wedged daemon) are different failures, and folding them into the
+// success percentiles would poison both views.
 type report struct {
 	queries     int // requests issued (excluding warmup)
 	failed      int // API-error responses (4xx/5xx other than 502)
 	unreachable int // 502s: the shard's fault overlay blocked the query
 	elapsed     time.Duration
-	latency     *stats.Sample // seconds, successful requests only
+	latency     *stats.Sample // seconds, successful (2xx) requests only
+	lat409      *stats.Sample // version-skew / static-scheme conflicts
+	lat502      *stats.Sample // fault-overlay unreachable
+	lat503      *stats.Sample // back-pressure shedding
 }
 
 func (r report) qps() float64 {
@@ -397,6 +409,9 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 	}
 	type workerResult struct {
 		lat         stats.Sample
+		lat409      stats.Sample
+		lat502      stats.Sample
+		lat503      stats.Sample
 		failed      int
 		unreachable int
 		err         error
@@ -436,9 +451,18 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 						// 502 is not the daemon misbehaving — a transient
 						// fault blocked the query. Tallied apart so a
 						// resilience run reads delivery loss directly.
-						if client.IsStatus(err, 502) {
+						dur := time.Since(t0).Seconds()
+						switch {
+						case client.IsStatus(err, 502):
 							r.unreachable++
-						} else {
+							r.lat502.Add(dur)
+						case client.IsStatus(err, 409):
+							r.failed++
+							r.lat409.Add(dur)
+						case client.IsStatus(err, 503):
+							r.failed++
+							r.lat503.Add(dur)
+						default:
 							r.failed++
 						}
 					default:
@@ -457,7 +481,8 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 	}
 	start := time.Now()
 	phase(false)
-	rep := report{queries: queries, elapsed: time.Since(start), latency: &stats.Sample{}}
+	rep := report{queries: queries, elapsed: time.Since(start),
+		latency: &stats.Sample{}, lat409: &stats.Sample{}, lat502: &stats.Sample{}, lat503: &stats.Sample{}}
 	for w := range results {
 		if results[w].err != nil {
 			return report{}, results[w].err
@@ -465,6 +490,9 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 		rep.failed += results[w].failed
 		rep.unreachable += results[w].unreachable
 		rep.latency.Merge(&results[w].lat)
+		rep.lat409.Merge(&results[w].lat409)
+		rep.lat502.Merge(&results[w].lat502)
+		rep.lat503.Merge(&results[w].lat503)
 	}
 	return rep, nil
 }
@@ -472,4 +500,13 @@ func replay(clients []*client.Client, streams []*workload.Stream, queries, warmu
 // fmtLatency renders a latency in seconds as a duration.
 func fmtLatency(seconds float64) string {
 	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// p95OrDash renders a status-class p95, or "-" when the class never
+// occurred (a healthy run shows dashes across the breakdown columns).
+func p95OrDash(s *stats.Sample) string {
+	if s.N() == 0 {
+		return "-"
+	}
+	return fmtLatency(s.Percentile(95))
 }

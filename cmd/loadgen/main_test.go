@@ -174,6 +174,15 @@ func TestReplayCountsHTTPFailures(t *testing.T) {
 	if rep.failed != 20 || rep.latency.N() != 0 {
 		t.Fatalf("report %+v", rep)
 	}
+	// The breakdown times error responses by status class: every 503
+	// lands in its own sample, not in the success percentiles.
+	if rep.lat503.N() != 20 || rep.lat409.N() != 0 || rep.lat502.N() != 0 {
+		t.Fatalf("status-class samples 409=%d 502=%d 503=%d, want 0/0/20",
+			rep.lat409.N(), rep.lat502.N(), rep.lat503.N())
+	}
+	if p95OrDash(rep.lat503) == "-" || p95OrDash(rep.lat409) != "-" {
+		t.Fatalf("p95OrDash: 503=%q 409=%q", p95OrDash(rep.lat503), p95OrDash(rep.lat409))
+	}
 }
 
 // TestReplayAbortsOnTransportError: a dead daemon is an error, not a

@@ -23,9 +23,18 @@
 //	GET  /v1/resolve?src=&dst=            names + shortest distance
 //	GET  /v1/healthz                      liveness + scheme identity + live version
 //	GET  /v1/stats                        worker pool, cache, and swap counters
+//	GET  /v1/metrics                      Prometheus text exposition
+//	GET  /v1/trace/{id}                   one stored request trace by ID
+//	GET  /v1/traces/recent[?n=]           newest stored traces
+//	GET  /v1/events                       bounded event journal (swaps, faults)
 //	POST /v1/mutate                       append topology mutations (dynamic mode)
 //	POST /v1/rebuild[?wait=1|?stage=1]    rebuild + hot-swap (stage: build only)
 //	POST /v1/swap                         commit a staged version by ID
+//
+// Requests are traced 1-in--trace-sample (the X-Compactroute-Trace
+// header forces a trace under the propagated ID); -slowlog writes
+// slow and refused requests as JSON lines; -debug-addr exposes
+// net/http/pprof on a separate listener.
 //
 // Kind-built schemes serve DYNAMICALLY; file-loaded schemes are static
 // and answer 409 on the mutation paths. Names accept decimal or
@@ -38,8 +47,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"compactroute"
+	"compactroute/internal/obs"
 	"compactroute/internal/server"
 )
 
@@ -71,6 +83,11 @@ func main() {
 	dampPenalty := flag.Float64("damp-penalty", 0, "flap damping: starting cost penalty per recently failed element on a path, decaying with -damp-halflife (dynamic mode; 0: off)")
 	dampHalfLife := flag.Duration("damp-halflife", 30*time.Second, "flap-damping decay half-life")
 	snapdir := flag.String("snapdir", "", "persist every topology version to this directory (graph, persistable schemes with lineage, manifest); one directory records one run's chain — use a fresh one per daemon start")
+	traceSample := flag.Int("trace-sample", 64, "trace 1 in this many requests (negative: off; propagated X-Compactroute-Trace IDs are always traced)")
+	traceRing := flag.Int("trace-ring", 1024, "stored-trace ring capacity")
+	slowlog := flag.String("slowlog", "", "append slow/refused requests as JSON lines to this file (\"-\": stderr; empty: off)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "latency threshold for the slow log")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: off)")
 	flag.Parse()
 
 	if *schemeArg == "" {
@@ -78,24 +95,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var slowW io.Writer
+	switch {
+	case *slowlog == "-":
+		slowW = os.Stderr
+	case *slowlog != "":
+		f, err := os.OpenFile(*slowlog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("routed: opening slow log: %v", err)
+		}
+		defer f.Close()
+		slowW = f
+	}
 	srv, err := server.New(server.Config{
-		Scheme:       *schemeArg,
-		GraphFile:    *graphFile,
-		K:            *k,
-		N:            *n,
-		P:            *p,
-		Seed:         *seed,
-		SFactor:      *sfactor,
-		Metric:       *metric,
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		Shards:       *shards,
-		RebuildAfter: *rebuildAfter,
-		BestOfBoth:   *bestOfBoth,
-		DampPenalty:  *dampPenalty,
-		DampHalfLife: *dampHalfLife,
-		SnapshotDir:  *snapdir,
-		Logf:         log.Printf,
+		Scheme:        *schemeArg,
+		GraphFile:     *graphFile,
+		K:             *k,
+		N:             *n,
+		P:             *p,
+		Seed:          *seed,
+		SFactor:       *sfactor,
+		Metric:        *metric,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		Shards:        *shards,
+		RebuildAfter:  *rebuildAfter,
+		BestOfBoth:    *bestOfBoth,
+		DampPenalty:   *dampPenalty,
+		DampHalfLife:  *dampHalfLife,
+		SnapshotDir:   *snapdir,
+		TraceSample:   *traceSample,
+		TraceRing:     *traceRing,
+		SlowLog:       slowW,
+		SlowThreshold: *slowThreshold,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("routed: %v", err)
@@ -104,6 +137,16 @@ func main() {
 	defer stop()
 	srv.Start(ctx)
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("routed: pprof debug listener on %s", *debugAddr)
+			dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("routed: debug listener: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:    *addr,

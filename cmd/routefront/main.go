@@ -21,12 +21,21 @@
 // Shards that fail transport are ejected and probed back in with
 // backoff, re-admitted only when their version and mutation log match
 // a healthy peer.
+//
+// Observability mirrors a shard's: GET /v1/metrics serves the
+// front-door counters plus per-shard series labeled shard="<url>";
+// GET /v1/trace/{id} merges the front-door's stored trace with each
+// shard's view of the same request (the sampled trace ID rides the
+// X-Compactroute-Trace header on every forward leg); -slowlog and
+// -debug-addr work as on routed.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"compactroute/internal/cluster"
+	"compactroute/internal/obs"
 )
 
 func main() {
@@ -44,6 +54,11 @@ func main() {
 	healthEvery := flag.Duration("health-every", time.Second, "health-probe interval (ejected shards back off exponentially on top)")
 	bestOfBoth := flag.Bool("bestofboth", false, "add a reverse dst→src walk to every cross-shard scatter and serve the cheaper delivered direction")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline after SIGINT/SIGTERM")
+	traceSample := flag.Int("trace-sample", 64, "trace 1 in this many requests (negative: off; propagated X-Compactroute-Trace IDs are always traced)")
+	traceRing := flag.Int("trace-ring", 1024, "stored-trace ring capacity")
+	slowlog := flag.String("slowlog", "", "append slow/refused requests as JSON lines to this file (\"-\": stderr; empty: off)")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "latency threshold for the slow log")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: off)")
 	flag.Parse()
 
 	var urls []string
@@ -57,12 +72,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c, err := cluster.New(cluster.Options{Shards: urls, HealthEvery: *healthEvery, BestOfBoth: *bestOfBoth, Logf: log.Printf})
+	var slowW io.Writer
+	switch {
+	case *slowlog == "-":
+		slowW = os.Stderr
+	case *slowlog != "":
+		f, err := os.OpenFile(*slowlog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatalf("routefront: opening slow log: %v", err)
+		}
+		defer f.Close()
+		slowW = f
+	}
+	c, err := cluster.New(cluster.Options{
+		Shards:        urls,
+		HealthEvery:   *healthEvery,
+		BestOfBoth:    *bestOfBoth,
+		TraceSample:   *traceSample,
+		TraceRing:     *traceRing,
+		SlowLog:       slowW,
+		SlowThreshold: *slowThreshold,
+		Logf:          log.Printf,
+	})
 	if err != nil {
 		log.Fatalf("routefront: %v", err)
 	}
 	c.Start()
 	defer c.Close()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("routefront: pprof debug listener on %s", *debugAddr)
+			dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("routefront: debug listener: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,213 @@
+// Package metricnames pins the exported metric-name set into a
+// tracked file, lint/metrics.txt — the same ratchet apilock applies
+// to the API surface and hotalloc to hot-path allocations. A metric
+// name is an external contract: dashboards, alerts, and recording
+// rules key on it, so adding a series must be a deliberate, reviewed
+// act and renaming one must fail loudly until the registry is
+// regenerated:
+//
+//	go run ./cmd/crlint -write-metrics ./...
+//
+// Two invariants are enforced. First, every string constant anywhere
+// in the module whose value looks like a series name (the
+// compactroute_* Prometheus form) must be recorded in the file, and
+// every recorded name must still be declared — stale entries fail the
+// run. Second, series names must flow through those constants: a
+// function-body string literal in the compactroute_* form is flagged,
+// because a retyped name silently forks the registry.
+package metricnames
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"compactroute/internal/analysis"
+)
+
+// MetricsPath is the tracked registry file, relative to the linter's
+// working directory. Tests point it at fixtures.
+var MetricsPath = "lint/metrics.txt"
+
+// RegistryPkg is the package whose pass performs the whole-program
+// staleness check (it declares the registry, so it is loaded by any
+// run that could regenerate the file). Tests point it at fixtures.
+var RegistryPkg = "compactroute/internal/obs"
+
+// RegenCmd is the copy-pasteable command diagnostics tell the user to
+// run after an intentional series change.
+const RegenCmd = "go run ./cmd/crlint -write-metrics ./..."
+
+// namePattern is the exported-series form: the compactroute_ prefix
+// every family in internal/obs carries, then Prometheus-legal name
+// characters. Anchored — only a literal that is exactly a series name
+// matches, not help text that mentions one.
+var namePattern = regexp.MustCompile(`^compactroute_[a-z][a-z0-9_]*$`)
+
+// Analyzer is the metricnames checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "exported metric names are declared as constants and match the locked lint/metrics.txt",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	recorded, err := ParseMetrics(MetricsPath)
+	if err != nil {
+		return err
+	}
+
+	// Invariant 1a: every series-shaped constant in this package is
+	// recorded.
+	for _, c := range packageConsts(pass.Pkg) {
+		if _, ok := recorded[c.value]; !ok {
+			pass.Reportf(c.pos, "metric name %q is not locked in %s — a series name is an external contract (dashboards and alerts key on it): regen with `%s`", c.value, MetricsPath, RegenCmd)
+		}
+	}
+
+	// Invariant 1b: every recorded name is still declared somewhere in
+	// the program. Whole-program, so it runs once, from the registry
+	// package's pass; a partial run without that package checks less,
+	// it does not fail.
+	if pass.Pkg.Path() == RegistryPkg {
+		declared := make(map[string]bool)
+		for _, pkg := range pass.Program {
+			for _, c := range packageConsts(pkg.Types) {
+				declared[c.value] = true
+			}
+		}
+		var stale []rec
+		for _, r := range recorded {
+			if !declared[r.Name] {
+				stale = append(stale, r)
+			}
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i].Line < stale[j].Line })
+		for _, r := range stale {
+			pass.ReportAt(token.Position{Filename: MetricsPath, Line: r.Line, Column: 1},
+				"locked metric name %q is no longer declared — renaming or dropping a series breaks dashboards; restore it or regen with `%s`", r.Name, RegenCmd)
+		}
+	}
+
+	// Invariant 2: no retyped series names in function bodies — the
+	// constant is the registry, a literal forks it.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !namePattern.MatchString(s) {
+					return true
+				}
+				pass.Reportf(lit.Pos(), "metric name %q retyped as a literal — reference its registry constant (internal/obs names) so %s stays the single source of truth", s, MetricsPath)
+				return true
+			})
+			return false
+		})
+	}
+	return nil
+}
+
+// A declConst is one series-shaped string constant.
+type declConst struct {
+	value string
+	pos   token.Pos
+}
+
+// packageConsts returns pkg's package-level string constants whose
+// value is in series form, exported or not — visibility does not make
+// a scraped name less of a contract.
+func packageConsts(pkg *types.Package) []declConst {
+	var out []declConst
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if namePattern.MatchString(v) {
+			out = append(out, declConst{value: v, pos: c.Pos()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+// A rec is one recorded line of the metrics file.
+type rec struct {
+	Name string
+	Line int
+}
+
+// ParseMetrics reads the locked registry into a by-name map. A
+// missing file is an empty lock: every declared series then reports
+// as unrecorded — the bootstrap path.
+func ParseMetrics(path string) (map[string]rec, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]rec{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]rec)
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if !namePattern.MatchString(trimmed) {
+			return nil, fmt.Errorf("%s:%d: %q is not a series name (want %s)", path, i+1, trimmed, namePattern)
+		}
+		if prev, dup := out[trimmed]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate entry %q (first at line %d)", path, i+1, trimmed, prev.Line)
+		}
+		out[trimmed] = rec{Name: trimmed, Line: i + 1}
+	}
+	return out, nil
+}
+
+// WriteMetrics renders the declared series set of pkgs to path,
+// sorted, one name per line.
+func WriteMetrics(path string, pkgs []*analysis.Package) error {
+	set := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, c := range packageConsts(pkg.Types) {
+			set[c.value] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	b.WriteString("# Locked exported metric-name set.\n")
+	b.WriteString("# One series name per line; any drift between this file and the\n")
+	b.WriteString("# declared compactroute_* constants fails the metricnames analyzer.\n")
+	b.WriteString("# Regenerate after an intentional series change:\n")
+	b.WriteString("#   " + RegenCmd + "\n\n")
+	for _, n := range names {
+		b.WriteString(n + "\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,110 @@
+package metricnames
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compactroute/internal/analysis"
+	"compactroute/internal/analysis/analysistest"
+)
+
+func withMetrics(t *testing.T, path string) {
+	t.Helper()
+	old := MetricsPath
+	MetricsPath = path
+	t.Cleanup(func() { MetricsPath = old })
+}
+
+func withRegistryPkg(t *testing.T, pkg string) {
+	t.Helper()
+	old := RegistryPkg
+	RegistryPkg = pkg
+	t.Cleanup(func() { RegistryPkg = old })
+}
+
+func TestMetricNamesClean(t *testing.T) {
+	withMetrics(t, "testdata/metrics.txt")
+	analysistest.Run(t, Analyzer, "testdata/src/metricpkg")
+}
+
+func TestMetricNamesDrift(t *testing.T) {
+	withMetrics(t, "testdata/metrics_drift.txt")
+	analysistest.Run(t, Analyzer, "testdata/src/metricdrift")
+}
+
+func TestMetricNamesStale(t *testing.T) {
+	// A lock file recording a series nothing declares: the staleness
+	// check runs from the registry package's pass and reports at the
+	// lock file's own line.
+	lock := filepath.Join(t.TempDir(), "metrics.txt")
+	content := "compactroute_widget_gauge\ncompactroute_widgets_total\ncompactroute_gone_total\n"
+	if err := os.WriteFile(lock, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	withMetrics(t, lock)
+	withRegistryPkg(t, "compactroute/internal/analysis/metricnames/testdata/src/metricpkg")
+	pkgs, err := analysis.Load(".", "./testdata/src/metricpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `"compactroute_gone_total" is no longer declared`) {
+		t.Fatalf("diags = %v, want exactly one staleness diagnostic", diags)
+	}
+	if diags[0].Pos.Filename != lock || diags[0].Pos.Line != 3 {
+		t.Errorf("staleness diagnostic at %s:%d, want %s:3", diags[0].Pos.Filename, diags[0].Pos.Line, lock)
+	}
+}
+
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	lock := filepath.Join(t.TempDir(), "metrics.txt")
+	pkgs, err := analysis.Load(".", "./testdata/src/metricpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(lock, pkgs); err != nil {
+		t.Fatal(err)
+	}
+	withMetrics(t, lock)
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("freshly regenerated lock still flags: %v", diags)
+	}
+	data, err := os.ReadFile(lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), RegenCmd) {
+		t.Errorf("regenerated file should carry its own regen command header:\n%s", data)
+	}
+	if !strings.Contains(string(data), "compactroute_widget_gauge\ncompactroute_widgets_total\n") {
+		t.Errorf("regenerated lock missing sorted series:\n%s", data)
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"badname.txt": "Not_A_Series_Name\n",
+		"dup.txt":     "compactroute_x_total\ncompactroute_x_total\n",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseMetrics(p); err == nil {
+			t.Errorf("%s: malformed lock parsed without error", name)
+		}
+	}
+	if got, err := ParseMetrics(filepath.Join(dir, "absent.txt")); err != nil || len(got) != 0 {
+		t.Errorf("missing file should be an empty lock, got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package metricdrift is the drifted fixture: an unrecorded constant
+// and a retyped literal, each flagged.
+package metricdrift
+
+const (
+	MetricKnownTotal = "compactroute_known_total"
+	MetricNewTotal   = "compactroute_new_total" // want `metric name "compactroute_new_total" is not locked`
+)
+
+// EmitLiteral retypes a series name instead of referencing its
+// constant, forking the registry.
+func EmitLiteral() string {
+	return "compactroute_known_total" // want `retyped as a literal`
+}

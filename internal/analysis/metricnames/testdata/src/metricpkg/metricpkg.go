@@ -1,0 +1,20 @@
+// Package metricpkg is the clean fixture: every series-shaped
+// constant is recorded in the lock file and names flow through the
+// constants.
+package metricpkg
+
+import "fmt"
+
+const (
+	MetricWidgetsTotal = "compactroute_widgets_total"
+	MetricWidgetGauge  = "compactroute_widget_gauge"
+
+	// Not a series name: wrong prefix, never tracked.
+	otherName = "other_widgets_total"
+)
+
+// Emit writes the families through the registry constants — the
+// accepted pattern.
+func Emit() string {
+	return fmt.Sprintf("%s 1\n%s 2\n", MetricWidgetsTotal, MetricWidgetGauge)
+}

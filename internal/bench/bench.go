@@ -76,6 +76,7 @@ var Experiments = map[string]Runner{
 	"T9":  RunT9,
 	"T10": RunT10,
 	"P1":  RunP1,
+	"O1":  RunO1,
 	"B1":  RunB1,
 	"D1":  RunD1,
 	"D2":  RunD2,

@@ -55,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,7 @@ import (
 
 	"compactroute"
 	"compactroute/client"
+	"compactroute/internal/obs"
 )
 
 // ErrNoHealthyShard reports a cluster call with every shard ejected.
@@ -99,6 +101,19 @@ type Options struct {
 	// discarded. Single-shard routes are untouched (the shard applies
 	// its own best-of-both if routed was started with it).
 	BestOfBoth bool
+	// TraceSample traces 1 in TraceSample front-door requests (0: 64;
+	// negative: sampling off — propagated trace IDs are still
+	// honored). A sampled request's ID rides the X-Compactroute-Trace
+	// header on its shard legs, so the per-shard views merge under one
+	// ID via GET /v1/trace/{id}.
+	TraceSample int
+	// TraceRing bounds the stored-trace ring (0: 1024).
+	TraceRing int
+	// SlowLog, when non-nil, receives slow and refused front-door
+	// requests as JSON lines.
+	SlowLog io.Writer
+	// SlowThreshold is the slow-log latency threshold (0: 100ms).
+	SlowThreshold time.Duration
 	// Logf receives operational log lines (nil: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -142,6 +157,12 @@ type Cluster struct {
 	failovers, ejections, readmit atomic.Uint64
 	skews, swaps                  atomic.Uint64
 	lastCutoverNs, maxCutoverNs   atomic.Int64
+
+	// observability (see internal/obs)
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	journal *obs.Journal
+	slow    *obs.SlowLog
 }
 
 // Stats is a point-in-time snapshot of the front-door counters.
@@ -177,6 +198,17 @@ func New(opts Options) (*Cluster, error) {
 	if c.logf == nil {
 		c.logf = log.Printf
 	}
+	sample := opts.TraceSample
+	switch {
+	case sample == 0:
+		sample = 64
+	case sample < 0:
+		sample = 0
+	}
+	c.tracer = obs.NewTracer(opts.TraceRing, sample)
+	c.metrics = obs.NewMetrics()
+	c.journal = obs.NewJournal(256)
+	c.slow = obs.NewSlowLog(opts.SlowLog, opts.SlowThreshold)
 	seen := make(map[string]bool, len(opts.Shards))
 	for _, url := range opts.Shards {
 		if seen[url] {
@@ -254,6 +286,7 @@ func (c *Cluster) eject(s *shard, why error) {
 		c.ejections.Add(1)
 		s.fails.Store(1)
 		s.nextProbe.Store(time.Now().Add(c.healthEvery()).UnixNano())
+		c.journal.Record("eject", fmt.Sprintf("%s: %v", s.url, why))
 		c.logf("cluster: ejected %s: %v", s.url, why)
 	}
 }
@@ -345,6 +378,7 @@ func (c *Cluster) tryReadmit(ctx context.Context, s *shard) {
 	s.fails.Store(0)
 	s.healthy.Store(true)
 	c.readmit.Add(1)
+	c.journal.Record("readmit", fmt.Sprintf("%s (version %d, log %d)", s.url, h.Version, h.Mutations))
 	c.logf("cluster: re-admitted %s (version %d, log %d)", s.url, h.Version, h.Mutations)
 }
 
@@ -374,6 +408,7 @@ func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Rout
 	for attempt := 0; attempt <= len(c.shards); attempt++ {
 		if attempt > 0 {
 			c.failovers.Add(1)
+			obs.Mark(ctx, "frontdoor", "failover", "")
 		}
 		si, di := c.Owner(src), c.Owner(dst)
 		if si < 0 || di < 0 {
@@ -390,6 +425,7 @@ func (c *Cluster) RouteByName(ctx context.Context, src, dst uint64) (client.Rout
 				return client.Route{}, err
 			}
 			c.proxied.Add(1)
+			obs.Mark(ctx, "frontdoor", "proxy", c.shards[si].url)
 			return res, nil
 		}
 		res, err := c.scatter(ctx, c.shards[si], c.shards[di], src, dst)
@@ -457,19 +493,29 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 	}
 	rc := make(chan routeLeg, 1)
 	vc := make(chan resolveLeg, 1)
+	// Only the forward walk carries the trace to its shard: the
+	// resolve and reverse legs run under a trace-stripped context so
+	// their shard-side hops cannot interleave into the merged per-ID
+	// view. The front-door records a span per leg either way.
 	go func() {
+		t0 := time.Now()
 		res, err := srcShard.c.RouteByName(ctx, src, dst)
+		obs.SpanSince(ctx, "frontdoor", "scatter-walk", srcShard.url, t0)
 		rc <- routeLeg{res, err}
 	}()
 	go func() {
-		res, err := dstShard.c.Resolve(ctx, src, dst)
+		t0 := time.Now()
+		res, err := dstShard.c.Resolve(obs.WithTrace(ctx, nil), src, dst)
+		obs.SpanSince(ctx, "frontdoor", "scatter-resolve", dstShard.url, t0)
 		vc <- resolveLeg{res, err}
 	}()
 	var bc chan routeLeg
 	if c.opts.BestOfBoth {
 		bc = make(chan routeLeg, 1)
 		go func() {
-			res, err := dstShard.c.RouteByName(ctx, dst, src)
+			t0 := time.Now()
+			res, err := dstShard.c.RouteByName(obs.WithTrace(ctx, nil), dst, src)
+			obs.SpanSince(ctx, "frontdoor", "scatter-reverse", dstShard.url, t0)
 			bc <- routeLeg{res, err}
 		}()
 	}
@@ -495,12 +541,15 @@ func (c *Cluster) scatter(ctx context.Context, srcShard, dstShard *shard, src, d
 			switch {
 			case walk.err != nil && !shardFault(ctx, walk.err):
 				c.reversed.Add(1)
+				obs.Mark(ctx, "frontdoor", "verdict", "reverse-won")
 				walk = routeLeg{res: back.res}
 			case walk.err == nil:
 				if walk.res.Version != nil && back.res.Version != nil && *walk.res.Version != *back.res.Version {
 					c.skews.Add(1) // advisory leg: discard, don't refuse
+					obs.Mark(ctx, "frontdoor", "verdict", "reverse-skewed")
 				} else if !walk.res.Delivered || back.res.Cost < walk.res.Cost {
 					c.reversed.Add(1)
+					obs.Mark(ctx, "frontdoor", "verdict", "reverse-won")
 					walk = back
 				}
 			}
@@ -738,6 +787,8 @@ func (c *Cluster) Rebuild(ctx context.Context) (compactroute.VersionInfo, time.D
 			break
 		}
 	}
+	c.journal.Record("cutover", fmt.Sprintf("version %d on %d/%d shards (log %d..%d, pause %v)",
+		want.ID, committed, len(staged), want.MutFrom, want.MutTo, pause.Round(time.Microsecond)))
 	c.logf("cluster: cut over %d/%d shards to version %d (log %d..%d, pause %v)",
 		committed, len(staged), want.ID, want.MutFrom, want.MutTo, pause.Round(time.Microsecond))
 	return want, pause, nil

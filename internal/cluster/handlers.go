@@ -11,26 +11,46 @@ import (
 
 	"compactroute"
 	"compactroute/client"
+	"compactroute/internal/obs"
 	"compactroute/internal/server"
 )
 
 // Handler returns the front-door HTTP surface. It mirrors a shard's
 // /v1 routes, so the same client speaks to either tier:
 //
-//	GET  /v1/route    proxy or scatter-gather across the owners
-//	GET  /v1/resolve  proxy to the source owner
-//	GET  /v1/healthz  cluster status + per-shard health rows
-//	GET  /v1/stats    front-door counters + per-shard stats
-//	POST /v1/mutate   serialized fan-out to every healthy shard
-//	POST /v1/rebuild  coordinated two-phase cut-over (always waits)
+//	GET  /v1/route          proxy or scatter-gather across the owners
+//	GET  /v1/resolve        proxy to the source owner
+//	GET  /v1/healthz        cluster status + per-shard health rows
+//	GET  /v1/stats          front-door counters + per-shard stats
+//	GET  /v1/metrics        Prometheus text: cluster + per-shard series
+//	GET  /v1/trace/{id}     merged trace: front-door view + shard views
+//	GET  /v1/traces/recent  newest stored front-door traces
+//	GET  /v1/events         bounded journal: ejections, re-admissions, cut-overs
+//	POST /v1/mutate         serialized fan-out to every healthy shard
+//	POST /v1/rebuild        coordinated two-phase cut-over (always waits)
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/route", c.handleRoute)
-	mux.HandleFunc("GET /v1/resolve", c.handleResolve)
-	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", c.handleStats)
-	mux.HandleFunc("POST /v1/mutate", c.handleMutate)
-	mux.HandleFunc("POST /v1/rebuild", c.handleRebuild)
+	// Every endpoint passes the observability boundary: trace minting
+	// or adoption, per-endpoint status/latency metrics, slow log.
+	o := &obs.HTTP{Tracer: c.tracer, Metrics: c.metrics, Slow: c.slow}
+	for _, ep := range []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /v1/route", c.handleRoute},
+		{"GET /v1/resolve", c.handleResolve},
+		{"GET /v1/healthz", c.handleHealthz},
+		{"GET /v1/stats", c.handleStats},
+		{"GET /v1/metrics", c.handleMetrics},
+		{"GET /v1/trace/{id}", c.handleTrace},
+		{"GET /v1/traces/recent", c.handleTracesRecent},
+		{"GET /v1/events", c.handleEvents},
+		{"POST /v1/mutate", c.handleMutate},
+		{"POST /v1/rebuild", c.handleRebuild},
+	} {
+		_, path, _ := strings.Cut(ep.pattern, " ")
+		mux.HandleFunc(ep.pattern, o.Observe(strings.TrimPrefix(path, "/v1"), ep.h))
+	}
 	return mux
 }
 
@@ -77,6 +97,9 @@ func (c *Cluster) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeClusterError(w, err)
 		return
+	}
+	if res.Delivered && res.Stretch > 0 {
+		c.metrics.ObserveStretch("cluster", res.Stretch)
 	}
 	server.WriteJSON(w, res)
 }

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in profiling mux served on a separate
+// -debug-addr listener: the standard net/http/pprof surface, kept
+// off the public serving port so profiles are reachable only where
+// the operator binds them.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one entry of the in-memory event journal: a topology
+// swap, a shard ejection or re-admission, or a fault transition.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	UnixNs int64  `json:"unixNs"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded in-memory event log served on /v1/events.
+// When full, the oldest entries are dropped; per-kind lifetime
+// counts stay monotonic for metrics.
+type Journal struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   int
+	filled bool
+	seq    uint64
+	counts map[string]uint64
+}
+
+// NewJournal returns a journal holding up to size events (minimum 1).
+func NewJournal(size int) *Journal {
+	if size < 1 {
+		size = 1
+	}
+	return &Journal{buf: make([]Event, size), counts: make(map[string]uint64)}
+}
+
+// Record appends one event. Nil-safe.
+func (j *Journal) Record(kind, detail string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.seq++
+	j.buf[j.next] = Event{Seq: j.seq, UnixNs: time.Now().UnixNano(),
+		Kind: kind, Detail: detail}
+	j.next++
+	if j.next == len(j.buf) {
+		j.next, j.filled = 0, true
+	}
+	j.counts[kind]++
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, len(j.buf))
+	if j.filled {
+		out = append(out, j.buf[j.next:]...)
+	}
+	out = append(out, j.buf[:j.next]...)
+	return out
+}
+
+// CountFamily renders the monotonic per-kind event counts as a
+// counter family.
+func (j *Journal) CountFamily() Family {
+	f := Family{Name: MetricEventsTotal, Type: "counter",
+		Help: "journal events recorded, by kind"}
+	if j == nil {
+		return f
+	}
+	j.mu.Lock()
+	kinds := make([]string, 0, len(j.counts))
+	for k := range j.counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		f.Points = append(f.Points, Point{
+			Labels: []Label{{"kind", k}}, Value: float64(j.counts[k])})
+	}
+	j.mu.Unlock()
+	return f
+}

@@ -1,0 +1,22 @@
+// Package obs is the serving tier's observability layer: request
+// tracing with per-layer spans and hop-level route paths, hand-rolled
+// Prometheus text exposition, a bounded event journal, a
+// threshold-gated slow-query log, and the pprof debug handler. It is
+// stdlib-only and import-light so every serving package (serve,
+// server, cluster, sim, client) can depend on it without cycles.
+//
+// The hot-path contract: recording is free when a request is not
+// traced. The sampling decision is one atomic add and a modulo at the
+// HTTP boundary; untraced requests carry no trace in their context,
+// so FromContext returns nil and every recording helper returns
+// immediately. The ctx-based helpers (Mark, SpanSince, SpanN,
+// FromContext) are //go:noinline so their internals never attribute
+// heap-escape sites to the budgeted hot-path functions that call
+// them (see lint/hotpath.budget).
+package obs
+
+// Header is the trace-propagation HTTP header. The front-door mints
+// an ID and sets it on every shard leg; a shard that receives the
+// header traces the request unconditionally under that ID so the
+// front-door can later merge per-shard views of the same request.
+const Header = "X-Compactroute-Trace"

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedPoint is one sample line as read back by ParseText.
+type ParsedPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one family as read back by ParseText.
+type ParsedFamily struct {
+	Name   string
+	Help   string
+	Type   string
+	Points []ParsedPoint
+}
+
+// ParseText parses Prometheus text exposition format strictly: every
+// sample must follow a TYPE line for its family, names must be legal,
+// values must parse, and histogram bucket counts must be cumulative
+// with the +Inf bucket equal to _count. It exists so tests (and the
+// CI smoke) can pin that /v1/metrics stays machine-readable.
+func ParseText(data string) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	var cur *ParsedFamily
+	for i, line := range strings.Split(data, "\n") {
+		ln := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln, err)
+			}
+			switch kind {
+			case "HELP":
+				if f := fams[name]; f != nil && f.Help != "" {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", ln, name)
+				}
+				if fams[name] == nil {
+					fams[name] = &ParsedFamily{Name: name}
+				}
+				fams[name].Help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: bad TYPE %q", ln, rest)
+				}
+				if fams[name] == nil {
+					fams[name] = &ParsedFamily{Name: name}
+				}
+				if fams[name].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln, name)
+				}
+				fams[name].Type = rest
+				cur = fams[name]
+			}
+			continue
+		}
+		p, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		if cur == nil || !nameInFamily(p.Name, cur) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's TYPE block", ln, p.Name)
+		}
+		cur.Points = append(cur.Points, p)
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, fmt.Errorf("family %s: %v", f.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	name = fields[2]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, nil
+}
+
+func parseSample(line string) (ParsedPoint, error) {
+	p := ParsedPoint{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return p, fmt.Errorf("malformed sample %q", line)
+	} else {
+		p.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(p.Name) {
+		return p, fmt.Errorf("bad sample name %q", p.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return p, fmt.Errorf("unterminated labels in %q", line)
+		}
+		if err := parseLabels(rest[1:end], p.Labels); err != nil {
+			return p, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.ContainsAny(rest, " \t") {
+		return p, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return p, err
+	}
+	p.Value = v
+	return p, nil
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", s)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value after %q", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				if _, ok := into[name]; ok {
+					return fmt.Errorf("duplicate label %q", name)
+				}
+				into[name] = val.String()
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+func nameInFamily(sample string, f *ParsedFamily) bool {
+	if sample == f.Name {
+		return f.Type != "histogram" // histograms expose only suffixed samples
+	}
+	switch f.Type {
+	case "histogram":
+		return sample == f.Name+"_bucket" || sample == f.Name+"_sum" || sample == f.Name+"_count"
+	case "summary":
+		return sample == f.Name+"_sum" || sample == f.Name+"_count"
+	}
+	return false
+}
+
+// checkHistogram verifies cumulative bucket counts per label set and
+// that the +Inf bucket matches _count.
+func checkHistogram(f *ParsedFamily) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if n != "le" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s=%q,", n, labels[n])
+		}
+		return b.String()
+	}
+	for _, p := range f.Points {
+		k := keyOf(p.Labels)
+		s := byKey[k]
+		if s == nil {
+			s = &series{}
+			byKey[k] = s
+		}
+		switch p.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(p.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bad le label: %v", err)
+			}
+			s.les = append(s.les, le)
+			s.counts = append(s.counts, p.Value)
+		case f.Name + "_count":
+			s.count, s.hasCnt = p.Value, true
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := byKey[k]
+		for i := 1; i < len(s.counts); i++ {
+			if s.les[i] < s.les[i-1] || s.counts[i] < s.counts[i-1] {
+				return fmt.Errorf("series {%s}: buckets not cumulative", k)
+			}
+		}
+		if n := len(s.counts); n > 0 {
+			if !math.IsInf(s.les[n-1], 1) {
+				return fmt.Errorf("series {%s}: missing +Inf bucket", k)
+			}
+			if s.hasCnt && s.counts[n-1] != s.count {
+				return fmt.Errorf("series {%s}: +Inf bucket %v != count %v", k, s.counts[n-1], s.count)
+			}
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free trace buffer. Writers claim a slot
+// with one atomic add and publish with one atomic pointer store;
+// readers snapshot slots with atomic loads. Old traces are
+// overwritten in FIFO order — the ring is a flight recorder, not an
+// archive.
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// NewRing returns a ring holding up to size traces (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// Store publishes a finished trace, evicting the oldest if full.
+func (r *Ring) Store(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	i := (r.next.Add(1) - 1) % uint64(len(r.slots))
+	r.slots[i].Store(tr)
+}
+
+// Get returns the newest stored trace with the given ID.
+func (r *Ring) Get(id string) (TraceView, bool) {
+	if r == nil || id == "" {
+		return TraceView{}, false
+	}
+	var best *Trace
+	var bestAge uint64
+	n := r.next.Load()
+	for i := range r.slots {
+		tr := r.slots[i].Load()
+		if tr == nil || tr.id != id {
+			continue
+		}
+		// Prefer the most recently stored duplicate (age = slots
+		// since it was written, derived from slot index vs cursor).
+		age := (n - uint64(i)) % uint64(len(r.slots))
+		if best == nil || age < bestAge {
+			best, bestAge = tr, age
+		}
+	}
+	if best == nil {
+		return TraceView{}, false
+	}
+	return best.View(), true
+}
+
+// Recent returns up to k stored traces, newest first.
+func (r *Ring) Recent(k int) []TraceView {
+	if r == nil || k <= 0 {
+		return nil
+	}
+	size := uint64(len(r.slots))
+	n := r.next.Load()
+	out := make([]TraceView, 0, k)
+	for off := uint64(1); off <= size && len(out) < k; off++ {
+		tr := r.slots[(n+size-off)%size].Load()
+		if tr != nil {
+			out = append(out, tr.View())
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one JSON line of the slow-query log.
+type SlowEntry struct {
+	UnixNs   int64  `json:"unixNs"`
+	TraceID  string `json:"traceId,omitempty"`
+	Endpoint string `json:"endpoint"`
+	Query    string `json:"query,omitempty"`
+	Status   int    `json:"status"`
+	DurNs    int64  `json:"durNs"`
+	Reason   string `json:"reason"`
+}
+
+// SlowLog writes slow, refused, and divergent requests as JSON lines
+// with their trace IDs. A request is logged when its duration meets
+// the threshold or its status is 5xx (refused, saturated, divergent,
+// unreachable).
+type SlowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	enc       *json.Encoder
+}
+
+// NewSlowLog returns a slow log writing to w with the given
+// threshold (0: 100ms). A nil w disables the log — methods on a nil
+// *SlowLog are no-ops.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil {
+		return nil
+	}
+	if threshold <= 0 {
+		threshold = 100 * time.Millisecond
+	}
+	return &SlowLog{threshold: threshold, enc: json.NewEncoder(w)}
+}
+
+// Observe logs the request if it qualifies.
+func (l *SlowLog) Observe(endpoint, query, traceID string, status int, dur time.Duration) {
+	if l == nil {
+		return
+	}
+	var reason string
+	switch {
+	case status >= 500:
+		reason = "refused"
+	case dur >= l.threshold:
+		reason = "slow"
+	default:
+		return
+	}
+	e := SlowEntry{
+		UnixNs:   time.Now().UnixNano(),
+		TraceID:  traceID,
+		Endpoint: endpoint,
+		Query:    query,
+		Status:   status,
+		DurNs:    dur.Nanoseconds(),
+		Reason:   reason,
+	}
+	l.mu.Lock()
+	_ = l.enc.Encode(e)
+	l.mu.Unlock()
+}

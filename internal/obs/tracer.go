@@ -1,0 +1,126 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Tracer owns the sampling policy and the trace ring for one serving
+// tier. The sampling decision is one atomic add and a modulo; an
+// incoming propagated ID forces tracing regardless of sampling so a
+// front-door-sampled request is traced on every shard it touches.
+type Tracer struct {
+	ring    *Ring
+	sampleN uint64 // trace 1 in sampleN requests; 0 = headers only
+	ctr     atomic.Uint64
+	idCtr   atomic.Uint64
+	sampled atomic.Uint64
+}
+
+// NewTracer returns a tracer with a ring of ringSize traces (0:
+// 1024) sampling 1 in sampleN requests (0: headers only — traces are
+// still honored when a propagated ID arrives).
+func NewTracer(ringSize, sampleN int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 1024
+	}
+	t := &Tracer{ring: NewRing(ringSize)}
+	if sampleN > 0 {
+		t.sampleN = uint64(sampleN)
+	}
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		t.idCtr.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+	return t
+}
+
+// Begin decides whether this request is traced. A valid propagated
+// ID forces a trace under that ID; otherwise the request is sampled
+// 1-in-N. Returns nil when untraced.
+func (t *Tracer) Begin(propagated string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if validID(propagated) {
+		t.sampled.Add(1)
+		return newTrace(propagated)
+	}
+	if t.sampleN == 0 || t.ctr.Add(1)%t.sampleN != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return newTrace(t.newID())
+}
+
+// Store publishes a finished trace into the ring.
+func (t *Tracer) Store(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.ring.Store(tr)
+}
+
+// Get returns the stored trace with the given ID.
+func (t *Tracer) Get(id string) (TraceView, bool) {
+	if t == nil {
+		return TraceView{}, false
+	}
+	return t.ring.Get(id)
+}
+
+// Recent returns up to k stored traces, newest first.
+func (t *Tracer) Recent(k int) []TraceView {
+	if t == nil {
+		return nil
+	}
+	return t.ring.Recent(k)
+}
+
+// Sampled returns the number of traces begun (sampled or forced).
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// newID mints a 16-hex-char request ID from a crypto-seeded
+// splitmix64 sequence: unique per process, collision-unlikely across
+// a fleet, and cheap (no syscall per ID).
+func (t *Tracer) newID() string {
+	x := t.idCtr.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	const hexdigits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[x&0xf]
+		x >>= 4
+	}
+	return string(buf[:])
+}
+
+// validID bounds what a propagated trace ID may look like: 1-64
+// characters of [A-Za-z0-9_-]. Anything else is treated as absent so
+// a hostile header cannot smuggle bytes into logs or response
+// headers.
+func validID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

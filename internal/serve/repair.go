@@ -2,11 +2,13 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"compactroute/internal/obs"
 	"compactroute/internal/routeerr"
 )
 
@@ -203,8 +205,11 @@ func (r *Repairer) RoutePathByName(ctx context.Context, srcName, dstName uint64)
 	var rev chan leg
 	if r.opts.BestOfBoth && srcName != dstName {
 		rev = make(chan leg, 1)
+		// The reverse walk is advisory: shadow the trace so its hops
+		// do not interleave with the forward walk's recorded path.
+		rctx := obs.WithTrace(ctx, nil)
 		go func() {
-			res, path, err := r.route(ctx, dstName, srcName)
+			res, path, err := r.route(rctx, dstName, srcName)
 			rev <- leg{res: res, path: path, err: err}
 		}()
 	}
@@ -214,16 +219,30 @@ func (r *Repairer) RoutePathByName(ctx context.Context, srcName, dstName uint64)
 	if rev != nil {
 		legs = append(legs, <-rev)
 	}
-	return r.choose(srcName, dstName, legs)
+	res, path, best, blocked, err := r.choose(srcName, dstName, legs)
+	switch {
+	case errors.Is(err, ErrUnreachable) && blocked > 0:
+		obs.Mark(ctx, "repair", "verdict", "blocked")
+	case errors.Is(err, ErrUnreachable):
+		obs.Mark(ctx, "repair", "verdict", "endpoint-down")
+	case best == 1:
+		obs.Mark(ctx, "repair", "verdict", "reverse-won")
+	case best == 0 && rev != nil:
+		obs.Mark(ctx, "repair", "verdict", "forward-won")
+	}
+	return res, path, err
 }
 
 // choose evaluates the candidate legs under one read of the fault
-// view. legs[0] is the forward direction and wins ties.
-func (r *Repairer) choose(srcName, dstName uint64, legs []leg) (Result, []uint64, error) {
+// view. legs[0] is the forward direction and wins ties. Alongside
+// the chosen route it reports which leg won (-1: none) and how many
+// delivered legs the overlay blocked, so the caller can record the
+// repair verdict in the request trace.
+func (r *Repairer) choose(srcName, dstName uint64, legs []leg) (Result, []uint64, int, int, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.downNodes[srcName] || r.downNodes[dstName] {
-		return Result{}, nil, fmt.Errorf("serve: %d→%d: endpoint down: %w", srcName, dstName, ErrUnreachable)
+		return Result{}, nil, -1, 0, fmt.Errorf("serve: %d→%d: endpoint down: %w", srcName, dstName, ErrUnreachable)
 	}
 	now := r.opts.Now()
 	best := -1
@@ -242,15 +261,15 @@ func (r *Repairer) choose(srcName, dstName uint64, legs []leg) (Result, []uint64
 		}
 	}
 	if best >= 0 {
-		return legs[best].res, legs[best].path, nil
+		return legs[best].res, legs[best].path, best, blocked, nil
 	}
 	if blocked > 0 {
-		return Result{}, nil, fmt.Errorf("serve: %d→%d: every delivered path crosses a down element: %w", srcName, dstName, ErrUnreachable)
+		return Result{}, nil, -1, blocked, fmt.Errorf("serve: %d→%d: every delivered path crosses a down element: %w", srcName, dstName, ErrUnreachable)
 	}
 	// Nothing usable and nothing blocked: pass the forward outcome
 	// through — scheme-level non-delivery and routing errors keep
 	// their own taxonomy.
-	return legs[0].res, legs[0].path, legs[0].err
+	return legs[0].res, legs[0].path, -1, 0, legs[0].err
 }
 
 // blockedLocked reports whether any element of the path is down.

@@ -41,7 +41,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"compactroute/internal/obs"
 	"compactroute/internal/routeerr"
 )
 
@@ -204,6 +206,7 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 		gen := sh.generation()
 		if res, ok := sh.get(key, srcName, dstName); ok {
 			p.hits.Add(1)
+			obs.Mark(ctx, "pool", "cache", "hit")
 			return res, nil
 		}
 		fl, role := sh.joinFlight(key, srcName, dstName)
@@ -224,6 +227,7 @@ func (p *Pool) Route(ctx context.Context, srcName, dstName uint64) (Result, erro
 					return Result{}, fl.err
 				}
 				p.coalesced.Add(1)
+				obs.Mark(ctx, "pool", "flight", "coalesced")
 				return fl.res, nil
 			case <-ctx.Done():
 				p.rejected.Add(1)
@@ -273,6 +277,7 @@ func (p *Pool) Purge() {
 //
 //crlint:hotpath
 func (p *Pool) compute(ctx context.Context, srcName, dstName uint64) (Result, error) {
+	start := time.Now()
 	select {
 	case p.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -296,6 +301,7 @@ func (p *Pool) compute(ctx context.Context, srcName, dstName uint64) (Result, er
 		return Result{}, err
 	}
 	p.misses.Add(1)
+	obs.SpanN(ctx, "pool", "compute", "miss", start, int64(res.Hops))
 	return res, nil
 }
 

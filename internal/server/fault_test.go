@@ -148,6 +148,14 @@ func TestFaultHammer(t *testing.T) {
 		}(w)
 	}
 
+	// On a single-CPU runner the injector can finish (and close stop)
+	// before the queriers' first iteration ever runs; wait for one
+	// completed query so the hammer actually overlaps the injection.
+	// The overlay is still empty here, so that query delivered.
+	for served.Load()+refused.Load() == 0 {
+		runtime.Gosched()
+	}
+
 	// Inject the trace in small batches, hot-swapping a rebuild every
 	// few batches so outages span version boundaries mid-query.
 	for i := 0; i < len(trace); i += 4 {

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"compactroute"
+	"compactroute/internal/obs"
 	"compactroute/internal/serve"
 )
 
@@ -36,6 +37,10 @@ func (s *Server) endpoints() []struct {
 		{"GET", "/resolve", s.handleResolve, false},
 		{"GET", "/healthz", s.handleHealthz, true},
 		{"GET", "/stats", s.handleStats, true},
+		{"GET", "/metrics", s.handleMetrics, false},
+		{"GET", "/trace/{id}", s.handleTrace, false},
+		{"GET", "/traces/recent", s.handleTracesRecent, false},
+		{"GET", "/events", s.handleEvents, false},
 		{"POST", "/mutate", s.handleMutate, true},
 		{"POST", "/rebuild", s.handleRebuild, true},
 		{"POST", "/swap", s.handleSwap, false},
@@ -49,10 +54,14 @@ func (s *Server) endpoints() []struct {
 func (s *Server) initRoutes(r serve.Router) {
 	s.pool = serve.NewPool(r, serve.Options{Workers: s.cfg.Workers, CacheSize: s.cfg.CacheSize, Shards: s.cfg.Shards})
 	s.mux = http.NewServeMux()
+	// Every endpoint passes the observability boundary: trace minting
+	// or adoption, per-endpoint status/latency metrics, slow log.
+	o := &obs.HTTP{Tracer: s.tracer, Metrics: s.metrics, Slow: s.slow}
 	for _, ep := range s.endpoints() {
-		s.mux.HandleFunc(ep.method+" /v1"+ep.path, ep.h)
+		h := o.Observe(ep.path, ep.h)
+		s.mux.HandleFunc(ep.method+" /v1"+ep.path, h)
 		if ep.legacy {
-			s.mux.HandleFunc(ep.method+" "+ep.path, deprecated(ep.path, ep.h))
+			s.mux.HandleFunc(ep.method+" "+ep.path, deprecated(ep.path, h))
 		}
 	}
 }
@@ -206,9 +215,21 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		resp.ShortestCost = res.ShortestCost
 		if res.ShortestCost > 0 {
 			resp.Stretch = res.Cost / res.ShortestCost
+			if res.Delivered {
+				s.metrics.ObserveStretch(s.servedKind(), resp.Stretch)
+			}
 		}
 	}
 	WriteJSON(w, resp)
+}
+
+// servedKind names the scheme kind answering routes, for the stretch
+// histogram's kind label.
+func (s *Server) servedKind() string {
+	if s.dyn != nil {
+		return s.kind
+	}
+	return s.scheme.Kind()
 }
 
 // handleResolve answers name existence and the shortest-path distance

@@ -42,6 +42,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -51,6 +52,7 @@ import (
 	"time"
 
 	"compactroute"
+	"compactroute/internal/obs"
 	"compactroute/internal/serve"
 )
 
@@ -112,6 +114,19 @@ type Config struct {
 	// schemes with lineage, manifest); empty disables.
 	SnapshotDir string
 
+	// TraceSample traces 1 in N requests (0: 64; negative disables
+	// sampling — propagated X-Compactroute-Trace IDs are still
+	// honored, so a front-door-sampled request traces here too).
+	TraceSample int
+	// TraceRing is the trace ring-buffer capacity (0: 1024).
+	TraceRing int
+	// SlowLog receives the slow-query log as JSON lines (nil
+	// disables): slow, refused, and divergent requests with their
+	// trace IDs.
+	SlowLog io.Writer
+	// SlowThreshold gates the slow-query log (0: 100ms).
+	SlowThreshold time.Duration
+
 	// Logf receives operational log lines (nil: log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -140,6 +155,11 @@ type Server struct {
 	// fail/recover batches for one element must not apply their
 	// overlay updates in the opposite order of their log positions).
 	muteMu sync.Mutex
+
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	journal *obs.Journal
+	slow    *obs.SlowLog
 
 	rebuildReq chan chan rebuildReply
 	started    sync.Once
@@ -170,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 	if s.logf == nil {
 		s.logf = log.Printf
 	}
+	s.initObs(cfg)
 	start := time.Now()
 	if _, isKind := compactroute.LookupKind(cfg.Scheme); isKind {
 		if err := s.initDynamic(cfg); err != nil {
@@ -189,6 +210,22 @@ func New(cfg Config) (*Server, error) {
 			time.Since(start).Round(time.Millisecond))
 	}
 	return s, nil
+}
+
+// initObs assembles the observability sinks before either init path
+// builds the routes (the HTTP middleware closes over them).
+func (s *Server) initObs(cfg Config) {
+	sample := cfg.TraceSample
+	switch {
+	case sample == 0:
+		sample = 64
+	case sample < 0:
+		sample = 0
+	}
+	s.tracer = obs.NewTracer(cfg.TraceRing, sample)
+	s.metrics = obs.NewMetrics()
+	s.journal = obs.NewJournal(256)
+	s.slow = obs.NewSlowLog(cfg.SlowLog, cfg.SlowThreshold)
 }
 
 // initDynamic builds cfg.Scheme as a registry kind and serves it
@@ -222,10 +259,12 @@ func (s *Server) initDynamic(cfg Config) error {
 	// moment its failure event is accepted, not at the next rebuild),
 	// with best-of-both-directions and flap damping as configured.
 	s.repair = serve.NewRepairer(func(ctx context.Context, src, dst uint64) (serve.Result, []uint64, error) {
+		walk := time.Now()
 		res, path, err := dyn.RoutePathByNameCtx(ctx, s.kind, src, dst)
 		if err != nil {
 			return serve.Result{}, nil, err
 		}
+		obs.SpanN(ctx, "scheme", "walk", s.kind, walk, int64(res.Hops))
 		sres, _ := toServeResult(res, nil)
 		return sres, path, nil
 	}, serve.RepairOptions{
@@ -235,8 +274,14 @@ func (s *Server) initDynamic(cfg Config) error {
 	})
 	s.initRoutes(s.repair)
 	// The swap hook purges the result cache inside the pause, so a
-	// post-swap request can never read a pre-swap route.
-	dyn.OnSwap(func(compactroute.VersionInfo) { s.pool.Purge() })
+	// post-swap request can never read a pre-swap route. The journal
+	// entry rides the same hook: every commit path (background
+	// rebuild, synchronous rebuild, two-phase swap) is one event.
+	dyn.OnSwap(func(v compactroute.VersionInfo) {
+		s.pool.Purge()
+		s.journal.Record("swap", fmt.Sprintf("version %d (mutations %d..%d, build %v)",
+			v.ID, v.MutFrom, v.MutTo, v.BuildWall.Round(time.Microsecond)))
+	})
 	return nil
 }
 
@@ -262,7 +307,12 @@ func (s *Server) initStatic(cfg Config) error {
 	}
 	s.scheme = scheme
 	s.initRoutes(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
-		return toServeResult(scheme.RouteByNameCtx(ctx, src, dst))
+		walk := time.Now()
+		res, err := toServeResult(scheme.RouteByNameCtx(ctx, src, dst))
+		if err == nil {
+			obs.SpanN(ctx, "scheme", "walk", scheme.Kind(), walk, int64(res.Hops))
+		}
+		return res, err
 	}))
 	return nil
 }
@@ -278,8 +328,14 @@ func newStatic(scheme *compactroute.Scheme, cfg Config) *Server {
 	if cfg.Metric {
 		scheme.Network().EnsureMetric()
 	}
+	s.initObs(cfg)
 	s.initRoutes(serve.RouterFunc(func(ctx context.Context, src, dst uint64) (serve.Result, error) {
-		return toServeResult(scheme.RouteByNameCtx(ctx, src, dst))
+		walk := time.Now()
+		res, err := toServeResult(scheme.RouteByNameCtx(ctx, src, dst))
+		if err == nil {
+			obs.SpanN(ctx, "scheme", "walk", scheme.Kind(), walk, int64(res.Hops))
+		}
+		return res, err
 	}))
 	return s
 }
@@ -422,22 +478,28 @@ func (s *Server) Mutate(ms ...compactroute.Mutation) (uint64, error) {
 
 // observeFaults projects an accepted batch's fault events into the
 // repair layer, reporting whether the overlay changed (cached results
-// are stale the moment it does). Caller holds muteMu.
+// are stale the moment it does). Fault transitions land in the event
+// journal here — the one place every accepted transition passes
+// through. Caller holds muteMu.
 func (s *Server) observeFaults(ms []compactroute.Mutation) bool {
 	changed := false
 	for _, m := range ms {
 		switch m.Op {
 		case compactroute.OpFailEdge:
 			s.repair.FailEdge(m.U, m.V)
+			s.journal.Record("fault", fmt.Sprintf("failedge %d-%d", m.U, m.V))
 			changed = true
 		case compactroute.OpRecoverEdge:
 			s.repair.RecoverEdge(m.U, m.V)
+			s.journal.Record("fault", fmt.Sprintf("recoveredge %d-%d", m.U, m.V))
 			changed = true
 		case compactroute.OpFailNode:
 			s.repair.FailNode(m.Name)
+			s.journal.Record("fault", fmt.Sprintf("failnode %d", m.Name))
 			changed = true
 		case compactroute.OpRecoverNode:
 			s.repair.RecoverNode(m.Name)
+			s.journal.Record("fault", fmt.Sprintf("recovernode %d", m.Name))
 			changed = true
 		case compactroute.OpRemoveEdge:
 			if s.repair.DropEdge(m.U, m.V) {
@@ -552,6 +614,7 @@ func (s *Server) rebuildLoop(ctx context.Context) {
 			switch {
 			case err != nil:
 				s.logf("server: rebuild failed (old version keeps serving): %v", err)
+				s.journal.Record("rebuild-failed", err.Error())
 			case v.ID == before:
 				s.logf("server: rebuild no-op (version %d already current, nothing pending)", v.ID)
 			default:

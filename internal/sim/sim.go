@@ -17,6 +17,7 @@ import (
 
 	"compactroute/internal/bitsize"
 	"compactroute/internal/graph"
+	"compactroute/internal/obs"
 )
 
 // Action is a router's per-step decision.
@@ -111,6 +112,7 @@ func (e *Engine) RouteCtx(ctx context.Context, r Router, src graph.NodeID, dstNa
 		res.Path = append(res.Path, src)
 	}
 	cancelable := ctx.Done() != nil
+	tr := obs.FromContext(ctx)
 	cur := src
 	cap := e.hopCap()
 	for {
@@ -138,6 +140,9 @@ func (e *Engine) RouteCtx(ctx context.Context, r Router, src graph.NodeID, dstNa
 				return res, fmt.Errorf("sim: %s: invalid port %d at node %d", r.Name(), port, cur)
 			}
 			edge := e.g.EdgeAt(cur, port)
+			if tr != nil {
+				tr.Hop(e.g.Name(cur), port)
+			}
 			res.Cost += edge.Weight
 			res.Hops++
 			cur = edge.To

@@ -17,6 +17,10 @@
 #     every mutation fans out and every rebuild is a coordinated
 #     cut-over, so both shards must end on the SAME non-zero version
 #     with nothing pending and the replay must report zero errors.
+#     The pass also scrapes /v1/metrics on the front-door and both
+#     shards (every line must be exposition-format shaped) and forces
+#     a trace through the stack via X-Compactroute-Trace, which must
+#     be retrievable from the front-door by that ID afterwards.
 #
 # Mirrors the CI "serving smoke" step; run locally with `make smoke`.
 set -eu
@@ -192,6 +196,44 @@ for s in "$shard_a" "$shard_b"; do
 	*) echo "smoke: shard $s left mutations pending: $health" >&2; exit 1 ;;
 	esac
 done
+
+# Metrics scrape: the front-door and both shards expose Prometheus
+# text. Every non-comment line must be "name{labels} value" shaped
+# (the strict in-process parser is pinned by tests; this guards the
+# live endpoints), and the request counter family must be present.
+for s in "$front" "$shard_a" "$shard_b"; do
+	scrape=$(curl -sf "http://$s/v1/metrics")
+	echo "$scrape" | awk '
+		/^#/ { next }
+		/^$/ { next }
+		!/^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$/ { bad = 1; print "bad metrics line: " $0 > "/dev/stderr" }
+		END { exit bad }
+	' || { echo "smoke: $s /v1/metrics is not exposition-format shaped" >&2; exit 1; }
+	case "$scrape" in
+	*compactroute_requests_total*) ;;
+	*) echo "smoke: $s /v1/metrics missing compactroute_requests_total" >&2; exit 1 ;;
+	esac
+done
+echo "smoke: metrics scrape OK (front-door + both shards)"
+
+# Forced trace: a propagated ID must ride front-door -> shard and be
+# retrievable from the front-door afterwards, spans included.
+src3=$(awk '$1 == "v" && $2 == 0 { print $3 }' "$tmp/topo3.txt")
+dst3=$(awk '$1 == "v" && $2 == 89 { print $3 }' "$tmp/topo3.txt")
+curl -sf -H "X-Compactroute-Trace: smoketrace01" \
+	"http://$front/v1/route?src=$src3&dst=$dst3" >/dev/null \
+	|| { echo "smoke: forced-trace route failed" >&2; exit 1; }
+trace=$(curl -sf "http://$front/v1/trace/smoketrace01") \
+	|| { echo "smoke: forced trace not retrievable by ID" >&2; exit 1; }
+case "$trace" in
+*'"id":"smoketrace01"'*) ;;
+*) echo "smoke: trace lookup answered: $trace" >&2; exit 1 ;;
+esac
+case "$trace" in
+*'"spans":'*) ;;
+*) echo "smoke: stored trace has no spans: $trace" >&2; exit 1 ;;
+esac
+echo "smoke: forced trace OK (propagated ID retrievable with spans)"
 
 kill -TERM "$pid3"
 wait "$pid3" || { echo "smoke: routefront exited non-zero on SIGTERM" >&2; exit 1; }
